@@ -1,0 +1,57 @@
+//! Criterion benches for the quantum-trajectory noise simulator (the engine
+//! behind Figure 11), at reduced sizes so `cargo bench` stays fast.
+
+use bench::benchmark_circuit;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qudit_noise::{models, GateExpansion, InputState, TrajectorySimulator};
+use qutrit_toffoli::cost::Construction;
+
+fn bench_trajectory_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_trajectory_trial");
+    group.sample_size(10);
+    for n_controls in [4usize, 6] {
+        for construction in [Construction::Qutrit, Construction::QubitAncilla] {
+            let circuit = benchmark_circuit(construction, n_controls);
+            let model = models::sc();
+            let sim = TrajectorySimulator::new(&circuit, &model, GateExpansion::DiWei).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(construction.name(), n_controls),
+                &sim,
+                |b, sim| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        sim.run_trial(&InputState::AllOnes, seed).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_noise_model_ablation(c: &mut Criterion) {
+    // Ablation bench: Di & Wei expansion vs single-charge accounting for the
+    // same circuit and model.
+    let mut group = c.benchmark_group("ablation_noise_granularity");
+    group.sample_size(10);
+    let circuit = benchmark_circuit(Construction::Qutrit, 5);
+    let model = models::sc();
+    for (label, expansion) in [
+        ("di_wei", GateExpansion::DiWei),
+        ("logical", GateExpansion::Logical),
+    ] {
+        let sim = TrajectorySimulator::new(&circuit, &model, expansion).unwrap();
+        group.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                sim.run_trial(&InputState::AllOnes, seed).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trajectory_trial, bench_noise_model_ablation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for the state-vector and classical simulators (the
+//! paper's Section 6.2 efficiency claims: einsum-style gate application and
+//! linear-space classical verification).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qudit_circuit::classical::simulate_classical;
+use qudit_sim::Simulator;
+use qutrit_toffoli::gen_toffoli::n_controlled_x;
+use qutrit_toffoli::incrementer::incrementer;
+
+fn bench_statevector_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_simulation");
+    group.sample_size(10);
+    for n_controls in [5usize, 8] {
+        let circuit = n_controlled_x(n_controls).unwrap();
+        let sim = Simulator::new();
+        group.bench_with_input(
+            BenchmarkId::new("qutrit_gen_toffoli", n_controls + 1),
+            &circuit,
+            |b, circuit| b.iter(|| sim.run(circuit).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_classical_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classical_simulation");
+    for width in [32usize, 128] {
+        let circuit = n_controlled_x(width - 1).unwrap();
+        let input = vec![1usize; width];
+        group.bench_with_input(
+            BenchmarkId::new("qutrit_gen_toffoli", width),
+            &circuit,
+            |b, circuit| b.iter(|| simulate_classical(circuit, &input).unwrap()),
+        );
+    }
+    for width in [16usize, 64] {
+        let circuit = incrementer(width).unwrap();
+        let input = vec![1usize; width];
+        group.bench_with_input(
+            BenchmarkId::new("incrementer", width),
+            &circuit,
+            |b, circuit| b.iter(|| simulate_classical(circuit, &input).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevector_simulation, bench_classical_simulation);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//!
+//! 1. Noise-accounting granularity: charging each three-qutrit gate its
+//!    Di & Wei expansion (6 two-qutrit + 7 single-qutrit error events) versus
+//!    charging it a single two-qudit error (the optimistic "logical" model).
+//! 2. Scheduling: ASAP moments (the paper's Cirq-style scheduler) versus a
+//!    fully serial schedule, and the effect on depth (and therefore idle
+//!    error exposure).
+//! 3. Idle-error contribution: the SC model with and without T1 damping.
+//!
+//! Usage: `cargo run --release -p bench --bin ablation [-- --controls 7 --trials 40]`
+
+use bench::{benchmark_circuit, parse_flag_or, percent};
+use qudit_circuit::Schedule;
+use qudit_noise::{
+    models, simulate_fidelity, GateExpansion, InputState, NoiseModel, TrajectoryConfig,
+};
+use qutrit_toffoli::cost::Construction;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_controls: usize = parse_flag_or(&args, "--controls", 7);
+    let trials: usize = parse_flag_or(&args, "--trials", 40);
+    let seed: u64 = parse_flag_or(&args, "--seed", 2019);
+
+    let circuit = benchmark_circuit(Construction::Qutrit, n_controls);
+
+    println!("Ablation 1: three-qutrit gate noise accounting (QUTRIT, SC model)");
+    for (label, expansion) in [
+        ("Di & Wei expansion (paper)", GateExpansion::DiWei),
+        ("single two-qudit charge", GateExpansion::Logical),
+    ] {
+        let config = TrajectoryConfig {
+            trials,
+            seed,
+            expansion,
+            input: InputState::RandomQubitSubspace,
+        };
+        let est = simulate_fidelity(&circuit, &models::sc(), &config).expect("simulation");
+        println!("  {label:<30} fidelity {}", percent(est.mean));
+    }
+
+    println!();
+    println!("Ablation 2: scheduling (QUTRIT construction depth)");
+    let asap = Schedule::asap(&circuit).depth();
+    let serial = Schedule::serial(&circuit).depth();
+    println!("  ASAP moments (paper): depth {asap}");
+    println!("  serial schedule:      depth {serial}");
+
+    println!();
+    println!("Ablation 3: idle (T1) errors on vs off (QUTRIT, SC gate errors)");
+    let sc = models::sc();
+    let no_idle = NoiseModel {
+        name: "SC-no-idle".to_string(),
+        t1: None,
+        ..sc.clone()
+    };
+    for model in [&sc, &no_idle] {
+        let config = TrajectoryConfig {
+            trials,
+            seed,
+            expansion: GateExpansion::DiWei,
+            input: InputState::RandomQubitSubspace,
+        };
+        let est = simulate_fidelity(&circuit, model, &config).expect("simulation");
+        println!("  {:<14} fidelity {}", model.name, percent(est.mean));
+    }
+}

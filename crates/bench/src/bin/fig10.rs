@@ -1,0 +1,53 @@
+//! Regenerates Figure 10: two-qudit gate count versus number of controls for
+//! the QUBIT, QUBIT+ANCILLA and QUTRIT constructions.
+//!
+//! Usage: `cargo run --release -p bench --bin fig10 [-- --max 200 --step 25]`
+
+use bench::{benchmark_circuit, parse_flag_or};
+use qudit_circuit::{analyze, CostWeights};
+use qutrit_toffoli::cost::{paper_two_qudit_gate_model, Construction};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max: usize = parse_flag_or(&args, "--max", 200);
+    let step: usize = parse_flag_or(&args, "--step", 25);
+    let measure_cap: usize = parse_flag_or(&args, "--measure-cap", 200);
+
+    println!("Figure 10: two-qudit gate counts for the N-controlled Generalized Toffoli");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "N",
+        "QUBIT(model)",
+        "QUBIT(meas)",
+        "+ANC(model)",
+        "+ANC(meas)",
+        "QUTRIT(model)",
+        "QUTRIT(meas)"
+    );
+    let mut n = step;
+    while n <= max {
+        let mut row = format!("{n:>6}");
+        for construction in [
+            Construction::Qubit,
+            Construction::QubitAncilla,
+            Construction::Qutrit,
+        ] {
+            let model = paper_two_qudit_gate_model(construction, n);
+            let measured = if n <= measure_cap {
+                let c = benchmark_circuit(construction, n);
+                analyze(&c, CostWeights::di_wei()).two_qudit_gates.to_string()
+            } else {
+                "-".to_string()
+            };
+            row.push_str(&format!(" {model:>14.0} {measured:>14}"));
+        }
+        println!("{row}");
+        n += step;
+    }
+    println!();
+    println!("model: paper's fitted constants (~397N, ~48N, ~6N)");
+    println!("meas:  two-qudit gates of our constructions (Di & Wei expansion)");
+    let ratio = paper_two_qudit_gate_model(Construction::Qubit, 100)
+        / paper_two_qudit_gate_model(Construction::Qutrit, 100);
+    println!("QUBIT / QUTRIT linearity-constant ratio: {ratio:.0}x (paper quotes ~70x)");
+}

@@ -1,0 +1,41 @@
+//! Regenerates Figure 11: mean fidelity of the N-controlled Generalized
+//! Toffoli for every applicable (circuit construction, noise model) pair —
+//! 16 bars in total.
+//!
+//! The paper simulates 13 controls (a 14-input gate) with 1000+ quantum
+//! trajectories per bar across >100 machines; by default this harness runs a
+//! reduced size so it completes on a laptop in minutes. Pass
+//! `--controls 13 --trials 1000` to reproduce the full experiment.
+//!
+//! Usage:
+//! `cargo run --release -p bench --bin fig11 [-- --controls 7 --trials 40 --seed 2019]`
+
+use bench::{figure11_fidelity, figure11_pairs, parse_flag_or, percent};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_controls: usize = parse_flag_or(&args, "--controls", 7);
+    let trials: usize = parse_flag_or(&args, "--trials", 40);
+    let seed: u64 = parse_flag_or(&args, "--seed", 2019);
+
+    println!(
+        "Figure 11: mean fidelity of the {}-input Generalized Toffoli ({} controls, {} trials/bar)",
+        n_controls + 1,
+        n_controls,
+        trials
+    );
+    println!(
+        "{:<16} {:<15} {:>12} {:>10}",
+        "Noise model", "Circuit", "Fidelity", "2-sigma"
+    );
+    for (construction, model) in figure11_pairs() {
+        let est = figure11_fidelity(construction, &model, n_controls, trials, seed);
+        println!(
+            "{:<16} {:<15} {:>12} {:>10}",
+            model.name,
+            construction.name(),
+            percent(est.mean),
+            percent(est.two_sigma())
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates Figure 9: exact circuit depth versus number of controls for
+//! the QUBIT, QUBIT+ANCILLA and QUTRIT constructions.
+//!
+//! Two series are printed for each construction: the paper's analytic model
+//! (the ~633N / ~76N / ~38·log₂N fits) and the depth measured from our own
+//! constructions under the Di & Wei expansion of multi-qudit gates (see
+//! DESIGN.md for the QUBIT substitution note).
+//!
+//! Usage: `cargo run --release -p bench --bin fig9 [-- --max 200 --step 25]`
+
+use bench::{benchmark_circuit, parse_flag_or};
+use qudit_circuit::{analyze, CostWeights};
+use qutrit_toffoli::cost::{paper_depth_model, Construction};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max: usize = parse_flag_or(&args, "--max", 200);
+    let step: usize = parse_flag_or(&args, "--step", 25);
+    let measure_cap: usize = parse_flag_or(&args, "--measure-cap", 200);
+
+    println!("Figure 9: circuit depth for the N-controlled Generalized Toffoli");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "N",
+        "QUBIT(model)",
+        "QUBIT(meas)",
+        "+ANC(model)",
+        "+ANC(meas)",
+        "QUTRIT(model)",
+        "QUTRIT(meas)"
+    );
+    let mut n = step;
+    while n <= max {
+        let mut row = format!("{n:>6}");
+        for construction in [
+            Construction::Qubit,
+            Construction::QubitAncilla,
+            Construction::Qutrit,
+        ] {
+            let model = paper_depth_model(construction, n);
+            let measured = if n <= measure_cap {
+                let c = benchmark_circuit(construction, n);
+                analyze(&c, CostWeights::di_wei()).physical_depth.to_string()
+            } else {
+                "-".to_string()
+            };
+            row.push_str(&format!(" {model:>14.0} {measured:>14}"));
+        }
+        println!("{row}");
+        n += step;
+    }
+    println!();
+    println!("model: paper's fitted constants (~633N, ~76N, ~38·log2 N)");
+    println!("meas:  physical depth of our constructions (Di & Wei expansion)");
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table 1: asymptotic comparison of N-controlled gate
+//! decompositions.
+
+use qutrit_toffoli::cost::table1;
+
+fn main() {
+    println!("Table 1: Asymptotic comparison of N-controlled gate decompositions");
+    println!(
+        "{:<15} {:<8} {:<8} {:<32} {:<10}",
+        "Construction", "Depth", "Ancilla", "Qudit types", "Constants"
+    );
+    for row in table1() {
+        println!(
+            "{:<15} {:<8} {:<8} {:<32} {:<10}",
+            row.construction.name(),
+            row.depth,
+            row.ancilla,
+            row.qudit_types,
+            row.constants
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 2: superconducting noise-model parameters.
+
+use qudit_noise::models::superconducting_models;
+
+fn main() {
+    println!("Table 2: Noise models simulated for superconducting devices");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "Noise Model", "3p1", "15p2", "T1"
+    );
+    for m in superconducting_models() {
+        println!(
+            "{:<14} {:>10.1e} {:>10.1e} {:>8.0} ms",
+            m.name,
+            3.0 * m.p1,
+            15.0 * m.p2,
+            m.t1.unwrap_or(0.0) * 1e3
+        );
+    }
+    println!();
+    println!(
+        "(gate times: {} ns single-qudit, {} ns two-qudit)",
+        superconducting_models()[0].gate_time_1q * 1e9,
+        superconducting_models()[0].gate_time_2q * 1e9
+    );
+}

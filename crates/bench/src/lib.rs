@@ -1,0 +1,157 @@
+//! Shared helpers for the benchmark harnesses that regenerate the paper's
+//! tables and figures.
+//!
+//! Each binary in `src/bin` regenerates one table or figure:
+//!
+//! | Binary   | Paper artefact |
+//! |----------|----------------|
+//! | `table1` | Table 1 — asymptotic comparison of decompositions |
+//! | `table2` | Table 2 — superconducting noise models |
+//! | `table3` | Table 3 — trapped-ion noise models |
+//! | `fig9`   | Figure 9 — circuit depth vs number of controls |
+//! | `fig10`  | Figure 10 — two-qudit gate count vs number of controls |
+//! | `fig11`  | Figure 11 — mean fidelity per (circuit, noise model) pair |
+//!
+//! The Criterion benches in `benches/` time the underlying simulator and
+//! constructions and exercise the same code paths at reduced sizes.
+
+use qudit_circuit::Circuit;
+use qudit_noise::{
+    simulate_fidelity, FidelityEstimate, GateExpansion, InputState, NoiseModel, TrajectoryConfig,
+};
+use qutrit_toffoli::baselines::{qubit_no_ancilla, qubit_one_dirty_ancilla};
+use qutrit_toffoli::cost::Construction;
+use qutrit_toffoli::gen_toffoli::n_controlled_x;
+
+/// Builds the benchmark circuit for a construction and control count.
+///
+/// The qutrit construction is built over a `d = 3` register; the qubit
+/// constructions over `d = 2`, matching how the paper simulates them.
+///
+/// # Panics
+///
+/// Panics if the construction has no circuit implementation (Wang/Lanyon) or
+/// construction fails.
+pub fn benchmark_circuit(construction: Construction, n_controls: usize) -> Circuit {
+    match construction {
+        Construction::Qutrit => n_controlled_x(n_controls).expect("qutrit construction"),
+        Construction::Qubit | Construction::Barenco => {
+            qubit_no_ancilla(n_controls, 2).expect("qubit construction")
+        }
+        Construction::QubitAncilla => {
+            qubit_one_dirty_ancilla(n_controls, 2).expect("qubit+ancilla construction")
+        }
+        Construction::He => {
+            qutrit_toffoli::baselines::he_log_depth(n_controls, 2).expect("he construction")
+        }
+        Construction::Wang | Construction::Lanyon => {
+            panic!("{construction:?} is analytic-only; no circuit to build")
+        }
+    }
+}
+
+/// The (circuit, noise-model) pairs of Figure 11: the superconducting models
+/// are paired with all three circuits, `TI_QUBIT` with the two qubit
+/// circuits, and the two trapped-ion qutrit models with the qutrit circuit —
+/// 16 bars in total.
+pub fn figure11_pairs() -> Vec<(Construction, NoiseModel)> {
+    use qudit_noise::models;
+    let mut pairs = Vec::new();
+    for model in models::superconducting_models() {
+        for construction in Construction::benchmarked() {
+            pairs.push((construction, model.clone()));
+        }
+    }
+    pairs.push((Construction::Qubit, models::ti_qubit()));
+    pairs.push((Construction::QubitAncilla, models::ti_qubit()));
+    pairs.push((Construction::Qutrit, models::bare_qutrit()));
+    pairs.push((Construction::Qutrit, models::dressed_qutrit()));
+    pairs
+}
+
+/// Runs the Figure 11 fidelity estimate for one (construction, model) pair.
+///
+/// # Panics
+///
+/// Panics if the simulation fails (unphysical model parameters).
+pub fn figure11_fidelity(
+    construction: Construction,
+    model: &NoiseModel,
+    n_controls: usize,
+    trials: usize,
+    seed: u64,
+) -> FidelityEstimate {
+    let circuit = benchmark_circuit(construction, n_controls);
+    let config = TrajectoryConfig {
+        trials,
+        seed,
+        expansion: GateExpansion::DiWei,
+        input: InputState::RandomQubitSubspace,
+    };
+    simulate_fidelity(&circuit, model, &config).expect("trajectory simulation")
+}
+
+/// Formats a fidelity as a percentage string like the paper's figure labels.
+pub fn percent(f: f64) -> String {
+    format!("{:.2}%", 100.0 * f)
+}
+
+/// Parses `--key value` style arguments from a simple argument list.
+pub fn parse_flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parses a `--key value` flag as a number, with a default.
+pub fn parse_flag_or<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    parse_flag(args, key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure11_has_sixteen_bars() {
+        assert_eq!(figure11_pairs().len(), 16);
+    }
+
+    #[test]
+    fn benchmark_circuits_have_expected_widths() {
+        assert_eq!(benchmark_circuit(Construction::Qutrit, 5).width(), 6);
+        assert_eq!(benchmark_circuit(Construction::Qubit, 5).width(), 6);
+        assert_eq!(benchmark_circuit(Construction::QubitAncilla, 5).width(), 7);
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--controls", "9", "--trials", "40"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(parse_flag_or(&args, "--controls", 5usize), 9);
+        assert_eq!(parse_flag_or(&args, "--trials", 100usize), 40);
+        assert_eq!(parse_flag_or(&args, "--seed", 7u64), 7);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.947), "94.70%");
+    }
+
+    #[test]
+    fn small_fidelity_run_is_sane() {
+        let est = figure11_fidelity(
+            Construction::Qutrit,
+            &qudit_noise::models::dressed_qutrit(),
+            3,
+            5,
+            1,
+        );
+        assert!(est.mean > 0.8 && est.mean <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,224 @@
+//! Multi-controlled X with *dirty* (borrowed) ancillas.
+//!
+//! These are the classic qubit-only building blocks from Barenco et al.:
+//!
+//! * [`mcx_ladder`] (Lemma 7.2): an N-controlled X using N−2 borrowed qubits
+//!   of unknown state, restored afterwards, with 4(N−2) Toffolis.
+//! * [`mcx_one_dirty`] (Lemma 7.3): an N-controlled X using a single borrowed
+//!   qubit, by splitting the controls in half and applying two ladder
+//!   constructions twice each.
+//!
+//! Both work for any dimension `d ≥ 2` (only levels |0⟩/|1⟩ are used), so the
+//! same code serves the qubit baselines and any qudit register.
+
+use qudit_circuit::{Circuit, CircuitError, CircuitResult, Control, Gate};
+
+/// Appends a Toffoli (CCX on levels 0/1) to the circuit.
+fn push_toffoli(c: &mut Circuit, a: usize, b: usize, t: usize) -> CircuitResult<()> {
+    c.push_controlled(
+        Gate::x(c.dim()),
+        &[Control::on_one(a), Control::on_one(b)],
+        &[t],
+    )
+}
+
+/// Appends a CNOT (CX on levels 0/1) to the circuit.
+fn push_cnot(c: &mut Circuit, a: usize, t: usize) -> CircuitResult<()> {
+    c.push_controlled(Gate::x(c.dim()), &[Control::on_one(a)], &[t])
+}
+
+/// Appends an N-controlled X to `circuit` using the borrowed-ancilla ladder
+/// (Barenco Lemma 7.2).
+///
+/// `ancillas` may be in any state and are restored; at least
+/// `controls.len() − 2` of them are required (only that many are used).
+///
+/// # Errors
+///
+/// Returns an error if there are not enough ancillas or any index is
+/// invalid.
+pub fn mcx_ladder(
+    circuit: &mut Circuit,
+    controls: &[usize],
+    ancillas: &[usize],
+    target: usize,
+) -> CircuitResult<()> {
+    let k = controls.len();
+    match k {
+        0 => return circuit.push_gate(Gate::x(circuit.dim()), &[target]),
+        1 => return push_cnot(circuit, controls[0], target),
+        2 => return push_toffoli(circuit, controls[0], controls[1], target),
+        _ => {}
+    }
+    if ancillas.len() < k - 2 {
+        return Err(CircuitError::InvalidClassicalInput {
+            reason: format!(
+                "ladder construction needs {} borrowed qubits but only {} were provided",
+                k - 2,
+                ancillas.len()
+            ),
+        });
+    }
+    let a = &ancillas[..k - 2];
+
+    // Gate sequences (see module docs): the outer V touches the target, the
+    // inner V restores the borrowed qubits.
+    //   top     = Toffoli(c_{k-1}, a_{k-3}, t)
+    //   down    = Toffoli(c_{k-2}, a_{k-4}, a_{k-3}), …, Toffoli(c_2, a_0, a_1)
+    //   bottom  = Toffoli(c_0, c_1, a_0)
+    //   full    = top, down, bottom, up, top, down, bottom, up
+    let emit_v = |circuit: &mut Circuit, include_top: bool| -> CircuitResult<()> {
+        if include_top {
+            push_toffoli(circuit, controls[k - 1], a[k - 3], target)?;
+        }
+        for j in (2..k - 1).rev() {
+            push_toffoli(circuit, controls[j], a[j - 2], a[j - 1])?;
+        }
+        push_toffoli(circuit, controls[0], controls[1], a[0])?;
+        for j in 2..k - 1 {
+            push_toffoli(circuit, controls[j], a[j - 2], a[j - 1])?;
+        }
+        if include_top {
+            push_toffoli(circuit, controls[k - 1], a[k - 3], target)?;
+        }
+        Ok(())
+    };
+
+    emit_v(circuit, true)?;
+    emit_v(circuit, false)?;
+    Ok(())
+}
+
+/// Appends an N-controlled X to `circuit` using a single borrowed qubit
+/// (Barenco Lemma 7.3): the controls are split into two halves and each half
+/// is handled by [`mcx_ladder`] with the other half (plus the target) serving
+/// as borrowed workspace; applying the two halves twice cancels the effect of
+/// the unknown borrowed-qubit state.
+///
+/// # Errors
+///
+/// Returns an error if indices are invalid.
+pub fn mcx_one_dirty(
+    circuit: &mut Circuit,
+    controls: &[usize],
+    borrowed: usize,
+    target: usize,
+) -> CircuitResult<()> {
+    let k = controls.len();
+    match k {
+        0 => return circuit.push_gate(Gate::x(circuit.dim()), &[target]),
+        1 => return push_cnot(circuit, controls[0], target),
+        2 => return push_toffoli(circuit, controls[0], controls[1], target),
+        _ => {}
+    }
+    let m = k.div_ceil(2);
+    let (a, b) = controls.split_at(m);
+
+    // Dirty workspace for each half: the other half (plus the target when
+    // targeting the borrowed qubit).
+    let mut dirty_for_a: Vec<usize> = b.to_vec();
+    dirty_for_a.push(target);
+    let dirty_for_b: Vec<usize> = a.to_vec();
+    let mut b_plus: Vec<usize> = b.to_vec();
+    b_plus.push(borrowed);
+
+    for _ in 0..2 {
+        mcx_ladder(circuit, a, &dirty_for_a, borrowed)?;
+        mcx_ladder(circuit, &b_plus, &dirty_for_b, target)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_circuit::classical::{all_binary_basis_states, simulate_classical};
+
+    /// Checks that `circuit` implements an N-controlled X from `controls` to
+    /// `target`, restoring every other qubit, for every binary input.
+    fn assert_is_mcx(circuit: &Circuit, controls: &[usize], target: usize) {
+        for input in all_binary_basis_states(circuit.width()) {
+            let out = simulate_classical(circuit, &input).unwrap();
+            let mut expected = input.clone();
+            if controls.iter().all(|&c| input[c] == 1) {
+                expected[target] = 1 - expected[target];
+            }
+            assert_eq!(out, expected, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn ladder_with_full_borrowed_register() {
+        // 5 controls (0..5), 3 borrowed (5..8), target 8.
+        let mut c = Circuit::new(2, 9);
+        mcx_ladder(&mut c, &[0, 1, 2, 3, 4], &[5, 6, 7], 8).unwrap();
+        assert_is_mcx(&c, &[0, 1, 2, 3, 4], 8);
+        assert_eq!(c.len(), 4 * (5 - 2), "4(k-2) Toffolis");
+    }
+
+    #[test]
+    fn ladder_small_cases() {
+        let mut c = Circuit::new(2, 3);
+        mcx_ladder(&mut c, &[0, 1], &[], 2).unwrap();
+        assert_is_mcx(&c, &[0, 1], 2);
+
+        let mut c = Circuit::new(2, 2);
+        mcx_ladder(&mut c, &[0], &[], 1).unwrap();
+        assert_is_mcx(&c, &[0], 1);
+    }
+
+    #[test]
+    fn ladder_three_controls_one_borrowed() {
+        let mut c = Circuit::new(2, 5);
+        mcx_ladder(&mut c, &[0, 1, 2], &[3], 4).unwrap();
+        assert_is_mcx(&c, &[0, 1, 2], 4);
+    }
+
+    #[test]
+    fn ladder_rejects_too_few_ancillas() {
+        let mut c = Circuit::new(2, 6);
+        assert!(mcx_ladder(&mut c, &[0, 1, 2, 3], &[4], 5).is_err());
+    }
+
+    #[test]
+    fn one_dirty_ancilla_various_sizes() {
+        for k in 3..=7usize {
+            // controls 0..k, borrowed k, target k+1.
+            let mut c = Circuit::new(2, k + 2);
+            let controls: Vec<usize> = (0..k).collect();
+            mcx_one_dirty(&mut c, &controls, k, k + 1).unwrap();
+            assert_is_mcx(&c, &controls, k + 1);
+        }
+    }
+
+    #[test]
+    fn one_dirty_works_on_qutrit_registers_too() {
+        // Same construction embedded in a d=3 register (only levels 0/1 used).
+        let mut c = Circuit::new(3, 6);
+        mcx_one_dirty(&mut c, &[0, 1, 2, 3], 4, 5).unwrap();
+        for input in all_binary_basis_states(6) {
+            let out = simulate_classical(&c, &input).unwrap();
+            let mut expected = input.clone();
+            if input[..4].iter().all(|&b| b == 1) {
+                expected[5] = 1 - expected[5];
+            }
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn gate_count_scales_linearly() {
+        let mut counts = Vec::new();
+        for k in [8usize, 16, 32, 64] {
+            let mut c = Circuit::new(2, k + 2);
+            let controls: Vec<usize> = (0..k).collect();
+            mcx_one_dirty(&mut c, &controls, k, k + 1).unwrap();
+            counts.push(c.len());
+        }
+        // Doubling k should roughly double the Toffoli count (linear scaling
+        // up to an additive constant): asymptotically ≈ 8k Toffolis.
+        assert!(counts[2] < 3 * counts[1], "counts {counts:?}");
+        assert!(counts[3] < 3 * counts[2], "counts {counts:?}");
+        assert!(counts[3] <= 8 * 64, "counts {counts:?}");
+    }
+}

@@ -1,0 +1,131 @@
+//! The He et al. logarithmic-depth construction (Table 1): an N-controlled X
+//! that achieves log depth on qubits by spending a clean ancilla for every
+//! pair of controls.
+//!
+//! A binary tree of Toffolis ANDs the controls pairwise into ancillas, the
+//! root ancilla drives the target, and the tree is uncomputed. The circuit
+//! width is roughly 2N, which is why the paper describes it as "effectively
+//! halving the effective potential of any given quantum hardware".
+
+use qudit_circuit::{Circuit, CircuitResult, Control, Gate, Operation};
+
+/// Builds the He-style log-depth N-controlled X.
+///
+/// Layout: controls occupy qudits `0..n_controls`, the target is
+/// `n_controls`, and `n_controls − 1` clean ancillas follow (total width
+/// `2·n_controls`). Ancillas must be |0⟩ on input and are returned to |0⟩.
+///
+/// # Errors
+///
+/// Returns an error if circuit construction fails internally.
+pub fn he_log_depth(n_controls: usize, dim: usize) -> CircuitResult<Circuit> {
+    let target = n_controls;
+    let num_ancilla = n_controls.saturating_sub(1);
+    let width = n_controls + 1 + num_ancilla;
+    let mut circuit = Circuit::new(dim, width);
+
+    if n_controls == 0 {
+        circuit.push_gate(Gate::x(dim), &[target])?;
+        return Ok(circuit);
+    }
+    if n_controls == 1 {
+        circuit.push_controlled(Gate::x(dim), &[Control::on_one(0)], &[target])?;
+        return Ok(circuit);
+    }
+
+    // Compute phase: combine wires pairwise into fresh ancillas until one
+    // wire carries the AND of all controls.
+    let mut compute_ops: Vec<Operation> = Vec::new();
+    let mut frontier: Vec<usize> = (0..n_controls).collect();
+    let mut next_ancilla = n_controls + 1;
+    while frontier.len() > 1 {
+        let mut next_frontier = Vec::new();
+        let mut i = 0;
+        while i + 1 < frontier.len() {
+            let a = frontier[i];
+            let b = frontier[i + 1];
+            let anc = next_ancilla;
+            next_ancilla += 1;
+            compute_ops.push(Operation::new(
+                Gate::x(dim),
+                vec![Control::on_one(a), Control::on_one(b)],
+                vec![anc],
+            )?);
+            next_frontier.push(anc);
+            i += 2;
+        }
+        if i < frontier.len() {
+            next_frontier.push(frontier[i]);
+        }
+        frontier = next_frontier;
+    }
+
+    for op in &compute_ops {
+        circuit.push(op.clone())?;
+    }
+    circuit.push_controlled(Gate::x(dim), &[Control::on_one(frontier[0])], &[target])?;
+    for op in compute_ops.iter().rev() {
+        circuit.push(op.inverse())?;
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_circuit::classical::{all_binary_basis_states, simulate_classical};
+    use qudit_circuit::Schedule;
+
+    fn run_with_clean_ancillas(circuit: &Circuit, controls_and_target: &[usize]) -> Vec<usize> {
+        let mut input = controls_and_target.to_vec();
+        input.resize(circuit.width(), 0);
+        simulate_classical(circuit, &input).unwrap()
+    }
+
+    #[test]
+    fn exhaustive_verification_small_sizes() {
+        for n in 1..=6usize {
+            let c = he_log_depth(n, 2).unwrap();
+            for input in all_binary_basis_states(n + 1) {
+                let out = run_with_clean_ancillas(&c, &input);
+                let mut expected = input.clone();
+                if input[..n].iter().all(|&b| b == 1) {
+                    expected[n] = 1 - expected[n];
+                }
+                assert_eq!(&out[..n + 1], &expected[..], "n={n}, input={input:?}");
+                assert!(
+                    out[n + 1..].iter().all(|&a| a == 0),
+                    "ancillas must be returned to |0⟩"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let depths: Vec<usize> = [8usize, 16, 32, 64]
+            .iter()
+            .map(|&n| Schedule::asap(&he_log_depth(n, 2).unwrap()).depth())
+            .collect();
+        for w in depths.windows(2) {
+            assert!(
+                w[1] - w[0] <= 3,
+                "doubling controls should add O(1) depth: {depths:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn width_is_roughly_double_the_controls() {
+        let c = he_log_depth(10, 2).unwrap();
+        assert_eq!(c.width(), 20);
+    }
+
+    #[test]
+    fn gate_count_is_linear() {
+        let c16 = he_log_depth(16, 2).unwrap().len();
+        let c32 = he_log_depth(32, 2).unwrap().len();
+        let ratio = c32 as f64 / c16 as f64;
+        assert!(ratio > 1.8 && ratio < 2.2);
+    }
+}

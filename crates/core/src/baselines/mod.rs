@@ -1,0 +1,23 @@
+//! Baseline Generalized Toffoli constructions the paper compares against
+//! (Section 3.2, Table 1).
+//!
+//! * [`qubit`] — the ancilla-free qubit-only construction (the paper's QUBIT
+//!   benchmark, the Gidney/Barenco family of constructions that bootstrap
+//!   dirty ancillas from the circuit itself and require small-angle
+//!   controlled roots of X).
+//! * [`qubit_ancilla`] — the qubit construction augmented with a single
+//!   *dirty* borrowed ancilla (the QUBIT+ANCILLA benchmark), built from the
+//!   classic Barenco Lemma 7.2 / 7.3 ladders.
+//! * [`he`] — the He et al. logarithmic-depth construction that spends a
+//!   clean ancilla per pair of controls.
+//! * [`dirty`] — the shared multi-controlled-X building blocks with dirty
+//!   (borrowed) ancillas used by the above.
+
+pub mod dirty;
+pub mod he;
+pub mod qubit;
+pub mod qubit_ancilla;
+
+pub use he::he_log_depth;
+pub use qubit::qubit_no_ancilla;
+pub use qubit_ancilla::qubit_one_dirty_ancilla;

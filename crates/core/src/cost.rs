@@ -1,0 +1,253 @@
+//! Cost models for the benchmarked constructions (Table 1, Figures 9 and 10).
+//!
+//! Two kinds of costs are provided:
+//!
+//! * the paper's *analytic* cost models — the fitted constants it reports
+//!   (`~633N` / `~76N` / `~38·log₂N` depth and `~397N` / `~48N` / `~6N`
+//!   two-qudit gates) plus the asymptotic rows of Table 1; and
+//! * *measured* costs obtained by building our constructions and analysing
+//!   them with the Di & Wei expansion of three-qudit gates.
+
+use crate::baselines::{he_log_depth, qubit_no_ancilla, qubit_one_dirty_ancilla};
+use crate::gen_toffoli::n_controlled_x;
+use qudit_circuit::{analyze, CircuitCosts, CircuitResult, CostWeights};
+
+/// The circuit constructions compared in the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Construction {
+    /// The paper's contribution: the ancilla-free qutrit tree (QUTRIT).
+    Qutrit,
+    /// The ancilla-free qubit-only construction (QUBIT, Gidney in the paper).
+    Qubit,
+    /// The qubit construction with one borrowed ancilla (QUBIT+ANCILLA).
+    QubitAncilla,
+    /// He et al.: log depth with a clean ancilla per pair of controls.
+    He,
+    /// Barenco et al.: quadratic-depth, ancilla-free, qubit-only.
+    Barenco,
+    /// Wang et al.: linear depth with qutrit controls (analytic only).
+    Wang,
+    /// Lanyon / Ralph: linear depth with a `d = N`-level target
+    /// (analytic only).
+    Lanyon,
+}
+
+impl Construction {
+    /// The display name used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Construction::Qutrit => "QUTRIT",
+            Construction::Qubit => "QUBIT",
+            Construction::QubitAncilla => "QUBIT+ANCILLA",
+            Construction::He => "HE",
+            Construction::Barenco => "BARENCO",
+            Construction::Wang => "WANG",
+            Construction::Lanyon => "LANYON/RALPH",
+        }
+    }
+
+    /// The three constructions benchmarked in Figures 9–11, in figure order.
+    pub fn benchmarked() -> [Construction; 3] {
+        [
+            Construction::Qubit,
+            Construction::QubitAncilla,
+            Construction::Qutrit,
+        ]
+    }
+}
+
+/// A row of Table 1: the asymptotic properties of a construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table1Row {
+    /// The construction.
+    pub construction: Construction,
+    /// Asymptotic depth as a function of the number of controls N.
+    pub depth: &'static str,
+    /// Number of ancilla required.
+    pub ancilla: &'static str,
+    /// The qudit types used.
+    pub qudit_types: &'static str,
+    /// Qualitative size of the constants.
+    pub constants: &'static str,
+}
+
+/// Returns Table 1 (asymptotic comparison of N-controlled gate
+/// decompositions).
+pub fn table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            construction: Construction::Qutrit,
+            depth: "log N",
+            ancilla: "0",
+            qudit_types: "controls are qutrits",
+            constants: "small",
+        },
+        Table1Row {
+            construction: Construction::Qubit,
+            depth: "N",
+            ancilla: "0",
+            qudit_types: "qubits",
+            constants: "large",
+        },
+        Table1Row {
+            construction: Construction::He,
+            depth: "log N",
+            ancilla: "N",
+            qudit_types: "qubits",
+            constants: "small",
+        },
+        Table1Row {
+            construction: Construction::Barenco,
+            depth: "N^2",
+            ancilla: "0",
+            qudit_types: "qubits",
+            constants: "small",
+        },
+        Table1Row {
+            construction: Construction::Wang,
+            depth: "N",
+            ancilla: "0",
+            qudit_types: "controls are qutrits",
+            constants: "small",
+        },
+        Table1Row {
+            construction: Construction::Lanyon,
+            depth: "N",
+            ancilla: "0",
+            qudit_types: "target is d = N-level qudit",
+            constants: "small",
+        },
+    ]
+}
+
+/// The paper's analytic circuit-depth model for the three benchmarked
+/// constructions (the fitted curves of Figure 9).
+pub fn paper_depth_model(construction: Construction, n_controls: usize) -> f64 {
+    let n = n_controls as f64;
+    match construction {
+        Construction::Qutrit => 38.0 * n.log2(),
+        Construction::Qubit => 633.0 * n,
+        Construction::QubitAncilla => 76.0 * n,
+        Construction::He => 48.0 * n.log2(),
+        Construction::Barenco => 24.0 * n * n,
+        Construction::Wang | Construction::Lanyon => 12.0 * n,
+    }
+}
+
+/// The paper's analytic two-qudit gate-count model for the three benchmarked
+/// constructions (the fitted curves of Figure 10).
+pub fn paper_two_qudit_gate_model(construction: Construction, n_controls: usize) -> f64 {
+    let n = n_controls as f64;
+    match construction {
+        Construction::Qutrit => 6.0 * n,
+        Construction::Qubit => 397.0 * n,
+        Construction::QubitAncilla => 48.0 * n,
+        Construction::He => 12.0 * n,
+        Construction::Barenco => 24.0 * n * n,
+        Construction::Wang | Construction::Lanyon => 12.0 * n,
+    }
+}
+
+/// Builds the circuit for a construction (where we implement one) and
+/// measures its costs with the Di & Wei expansion of multi-qudit gates.
+///
+/// Returns `None` for the analytic-only constructions (Wang, Lanyon).
+///
+/// # Errors
+///
+/// Propagates circuit-construction failures.
+pub fn measured_costs(
+    construction: Construction,
+    n_controls: usize,
+) -> CircuitResult<Option<CircuitCosts>> {
+    let circuit = match construction {
+        Construction::Qutrit => Some(n_controlled_x(n_controls)?),
+        Construction::Qubit | Construction::Barenco => Some(qubit_no_ancilla(n_controls, 2)?),
+        Construction::QubitAncilla => Some(qubit_one_dirty_ancilla(n_controls, 2)?),
+        Construction::He => Some(he_log_depth(n_controls, 2)?),
+        Construction::Wang | Construction::Lanyon => None,
+    };
+    Ok(circuit.map(|c| analyze(&c, CostWeights::di_wei())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_six_rows_matching_the_paper() {
+        let rows = table1();
+        assert_eq!(rows.len(), 6);
+        let qutrit = &rows[0];
+        assert_eq!(qutrit.depth, "log N");
+        assert_eq!(qutrit.ancilla, "0");
+        let he = rows
+            .iter()
+            .find(|r| r.construction == Construction::He)
+            .unwrap();
+        assert_eq!(he.ancilla, "N");
+    }
+
+    #[test]
+    fn paper_models_reproduce_figure_9_ordering() {
+        for n in [25usize, 50, 100, 200] {
+            let qutrit = paper_depth_model(Construction::Qutrit, n);
+            let ancilla = paper_depth_model(Construction::QubitAncilla, n);
+            let qubit = paper_depth_model(Construction::Qubit, n);
+            assert!(qutrit < ancilla && ancilla < qubit, "ordering at n={n}");
+        }
+        // The QUBIT/QUBIT+ANCILLA ratio is the paper's factor-of-8 ancilla
+        // benefit (633/76 ≈ 8.3).
+        let ratio = paper_depth_model(Construction::Qubit, 100)
+            / paper_depth_model(Construction::QubitAncilla, 100);
+        assert!(ratio > 8.0 && ratio < 8.6);
+    }
+
+    #[test]
+    fn paper_models_reproduce_figure_10_70x_gap() {
+        let ratio = paper_two_qudit_gate_model(Construction::Qubit, 100)
+            / paper_two_qudit_gate_model(Construction::Qutrit, 100);
+        assert!((ratio - 397.0 / 6.0).abs() < 1e-9);
+        assert!(ratio > 60.0, "the paper quotes a ~70x improvement");
+    }
+
+    #[test]
+    fn measured_qutrit_costs_track_the_analytic_model() {
+        for n in [16usize, 64] {
+            let costs = measured_costs(Construction::Qutrit, n).unwrap().unwrap();
+            let model = paper_two_qudit_gate_model(Construction::Qutrit, n);
+            let measured = costs.two_qudit_gates as f64;
+            assert!(
+                (measured - model).abs() / model < 0.35,
+                "n={n}: measured {measured} vs model {model}"
+            );
+        }
+    }
+
+    #[test]
+    fn measured_qutrit_depth_is_logarithmic_and_far_below_qubit_constructions() {
+        let n = 32;
+        let qutrit = measured_costs(Construction::Qutrit, n).unwrap().unwrap();
+        let ancilla = measured_costs(Construction::QubitAncilla, n)
+            .unwrap()
+            .unwrap();
+        let qubit = measured_costs(Construction::Qubit, n).unwrap().unwrap();
+        assert!(qutrit.physical_depth < ancilla.physical_depth);
+        assert!(ancilla.physical_depth < qubit.physical_depth);
+    }
+
+    #[test]
+    fn analytic_only_constructions_return_none() {
+        assert!(measured_costs(Construction::Wang, 8).unwrap().is_none());
+        assert!(measured_costs(Construction::Lanyon, 8).unwrap().is_none());
+    }
+
+    #[test]
+    fn benchmarked_list_matches_figure_order() {
+        let names: Vec<&str> = Construction::benchmarked()
+            .iter()
+            .map(|c| c.name())
+            .collect();
+        assert_eq!(names, vec!["QUBIT", "QUBIT+ANCILLA", "QUTRIT"]);
+    }
+}

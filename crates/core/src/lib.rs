@@ -1,0 +1,39 @@
+//! # qutrit-toffoli
+//!
+//! The primary contribution of *"Asymptotic Improvements to Quantum Circuits
+//! via Qutrits"* (Gokhale et al., ISCA 2019), reproduced in Rust: an
+//! ancilla-free, logarithmic-depth decomposition of the Generalized Toffoli
+//! gate that temporarily stores information in the qutrit |2⟩ state, together
+//! with the baseline constructions it is compared against and the derived
+//! circuits (incrementer, Grover search, artificial quantum neuron).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qutrit_toffoli::{gen_toffoli, verify};
+//! use qudit_circuit::Schedule;
+//!
+//! // A 7-controlled X with no ancilla, in logarithmic depth.
+//! let circuit = gen_toffoli::n_controlled_x(7)?;
+//! assert_eq!(circuit.width(), 8);
+//! assert!(Schedule::asap(&circuit).depth() <= 7);
+//! assert!(verify::verify_n_controlled_x_classical(&circuit, 7, 7)?.is_none());
+//! # Ok::<(), qudit_circuit::CircuitError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baselines;
+pub mod cost;
+pub mod gen_toffoli;
+pub mod grover;
+pub mod incrementer;
+pub mod neuron;
+pub mod toffoli;
+pub mod verify;
+
+pub use cost::Construction;
+pub use gen_toffoli::{generalized_toffoli, n_controlled_u, n_controlled_x, GeneralizedToffoliSpec};
+pub use incrementer::incrementer;
+pub use toffoli::{toffoli, toffoli_via_qutrits};

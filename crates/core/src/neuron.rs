@@ -1,0 +1,226 @@
+//! The artificial quantum neuron (Section 5.1).
+//!
+//! Tacchino et al.'s quantum neuron encodes an `m = 2^N`-element ±1 input
+//! vector and weight vector into the phases of `N`-qubit hypergraph states.
+//! The circuit prepares the input state, applies the inverse of the weight
+//! preparation, and ANDs all `N` qubits into an output qubit with a
+//! Generalized Toffoli: the output activates with probability
+//! `|⟨ψ_w|ψ_i⟩|²`, the (normalised squared) perceptron pre-activation. The
+//! Generalized Toffoli dominates the circuit, which is why the paper calls
+//! the neuron a prime target for the ancilla-free qutrit construction.
+
+use crate::gen_toffoli::{generalized_toffoli, GeneralizedToffoliSpec};
+use qudit_circuit::{Circuit, CircuitResult, Control, Gate};
+use qudit_sim::Simulator;
+
+/// A ±1 vector of length `2^n_qubits`, stored as booleans (`true` = +1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignVector {
+    n_qubits: usize,
+    signs: Vec<bool>,
+}
+
+impl SignVector {
+    /// Creates a sign vector for `n_qubits` qubits from booleans
+    /// (`true` = +1, `false` = −1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the length is not `2^n_qubits`.
+    pub fn new(n_qubits: usize, signs: Vec<bool>) -> Result<Self, String> {
+        if signs.len() != 1 << n_qubits {
+            return Err(format!(
+                "expected {} entries for {n_qubits} qubits, got {}",
+                1usize << n_qubits,
+                signs.len()
+            ));
+        }
+        Ok(SignVector { n_qubits, signs })
+    }
+
+    /// The all-(+1) vector.
+    pub fn all_plus(n_qubits: usize) -> Self {
+        SignVector {
+            n_qubits,
+            signs: vec![true; 1 << n_qubits],
+        }
+    }
+
+    /// The number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The signs as ±1 integers.
+    pub fn as_i8(&self) -> Vec<i8> {
+        self.signs.iter().map(|&s| if s { 1 } else { -1 }).collect()
+    }
+
+    /// The normalised inner product with another sign vector:
+    /// `⟨w, i⟩ / 2^N ∈ [−1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn normalized_inner_product(&self, other: &SignVector) -> f64 {
+        assert_eq!(self.signs.len(), other.signs.len(), "length mismatch");
+        let dot: i64 = self
+            .as_i8()
+            .iter()
+            .zip(other.as_i8())
+            .map(|(a, b)| (*a as i64) * (b as i64))
+            .sum();
+        dot as f64 / self.signs.len() as f64
+    }
+}
+
+/// Appends the hypergraph-state phase pattern for a sign vector: for every
+/// basis state with a −1 sign, a multiply-controlled Z (built with the
+/// qutrit tree) flips its phase.
+fn push_sign_flips(circuit: &mut Circuit, qubits: &[usize], signs: &SignVector) -> CircuitResult<()> {
+    let n = qubits.len();
+    for (index, &positive) in signs.signs.iter().enumerate() {
+        if positive {
+            continue;
+        }
+        let target = qubits[n - 1];
+        let target_bit = (index >> (n - 1)) & 1;
+        if target_bit == 0 {
+            circuit.push_gate(Gate::x(3), &[target])?;
+        }
+        let controls: Vec<Control> = qubits[..n - 1]
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| Control::new(q, (index >> i) & 1))
+            .collect();
+        let spec = GeneralizedToffoliSpec {
+            controls,
+            target,
+            target_gate: Gate::z(3),
+        };
+        circuit.extend(&generalized_toffoli(&spec, circuit.width())?)?;
+        if target_bit == 0 {
+            circuit.push_gate(Gate::x(3), &[target])?;
+        }
+    }
+    Ok(())
+}
+
+/// Builds the quantum-neuron circuit for the given weight and input vectors.
+///
+/// The register has `N + 1` qutrits: qubits `0..N` carry the data and qubit
+/// `N` is the output. After the circuit, the probability of measuring the
+/// output in |1⟩ equals `(⟨w, i⟩ / 2^N)²`.
+///
+/// # Errors
+///
+/// Returns an error if the vectors have mismatched sizes or construction
+/// fails.
+pub fn neuron_circuit(weights: &SignVector, inputs: &SignVector) -> CircuitResult<Circuit> {
+    if weights.n_qubits() != inputs.n_qubits() {
+        return Err(qudit_circuit::CircuitError::InvalidClassicalInput {
+            reason: "weight and input vectors must have the same size".to_string(),
+        });
+    }
+    let n = weights.n_qubits();
+    let mut circuit = Circuit::new(3, n + 1);
+    let qubits: Vec<usize> = (0..n).collect();
+
+    // U_i: prepare the input hypergraph state.
+    for &q in &qubits {
+        circuit.push_gate(Gate::h(3), &[q])?;
+    }
+    push_sign_flips(&mut circuit, &qubits, inputs)?;
+
+    // U_w†: rotate the weight state onto |1…1⟩ (sign flips are self-inverse,
+    // then H⊗n maps the uniform state back to |0…0⟩, then X⊗n).
+    push_sign_flips(&mut circuit, &qubits, weights)?;
+    for &q in &qubits {
+        circuit.push_gate(Gate::h(3), &[q])?;
+    }
+    for &q in &qubits {
+        circuit.push_gate(Gate::x(3), &[q])?;
+    }
+
+    // The activation: an N-controlled X onto the output qubit, using the
+    // ancilla-free qutrit tree.
+    let spec = GeneralizedToffoliSpec {
+        controls: qubits.iter().map(|&q| Control::on_one(q)).collect(),
+        target: n,
+        target_gate: Gate::x(3),
+    };
+    circuit.extend(&generalized_toffoli(&spec, circuit.width())?)?;
+    Ok(circuit)
+}
+
+/// Runs the neuron circuit and returns the probability that the output qubit
+/// measures |1⟩ (the neuron's activation probability).
+///
+/// # Errors
+///
+/// Propagates circuit-construction and simulation failures.
+pub fn neuron_activation_probability(
+    weights: &SignVector,
+    inputs: &SignVector,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let circuit = neuron_circuit(weights, inputs)?;
+    let out = Simulator::new().run(&circuit)?;
+    let n = weights.n_qubits();
+    Ok(qudit_sim::marginal_distribution(&out, n)[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_weights_and_inputs_always_activate() {
+        for n in 1..=3usize {
+            let w = SignVector::new(n, (0..(1 << n)).map(|i| i % 3 != 0).collect()).unwrap();
+            let p = neuron_activation_probability(&w, &w).unwrap();
+            assert!((p - 1.0).abs() < 1e-9, "n={n}: p={p}");
+        }
+    }
+
+    #[test]
+    fn orthogonal_weights_and_inputs_never_activate() {
+        // Half the signs differ → inner product 0 → activation 0.
+        let n = 2;
+        let w = SignVector::all_plus(n);
+        let i = SignVector::new(n, vec![true, true, false, false]).unwrap();
+        assert_eq!(w.normalized_inner_product(&i), 0.0);
+        let p = neuron_activation_probability(&w, &i).unwrap();
+        assert!(p < 1e-9, "p={p}");
+    }
+
+    #[test]
+    fn activation_matches_squared_inner_product() {
+        let n = 3;
+        let w = SignVector::new(
+            n,
+            vec![true, false, true, true, false, true, false, false],
+        )
+        .unwrap();
+        let i = SignVector::new(
+            n,
+            vec![true, true, true, false, false, true, true, false],
+        )
+        .unwrap();
+        let expected = w.normalized_inner_product(&i).powi(2);
+        let p = neuron_activation_probability(&w, &i).unwrap();
+        assert!((p - expected).abs() < 1e-9, "p={p}, expected={expected}");
+    }
+
+    #[test]
+    fn sign_vector_validation() {
+        assert!(SignVector::new(2, vec![true; 3]).is_err());
+        assert!(SignVector::new(2, vec![true; 4]).is_ok());
+    }
+
+    #[test]
+    fn neuron_circuit_width_is_inputs_plus_output() {
+        let w = SignVector::all_plus(3);
+        let c = neuron_circuit(&w, &w).unwrap();
+        assert_eq!(c.width(), 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! The Toffoli-via-qutrits decomposition of Figure 4.
+//!
+//! Inputs and outputs are qubits, but the first control temporarily elevates
+//! the second control to |2⟩, which then triggers the target X. Three
+//! two-qutrit gates replace the usual six-CNOT qubit decomposition, and no
+//! ancilla is used.
+
+use qudit_circuit::{Circuit, CircuitResult, Control, Gate};
+
+/// Builds the Figure 4 Toffoli decomposition on qutrits `q0, q1, q2` of a
+/// width-`width` qutrit circuit: `X` is applied to `q2` iff `q0` and `q1`
+/// are both |1⟩.
+///
+/// # Errors
+///
+/// Returns an error if any index is out of range or indices repeat.
+pub fn toffoli_via_qutrits(
+    width: usize,
+    q0: usize,
+    q1: usize,
+    q2: usize,
+) -> CircuitResult<Circuit> {
+    let mut c = Circuit::new(3, width);
+    c.push_controlled(Gate::increment(3), &[Control::on_one(q0)], &[q1])?;
+    c.push_controlled(Gate::x(3), &[Control::on_two(q1)], &[q2])?;
+    c.push_controlled(Gate::decrement(3), &[Control::on_one(q0)], &[q1])?;
+    Ok(c)
+}
+
+/// Builds the standard three-qutrit Toffoli on qutrits `0, 1, 2`.
+///
+/// # Panics
+///
+/// Never panics: the fixed indices are always valid.
+pub fn toffoli() -> Circuit {
+    toffoli_via_qutrits(3, 0, 1, 2).expect("indices 0,1,2 are valid for width 3")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_circuit::classical::{simulate_classical, verify_classical_function};
+    use qudit_circuit::Schedule;
+
+    #[test]
+    fn toffoli_matches_truth_table_on_all_binary_inputs() {
+        let c = toffoli();
+        let mismatch = verify_classical_function(&c, |input| {
+            let mut out = input.to_vec();
+            if input[0] == 1 && input[1] == 1 {
+                out[2] = 1 - out[2];
+            }
+            out
+        })
+        .unwrap();
+        assert!(mismatch.is_none(), "counterexample: {mismatch:?}");
+    }
+
+    #[test]
+    fn toffoli_has_three_two_qutrit_gates_and_depth_three() {
+        let c = toffoli();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.two_qudit_gate_count(), 3);
+        assert_eq!(Schedule::asap(&c).depth(), 3);
+    }
+
+    #[test]
+    fn toffoli_restores_controls() {
+        let c = toffoli();
+        for input in qudit_circuit::classical::all_binary_basis_states(3) {
+            let out = simulate_classical(&c, &input).unwrap();
+            assert_eq!(out[0], input[0], "first control must be restored");
+            assert_eq!(out[1], input[1], "second control must be restored");
+            assert!(out.iter().all(|&d| d < 2), "output must be binary");
+        }
+    }
+
+    #[test]
+    fn toffoli_on_remapped_qudits() {
+        let c = toffoli_via_qutrits(5, 4, 2, 0).unwrap();
+        let out = simulate_classical(&c, &[0, 0, 1, 0, 1]).unwrap();
+        assert_eq!(out, vec![1, 0, 1, 0, 1]);
+        let out = simulate_classical(&c, &[0, 0, 0, 0, 1]).unwrap();
+        assert_eq!(out, vec![0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices() {
+        assert!(toffoli_via_qutrits(3, 0, 1, 5).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Verification helpers (the paper's "verification scripts", Section 4.2).
+//!
+//! The constructions are verified two ways, as in the paper: exhaustively on
+//! every classical input with the linear-space classical simulator, and (for
+//! small widths or non-classical circuits) against the full state-vector
+//! simulator.
+
+use qudit_circuit::classical::{all_binary_basis_states, simulate_classical};
+use qudit_circuit::{Circuit, CircuitResult};
+use qudit_core::Complex;
+use qudit_sim::Simulator;
+
+/// A verification failure: the circuit mapped `input` to `actual` instead of
+/// `expected`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The classical input digits.
+    pub input: Vec<usize>,
+    /// The expected output digits.
+    pub expected: Vec<usize>,
+    /// The observed output digits.
+    pub actual: Vec<usize>,
+}
+
+/// Exhaustively verifies (with the classical simulator) that `circuit`
+/// implements an N-controlled-X: the target flips iff all controls are |1⟩
+/// and every other qudit is preserved.
+///
+/// # Errors
+///
+/// Propagates classical-simulation errors (e.g. non-classical gates).
+pub fn verify_n_controlled_x_classical(
+    circuit: &Circuit,
+    n_controls: usize,
+    target: usize,
+) -> CircuitResult<Option<Counterexample>> {
+    for input in all_binary_basis_states(circuit.width()) {
+        let mut expected = input.clone();
+        if input[..n_controls].iter().all(|&b| b == 1) {
+            expected[target] = 1 - expected[target];
+        }
+        let actual = simulate_classical(circuit, &input)?;
+        if actual != expected {
+            return Ok(Some(Counterexample {
+                input,
+                expected,
+                actual,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Verifies with the state-vector simulator that `circuit` implements an
+/// N-controlled-X exactly (amplitude 1 on the expected output, so no stray
+/// relative phases), on every binary basis input.
+///
+/// Use for circuits containing non-classical gates (e.g. the qubit-only
+/// baseline with controlled roots of X). Exponential in the width — keep the
+/// width at or below ~12.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn verify_n_controlled_x_statevector(
+    circuit: &Circuit,
+    n_controls: usize,
+    target: usize,
+) -> Result<Option<Counterexample>, Box<dyn std::error::Error>> {
+    let sim = Simulator::new();
+    for input in all_binary_basis_states(circuit.width()) {
+        let mut expected = input.clone();
+        if input[..n_controls].iter().all(|&b| b == 1) {
+            expected[target] = 1 - expected[target];
+        }
+        let out = sim.run_on_basis_state(circuit, &input)?;
+        let amp = out.amplitude(&expected)?;
+        if !amp.approx_eq(Complex::ONE, 1e-6) {
+            return Ok(Some(Counterexample {
+                input: input.clone(),
+                expected,
+                actual: out.most_likely_state(),
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Exhaustively verifies that `circuit` implements +1 mod 2^N on a binary
+/// register (qudit 0 = least significant bit).
+///
+/// # Errors
+///
+/// Propagates classical-simulation errors.
+pub fn verify_incrementer_classical(circuit: &Circuit) -> CircuitResult<Option<Counterexample>> {
+    let n = circuit.width();
+    let modulus = 1usize << n;
+    for value in 0..modulus {
+        let input: Vec<usize> = (0..n).map(|i| (value >> i) & 1).collect();
+        let next = (value + 1) % modulus;
+        let expected: Vec<usize> = (0..n).map(|i| (next >> i) & 1).collect();
+        let actual = simulate_classical(circuit, &input)?;
+        if actual != expected {
+            return Ok(Some(Counterexample {
+                input,
+                expected,
+                actual,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{qubit_no_ancilla, qubit_one_dirty_ancilla};
+    use crate::gen_toffoli::n_controlled_x;
+    use crate::incrementer::incrementer;
+
+    #[test]
+    fn qutrit_tree_passes_classical_verification() {
+        for n in [3usize, 6, 8] {
+            let c = n_controlled_x(n).unwrap();
+            assert_eq!(verify_n_controlled_x_classical(&c, n, n).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn qubit_ancilla_baseline_passes_classical_verification() {
+        let n = 5;
+        let c = qubit_one_dirty_ancilla(n, 2).unwrap();
+        assert_eq!(verify_n_controlled_x_classical(&c, n, n).unwrap(), None);
+    }
+
+    #[test]
+    fn qubit_baseline_passes_statevector_verification() {
+        let n = 4;
+        let c = qubit_no_ancilla(n, 2).unwrap();
+        assert_eq!(verify_n_controlled_x_statevector(&c, n, n).unwrap(), None);
+    }
+
+    #[test]
+    fn incrementer_passes_verification() {
+        for n in [3usize, 6] {
+            let c = incrementer(n).unwrap();
+            assert_eq!(verify_incrementer_classical(&c).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn broken_circuit_yields_a_counterexample() {
+        // A circuit that is *not* an N-controlled X: a bare X on the target.
+        let mut c = qudit_circuit::Circuit::new(3, 3);
+        c.push_gate(qudit_circuit::Gate::x(3), &[2]).unwrap();
+        let cex = verify_n_controlled_x_classical(&c, 2, 2).unwrap();
+        assert!(cex.is_some());
+        let cex = cex.unwrap();
+        assert_ne!(cex.expected, cex.actual);
+    }
+}

@@ -1,0 +1,337 @@
+//! The circuit container.
+
+use crate::error::{CircuitError, CircuitResult};
+use crate::gate::Gate;
+use crate::operation::{Control, Operation};
+use std::fmt;
+
+/// An ordered sequence of operations on a register of `width` qudits of
+/// dimension `dim`.
+///
+/// # Examples
+///
+/// ```
+/// use qudit_circuit::{Circuit, Control, Gate};
+///
+/// // The paper's Figure 4 Toffoli-via-qutrits (3 qutrits).
+/// let mut c = Circuit::new(3, 3);
+/// c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])?;
+/// c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])?;
+/// c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])?;
+/// assert_eq!(c.len(), 3);
+/// # Ok::<(), qudit_circuit::CircuitError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Circuit {
+    dim: usize,
+    width: usize,
+    ops: Vec<Operation>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `width` qudits of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim < 2`.
+    pub fn new(dim: usize, width: usize) -> Self {
+        assert!(dim >= 2, "qudit dimension must be at least 2");
+        Circuit {
+            dim,
+            width,
+            ops: Vec::new(),
+        }
+    }
+
+    /// The qudit dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The register width (number of qudits).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the circuit has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in order.
+    pub fn operations(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Iterates over the operations in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Operation> {
+        self.ops.iter()
+    }
+
+    /// Appends an operation after validating its qudit indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QuditOutOfRange`] if the operation touches a
+    /// qudit outside the register, or [`CircuitError::IncompatibleCircuits`]
+    /// if the gate dimension differs from the circuit's.
+    pub fn push(&mut self, op: Operation) -> CircuitResult<()> {
+        if op.gate().dim() != self.dim {
+            return Err(CircuitError::IncompatibleCircuits {
+                reason: format!(
+                    "gate dimension {} does not match circuit dimension {}",
+                    op.gate().dim(),
+                    self.dim
+                ),
+            });
+        }
+        for q in op.qudits() {
+            if q >= self.width {
+                return Err(CircuitError::QuditOutOfRange {
+                    qudit: q,
+                    width: self.width,
+                });
+            }
+        }
+        self.ops.push(op);
+        Ok(())
+    }
+
+    /// Builds and appends an uncontrolled operation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::push`] and [`Operation::new`].
+    pub fn push_gate(&mut self, gate: Gate, targets: &[usize]) -> CircuitResult<()> {
+        let op = Operation::uncontrolled(gate, targets.to_vec())?;
+        self.push(op)
+    }
+
+    /// Builds and appends a controlled operation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::push`] and [`Operation::new`].
+    pub fn push_controlled(
+        &mut self,
+        gate: Gate,
+        controls: &[Control],
+        targets: &[usize],
+    ) -> CircuitResult<()> {
+        let op = Operation::new(gate, controls.to_vec(), targets.to_vec())?;
+        self.push(op)
+    }
+
+    /// Appends all operations of another circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::IncompatibleCircuits`] if the dimensions or
+    /// widths differ.
+    pub fn extend(&mut self, other: &Circuit) -> CircuitResult<()> {
+        if other.dim != self.dim || other.width > self.width {
+            return Err(CircuitError::IncompatibleCircuits {
+                reason: format!(
+                    "cannot extend a dim-{} width-{} circuit with a dim-{} width-{} circuit",
+                    self.dim, self.width, other.dim, other.width
+                ),
+            });
+        }
+        for op in &other.ops {
+            self.ops.push(op.clone());
+        }
+        Ok(())
+    }
+
+    /// Returns the inverse circuit: operations reversed, each inverted.
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            dim: self.dim,
+            width: self.width,
+            ops: self.ops.iter().rev().map(Operation::inverse).collect(),
+        }
+    }
+
+    /// Remaps every qudit index through `mapping` (old index → new index),
+    /// producing a circuit of width `new_width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a mapped index is out of range for `new_width` or
+    /// the mapping is shorter than the current width.
+    pub fn remap(&self, mapping: &[usize], new_width: usize) -> CircuitResult<Circuit> {
+        if mapping.len() < self.width {
+            return Err(CircuitError::IncompatibleCircuits {
+                reason: "mapping shorter than circuit width".to_string(),
+            });
+        }
+        let mut out = Circuit::new(self.dim, new_width);
+        for op in &self.ops {
+            let controls: Vec<Control> = op
+                .controls()
+                .iter()
+                .map(|c| Control::new(mapping[c.qudit], c.level))
+                .collect();
+            let targets: Vec<usize> = op.targets().iter().map(|&t| mapping[t]).collect();
+            let new_op = Operation::new(op.gate().clone(), controls, targets)?;
+            out.push(new_op)?;
+        }
+        Ok(out)
+    }
+
+    /// Counts operations by arity (number of touched qudits). Index 0 of the
+    /// returned vector is unused; index `k` holds the number of `k`-qudit
+    /// operations.
+    pub fn arity_histogram(&self) -> Vec<usize> {
+        let max_arity = self.ops.iter().map(Operation::arity).max().unwrap_or(0);
+        let mut hist = vec![0usize; max_arity + 1];
+        for op in &self.ops {
+            hist[op.arity()] += 1;
+        }
+        hist
+    }
+
+    /// The number of operations touching exactly one qudit.
+    pub fn single_qudit_gate_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.arity() == 1).count()
+    }
+
+    /// The number of operations touching exactly two qudits.
+    pub fn two_qudit_gate_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.arity() == 2).count()
+    }
+
+    /// The number of operations touching three or more qudits.
+    pub fn multi_qudit_gate_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.arity() >= 3).count()
+    }
+
+    /// Returns `true` if every gate in the circuit is a classical basis
+    /// permutation.
+    pub fn is_classical(&self) -> bool {
+        self.ops.iter().all(Operation::is_classical)
+    }
+
+    /// Returns the set of qudits touched by at least one operation.
+    pub fn touched_qudits(&self) -> Vec<usize> {
+        let mut touched = vec![false; self.width];
+        for op in &self.ops {
+            for q in op.qudits() {
+                touched[q] = true;
+            }
+        }
+        (0..self.width).filter(|&q| touched[q]).collect()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Circuit(d={}, width={}, {} ops)",
+            self.dim,
+            self.width,
+            self.ops.len()
+        )?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Operation;
+    type IntoIter = std::slice::Iter<'a, Operation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toffoli_fig4() -> Circuit {
+        let mut c = Circuit::new(3, 3);
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+            .unwrap();
+        c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn push_validates_width_and_dimension() {
+        let mut c = Circuit::new(3, 2);
+        assert!(c.push_gate(Gate::x(3), &[5]).is_err());
+        assert!(c.push_gate(Gate::x(2), &[0]).is_err());
+        assert!(c.push_gate(Gate::x(3), &[1]).is_ok());
+    }
+
+    #[test]
+    fn arity_histogram_counts_correctly() {
+        let c = toffoli_fig4();
+        let hist = c.arity_histogram();
+        assert_eq!(hist[2], 3);
+        assert_eq!(c.two_qudit_gate_count(), 3);
+        assert_eq!(c.single_qudit_gate_count(), 0);
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let c = toffoli_fig4();
+        let inv = c.inverse();
+        assert_eq!(inv.len(), 3);
+        // First gate of the inverse should be the inverse of the last gate.
+        assert_eq!(inv.operations()[0].gate().name(), "X-1†");
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut c = toffoli_fig4();
+        let other = toffoli_fig4();
+        c.extend(&other).unwrap();
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn extend_rejects_mismatched_dimension() {
+        let mut c = Circuit::new(2, 3);
+        let other = toffoli_fig4();
+        assert!(c.extend(&other).is_err());
+    }
+
+    #[test]
+    fn remap_moves_qudits() {
+        let c = toffoli_fig4();
+        let remapped = c.remap(&[4, 3, 0], 5).unwrap();
+        assert_eq!(remapped.width(), 5);
+        let op0 = &remapped.operations()[0];
+        assert_eq!(op0.controls()[0].qudit, 4);
+        assert_eq!(op0.targets(), &[3]);
+    }
+
+    #[test]
+    fn classical_detection_for_whole_circuit() {
+        assert!(toffoli_fig4().is_classical());
+        let mut c = Circuit::new(3, 1);
+        c.push_gate(Gate::h(3), &[0]).unwrap();
+        assert!(!c.is_classical());
+    }
+
+    #[test]
+    fn touched_qudits_reports_used_lines() {
+        let mut c = Circuit::new(3, 5);
+        c.push_gate(Gate::x(3), &[3]).unwrap();
+        assert_eq!(c.touched_qudits(), vec![3]);
+    }
+}

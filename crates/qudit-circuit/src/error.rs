@@ -1,0 +1,116 @@
+//! Error types for the `qudit-circuit` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience result alias for circuit operations.
+pub type CircuitResult<T> = Result<T, CircuitError>;
+
+/// Errors produced while building or evaluating circuits.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A qudit index was outside the circuit's register.
+    QuditOutOfRange {
+        /// The offending qudit index.
+        qudit: usize,
+        /// The number of qudits in the circuit.
+        width: usize,
+    },
+    /// The same qudit was used more than once by a single operation.
+    DuplicateQudit {
+        /// The duplicated qudit index.
+        qudit: usize,
+    },
+    /// A control activation level was not representable in the circuit's
+    /// qudit dimension.
+    InvalidControlLevel {
+        /// The offending level.
+        level: usize,
+        /// The circuit's qudit dimension.
+        dimension: usize,
+    },
+    /// A gate matrix did not match the expected size for its target count.
+    GateShapeMismatch {
+        /// Expected matrix size.
+        expected: usize,
+        /// Actual matrix size.
+        actual: usize,
+    },
+    /// Classical simulation was requested for a gate that is not a basis
+    /// permutation.
+    NotClassical {
+        /// Name of the offending gate.
+        gate: String,
+    },
+    /// A classical input had the wrong number of digits or invalid digit
+    /// values.
+    InvalidClassicalInput {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// Circuits with different shapes (dimension or width) were combined.
+    IncompatibleCircuits {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QuditOutOfRange { qudit, width } => {
+                write!(f, "qudit {qudit} is out of range for a width-{width} circuit")
+            }
+            CircuitError::DuplicateQudit { qudit } => {
+                write!(f, "qudit {qudit} is used more than once by a single operation")
+            }
+            CircuitError::InvalidControlLevel { level, dimension } => {
+                write!(f, "control level {level} is invalid for dimension {dimension}")
+            }
+            CircuitError::GateShapeMismatch { expected, actual } => {
+                write!(f, "gate matrix is {actual}x{actual} but {expected}x{expected} was expected")
+            }
+            CircuitError::NotClassical { gate } => {
+                write!(f, "gate {gate} is not a classical permutation")
+            }
+            CircuitError::InvalidClassicalInput { reason } => {
+                write!(f, "invalid classical input: {reason}")
+            }
+            CircuitError::IncompatibleCircuits { reason } => {
+                write!(f, "incompatible circuits: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+impl From<qudit_core::CoreError> for CircuitError {
+    fn from(err: qudit_core::CoreError) -> Self {
+        CircuitError::InvalidClassicalInput {
+            reason: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CircuitError::QuditOutOfRange { qudit: 5, width: 3 };
+        assert!(e.to_string().contains("out of range"));
+        let e = CircuitError::NotClassical {
+            gate: "H3".to_string(),
+        };
+        assert!(e.to_string().contains("H3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

@@ -1,0 +1,290 @@
+//! Gate definitions.
+//!
+//! A [`Gate`] is a named unitary acting on one or more target qudits of a
+//! common dimension. Control structure is *not* part of the gate — it is
+//! attached by [`Operation`](crate::Operation) — mirroring how the paper's
+//! circuits condition the same base gates (`X`, `X+1`, `X−1`, `Z`, `U`) on
+//! different control levels.
+
+use crate::error::{CircuitError, CircuitResult};
+use qudit_core::{gates, CMatrix};
+use std::fmt;
+use std::sync::Arc;
+
+/// A named unitary gate acting on `num_targets` qudits of dimension `dim`.
+///
+/// Gates are cheap to clone: the matrix is reference counted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Gate {
+    name: String,
+    dim: usize,
+    num_targets: usize,
+    matrix: Arc<CMatrix>,
+}
+
+impl Gate {
+    /// Creates a gate from its unitary matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::GateShapeMismatch`] if the matrix is not
+    /// `dim^num_targets × dim^num_targets`.
+    pub fn new(
+        name: impl Into<String>,
+        dim: usize,
+        num_targets: usize,
+        matrix: CMatrix,
+    ) -> CircuitResult<Self> {
+        let expected = dim.pow(num_targets as u32);
+        if matrix.rows() != expected || matrix.cols() != expected {
+            return Err(CircuitError::GateShapeMismatch {
+                expected,
+                actual: matrix.rows(),
+            });
+        }
+        Ok(Gate {
+            name: name.into(),
+            dim,
+            num_targets,
+            matrix: Arc::new(matrix),
+        })
+    }
+
+    /// Creates a single-target gate from its matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::GateShapeMismatch`] if the matrix is not
+    /// `dim × dim`.
+    pub fn single(name: impl Into<String>, dim: usize, matrix: CMatrix) -> CircuitResult<Self> {
+        Gate::new(name, dim, 1, matrix)
+    }
+
+    /// The gate's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The qudit dimension the gate acts on.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The number of target qudits.
+    pub fn num_targets(&self) -> usize {
+        self.num_targets
+    }
+
+    /// The gate's unitary matrix (over the target space only).
+    pub fn matrix(&self) -> &CMatrix {
+        &self.matrix
+    }
+
+    /// Returns the inverse gate (adjoint matrix).
+    pub fn inverse(&self) -> Gate {
+        let name = if let Some(stripped) = self.name.strip_suffix('†') {
+            stripped.to_string()
+        } else {
+            format!("{}†", self.name)
+        };
+        Gate {
+            name,
+            dim: self.dim,
+            num_targets: self.num_targets,
+            matrix: Arc::new(self.matrix.adjoint()),
+        }
+    }
+
+    /// Returns the classical permutation implemented by this gate, if it is
+    /// a basis permutation.
+    pub fn as_permutation(&self) -> Option<Vec<usize>> {
+        self.matrix.as_permutation(1e-9)
+    }
+
+    /// Returns `true` if the gate is a classical basis permutation.
+    pub fn is_classical(&self) -> bool {
+        self.matrix.is_permutation(1e-9)
+    }
+
+    // ------------------------------------------------------------------
+    // Standard qubit gates (valid for any dim >= 2: they act on levels 0/1).
+    // ------------------------------------------------------------------
+
+    /// The X (NOT) gate on levels |0⟩,|1⟩ of a `dim`-level qudit.
+    pub fn x(dim: usize) -> Gate {
+        let m = if dim == 2 {
+            gates::qubit::x()
+        } else {
+            gates::qubit::x().embed(dim, &[0, 1])
+        };
+        Gate::new("X", dim, 1, m).expect("shape is correct by construction")
+    }
+
+    /// The Z gate on levels |0⟩,|1⟩ of a `dim`-level qudit.
+    pub fn z(dim: usize) -> Gate {
+        let m = if dim == 2 {
+            gates::qubit::z()
+        } else {
+            gates::qubit::z().embed(dim, &[0, 1])
+        };
+        Gate::new("Z", dim, 1, m).expect("shape is correct by construction")
+    }
+
+    /// The Hadamard gate on levels |0⟩,|1⟩ of a `dim`-level qudit.
+    pub fn h(dim: usize) -> Gate {
+        let m = if dim == 2 {
+            gates::qubit::h()
+        } else {
+            gates::qubit::h().embed(dim, &[0, 1])
+        };
+        Gate::new("H", dim, 1, m).expect("shape is correct by construction")
+    }
+
+    /// The fractional NOT `X^t` on levels |0⟩,|1⟩ of a `dim`-level qudit.
+    ///
+    /// Small-angle controlled roots of X appear in the qubit-only baselines.
+    pub fn x_pow(dim: usize, t: f64) -> Gate {
+        let m = if dim == 2 {
+            gates::qubit::x_pow(t)
+        } else {
+            gates::qubit::x_pow(t).embed(dim, &[0, 1])
+        };
+        Gate::new(format!("X^{t:.4}"), dim, 1, m).expect("shape is correct by construction")
+    }
+
+    // ------------------------------------------------------------------
+    // Qutrit / qudit gates.
+    // ------------------------------------------------------------------
+
+    /// The level-swap gate exchanging basis states `a` and `b`.
+    ///
+    /// For qutrits these are the paper's `X01`, `X02` and `X12` gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the levels are invalid for `dim`.
+    pub fn swap_levels(dim: usize, a: usize, b: usize) -> Gate {
+        let m = gates::qudit::level_swap(dim, a, b);
+        Gate::new(format!("X{}{}", a.min(b), a.max(b)), dim, 1, m)
+            .expect("shape is correct by construction")
+    }
+
+    /// The cyclic increment `|k⟩ → |k+1 mod dim⟩` (the paper's `X+1` for
+    /// qutrits).
+    pub fn increment(dim: usize) -> Gate {
+        Gate::new("X+1", dim, 1, gates::qudit::shift(dim)).expect("shape is correct")
+    }
+
+    /// The cyclic decrement `|k⟩ → |k−1 mod dim⟩` (the paper's `X−1` for
+    /// qutrits).
+    pub fn decrement(dim: usize) -> Gate {
+        Gate::new("X-1", dim, 1, gates::qudit::shift_by(dim, dim - 1)).expect("shape is correct")
+    }
+
+    /// The generalised clock gate `Z_d`.
+    pub fn clock(dim: usize) -> Gate {
+        Gate::new("Zd", dim, 1, gates::qudit::clock(dim)).expect("shape is correct")
+    }
+
+    /// The generalised Fourier (Hadamard) gate `F_d`.
+    pub fn fourier(dim: usize) -> Gate {
+        Gate::new("Fd", dim, 1, gates::qudit::fourier(dim)).expect("shape is correct")
+    }
+
+    /// A two-qudit SWAP gate.
+    pub fn swap(dim: usize) -> Gate {
+        let n = dim * dim;
+        let mut perm = vec![0usize; n];
+        for a in 0..dim {
+            for b in 0..dim {
+                perm[a * dim + b] = b * dim + a;
+            }
+        }
+        Gate::new("SWAP", dim, 2, CMatrix::permutation(&perm)).expect("shape is correct")
+    }
+
+    /// An arbitrary named single-qudit gate from a matrix. Alias of
+    /// [`Gate::single`] kept for readability at call sites.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::GateShapeMismatch`] if the matrix has the
+    /// wrong shape.
+    pub fn from_matrix(
+        name: impl Into<String>,
+        dim: usize,
+        matrix: CMatrix,
+    ) -> CircuitResult<Gate> {
+        Gate::single(name, dim, matrix)
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_gates_have_correct_shapes() {
+        assert_eq!(Gate::x(2).matrix().rows(), 2);
+        assert_eq!(Gate::x(3).matrix().rows(), 3);
+        assert_eq!(Gate::swap(3).matrix().rows(), 9);
+        assert_eq!(Gate::swap(3).num_targets(), 2);
+    }
+
+    #[test]
+    fn x_on_qutrit_fixes_level_two() {
+        let g = Gate::x(3);
+        let perm = g.as_permutation().unwrap();
+        assert_eq!(perm, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn increment_decrement_are_inverses() {
+        let inc = Gate::increment(3);
+        let dec = Gate::decrement(3);
+        let product = inc.matrix() * dec.matrix();
+        assert!(product.approx_eq(&CMatrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn inverse_flips_dagger_suffix() {
+        let h = Gate::h(3);
+        let hd = h.inverse();
+        assert_eq!(hd.name(), "H†");
+        assert_eq!(hd.inverse().name(), "H");
+    }
+
+    #[test]
+    fn classical_detection() {
+        assert!(Gate::x(3).is_classical());
+        assert!(Gate::increment(3).is_classical());
+        assert!(!Gate::h(3).is_classical());
+        assert!(!Gate::fourier(3).is_classical());
+    }
+
+    #[test]
+    fn rejects_wrong_shape() {
+        let m = CMatrix::identity(2);
+        assert!(Gate::new("bad", 3, 1, m).is_err());
+    }
+
+    #[test]
+    fn swap_gate_swaps() {
+        let g = Gate::swap(2);
+        let perm = g.as_permutation().unwrap();
+        assert_eq!(perm, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn x_pow_half_squares_to_x() {
+        let v = Gate::x_pow(3, 0.5);
+        let vv = v.matrix() * v.matrix();
+        assert!(vv.approx_eq(Gate::x(3).matrix(), 1e-10));
+    }
+}

@@ -1,0 +1,327 @@
+//! Operations: gates applied to specific qudits with optional control
+//! conditions.
+//!
+//! A control is a `(qudit, activation level)` pair. The paper's circuits use
+//! |1⟩-activated controls (drawn red), |2⟩-activated controls (blue) and, for
+//! the incrementer, |0⟩-activated controls; the same machinery also covers
+//! ordinary qubit controls.
+
+use crate::error::{CircuitError, CircuitResult};
+use crate::gate::Gate;
+use qudit_core::{gates, CMatrix};
+use std::fmt;
+
+/// A control condition: activate when `qudit` is in basis state `level`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Control {
+    /// The controlling qudit's index within the circuit register.
+    pub qudit: usize,
+    /// The basis level on which the control activates.
+    pub level: usize,
+}
+
+impl Control {
+    /// Creates a control activating on the given level.
+    pub fn new(qudit: usize, level: usize) -> Self {
+        Control { qudit, level }
+    }
+
+    /// A conventional qubit-style control activating on |1⟩.
+    pub fn on_one(qudit: usize) -> Self {
+        Control { qudit, level: 1 }
+    }
+
+    /// A qutrit control activating on |2⟩ (the paper's blue controls).
+    pub fn on_two(qudit: usize) -> Self {
+        Control { qudit, level: 2 }
+    }
+
+    /// A control activating on |0⟩.
+    pub fn on_zero(qudit: usize) -> Self {
+        Control { qudit, level: 0 }
+    }
+}
+
+/// A gate applied to specific target qudits, conditioned on zero or more
+/// controls.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Operation {
+    gate: Gate,
+    controls: Vec<Control>,
+    targets: Vec<usize>,
+}
+
+impl Operation {
+    /// Creates an operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of targets does not match the gate, if
+    /// any qudit appears twice (among targets and controls combined), or if a
+    /// control level is not below the gate's qudit dimension.
+    pub fn new(gate: Gate, controls: Vec<Control>, targets: Vec<usize>) -> CircuitResult<Self> {
+        if targets.len() != gate.num_targets() {
+            return Err(CircuitError::GateShapeMismatch {
+                expected: gate.num_targets(),
+                actual: targets.len(),
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &t in &targets {
+            if !seen.insert(t) {
+                return Err(CircuitError::DuplicateQudit { qudit: t });
+            }
+        }
+        for c in &controls {
+            if !seen.insert(c.qudit) {
+                return Err(CircuitError::DuplicateQudit { qudit: c.qudit });
+            }
+            if c.level >= gate.dim() {
+                return Err(CircuitError::InvalidControlLevel {
+                    level: c.level,
+                    dimension: gate.dim(),
+                });
+            }
+        }
+        Ok(Operation {
+            gate,
+            controls,
+            targets,
+        })
+    }
+
+    /// Creates an uncontrolled operation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Operation::new`].
+    pub fn uncontrolled(gate: Gate, targets: Vec<usize>) -> CircuitResult<Self> {
+        Operation::new(gate, Vec::new(), targets)
+    }
+
+    /// The underlying gate.
+    pub fn gate(&self) -> &Gate {
+        &self.gate
+    }
+
+    /// The control conditions.
+    pub fn controls(&self) -> &[Control] {
+        &self.controls
+    }
+
+    /// The target qudits.
+    pub fn targets(&self) -> &[usize] {
+        &self.targets
+    }
+
+    /// All qudits touched by the operation: controls first (in order), then
+    /// targets.
+    pub fn qudits(&self) -> Vec<usize> {
+        self.controls
+            .iter()
+            .map(|c| c.qudit)
+            .chain(self.targets.iter().copied())
+            .collect()
+    }
+
+    /// The number of qudits this operation touches (controls + targets).
+    /// This is the operation's *arity* for cost and noise purposes.
+    pub fn arity(&self) -> usize {
+        self.controls.len() + self.targets.len()
+    }
+
+    /// Returns the inverse operation (same controls/targets, adjoint gate).
+    pub fn inverse(&self) -> Operation {
+        Operation {
+            gate: self.gate.inverse(),
+            controls: self.controls.clone(),
+            targets: self.targets.clone(),
+        }
+    }
+
+    /// The full unitary matrix of the operation over its touched qudits,
+    /// ordered controls-then-targets (most significant first).
+    pub fn full_matrix(&self) -> CMatrix {
+        if self.controls.is_empty() {
+            return self.gate.matrix().clone();
+        }
+        let control_spec: Vec<(usize, usize)> = self
+            .controls
+            .iter()
+            .map(|c| (self.gate.dim(), c.level))
+            .collect();
+        gates::controlled_matrix_multi(&control_spec, self.gate.matrix())
+    }
+
+    /// Returns `true` if the operation is classical (its gate is a basis
+    /// permutation); controlled permutations are still permutations.
+    pub fn is_classical(&self) -> bool {
+        self.gate.is_classical()
+    }
+
+    /// Applies the operation to a classical register of digits in place.
+    ///
+    /// Digits are indexed by qudit; only the targets can change, and only
+    /// when every control matches its activation level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::NotClassical`] if the gate is not a basis
+    /// permutation, or [`CircuitError::InvalidClassicalInput`] if the
+    /// register is too short or contains digits `>= dim`.
+    pub fn apply_classical(&self, digits: &mut [usize]) -> CircuitResult<()> {
+        let dim = self.gate.dim();
+        for &q in self.qudits().iter() {
+            if q >= digits.len() {
+                return Err(CircuitError::InvalidClassicalInput {
+                    reason: format!("register of length {} has no qudit {q}", digits.len()),
+                });
+            }
+            if digits[q] >= dim {
+                return Err(CircuitError::InvalidClassicalInput {
+                    reason: format!("digit {} at qudit {q} exceeds dimension {dim}", digits[q]),
+                });
+            }
+        }
+        let perm = self
+            .gate
+            .as_permutation()
+            .ok_or_else(|| CircuitError::NotClassical {
+                gate: self.gate.name().to_string(),
+            })?;
+        if !self
+            .controls
+            .iter()
+            .all(|c| digits[c.qudit] == c.level)
+        {
+            return Ok(());
+        }
+        // Encode the target digits into a flat index, permute, decode.
+        let mut idx = 0usize;
+        for &t in &self.targets {
+            idx = idx * dim + digits[t];
+        }
+        let mut out = perm[idx];
+        for &t in self.targets.iter().rev() {
+            digits[t] = out % dim;
+            out /= dim;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.controls.is_empty() {
+            write!(f, "C[")?;
+            for (i, c) in self.controls.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "q{}={}", c.qudit, c.level)?;
+            }
+            write!(f, "] ")?;
+        }
+        write!(f, "{}(", self.gate.name())?;
+        for (i, t) in self.targets.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "q{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_counts_controls_and_targets() {
+        let op = Operation::new(
+            Gate::increment(3),
+            vec![Control::on_one(0), Control::on_two(1)],
+            vec![2],
+        )
+        .unwrap();
+        assert_eq!(op.arity(), 3);
+        assert_eq!(op.qudits(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_duplicate_qudits() {
+        let err = Operation::new(Gate::x(3), vec![Control::on_one(1)], vec![1]).unwrap_err();
+        assert_eq!(err, CircuitError::DuplicateQudit { qudit: 1 });
+    }
+
+    #[test]
+    fn rejects_control_level_beyond_dimension() {
+        let err = Operation::new(Gate::x(2), vec![Control::on_two(0)], vec![1]).unwrap_err();
+        assert!(matches!(err, CircuitError::InvalidControlLevel { .. }));
+    }
+
+    #[test]
+    fn classical_application_respects_controls() {
+        // |1>-controlled X+1 from Figure 4: elevates the target by 1 mod 3
+        // only when the control is |1>.
+        let op = Operation::new(Gate::increment(3), vec![Control::on_one(0)], vec![1]).unwrap();
+        let mut reg = vec![1, 1];
+        op.apply_classical(&mut reg).unwrap();
+        assert_eq!(reg, vec![1, 2]);
+
+        let mut reg = vec![0, 1];
+        op.apply_classical(&mut reg).unwrap();
+        assert_eq!(reg, vec![0, 1]);
+
+        let mut reg = vec![2, 2];
+        op.apply_classical(&mut reg).unwrap();
+        assert_eq!(reg, vec![2, 2]);
+    }
+
+    #[test]
+    fn classical_application_of_two_target_gate() {
+        let op = Operation::uncontrolled(Gate::swap(3), vec![0, 2]).unwrap();
+        let mut reg = vec![2, 1, 0];
+        op.apply_classical(&mut reg).unwrap();
+        assert_eq!(reg, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn non_classical_gate_errors_in_classical_mode() {
+        let op = Operation::uncontrolled(Gate::h(3), vec![0]).unwrap();
+        let mut reg = vec![0];
+        assert!(matches!(
+            op.apply_classical(&mut reg),
+            Err(CircuitError::NotClassical { .. })
+        ));
+    }
+
+    #[test]
+    fn full_matrix_of_controlled_op_is_unitary() {
+        let op = Operation::new(
+            Gate::increment(3),
+            vec![Control::on_one(0), Control::on_two(1)],
+            vec![2],
+        )
+        .unwrap();
+        let m = op.full_matrix();
+        assert_eq!(m.rows(), 27);
+        assert!(m.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn inverse_of_inverse_is_original_matrix() {
+        let op = Operation::new(Gate::increment(3), vec![Control::on_two(0)], vec![1]).unwrap();
+        let back = op.inverse().inverse();
+        assert!(back.full_matrix().approx_eq(&op.full_matrix(), 1e-12));
+    }
+
+    #[test]
+    fn display_mentions_controls_and_targets() {
+        let op = Operation::new(Gate::x(3), vec![Control::on_two(4)], vec![7]).unwrap();
+        let s = op.to_string();
+        assert!(s.contains("q4=2"));
+        assert!(s.contains("q7"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Moment scheduling.
+//!
+//! The paper's noise model is applied per *Moment* — a set of gates that
+//! execute simultaneously (Cirq terminology). We reproduce Cirq's
+//! as-early-as-possible scheduler: each operation is placed into the first
+//! moment after the last moment that touches any of its qudits. The circuit
+//! depth (critical path length) is the number of moments.
+
+use crate::circuit::Circuit;
+use crate::operation::Operation;
+
+/// A set of operation indices that execute simultaneously.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Moment {
+    /// Indices into the source circuit's operation list.
+    pub op_indices: Vec<usize>,
+}
+
+impl Moment {
+    /// The number of operations in the moment.
+    pub fn len(&self) -> usize {
+        self.op_indices.len()
+    }
+
+    /// Returns `true` if the moment contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.op_indices.is_empty()
+    }
+}
+
+/// An as-early-as-possible schedule of a circuit into moments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    moments: Vec<Moment>,
+    /// For each moment, whether it contains an operation touching ≥ 2 qudits
+    /// (two-qudit gates are slower, so idle errors scale with this flag).
+    multi_qudit_flags: Vec<bool>,
+}
+
+impl Schedule {
+    /// Schedules the circuit's operations as early as possible.
+    pub fn asap(circuit: &Circuit) -> Self {
+        let mut frontier = vec![0usize; circuit.width()];
+        let mut moments: Vec<Moment> = Vec::new();
+        let mut multi_qudit_flags: Vec<bool> = Vec::new();
+
+        for (idx, op) in circuit.iter().enumerate() {
+            let qudits = op.qudits();
+            let slot = qudits
+                .iter()
+                .map(|&q| frontier[q])
+                .max()
+                .unwrap_or(0);
+            while moments.len() <= slot {
+                moments.push(Moment::default());
+                multi_qudit_flags.push(false);
+            }
+            moments[slot].op_indices.push(idx);
+            if op.arity() >= 2 {
+                multi_qudit_flags[slot] = true;
+            }
+            for &q in &qudits {
+                frontier[q] = slot + 1;
+            }
+        }
+
+        Schedule {
+            moments,
+            multi_qudit_flags,
+        }
+    }
+
+    /// Schedules the circuit serially: one operation per moment.
+    ///
+    /// Used as an ablation baseline — it maximises idle time and therefore
+    /// idle errors.
+    pub fn serial(circuit: &Circuit) -> Self {
+        let moments: Vec<Moment> = (0..circuit.len())
+            .map(|idx| Moment {
+                op_indices: vec![idx],
+            })
+            .collect();
+        let multi_qudit_flags = circuit
+            .iter()
+            .map(|op| op.arity() >= 2)
+            .collect();
+        Schedule {
+            moments,
+            multi_qudit_flags,
+        }
+    }
+
+    /// The scheduled moments in execution order.
+    pub fn moments(&self) -> &[Moment] {
+        &self.moments
+    }
+
+    /// The circuit depth: number of moments on the critical path.
+    pub fn depth(&self) -> usize {
+        self.moments.len()
+    }
+
+    /// Whether the given moment contains a multi-qudit (≥ 2 qudits)
+    /// operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `moment` is out of range.
+    pub fn moment_has_multi_qudit_gate(&self, moment: usize) -> bool {
+        self.multi_qudit_flags[moment]
+    }
+
+    /// Iterates over `(moment index, &[operation index])` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[usize])> {
+        self.moments
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i, m.op_indices.as_slice()))
+    }
+
+    /// Resolves a moment's operations against the source circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `moment` is out of range or the circuit is not the one this
+    /// schedule was built from (index out of bounds).
+    pub fn operations_in<'c>(&self, circuit: &'c Circuit, moment: usize) -> Vec<&'c Operation> {
+        self.moments[moment]
+            .op_indices
+            .iter()
+            .map(|&i| &circuit.operations()[i])
+            .collect()
+    }
+}
+
+/// Convenience: the ASAP depth of a circuit.
+pub fn circuit_depth(circuit: &Circuit) -> usize {
+    Schedule::asap(circuit).depth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use crate::operation::Control;
+
+    #[test]
+    fn independent_gates_share_a_moment() {
+        let mut c = Circuit::new(3, 4);
+        for q in 0..4 {
+            c.push_gate(Gate::x(3), &[q]).unwrap();
+        }
+        let s = Schedule::asap(&c);
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.moments()[0].len(), 4);
+    }
+
+    #[test]
+    fn dependent_gates_serialise() {
+        let mut c = Circuit::new(3, 1);
+        for _ in 0..5 {
+            c.push_gate(Gate::x(3), &[0]).unwrap();
+        }
+        let s = Schedule::asap(&c);
+        assert_eq!(s.depth(), 5);
+    }
+
+    #[test]
+    fn controls_create_dependencies() {
+        let mut c = Circuit::new(3, 3);
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+            .unwrap();
+        c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        let s = Schedule::asap(&c);
+        assert_eq!(s.depth(), 3, "Figure 4 Toffoli has depth 3");
+    }
+
+    #[test]
+    fn tree_halving_gives_log_depth() {
+        // Pairwise gates on (0,1), (2,3), (4,5), (6,7) then (1,3), (5,7)
+        // then (3,7): a binary-tree pattern like Figure 5's left half.
+        let mut c = Circuit::new(3, 8);
+        let pairs = [
+            (0, 1),
+            (2, 3),
+            (4, 5),
+            (6, 7),
+            (1, 3),
+            (5, 7),
+            (3, 7),
+        ];
+        for (a, b) in pairs {
+            c.push_controlled(Gate::increment(3), &[Control::on_one(a)], &[b])
+                .unwrap();
+        }
+        let s = Schedule::asap(&c);
+        assert_eq!(s.depth(), 3, "8-leaf tree should schedule into 3 levels");
+    }
+
+    #[test]
+    fn serial_schedule_has_one_op_per_moment() {
+        let mut c = Circuit::new(3, 2);
+        c.push_gate(Gate::x(3), &[0]).unwrap();
+        c.push_gate(Gate::x(3), &[1]).unwrap();
+        let s = Schedule::serial(&c);
+        assert_eq!(s.depth(), 2);
+        let asap = Schedule::asap(&c);
+        assert_eq!(asap.depth(), 1);
+    }
+
+    #[test]
+    fn multi_qudit_flags_follow_arity() {
+        let mut c = Circuit::new(3, 3);
+        c.push_gate(Gate::x(3), &[0]).unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_one(1)], &[2])
+            .unwrap();
+        let s = Schedule::asap(&c);
+        assert_eq!(s.depth(), 1);
+        assert!(s.moment_has_multi_qudit_gate(0));
+
+        let mut c2 = Circuit::new(3, 1);
+        c2.push_gate(Gate::x(3), &[0]).unwrap();
+        let s2 = Schedule::asap(&c2);
+        assert!(!s2.moment_has_multi_qudit_gate(0));
+    }
+
+    #[test]
+    fn empty_circuit_has_zero_depth() {
+        let c = Circuit::new(3, 4);
+        assert_eq!(circuit_depth(&c), 0);
+    }
+
+    #[test]
+    fn operations_in_resolves_against_circuit() {
+        let mut c = Circuit::new(3, 2);
+        c.push_gate(Gate::x(3), &[0]).unwrap();
+        c.push_gate(Gate::h(3), &[1]).unwrap();
+        let s = Schedule::asap(&c);
+        let ops = s.operations_in(&c, 0);
+        assert_eq!(ops.len(), 2);
+    }
+}

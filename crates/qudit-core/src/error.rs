@@ -1,0 +1,83 @@
+//! Error types for the `qudit-core` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience result alias for `qudit-core` operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors produced by core math operations.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A buffer did not have the expected number of elements.
+    ShapeMismatch {
+        /// Number of elements required.
+        expected: usize,
+        /// Number of elements provided.
+        actual: usize,
+    },
+    /// A qudit dimension outside the supported range was requested.
+    InvalidDimension {
+        /// The offending dimension.
+        dimension: usize,
+    },
+    /// A basis level was outside `0..dimension`.
+    InvalidLevel {
+        /// The offending level.
+        level: usize,
+        /// The qudit dimension.
+        dimension: usize,
+    },
+    /// A state vector was not normalised when it had to be.
+    NotNormalized {
+        /// The measured norm.
+        norm: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ShapeMismatch { expected, actual } => {
+                write!(f, "expected {expected} elements but got {actual}")
+            }
+            CoreError::InvalidDimension { dimension } => {
+                write!(f, "invalid qudit dimension {dimension} (must be at least 2)")
+            }
+            CoreError::InvalidLevel { level, dimension } => {
+                write!(f, "level {level} is out of range for dimension {dimension}")
+            }
+            CoreError::NotNormalized { norm } => {
+                write!(f, "state vector is not normalised (norm {norm})")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CoreError::ShapeMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert_eq!(e.to_string(), "expected 4 elements but got 3");
+        let e = CoreError::InvalidLevel {
+            level: 3,
+            dimension: 3,
+        };
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

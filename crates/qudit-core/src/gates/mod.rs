@@ -1,0 +1,17 @@
+//! Gate-matrix library.
+//!
+//! Provides the unitary matrices for the standard qubit gate set, the qutrit
+//! gate set used by the paper (the five classical permutations `X01`, `X02`,
+//! `X12`, `X+1`, `X−1`, the ternary clock `Z3` and Fourier `H3` gates), the
+//! generalised `d`-level shift/clock/Fourier gates, and builders for
+//! controlled gates with arbitrary control levels.
+
+pub mod controlled;
+pub mod qubit;
+pub mod qudit;
+pub mod qutrit;
+
+pub use controlled::{controlled_matrix, controlled_matrix_multi};
+pub use qubit::*;
+pub use qudit::*;
+pub use qutrit::*;

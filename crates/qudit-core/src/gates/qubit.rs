@@ -1,0 +1,142 @@
+//! Standard single-qubit gate matrices.
+
+use crate::complex::Complex;
+use crate::matrix::CMatrix;
+use std::f64::consts::{FRAC_1_SQRT_2, PI};
+
+/// The qubit Pauli-X (NOT) gate.
+pub fn x() -> CMatrix {
+    CMatrix::from_real_rows(&[&[0.0, 1.0], &[1.0, 0.0]])
+}
+
+/// The qubit Pauli-Y gate.
+pub fn y() -> CMatrix {
+    CMatrix::from_rows(&[
+        &[Complex::ZERO, Complex::new(0.0, -1.0)],
+        &[Complex::I, Complex::ZERO],
+    ])
+}
+
+/// The qubit Pauli-Z gate.
+pub fn z() -> CMatrix {
+    CMatrix::from_real_rows(&[&[1.0, 0.0], &[0.0, -1.0]])
+}
+
+/// The qubit Hadamard gate.
+pub fn h() -> CMatrix {
+    CMatrix::from_real_rows(&[
+        &[FRAC_1_SQRT_2, FRAC_1_SQRT_2],
+        &[FRAC_1_SQRT_2, -FRAC_1_SQRT_2],
+    ])
+}
+
+/// The phase gate `S = diag(1, i)`.
+pub fn s() -> CMatrix {
+    CMatrix::diagonal(&[Complex::ONE, Complex::I])
+}
+
+/// The `T` gate `diag(1, e^{iπ/4})`.
+pub fn t() -> CMatrix {
+    CMatrix::diagonal(&[Complex::ONE, Complex::cis(PI / 4.0)])
+}
+
+/// Rotation about the X axis by `theta`.
+pub fn rx(theta: f64) -> CMatrix {
+    let c = Complex::real((theta / 2.0).cos());
+    let s = Complex::new(0.0, -(theta / 2.0).sin());
+    CMatrix::from_rows(&[&[c, s], &[s, c]])
+}
+
+/// Rotation about the Y axis by `theta`.
+pub fn ry(theta: f64) -> CMatrix {
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    CMatrix::from_real_rows(&[&[c, -s], &[s, c]])
+}
+
+/// Rotation about the Z axis by `theta`.
+pub fn rz(theta: f64) -> CMatrix {
+    CMatrix::diagonal(&[Complex::cis(-theta / 2.0), Complex::cis(theta / 2.0)])
+}
+
+/// A phase gate `diag(1, e^{iφ})`.
+pub fn phase(phi: f64) -> CMatrix {
+    CMatrix::diagonal(&[Complex::ONE, Complex::cis(phi)])
+}
+
+/// The `X^t` gate: a fractional power of the Pauli-X.
+///
+/// `x_pow(1.0)` is `X`, `x_pow(0.5)` is the square root of `X` (with global
+/// phase chosen so that `x_pow(a) · x_pow(b) = x_pow(a + b)`).
+///
+/// These small-angle controlled roots are the gates the paper notes the
+/// Gidney qubit-only construction requires.
+pub fn x_pow(t: f64) -> CMatrix {
+    // X = H Z H; X^t = H diag(1, e^{iπ t}) H.
+    let hm = h();
+    let d = CMatrix::diagonal(&[Complex::ONE, Complex::cis(PI * t)]);
+    &(&hm * &d) * &hm
+}
+
+/// The `Z^t` gate `diag(1, e^{iπ t})`.
+pub fn z_pow(t: f64) -> CMatrix {
+    CMatrix::diagonal(&[Complex::ONE, Complex::cis(PI * t)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for m in [x(), y(), z(), h(), s(), t(), rx(0.3), ry(1.1), rz(2.7), phase(0.4)] {
+            assert!(m.is_unitary(TOL));
+        }
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        assert!((&h() * &h()).approx_eq(&CMatrix::identity(2), TOL));
+    }
+
+    #[test]
+    fn s_squared_is_z_and_t_squared_is_s() {
+        assert!((&s() * &s()).approx_eq(&z(), TOL));
+        assert!((&t() * &t()).approx_eq(&s(), TOL));
+    }
+
+    #[test]
+    fn hzh_equals_x() {
+        let hzh = &(&h() * &z()) * &h();
+        assert!(hzh.approx_eq(&x(), TOL));
+    }
+
+    #[test]
+    fn x_pow_composes_additively() {
+        let a = x_pow(0.25);
+        let b = x_pow(0.75);
+        assert!((&a * &b).approx_eq(&x_pow(1.0), TOL));
+        assert!(x_pow(1.0).approx_eq(&x(), TOL));
+    }
+
+    #[test]
+    fn sqrt_x_squares_to_x() {
+        let v = x_pow(0.5);
+        assert!((&v * &v).approx_eq(&x(), TOL));
+        assert!(v.is_unitary(TOL));
+    }
+
+    #[test]
+    fn rotations_compose() {
+        let r = &rx(0.3) * &rx(0.4);
+        assert!(r.approx_eq(&rx(0.7), TOL));
+    }
+
+    #[test]
+    fn y_equals_i_x_z() {
+        let ixz = (&x() * &z()).scale(Complex::I);
+        assert!(ixz.approx_eq(&y(), TOL));
+    }
+}

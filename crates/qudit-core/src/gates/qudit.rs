@@ -1,0 +1,182 @@
+//! Generalised `d`-level qudit gate matrices.
+//!
+//! These generalise the qutrit gates of the paper to arbitrary dimension,
+//! which the simulator supports (the paper's simulator is parameterised by
+//! `d` as well; `d = 3` is the case of interest).
+
+use crate::complex::Complex;
+use crate::matrix::CMatrix;
+use std::f64::consts::PI;
+
+/// The generalised shift gate `X_d : |k⟩ → |k+1 mod d⟩`.
+///
+/// # Panics
+///
+/// Panics if `d < 2`.
+pub fn shift(d: usize) -> CMatrix {
+    assert!(d >= 2, "qudit dimension must be at least 2");
+    let perm: Vec<usize> = (0..d).map(|k| (k + 1) % d).collect();
+    CMatrix::permutation(&perm)
+}
+
+/// The generalised shift by `amount`: `|k⟩ → |k+amount mod d⟩`.
+///
+/// # Panics
+///
+/// Panics if `d < 2`.
+pub fn shift_by(d: usize, amount: usize) -> CMatrix {
+    assert!(d >= 2, "qudit dimension must be at least 2");
+    let perm: Vec<usize> = (0..d).map(|k| (k + amount) % d).collect();
+    CMatrix::permutation(&perm)
+}
+
+/// The generalised clock gate `Z_d = diag(1, ω, ω², …)` with `ω = e^{2πi/d}`.
+///
+/// # Panics
+///
+/// Panics if `d < 2`.
+pub fn clock(d: usize) -> CMatrix {
+    assert!(d >= 2, "qudit dimension must be at least 2");
+    let omega = Complex::cis(2.0 * PI / d as f64);
+    let diag: Vec<Complex> = (0..d).map(|k| omega.powf(k as f64)).collect();
+    CMatrix::diagonal(&diag)
+}
+
+/// The generalised Fourier gate `F_d[j][k] = ω^{jk} / √d`.
+///
+/// # Panics
+///
+/// Panics if `d < 2`.
+pub fn fourier(d: usize) -> CMatrix {
+    assert!(d >= 2, "qudit dimension must be at least 2");
+    let omega = Complex::cis(2.0 * PI / d as f64);
+    let s = 1.0 / (d as f64).sqrt();
+    let mut m = CMatrix::zeros(d, d);
+    for j in 0..d {
+        for k in 0..d {
+            m.set(j, k, omega.powf((j * k) as f64).scale(s));
+        }
+    }
+    m
+}
+
+/// The level-swap gate exchanging basis states `a` and `b` of a `d`-level
+/// qudit.
+///
+/// # Panics
+///
+/// Panics if `a == b` or either level is `>= d`.
+pub fn level_swap(d: usize, a: usize, b: usize) -> CMatrix {
+    assert!(a < d && b < d && a != b, "invalid levels for swap");
+    let mut perm: Vec<usize> = (0..d).collect();
+    perm.swap(a, b);
+    CMatrix::permutation(&perm)
+}
+
+/// The generalised Pauli operator `X^j Z^k` for a `d`-level qudit.
+///
+/// The set `{X^j Z^k : j, k ∈ 0..d}` forms the error basis used by the
+/// symmetric depolarizing channel of the paper's Appendix A.1.1.
+///
+/// # Panics
+///
+/// Panics if `d < 2`.
+pub fn generalized_pauli(d: usize, j: usize, k: usize) -> CMatrix {
+    assert!(d >= 2, "qudit dimension must be at least 2");
+    &shift(d).pow((j % d) as u32) * &clock(d).pow((k % d) as u32)
+}
+
+/// Returns all `d²` generalised Pauli operators in lexicographic `(j, k)`
+/// order, starting with the identity.
+pub fn pauli_basis(d: usize) -> Vec<CMatrix> {
+    let mut out = Vec::with_capacity(d * d);
+    for j in 0..d {
+        for k in 0..d {
+            out.push(generalized_pauli(d, j, k));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::qutrit;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn shift_matches_qutrit_plus_one() {
+        assert!(shift(3).approx_eq(&qutrit::x_plus_1(), TOL));
+        assert!(shift_by(3, 2).approx_eq(&qutrit::x_minus_1(), TOL));
+    }
+
+    #[test]
+    fn clock_matches_qutrit_z3() {
+        assert!(clock(3).approx_eq(&qutrit::z3(), TOL));
+    }
+
+    #[test]
+    fn fourier_is_unitary_for_various_d() {
+        for d in 2..=6 {
+            assert!(fourier(d).is_unitary(TOL), "fourier({d}) not unitary");
+        }
+    }
+
+    #[test]
+    fn shift_to_the_d_is_identity() {
+        for d in 2..=5 {
+            assert!(shift(d).pow(d as u32).approx_eq(&CMatrix::identity(d), TOL));
+        }
+    }
+
+    #[test]
+    fn clock_shift_commutation_relation() {
+        // Z X = ω X Z
+        for d in 2..=5 {
+            let omega = Complex::cis(2.0 * PI / d as f64);
+            let zx = &clock(d) * &shift(d);
+            let xz = (&shift(d) * &clock(d)).scale(omega);
+            assert!(zx.approx_eq(&xz, TOL), "commutation failed for d={d}");
+        }
+    }
+
+    #[test]
+    fn pauli_basis_has_d_squared_elements_first_identity() {
+        let basis = pauli_basis(3);
+        assert_eq!(basis.len(), 9);
+        assert!(basis[0].approx_eq(&CMatrix::identity(3), TOL));
+        for m in &basis {
+            assert!(m.is_unitary(TOL));
+        }
+    }
+
+    #[test]
+    fn pauli_basis_is_trace_orthogonal() {
+        // Tr(P_i† P_j) = d δ_ij — the defining property of a nice error basis.
+        let d = 3;
+        let basis = pauli_basis(d);
+        for (i, a) in basis.iter().enumerate() {
+            for (j, b) in basis.iter().enumerate() {
+                let tr = (&a.adjoint() * b).trace();
+                if i == j {
+                    assert!(tr.approx_eq(Complex::real(d as f64), 1e-9));
+                } else {
+                    assert!(tr.abs() < 1e-9, "basis elements {i},{j} not orthogonal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_swap_is_self_inverse() {
+        let s = level_swap(4, 1, 3);
+        assert!((&s * &s).approx_eq(&CMatrix::identity(4), TOL));
+    }
+
+    #[test]
+    fn qubit_case_reduces_to_pauli() {
+        assert!(generalized_pauli(2, 1, 0).approx_eq(&crate::gates::qubit::x(), TOL));
+        assert!(generalized_pauli(2, 0, 1).approx_eq(&crate::gates::qubit::z(), TOL));
+    }
+}

@@ -1,0 +1,201 @@
+//! Qutrit (`d = 3`) gate matrices.
+//!
+//! The paper's constructions use the five non-trivial classical permutations
+//! of the qutrit basis (Figure 3): the three level swaps `X01`, `X02`, `X12`
+//! and the two cyclic shifts `X+1`, `X−1`, along with the ternary clock gate
+//! `Z3` and the ternary Fourier (generalised Hadamard) gate `H3`.
+
+use crate::complex::Complex;
+use crate::matrix::CMatrix;
+use std::f64::consts::PI;
+
+/// Number of levels in a qutrit.
+pub const QUTRIT_DIM: usize = 3;
+
+/// The qutrit swap of levels |0⟩ and |1⟩, leaving |2⟩ fixed.
+pub fn x01() -> CMatrix {
+    CMatrix::permutation(&[1, 0, 2])
+}
+
+/// The qutrit swap of levels |0⟩ and |2⟩, leaving |1⟩ fixed.
+pub fn x02() -> CMatrix {
+    CMatrix::permutation(&[2, 1, 0])
+}
+
+/// The qutrit swap of levels |1⟩ and |2⟩, leaving |0⟩ fixed.
+pub fn x12() -> CMatrix {
+    CMatrix::permutation(&[0, 2, 1])
+}
+
+/// The qutrit cyclic increment `|k⟩ → |k+1 mod 3⟩` (written `X+1` in the
+/// paper).
+pub fn x_plus_1() -> CMatrix {
+    CMatrix::permutation(&[1, 2, 0])
+}
+
+/// The qutrit cyclic decrement `|k⟩ → |k−1 mod 3⟩` (written `X−1` in the
+/// paper).
+pub fn x_minus_1() -> CMatrix {
+    CMatrix::permutation(&[2, 0, 1])
+}
+
+/// The ternary clock gate `Z3 = diag(1, ω, ω²)` with `ω = e^{2πi/3}`.
+pub fn z3() -> CMatrix {
+    let omega = Complex::cis(2.0 * PI / 3.0);
+    CMatrix::diagonal(&[Complex::ONE, omega, omega * omega])
+}
+
+/// The ternary Fourier transform (generalised Hadamard) gate,
+/// `H3[j][k] = ω^{jk} / √3`.
+pub fn h3() -> CMatrix {
+    let omega = Complex::cis(2.0 * PI / 3.0);
+    let s = 1.0 / (3.0f64).sqrt();
+    let mut m = CMatrix::zeros(3, 3);
+    for j in 0..3 {
+        for k in 0..3 {
+            m.set(j, k, omega.powf((j * k) as f64).scale(s));
+        }
+    }
+    m
+}
+
+/// A rotation by `theta` in the two-dimensional subspace spanned by levels
+/// `a` and `b` of a qutrit (a "Givens rotation" between levels).
+///
+/// # Panics
+///
+/// Panics if `a == b` or either level is out of range.
+pub fn subspace_ry(a: usize, b: usize, theta: f64) -> CMatrix {
+    assert!(a < 3 && b < 3 && a != b, "levels must be distinct and < 3");
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    let mut m = CMatrix::identity(3);
+    m.set(a, a, Complex::real(c));
+    m.set(a, b, Complex::real(-s));
+    m.set(b, a, Complex::real(s));
+    m.set(b, b, Complex::real(c));
+    m
+}
+
+/// A phase applied to a single qutrit level: `diag` with `e^{iφ}` at `level`.
+///
+/// # Panics
+///
+/// Panics if `level >= 3`.
+pub fn level_phase(level: usize, phi: f64) -> CMatrix {
+    assert!(level < 3, "level out of range");
+    let mut diag = [Complex::ONE; 3];
+    diag[level] = Complex::cis(phi);
+    CMatrix::diagonal(&diag)
+}
+
+/// Embeds a single-qubit gate into qutrit space, acting on the given two
+/// levels and leaving the third level untouched.
+///
+/// # Panics
+///
+/// Panics if `gate` is not 2×2 or the levels are invalid.
+pub fn embed_qubit_gate(gate: &CMatrix, level_a: usize, level_b: usize) -> CMatrix {
+    assert_eq!(gate.rows(), 2, "expected a single-qubit gate");
+    assert_eq!(gate.cols(), 2, "expected a single-qubit gate");
+    gate.embed(3, &[level_a, level_b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates::qubit;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn permutation_gates_are_unitary_permutations() {
+        for m in [x01(), x02(), x12(), x_plus_1(), x_minus_1()] {
+            assert!(m.is_unitary(TOL));
+            assert!(m.is_permutation(TOL));
+        }
+    }
+
+    #[test]
+    fn swaps_are_self_inverse() {
+        for m in [x01(), x02(), x12()] {
+            assert!((&m * &m).approx_eq(&CMatrix::identity(3), TOL));
+        }
+    }
+
+    #[test]
+    fn plus_and_minus_are_inverses() {
+        assert!((&x_plus_1() * &x_minus_1()).approx_eq(&CMatrix::identity(3), TOL));
+        assert!((&x_minus_1() * &x_plus_1()).approx_eq(&CMatrix::identity(3), TOL));
+    }
+
+    #[test]
+    fn plus_one_cubed_is_identity() {
+        assert!(x_plus_1().pow(3).approx_eq(&CMatrix::identity(3), TOL));
+    }
+
+    #[test]
+    fn plus_one_is_x01_then_x12_composition() {
+        // The paper writes X+1 = X12 · X01 as operators (first swap 0↔1 then
+        // 1↔2): |0⟩→|1⟩→|2⟩? No: X+1 maps |0⟩→|1⟩, |1⟩→|2⟩, |2⟩→|0⟩.
+        // Applying X01 first (|0⟩↔|1⟩) then X12 (|1⟩↔|2⟩):
+        //   |0⟩ → |1⟩ → |2⟩  ✗ (want |1⟩)
+        // Applying X12 first then X01:
+        //   |0⟩ → |0⟩ → |1⟩  ✓, |1⟩ → |2⟩ → |2⟩ ✓, |2⟩ → |1⟩ → |0⟩ ✓
+        let composed = &x01() * &x12();
+        assert!(composed.approx_eq(&x_plus_1(), TOL));
+    }
+
+    #[test]
+    fn x_plus_1_permutation_action() {
+        assert_eq!(x_plus_1().as_permutation(TOL), Some(vec![1, 2, 0]));
+        assert_eq!(x_minus_1().as_permutation(TOL), Some(vec![2, 0, 1]));
+        assert_eq!(x02().as_permutation(TOL), Some(vec![2, 1, 0]));
+    }
+
+    #[test]
+    fn z3_has_unit_eigenvalue_spacing() {
+        let z = z3();
+        assert!(z.is_unitary(TOL));
+        assert!(z.pow(3).approx_eq(&CMatrix::identity(3), TOL));
+    }
+
+    #[test]
+    fn h3_is_unitary_and_diagonalises_shift() {
+        let f = h3();
+        assert!(f.is_unitary(TOL));
+        // F† X+1 F should be diagonal (the clock gate up to ordering).
+        let d = &(&f.adjoint() * &x_plus_1()) * &f;
+        for r in 0..3 {
+            for c in 0..3 {
+                if r != c {
+                    assert!(d.get(r, c).abs() < 1e-9, "off-diagonal element too large");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_qubit_x_matches_x01() {
+        let e = embed_qubit_gate(&qubit::x(), 0, 1);
+        assert!(e.approx_eq(&x01(), TOL));
+        let e02 = embed_qubit_gate(&qubit::x(), 0, 2);
+        assert!(e02.approx_eq(&x02(), TOL));
+    }
+
+    #[test]
+    fn subspace_rotation_is_unitary_and_composes() {
+        let r = subspace_ry(0, 2, 0.4);
+        assert!(r.is_unitary(TOL));
+        let r2 = &subspace_ry(0, 2, 0.4) * &subspace_ry(0, 2, 0.6);
+        assert!(r2.approx_eq(&subspace_ry(0, 2, 1.0), TOL));
+    }
+
+    #[test]
+    fn level_phase_only_affects_one_level() {
+        let p = level_phase(2, 1.0);
+        assert_eq!(p.get(0, 0), Complex::ONE);
+        assert_eq!(p.get(1, 1), Complex::ONE);
+        assert!(p.get(2, 2).approx_eq(Complex::cis(1.0), TOL));
+    }
+}

@@ -1,0 +1,607 @@
+//! Dense complex matrices.
+//!
+//! Gate matrices in this workspace are tiny (at most `d^3 × d^3` for a
+//! three-qudit gate with `d = 3`), so a simple row-major `Vec`-backed dense
+//! matrix is the right tool. The full `d^N × d^N` circuit unitary is never
+//! materialised — the simulator applies gates directly to state vectors (see
+//! the `qudit-sim` crate).
+
+use crate::complex::Complex;
+use crate::error::{CoreError, CoreResult};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A dense, row-major complex matrix.
+///
+/// # Examples
+///
+/// ```
+/// use qudit_core::{CMatrix, Complex};
+///
+/// let x = CMatrix::from_real_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+/// assert!(x.is_unitary(1e-12));
+/// assert_eq!(x.clone() * x, CMatrix::identity(2));
+/// ```
+#[derive(Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// Creates a matrix of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, Complex::ONE);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex>) -> CoreResult<Self> {
+        if data.len() != rows * cols {
+            return Err(CoreError::ShapeMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(CMatrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from nested complex rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[Complex]]) -> Self {
+        let nrows = rows.len();
+        let ncols = if nrows == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            assert_eq!(row.len(), ncols, "inconsistent row length");
+            data.extend_from_slice(row);
+        }
+        CMatrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
+    }
+
+    /// Creates a matrix from nested real-valued rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_real_rows(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = if nrows == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            assert_eq!(row.len(), ncols, "inconsistent row length");
+            data.extend(row.iter().map(|&x| Complex::real(x)));
+        }
+        CMatrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn diagonal(diag: &[Complex]) -> Self {
+        let n = diag.len();
+        let mut m = CMatrix::zeros(n, n);
+        for (i, &z) in diag.iter().enumerate() {
+            m.set(i, i, z);
+        }
+        m
+    }
+
+    /// Creates the `n × n` permutation matrix sending basis state `i` to
+    /// `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn permutation(perm: &[usize]) -> Self {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(p < n && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        let mut m = CMatrix::zeros(n, n);
+        for (src, &dst) in perm.iter().enumerate() {
+            m.set(dst, src, Complex::ONE);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Complex {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: Complex) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Returns the underlying row-major data slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning the row-major data vector.
+    pub fn into_vec(self) -> Vec<Complex> {
+        self.data
+    }
+
+    /// Returns the conjugate transpose (adjoint, `†`).
+    pub fn adjoint(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c).conj());
+            }
+        }
+        out
+    }
+
+    /// Returns the (non-conjugated) transpose.
+    pub fn transpose(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Multiplies every entry by a complex scalar.
+    pub fn scale(&self, s: Complex) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * s).collect(),
+        }
+    }
+
+    /// Returns the trace (sum of diagonal entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex {
+        assert!(self.is_square(), "trace of a non-square matrix");
+        (0..self.rows).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Returns the Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &CMatrix) -> CMatrix {
+        let rows = self.rows * other.rows;
+        let cols = self.cols * other.cols;
+        let mut out = CMatrix::zeros(rows, cols);
+        for r1 in 0..self.rows {
+            for c1 in 0..self.cols {
+                let a = self.get(r1, c1);
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for r2 in 0..other.rows {
+                    for c2 in 0..other.cols {
+                        out.set(
+                            r1 * other.rows + r2,
+                            c1 * other.cols + c2,
+                            a * other.get(r2, c2),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        let mut out = vec![Complex::ZERO; self.rows];
+        for r in 0..self.rows {
+            let mut acc = Complex::ZERO;
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (a, x) in row.iter().zip(v.iter()) {
+                acc += *a * *x;
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// Returns the largest absolute difference between entries of two
+    /// matrices of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &CMatrix) -> f64 {
+        assert_eq!(self.rows, other.rows, "shape mismatch");
+        assert_eq!(self.cols, other.cols, "shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` if all entries are within `tol` of the other matrix's.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.max_abs_diff(other) <= tol
+    }
+
+    /// Returns `true` if `self · self† = I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let product = self * &self.adjoint();
+        product.approx_eq(&CMatrix::identity(self.rows), tol)
+    }
+
+    /// Returns `true` if the matrix equals its own adjoint within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.approx_eq(&self.adjoint(), tol)
+    }
+
+    /// Returns `true` if every entry is 0 or 1 and each column has exactly
+    /// one nonzero entry — i.e. the matrix is a (classical) permutation.
+    pub fn is_permutation(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for c in 0..self.cols {
+            let mut ones = 0usize;
+            for r in 0..self.rows {
+                let z = self.get(r, c);
+                if z.approx_eq(Complex::ONE, tol) {
+                    ones += 1;
+                } else if !z.approx_eq(Complex::ZERO, tol) {
+                    return false;
+                }
+            }
+            if ones != 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Interprets the matrix as a permutation and returns the map
+    /// `input basis index → output basis index`.
+    ///
+    /// Returns `None` if the matrix is not a permutation matrix.
+    pub fn as_permutation(&self, tol: f64) -> Option<Vec<usize>> {
+        if !self.is_permutation(tol) {
+            return None;
+        }
+        let mut perm = vec![0usize; self.cols];
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                if self.get(r, c).approx_eq(Complex::ONE, tol) {
+                    perm[c] = r;
+                }
+            }
+        }
+        Some(perm)
+    }
+
+    /// Matrix power by repeated squaring (integer exponents only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn pow(&self, mut exponent: u32) -> CMatrix {
+        assert!(self.is_square(), "power of a non-square matrix");
+        let mut result = CMatrix::identity(self.rows);
+        let mut base = self.clone();
+        while exponent > 0 {
+            if exponent & 1 == 1 {
+                result = &result * &base;
+            }
+            base = &base * &base;
+            exponent >>= 1;
+        }
+        result
+    }
+
+    /// Embeds a `k × k` matrix into an `n × n` identity, acting on the basis
+    /// states listed in `levels` (in order).
+    ///
+    /// This is how qubit gates are lifted to qutrit space: e.g. embedding the
+    /// qubit `X` on levels `[0, 1]` of a qutrit yields `X01`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != self.rows`, any level is out of range, or
+    /// levels repeat.
+    pub fn embed(&self, n: usize, levels: &[usize]) -> CMatrix {
+        assert!(self.is_square(), "embed requires a square matrix");
+        assert_eq!(levels.len(), self.rows, "level count must match size");
+        let mut seen = vec![false; n];
+        for &l in levels {
+            assert!(l < n, "level out of range");
+            assert!(!seen[l], "repeated level");
+            seen[l] = true;
+        }
+        let mut out = CMatrix::identity(n);
+        for (i, &li) in levels.iter().enumerate() {
+            for (j, &lj) in levels.iter().enumerate() {
+                out.set(li, lj, self.get(i, j));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                let z = self.get(r, c);
+                write!(f, "{:.3}{:+.3}i ", z.re, z.im)?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, rhs.rows, "shape mismatch");
+        assert_eq!(self.cols, rhs.cols, "shape mismatch");
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.rows, rhs.rows, "shape mismatch");
+        assert_eq!(self.cols, rhs.cols, "shape mismatch");
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let v = out.get(r, c) + a * rhs.get(k, c);
+                    out.set(r, c, v);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Mul for CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: CMatrix) -> CMatrix {
+        &self * &rhs
+    }
+}
+
+impl Add for CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: CMatrix) -> CMatrix {
+        &self + &rhs
+    }
+}
+
+impl Sub for CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: CMatrix) -> CMatrix {
+        &self - &rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> CMatrix {
+        CMatrix::from_real_rows(&[&[0.0, 1.0], &[1.0, 0.0]])
+    }
+
+    fn pauli_z() -> CMatrix {
+        CMatrix::from_real_rows(&[&[1.0, 0.0], &[0.0, -1.0]])
+    }
+
+    #[test]
+    fn identity_is_unitary_and_hermitian() {
+        let i = CMatrix::identity(3);
+        assert!(i.is_unitary(1e-12));
+        assert!(i.is_hermitian(1e-12));
+        assert!(i.is_permutation(1e-12));
+    }
+
+    #[test]
+    fn multiplication_shapes() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(3, 4);
+        let c = &a * &b;
+        assert_eq!((c.rows(), c.cols()), (2, 4));
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        let x = pauli_x();
+        let z = pauli_z();
+        // XZ = -ZX
+        let xz = &x * &z;
+        let zx = &z * &x;
+        assert!(xz.approx_eq(&zx.scale(Complex::real(-1.0)), 1e-12));
+        // X^2 = I
+        assert!((&x * &x).approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn adjoint_of_product_reverses_order() {
+        let x = pauli_x();
+        let z = pauli_z();
+        let lhs = (&x * &z).adjoint();
+        let rhs = &z.adjoint() * &x.adjoint();
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = pauli_x();
+        let i2 = CMatrix::identity(2);
+        let xi = x.kron(&i2);
+        assert_eq!((xi.rows(), xi.cols()), (4, 4));
+        // (X ⊗ I)|00> = |10>
+        let v = xi.mul_vec(&[Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ZERO]);
+        assert!(v[2].approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn trace_of_pauli_is_zero() {
+        assert!(pauli_x().trace().approx_eq(Complex::ZERO, 1e-12));
+        assert!(pauli_z().trace().approx_eq(Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn permutation_round_trip() {
+        let perm = vec![2usize, 0, 1];
+        let m = CMatrix::permutation(&perm);
+        assert!(m.is_unitary(1e-12));
+        assert_eq!(m.as_permutation(1e-12), Some(perm));
+    }
+
+    #[test]
+    fn embed_x_on_levels_0_2() {
+        let x = pauli_x();
+        let x02 = x.embed(3, &[0, 2]);
+        // Swaps |0> and |2>, leaves |1> fixed.
+        assert_eq!(x02.as_permutation(1e-12), Some(vec![2, 1, 0]));
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let x = pauli_x();
+        assert!(x.pow(0).approx_eq(&CMatrix::identity(2), 1e-12));
+        assert!(x.pow(3).approx_eq(&x, 1e-12));
+        assert!(x.pow(4).approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn mul_vec_applies_matrix() {
+        let z = pauli_z();
+        let v = z.mul_vec(&[Complex::new(0.6, 0.0), Complex::new(0.0, 0.8)]);
+        assert!(v[0].approx_eq(Complex::new(0.6, 0.0), 1e-12));
+        assert!(v[1].approx_eq(Complex::new(0.0, -0.8), 1e-12));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_shapes() {
+        assert!(CMatrix::from_vec(2, 2, vec![Complex::ZERO; 3]).is_err());
+        assert!(CMatrix::from_vec(2, 2, vec![Complex::ZERO; 4]).is_ok());
+    }
+
+    #[test]
+    fn diagonal_builder() {
+        let d = CMatrix::diagonal(&[Complex::ONE, Complex::I]);
+        assert_eq!(d.get(1, 1), Complex::I);
+        assert_eq!(d.get(0, 1), Complex::ZERO);
+        assert!(d.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn non_square_is_not_unitary() {
+        assert!(!CMatrix::zeros(2, 3).is_unitary(1e-12));
+    }
+}

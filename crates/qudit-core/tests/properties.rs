@@ -1,0 +1,133 @@
+//! Property-based tests (proptest) for the core math types: complex
+//! arithmetic, matrix algebra, basis-index encoding, and state-vector
+//! invariants.
+
+use proptest::prelude::*;
+use qudit_core::{gates, CMatrix, Complex, StateVector};
+
+fn arb_complex() -> impl Strategy<Value = Complex> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+fn arb_unit_complex() -> impl Strategy<Value = Complex> {
+    (0.0f64..std::f64::consts::TAU).prop_map(Complex::cis)
+}
+
+proptest! {
+    #[test]
+    fn complex_addition_is_commutative(a in arb_complex(), b in arb_complex()) {
+        prop_assert!((a + b).approx_eq(b + a, 1e-12));
+    }
+
+    #[test]
+    fn complex_multiplication_is_associative(
+        a in arb_complex(),
+        b in arb_complex(),
+        c in arb_complex()
+    ) {
+        let lhs = (a * b) * c;
+        let rhs = a * (b * c);
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn conjugation_distributes_over_products(a in arb_complex(), b in arb_complex()) {
+        prop_assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_is_multiplicative(a in arb_complex(), b in arb_complex()) {
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn unit_phases_stay_on_the_unit_circle(a in arb_unit_complex(), b in arb_unit_complex()) {
+        prop_assert!(((a * b).abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in arb_complex(), b in arb_complex()) {
+        prop_assume!(b.abs() > 1e-3);
+        prop_assert!(((a * b) / b - a).abs() < 1e-7);
+    }
+}
+
+fn arb_permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<usize>>()).prop_shuffle()
+}
+
+proptest! {
+    #[test]
+    fn permutation_matrices_are_unitary_and_invert(perm in arb_permutation(5)) {
+        let m = CMatrix::permutation(&perm);
+        prop_assert!(m.is_unitary(1e-12));
+        let product = &m * &m.adjoint();
+        prop_assert!(product.approx_eq(&CMatrix::identity(5), 1e-12));
+        prop_assert_eq!(m.as_permutation(1e-12), Some(perm));
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary(j1 in 0usize..3, k1 in 0usize..3, j2 in 0usize..3, k2 in 0usize..3) {
+        let a = gates::qudit::generalized_pauli(3, j1, k1);
+        let b = gates::qudit::generalized_pauli(3, j2, k2);
+        prop_assert!(a.kron(&b).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn matrix_product_of_unitaries_is_unitary(theta in 0.0f64..6.28, phi in 0.0f64..6.28) {
+        let a = gates::qutrit::subspace_ry(0, 1, theta);
+        let b = gates::qutrit::subspace_ry(1, 2, phi);
+        prop_assert!((&a * &b).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn embed_preserves_unitarity(theta in 0.0f64..6.28) {
+        let g = gates::qubit::rx(theta);
+        prop_assert!(g.embed(3, &[0, 2]).is_unitary(1e-9));
+    }
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(
+        digits in proptest::collection::vec(0usize..3, 1..8)
+    ) {
+        let idx = StateVector::encode_digits(3, &digits).unwrap();
+        prop_assert_eq!(StateVector::decode_index(3, digits.len(), idx), digits);
+    }
+
+    #[test]
+    fn basis_states_are_normalised_and_orthogonal(
+        a in proptest::collection::vec(0usize..3, 3),
+        b in proptest::collection::vec(0usize..3, 3)
+    ) {
+        let sa = StateVector::from_basis_state(3, &a).unwrap();
+        let sb = StateVector::from_basis_state(3, &b).unwrap();
+        prop_assert!((sa.norm() - 1.0).abs() < 1e-12);
+        let f = sa.fidelity(&sb);
+        if a == b {
+            prop_assert!((f - 1.0).abs() < 1e-12);
+        } else {
+            prop_assert!(f < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_states_are_normalised(seed in 0u64..5000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sv = qudit_core::random_state(3, 4, &mut rng).unwrap();
+        prop_assert!((sv.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renormalisation_is_idempotent(seed in 0u64..5000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut sv = qudit_core::random_state(2, 3, &mut rng).unwrap();
+        let first = sv.renormalize();
+        let second = sv.renormalize();
+        prop_assert!((first - 1.0).abs() < 1e-9);
+        prop_assert!((second - 1.0).abs() < 1e-12);
+    }
+}

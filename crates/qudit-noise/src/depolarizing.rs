@@ -1,0 +1,156 @@
+//! Symmetric depolarizing gate-error channels (Appendix A.1.1).
+//!
+//! For a `d`-level qudit the error basis is the set of generalised Paulis
+//! `X^j Z^k`. A single-qudit gate error applies each non-identity basis
+//! element with equal probability `p1` (so `d² − 1` error channels: 3 for a
+//! qubit, 8 for a qutrit). A two-qudit gate error applies each non-identity
+//! tensor pair with probability `p2` (`d⁴ − 1` channels: 15 for qubits, 80
+//! for qutrits). This is exactly the model in the paper's Equations 3–6, and
+//! is the source of the qutrit "per-operation cost": the no-error probability
+//! drops from `1 − 15 p2` to `1 − 80 p2` for two-qudit gates.
+
+use crate::error::{NoiseError, NoiseResult};
+use crate::kraus::Channel;
+use qudit_core::gates::qudit::pauli_basis;
+use qudit_core::CMatrix;
+
+/// Builds the single-qudit symmetric depolarizing channel with per-error
+/// probability `p1` for dimension `d`.
+///
+/// # Errors
+///
+/// Returns [`NoiseError::InvalidProbability`] if `p1 < 0` or the total error
+/// probability `(d² − 1)·p1` exceeds 1.
+pub fn single_qudit_depolarizing(d: usize, p1: f64) -> NoiseResult<Channel> {
+    let channels = (d * d - 1) as f64;
+    validate_probability("p1", p1, channels)?;
+    let mut probs = Vec::with_capacity(d * d);
+    let mut unitaries = Vec::with_capacity(d * d);
+    probs.push(1.0 - channels * p1);
+    unitaries.push(CMatrix::identity(d));
+    for (i, pauli) in pauli_basis(d).into_iter().enumerate() {
+        if i == 0 {
+            continue;
+        }
+        probs.push(p1);
+        unitaries.push(pauli);
+    }
+    Ok(Channel::MixedUnitary { probs, unitaries })
+}
+
+/// Builds the two-qudit symmetric depolarizing channel with per-error
+/// probability `p2` for dimension `d` (acting on a `d² `-dimensional pair).
+///
+/// # Errors
+///
+/// Returns [`NoiseError::InvalidProbability`] if `p2 < 0` or the total error
+/// probability `(d⁴ − 1)·p2` exceeds 1.
+pub fn two_qudit_depolarizing(d: usize, p2: f64) -> NoiseResult<Channel> {
+    let channels = (d * d * d * d - 1) as f64;
+    validate_probability("p2", p2, channels)?;
+    let basis = pauli_basis(d);
+    let mut probs = Vec::with_capacity(d.pow(4));
+    let mut unitaries = Vec::with_capacity(d.pow(4));
+    probs.push(1.0 - channels * p2);
+    unitaries.push(CMatrix::identity(d * d));
+    for (i, a) in basis.iter().enumerate() {
+        for (j, b) in basis.iter().enumerate() {
+            if i == 0 && j == 0 {
+                continue;
+            }
+            probs.push(p2);
+            unitaries.push(a.kron(b));
+        }
+    }
+    Ok(Channel::MixedUnitary { probs, unitaries })
+}
+
+/// The probability that *no* error occurs for a single-qudit gate:
+/// `1 − (d² − 1)·p1`.
+pub fn single_qudit_no_error_probability(d: usize, p1: f64) -> f64 {
+    1.0 - ((d * d - 1) as f64) * p1
+}
+
+/// The probability that *no* error occurs for a two-qudit gate:
+/// `1 − (d⁴ − 1)·p2`.
+pub fn two_qudit_no_error_probability(d: usize, p2: f64) -> f64 {
+    1.0 - ((d.pow(4) - 1) as f64) * p2
+}
+
+/// The paper's qutrit-vs-qubit reliability ratio for two-qudit gates,
+/// `(1 − 80 p2) / (1 − 15 p2)` (Section 7.1.1).
+pub fn qutrit_two_qudit_reliability_ratio(p2: f64) -> f64 {
+    two_qudit_no_error_probability(3, p2) / two_qudit_no_error_probability(2, p2)
+}
+
+fn validate_probability(name: &str, p: f64, channels: f64) -> NoiseResult<()> {
+    if p < 0.0 || !(p * channels).is_finite() || p * channels > 1.0 {
+        return Err(NoiseError::InvalidProbability {
+            parameter: name.to_string(),
+            value: p,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_channel_has_four_branches() {
+        let c = single_qudit_depolarizing(2, 1e-3).unwrap();
+        assert_eq!(c.num_branches(), 4);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn qutrit_channel_has_nine_branches() {
+        let c = single_qudit_depolarizing(3, 1e-3).unwrap();
+        assert_eq!(c.num_branches(), 9);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn two_qubit_channel_has_sixteen_branches() {
+        let c = two_qudit_depolarizing(2, 1e-4).unwrap();
+        assert_eq!(c.num_branches(), 16);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn two_qutrit_channel_has_eighty_one_branches() {
+        let c = two_qudit_depolarizing(3, 1e-4).unwrap();
+        assert_eq!(c.num_branches(), 81);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn no_error_probabilities_match_paper_formulas() {
+        let p2 = 1e-3 / 15.0;
+        assert!((two_qudit_no_error_probability(2, p2) - (1.0 - 15.0 * p2)).abs() < 1e-15);
+        assert!((two_qudit_no_error_probability(3, p2) - (1.0 - 80.0 * p2)).abs() < 1e-15);
+        // Ratio is below 1: qutrit gates are less reliable per operation.
+        let ratio = qutrit_two_qudit_reliability_ratio(p2);
+        assert!(ratio < 1.0 && ratio > 0.99);
+    }
+
+    #[test]
+    fn rejects_unphysical_probabilities() {
+        assert!(single_qudit_depolarizing(3, -0.1).is_err());
+        assert!(single_qudit_depolarizing(3, 0.2).is_err()); // 8 * 0.2 > 1
+        assert!(two_qudit_depolarizing(3, 0.02).is_err()); // 80 * 0.02 > 1
+    }
+
+    #[test]
+    fn zero_probability_is_identity_channel() {
+        let c = single_qudit_depolarizing(3, 0.0).unwrap();
+        match &c {
+            Channel::MixedUnitary { probs, .. } => {
+                assert!((probs[0] - 1.0).abs() < 1e-15);
+                assert!(probs[1..].iter().all(|&p| p == 0.0));
+            }
+            _ => panic!("expected mixed unitary"),
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for the `qudit-noise` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience result alias for noise operations.
+pub type NoiseResult<T> = Result<T, NoiseError>;
+
+/// Errors produced while constructing or applying noise channels.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum NoiseError {
+    /// A probability parameter was outside `[0, 1]` or made the channel
+    /// non-physical.
+    InvalidProbability {
+        /// Name of the parameter.
+        parameter: String,
+        /// Its value.
+        value: f64,
+    },
+    /// The Kraus operators do not satisfy the completeness relation
+    /// `Σ K†K = I`.
+    NotTracePreserving {
+        /// Largest deviation from the identity.
+        deviation: f64,
+    },
+    /// A channel was applied to a state of the wrong dimension.
+    DimensionMismatch {
+        /// Dimension expected by the channel.
+        expected: usize,
+        /// Dimension found.
+        actual: usize,
+    },
+    /// A noise-model parameter was missing or inconsistent.
+    InvalidModel {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseError::InvalidProbability { parameter, value } => {
+                write!(f, "probability parameter {parameter} = {value} is not physical")
+            }
+            NoiseError::NotTracePreserving { deviation } => {
+                write!(f, "kraus operators are not trace preserving (deviation {deviation})")
+            }
+            NoiseError::DimensionMismatch { expected, actual } => {
+                write!(f, "channel dimension {expected} does not match state dimension {actual}")
+            }
+            NoiseError::InvalidModel { reason } => write!(f, "invalid noise model: {reason}"),
+        }
+    }
+}
+
+impl Error for NoiseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NoiseError::InvalidProbability {
+            parameter: "p2".to_string(),
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("p2"));
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NoiseError>();
+    }
+}

@@ -1,0 +1,317 @@
+//! Quantum noise channels in the Kraus operator formalism (Appendix A.1).
+//!
+//! A channel `E(σ) = Σ_i K_i σ K_i†` is represented either as a general set
+//! of Kraus operators, or — when every operator is a scaled unitary, as in
+//! the depolarizing channel — as a probabilistic mixture of unitaries, which
+//! admits a much cheaper trajectory sampling rule (the branch probabilities
+//! are state-independent).
+
+use crate::error::{NoiseError, NoiseResult};
+use qudit_core::{CMatrix, Complex, StateVector};
+use qudit_sim::apply_matrix;
+use rand::Rng;
+
+/// A quantum noise channel acting on one or more qudits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Channel {
+    /// A probabilistic mixture of unitaries: with probability `probs[i]` the
+    /// unitary `unitaries[i]` is applied. Branch probabilities do not depend
+    /// on the state, so trajectory sampling is a single weighted draw.
+    MixedUnitary {
+        /// Branch probabilities (must sum to 1).
+        probs: Vec<f64>,
+        /// The unitary applied on each branch.
+        unitaries: Vec<CMatrix>,
+    },
+    /// A general Kraus channel. Branch probabilities are state-dependent
+    /// (`p_i = ‖K_i|ψ⟩‖²`), as required for amplitude damping.
+    Kraus {
+        /// The Kraus operators.
+        operators: Vec<CMatrix>,
+    },
+}
+
+impl Channel {
+    /// The Hilbert-space dimension the channel acts on (`d` for one qudit,
+    /// `d²` for two, …).
+    pub fn dim(&self) -> usize {
+        match self {
+            Channel::MixedUnitary { unitaries, .. } => {
+                unitaries.first().map(CMatrix::rows).unwrap_or(0)
+            }
+            Channel::Kraus { operators } => operators.first().map(CMatrix::rows).unwrap_or(0),
+        }
+    }
+
+    /// The number of Kraus operators / branches (the paper's "error
+    /// channels" count: 4 or 16 for qubits, 9 or 81 for qutrits).
+    pub fn num_branches(&self) -> usize {
+        match self {
+            Channel::MixedUnitary { probs, .. } => probs.len(),
+            Channel::Kraus { operators } => operators.len(),
+        }
+    }
+
+    /// Validates that the channel is completely positive and trace
+    /// preserving: probabilities sum to one (mixed-unitary form) or
+    /// `Σ K†K = I` (Kraus form).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError::NotTracePreserving`] or
+    /// [`NoiseError::InvalidProbability`] when the condition fails.
+    pub fn validate(&self) -> NoiseResult<()> {
+        match self {
+            Channel::MixedUnitary { probs, unitaries } => {
+                let total: f64 = probs.iter().sum();
+                if (total - 1.0).abs() > 1e-9 {
+                    return Err(NoiseError::InvalidProbability {
+                        parameter: "sum of branch probabilities".to_string(),
+                        value: total,
+                    });
+                }
+                if probs.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+                    return Err(NoiseError::InvalidProbability {
+                        parameter: "branch probability".to_string(),
+                        value: *probs
+                            .iter()
+                            .find(|&&p| !(0.0..=1.0).contains(&p))
+                            .expect("found above"),
+                    });
+                }
+                for u in unitaries {
+                    if !u.is_unitary(1e-8) {
+                        return Err(NoiseError::InvalidModel {
+                            reason: "mixed-unitary branch is not unitary".to_string(),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            Channel::Kraus { operators } => {
+                let d = self.dim();
+                let mut sum = CMatrix::zeros(d, d);
+                for k in operators {
+                    sum = &sum + &(&k.adjoint() * k);
+                }
+                let deviation = sum.max_abs_diff(&CMatrix::identity(d));
+                if deviation > 1e-8 {
+                    return Err(NoiseError::NotTracePreserving { deviation });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Samples one trajectory branch of the channel and applies it to the
+    /// given qudits of the state, renormalising afterwards.
+    ///
+    /// Returns the index of the branch that was applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel dimension does not match `dim^qudits.len()` for
+    /// the state's qudit dimension.
+    pub fn apply_trajectory<R: Rng + ?Sized>(
+        &self,
+        state: &mut StateVector,
+        qudits: &[usize],
+        rng: &mut R,
+    ) -> usize {
+        let expected = state.dim().pow(qudits.len() as u32);
+        assert_eq!(
+            self.dim(),
+            expected,
+            "channel dimension does not match targeted qudits"
+        );
+        match self {
+            Channel::MixedUnitary { probs, unitaries } => {
+                let r: f64 = rng.gen_range(0.0..1.0);
+                let mut acc = 0.0;
+                let mut chosen = probs.len() - 1;
+                for (i, &p) in probs.iter().enumerate() {
+                    acc += p;
+                    if r < acc {
+                        chosen = i;
+                        break;
+                    }
+                }
+                // Identity branches are usually first and dominant; skip the
+                // work when the chosen unitary is exactly the identity.
+                let u = &unitaries[chosen];
+                if !is_identity(u) {
+                    apply_matrix(state, u, qudits);
+                }
+                chosen
+            }
+            Channel::Kraus { operators } => {
+                // Branch probabilities are ‖K_i|ψ⟩‖²; compute them by
+                // applying each operator to a scratch copy.
+                let mut branch_states: Vec<StateVector> = Vec::with_capacity(operators.len());
+                let mut probs: Vec<f64> = Vec::with_capacity(operators.len());
+                for k in operators {
+                    let mut scratch = state.clone();
+                    apply_matrix(&mut scratch, k, qudits);
+                    let p = scratch.norm().powi(2);
+                    probs.push(p);
+                    branch_states.push(scratch);
+                }
+                let total: f64 = probs.iter().sum();
+                let r: f64 = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+                let mut acc = 0.0;
+                let mut chosen = probs.len() - 1;
+                for (i, &p) in probs.iter().enumerate() {
+                    acc += p;
+                    if r < acc {
+                        chosen = i;
+                        break;
+                    }
+                }
+                *state = branch_states.swap_remove(chosen);
+                state.renormalize();
+                chosen
+            }
+        }
+    }
+}
+
+fn is_identity(m: &CMatrix) -> bool {
+    if !m.is_square() {
+        return false;
+    }
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            let expected = if r == c { Complex::ONE } else { Complex::ZERO };
+            if !m.get(r, c).approx_eq(expected, 1e-12) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_core::gates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mixed_unitary_validation() {
+        let good = Channel::MixedUnitary {
+            probs: vec![0.9, 0.1],
+            unitaries: vec![CMatrix::identity(3), gates::qutrit::x_plus_1()],
+        };
+        assert!(good.validate().is_ok());
+
+        let bad_sum = Channel::MixedUnitary {
+            probs: vec![0.9, 0.2],
+            unitaries: vec![CMatrix::identity(3), gates::qutrit::x_plus_1()],
+        };
+        assert!(bad_sum.validate().is_err());
+    }
+
+    #[test]
+    fn kraus_validation_detects_non_cptp() {
+        let good = Channel::Kraus {
+            operators: vec![CMatrix::identity(2)],
+        };
+        assert!(good.validate().is_ok());
+        let bad = Channel::Kraus {
+            operators: vec![CMatrix::identity(2).scale(Complex::real(0.5))],
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(NoiseError::NotTracePreserving { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_dominant_channel_rarely_changes_state() {
+        let channel = Channel::MixedUnitary {
+            probs: vec![1.0, 0.0],
+            unitaries: vec![CMatrix::identity(3), gates::qutrit::x_plus_1()],
+        };
+        let mut state = StateVector::from_basis_state(3, &[1, 1]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let branch = channel.apply_trajectory(&mut state, &[0], &mut rng);
+            assert_eq!(branch, 0);
+        }
+        assert!((state.probability(&[1, 1]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn always_error_channel_applies_unitary() {
+        let channel = Channel::MixedUnitary {
+            probs: vec![0.0, 1.0],
+            unitaries: vec![CMatrix::identity(3), gates::qutrit::x_plus_1()],
+        };
+        let mut state = StateVector::from_basis_state(3, &[0, 0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        channel.apply_trajectory(&mut state, &[1], &mut rng);
+        assert!((state.probability(&[0, 1]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kraus_trajectory_branch_statistics_follow_state() {
+        // Amplitude damping style channel on a qubit: K0 keeps, K1 decays.
+        let lambda: f64 = 0.3;
+        let k0 = CMatrix::from_rows(&[
+            &[Complex::ONE, Complex::ZERO],
+            &[Complex::ZERO, Complex::real((1.0 - lambda).sqrt())],
+        ]);
+        let k1 = CMatrix::from_rows(&[
+            &[Complex::ZERO, Complex::real(lambda.sqrt())],
+            &[Complex::ZERO, Complex::ZERO],
+        ]);
+        let channel = Channel::Kraus {
+            operators: vec![k0, k1],
+        };
+        channel.validate().unwrap();
+
+        // On |1> the decay branch should occur with probability lambda.
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 5000;
+        let mut decays = 0;
+        for _ in 0..trials {
+            let mut state = StateVector::from_basis_state(2, &[1]).unwrap();
+            let branch = channel.apply_trajectory(&mut state, &[0], &mut rng);
+            if branch == 1 {
+                decays += 1;
+                assert!((state.probability(&[0]).unwrap() - 1.0).abs() < 1e-12);
+            }
+        }
+        let rate = decays as f64 / trials as f64;
+        assert!((rate - lambda).abs() < 0.03, "decay rate {rate}");
+
+        // On |0> the decay branch never fires.
+        let mut state = StateVector::from_basis_state(2, &[0]).unwrap();
+        for _ in 0..50 {
+            assert_eq!(channel.apply_trajectory(&mut state, &[0], &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn trajectory_preserves_normalisation() {
+        let channel = Channel::Kraus {
+            operators: vec![
+                CMatrix::from_rows(&[
+                    &[Complex::ONE, Complex::ZERO],
+                    &[Complex::ZERO, Complex::real(0.8)],
+                ]),
+                CMatrix::from_rows(&[
+                    &[Complex::ZERO, Complex::real(0.6)],
+                    &[Complex::ZERO, Complex::ZERO],
+                ]),
+            ],
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut state = StateVector::zero_state(2, 2).unwrap();
+        // Prepare |+⟩ on qubit 1.
+        apply_matrix(&mut state, &gates::qubit::h(), &[1]);
+        channel.apply_trajectory(&mut state, &[1], &mut rng);
+        assert!((state.norm() - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,159 @@
+//! Noise-model parameter sets (Section 7, Tables 2 and 3).
+//!
+//! A [`NoiseModel`] is the generic, parametrised model of Section 7.1: a
+//! per-error-channel gate error probability for single-qudit gates (`p1`)
+//! and two-qudit gates (`p2`), gate durations, and an optional `T1`
+//! relaxation time driving amplitude-damping idle errors. The concrete
+//! parameter sets for superconducting devices (Table 2) and trapped-ion
+//! ¹⁷¹Yb⁺ devices (Table 3) are provided in the submodules.
+
+pub mod superconducting;
+pub mod trapped_ion;
+
+use crate::damping::idle_damping_channel;
+use crate::depolarizing::{single_qudit_depolarizing, two_qudit_depolarizing};
+use crate::error::NoiseResult;
+use crate::kraus::Channel;
+
+pub use superconducting::{sc, sc_gates, sc_t1, sc_t1_gates, superconducting_models};
+pub use trapped_ion::{bare_qutrit, dressed_qutrit, ti_qubit, trapped_ion_models};
+
+/// A generic, parametrised noise model (Section 7.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Human-readable model name (e.g. `"SC+T1"`).
+    pub name: String,
+    /// Per-error-channel probability for single-qudit gates. The paper's
+    /// tables quote `3·p1` (the total qubit error probability); this field
+    /// stores `p1` itself.
+    pub p1: f64,
+    /// Per-error-channel probability for two-qudit gates. The paper's tables
+    /// quote `15·p2`; this field stores `p2` itself.
+    pub p2: f64,
+    /// Relaxation time `T1` in seconds. `None` disables amplitude-damping
+    /// idle errors (used for the trapped-ion clock-state models, whose idle
+    /// errors the paper describes as negligible coherent phases).
+    pub t1: Option<f64>,
+    /// Duration of a single-qudit gate in seconds.
+    pub gate_time_1q: f64,
+    /// Duration of a two-qudit gate in seconds.
+    pub gate_time_2q: f64,
+}
+
+impl NoiseModel {
+    /// Builds the single-qudit gate-error channel for dimension `d`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probability-validation failures.
+    pub fn single_qudit_gate_error(&self, d: usize) -> NoiseResult<Channel> {
+        single_qudit_depolarizing(d, self.p1)
+    }
+
+    /// Builds the two-qudit gate-error channel for dimension `d`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates probability-validation failures.
+    pub fn two_qudit_gate_error(&self, d: usize) -> NoiseResult<Channel> {
+        two_qudit_depolarizing(d, self.p2)
+    }
+
+    /// Builds the idle (amplitude-damping) channel for dimension `d` and a
+    /// moment of duration `dt` seconds, or `None` if the model has no `T1`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation failures.
+    pub fn idle_error(&self, d: usize, dt: f64) -> NoiseResult<Option<Channel>> {
+        match self.t1 {
+            Some(t1) => Ok(Some(idle_damping_channel(d, dt, t1)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// The moment duration used for idle-error accounting: the two-qudit gate
+    /// time if the moment contains a multi-qudit gate, else the single-qudit
+    /// gate time (Section 6.1).
+    pub fn moment_duration(&self, has_multi_qudit_gate: bool) -> f64 {
+        if has_multi_qudit_gate {
+            self.gate_time_2q
+        } else {
+            self.gate_time_1q
+        }
+    }
+
+    /// The total single-qudit gate error probability `(d²−1)·p1` for
+    /// dimension `d`.
+    pub fn total_single_qudit_error(&self, d: usize) -> f64 {
+        ((d * d - 1) as f64) * self.p1
+    }
+
+    /// The total two-qudit gate error probability `(d⁴−1)·p2` for dimension
+    /// `d`.
+    pub fn total_two_qudit_error(&self, d: usize) -> f64 {
+        ((d.pow(4) - 1) as f64) * self.p2
+    }
+}
+
+/// All seven named noise models evaluated in the paper (Tables 2 and 3), in
+/// the order they appear in Figure 11.
+pub fn all_models() -> Vec<NoiseModel> {
+    let mut models = superconducting_models();
+    models.extend(trapped_ion_models());
+    models
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_returns_seven_named_models() {
+        let models = all_models();
+        assert_eq!(models.len(), 7);
+        let names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "SC",
+                "SC+T1",
+                "SC+GATES",
+                "SC+T1+GATES",
+                "TI_QUBIT",
+                "BARE_QUTRIT",
+                "DRESSED_QUTRIT"
+            ]
+        );
+    }
+
+    #[test]
+    fn channels_built_from_models_are_valid() {
+        for model in all_models() {
+            for d in [2usize, 3] {
+                model.single_qudit_gate_error(d).unwrap().validate().unwrap();
+                model.two_qudit_gate_error(d).unwrap().validate().unwrap();
+                if let Some(idle) = model
+                    .idle_error(d, model.moment_duration(true))
+                    .unwrap()
+                {
+                    idle.validate().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn moment_duration_uses_two_qudit_time_when_needed() {
+        let m = sc();
+        assert!(m.moment_duration(true) > m.moment_duration(false));
+    }
+
+    #[test]
+    fn total_error_probabilities_scale_with_dimension() {
+        let m = sc();
+        assert!(m.total_two_qudit_error(3) > m.total_two_qudit_error(2));
+        assert!((m.total_two_qudit_error(2) - 15.0 * m.p2).abs() < 1e-15);
+        assert!((m.total_two_qudit_error(3) - 80.0 * m.p2).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,111 @@
+//! Superconducting noise models (Section 7.2, Table 2).
+//!
+//! The baseline `SC` model assumes a device ~10× better than the public IBM
+//! machines of the time (which had `3·p1 ≈ 10⁻³`, `15·p2 ≈ 10⁻²`,
+//! `T1 ≈ 0.1 ms`): gate errors of `3·p1 = 10⁻⁴`, `15·p2 = 10⁻³` and
+//! `T1 = 1 ms`. The other three models improve `T1`, the gate errors, or
+//! both, by a further 10×. Gate durations are 100 ns (single-qudit) and
+//! 300 ns (two-qudit).
+
+use super::NoiseModel;
+
+/// Single-qudit gate duration for superconducting devices (100 ns).
+pub const SC_GATE_TIME_1Q: f64 = 100e-9;
+/// Two-qudit gate duration for superconducting devices (300 ns).
+pub const SC_GATE_TIME_2Q: f64 = 300e-9;
+
+fn sc_model(name: &str, three_p1: f64, fifteen_p2: f64, t1: f64) -> NoiseModel {
+    NoiseModel {
+        name: name.to_string(),
+        p1: three_p1 / 3.0,
+        p2: fifteen_p2 / 15.0,
+        t1: Some(t1),
+        gate_time_1q: SC_GATE_TIME_1Q,
+        gate_time_2q: SC_GATE_TIME_2Q,
+    }
+}
+
+/// The baseline superconducting model `SC`: `3p1 = 10⁻⁴`, `15p2 = 10⁻³`,
+/// `T1 = 1 ms`.
+pub fn sc() -> NoiseModel {
+    sc_model("SC", 1e-4, 1e-3, 1e-3)
+}
+
+/// `SC+T1`: the baseline with a 10× longer `T1` (10 ms).
+pub fn sc_t1() -> NoiseModel {
+    sc_model("SC+T1", 1e-4, 1e-3, 1e-2)
+}
+
+/// `SC+GATES`: the baseline with 10× lower gate errors
+/// (`3p1 = 10⁻⁵`, `15p2 = 10⁻⁴`).
+pub fn sc_gates() -> NoiseModel {
+    sc_model("SC+GATES", 1e-5, 1e-4, 1e-3)
+}
+
+/// `SC+T1+GATES`: both improvements combined.
+pub fn sc_t1_gates() -> NoiseModel {
+    sc_model("SC+T1+GATES", 1e-5, 1e-4, 1e-2)
+}
+
+/// The current-hardware parameters the paper quotes for IBM's public devices
+/// (`3p1 ≈ 10⁻³`, `15p2 ≈ 10⁻²`, `T1 ≈ 0.1 ms`). Not part of Table 2, but
+/// useful as a reference point: the paper notes a 14-input Generalized
+/// Toffoli is essentially certain to fail on such a device.
+pub fn ibm_current() -> NoiseModel {
+    sc_model("IBM_CURRENT", 1e-3, 1e-2, 1e-4)
+}
+
+/// The four Table 2 models in presentation order.
+pub fn superconducting_models() -> Vec<NoiseModel> {
+    vec![sc(), sc_t1(), sc_gates(), sc_t1_gates()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper() {
+        let m = sc();
+        assert!((3.0 * m.p1 - 1e-4).abs() < 1e-18);
+        assert!((15.0 * m.p2 - 1e-3).abs() < 1e-18);
+        assert_eq!(m.t1, Some(1e-3));
+
+        let m = sc_t1();
+        assert_eq!(m.t1, Some(1e-2));
+        assert!((15.0 * m.p2 - 1e-3).abs() < 1e-18);
+
+        let m = sc_gates();
+        assert!((3.0 * m.p1 - 1e-5).abs() < 1e-18);
+        assert_eq!(m.t1, Some(1e-3));
+
+        let m = sc_t1_gates();
+        assert!((15.0 * m.p2 - 1e-4).abs() < 1e-18);
+        assert_eq!(m.t1, Some(1e-2));
+    }
+
+    #[test]
+    fn sc_is_ten_times_better_than_ibm_current() {
+        let sc = sc();
+        let ibm = ibm_current();
+        assert!((ibm.p1 / sc.p1 - 10.0).abs() < 1e-9);
+        assert!((ibm.p2 / sc.p2 - 10.0).abs() < 1e-9);
+        assert!((sc.t1.unwrap() / ibm.t1.unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_times_are_100_and_300_ns() {
+        let m = sc();
+        assert_eq!(m.gate_time_1q, 100e-9);
+        assert_eq!(m.gate_time_2q, 300e-9);
+    }
+
+    #[test]
+    fn four_models_in_order() {
+        let names: Vec<String> = superconducting_models()
+            .into_iter()
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(names, vec!["SC", "SC+T1", "SC+GATES", "SC+T1+GATES"]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # qudit-sim
+//!
+//! A dense state-vector simulator for qudit circuits. Gates are applied with
+//! einsum-style kernels that never build the full `d^N × d^N` matrix, exactly
+//! as the paper's Cirq extension does (Section 6.2); 14-qutrit circuits (a
+//! ~77 MB state vector) are simulable on a laptop.
+//!
+//! The noise-free simulator lives here; the quantum-trajectory noise
+//! simulator (Algorithm 1 of the paper) builds on these kernels from the
+//! `qudit-noise` crate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod apply;
+mod measure;
+mod simulator;
+
+pub use apply::{apply_matrix, apply_operation};
+pub use measure::{
+    marginal_distribution, qubit_subspace_probability, sample_histogram, sample_measurement,
+};
+pub use simulator::Simulator;

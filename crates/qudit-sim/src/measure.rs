@@ -1,0 +1,118 @@
+//! Measurement and sampling.
+
+use qudit_core::StateVector;
+use rand::Rng;
+
+/// Samples a full computational-basis measurement of the state, returning
+/// the per-qudit digits. The state is not collapsed.
+pub fn sample_measurement<R: Rng + ?Sized>(state: &StateVector, rng: &mut R) -> Vec<usize> {
+    let r: f64 = rng.gen_range(0.0..1.0);
+    let mut acc = 0.0f64;
+    let mut chosen = state.len() - 1;
+    for (idx, amp) in state.amplitudes().iter().enumerate() {
+        acc += amp.norm_sqr();
+        if r < acc {
+            chosen = idx;
+            break;
+        }
+    }
+    StateVector::decode_index(state.dim(), state.num_qudits(), chosen)
+}
+
+/// Samples `shots` measurements and returns a histogram keyed by the flat
+/// basis index.
+pub fn sample_histogram<R: Rng + ?Sized>(
+    state: &StateVector,
+    shots: usize,
+    rng: &mut R,
+) -> std::collections::HashMap<usize, usize> {
+    let mut hist = std::collections::HashMap::new();
+    for _ in 0..shots {
+        let digits = sample_measurement(state, rng);
+        let idx = StateVector::encode_digits(state.dim(), &digits).expect("digits are valid");
+        *hist.entry(idx).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// The marginal probability distribution of a single qudit.
+pub fn marginal_distribution(state: &StateVector, qudit: usize) -> Vec<f64> {
+    let dim = state.dim();
+    let n = state.num_qudits();
+    assert!(qudit < n, "qudit index out of range");
+    let stride = dim.pow((n - 1 - qudit) as u32);
+    let mut probs = vec![0.0f64; dim];
+    for (idx, amp) in state.amplitudes().iter().enumerate() {
+        let digit = (idx / stride) % dim;
+        probs[digit] += amp.norm_sqr();
+    }
+    probs
+}
+
+/// The probability that every qudit measures in the qubit subspace
+/// (levels 0 or 1). Useful for checking that the paper's constructions
+/// return to binary outputs.
+pub fn qubit_subspace_probability(state: &StateVector) -> f64 {
+    let dim = state.dim();
+    let n = state.num_qudits();
+    state
+        .amplitudes()
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| {
+            StateVector::decode_index(dim, n, *idx)
+                .iter()
+                .all(|&d| d < 2)
+        })
+        .map(|(_, a)| a.norm_sqr())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_core::Complex;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basis_state_always_measures_itself() {
+        let sv = StateVector::from_basis_state(3, &[2, 0, 1]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(sample_measurement(&sv, &mut rng), vec![2, 0, 1]);
+        }
+    }
+
+    #[test]
+    fn histogram_approximates_distribution() {
+        // |+> style state over two qutrit levels.
+        let mut sv = StateVector::zero_state(3, 1).unwrap();
+        let amp = Complex::real(1.0 / 2.0_f64.sqrt());
+        sv.amplitudes_mut()[0] = amp;
+        sv.amplitudes_mut()[1] = amp;
+        let mut rng = StdRng::seed_from_u64(2);
+        let hist = sample_histogram(&sv, 4000, &mut rng);
+        let zero = *hist.get(&0).unwrap_or(&0) as f64 / 4000.0;
+        assert!((zero - 0.5).abs() < 0.05);
+        assert!(!hist.contains_key(&2));
+    }
+
+    #[test]
+    fn marginal_distribution_sums_to_one() {
+        let sv = StateVector::from_basis_state(3, &[1, 2]).unwrap();
+        let m0 = marginal_distribution(&sv, 0);
+        assert!((m0[1] - 1.0).abs() < 1e-12);
+        let m1 = marginal_distribution(&sv, 1);
+        assert!((m1[2] - 1.0).abs() < 1e-12);
+        assert!((m0.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qubit_subspace_probability_detects_leakage() {
+        let binary = StateVector::from_basis_state(3, &[1, 0]).unwrap();
+        assert!((qubit_subspace_probability(&binary) - 1.0).abs() < 1e-12);
+        let leaked = StateVector::from_basis_state(3, &[2, 0]).unwrap();
+        assert!(qubit_subspace_probability(&leaked) < 1e-12);
+    }
+}

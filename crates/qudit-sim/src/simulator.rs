@@ -1,0 +1,176 @@
+//! Ideal (noise-free) circuit simulation.
+
+use crate::apply::apply_operation;
+use qudit_circuit::{Circuit, Schedule};
+use qudit_core::{CoreResult, StateVector};
+
+/// A dense state-vector simulator for qudit circuits.
+///
+/// # Examples
+///
+/// ```
+/// use qudit_circuit::{Circuit, Control, Gate};
+/// use qudit_sim::Simulator;
+///
+/// let mut c = Circuit::new(3, 2);
+/// c.push_gate(Gate::x(3), &[0])?;
+/// c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])?;
+///
+/// let out = Simulator::new().run(&c)?;
+/// assert!((out.probability(&[1, 1]).unwrap() - 1.0).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Simulator {
+    _private: (),
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    pub fn new() -> Self {
+        Simulator { _private: () }
+    }
+
+    /// Runs the circuit on the all-zeros input state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit's dimension is invalid (propagated
+    /// from state construction).
+    pub fn run(&self, circuit: &Circuit) -> CoreResult<StateVector> {
+        let state = StateVector::zero_state(circuit.dim(), circuit.width())?;
+        Ok(self.run_with_state(circuit, state))
+    }
+
+    /// Runs the circuit on a caller-supplied initial state, consuming and
+    /// returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's dimension or width does not match the circuit.
+    pub fn run_with_state(&self, circuit: &Circuit, mut state: StateVector) -> StateVector {
+        assert_eq!(state.dim(), circuit.dim(), "dimension mismatch");
+        assert_eq!(state.num_qudits(), circuit.width(), "width mismatch");
+        for op in circuit.iter() {
+            apply_operation(&mut state, op);
+        }
+        state
+    }
+
+    /// Runs the circuit on a basis-state input given by digits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the digits are invalid for the circuit dimension.
+    pub fn run_on_basis_state(
+        &self,
+        circuit: &Circuit,
+        digits: &[usize],
+    ) -> CoreResult<StateVector> {
+        let state = StateVector::from_basis_state(circuit.dim(), digits)?;
+        Ok(self.run_with_state(circuit, state))
+    }
+
+    /// Runs the circuit moment-by-moment, invoking `observer` after each
+    /// moment. This is the hook the trajectory noise simulator builds on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state shape does not match the circuit.
+    pub fn run_moments<F>(
+        &self,
+        circuit: &Circuit,
+        schedule: &Schedule,
+        mut state: StateVector,
+        mut observer: F,
+    ) -> StateVector
+    where
+        F: FnMut(usize, &mut StateVector),
+    {
+        assert_eq!(state.dim(), circuit.dim(), "dimension mismatch");
+        assert_eq!(state.num_qudits(), circuit.width(), "width mismatch");
+        for (moment_idx, op_indices) in schedule.iter() {
+            for &op_idx in op_indices {
+                apply_operation(&mut state, &circuit.operations()[op_idx]);
+            }
+            observer(moment_idx, &mut state);
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_circuit::{classical, Control, Gate};
+    use qudit_core::random_qubit_subspace_state;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toffoli_fig4() -> Circuit {
+        let mut c = Circuit::new(3, 3);
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+            .unwrap();
+        c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn zero_input_stays_zero_through_toffoli() {
+        let out = Simulator::new().run(&toffoli_fig4()).unwrap();
+        assert!((out.probability(&[0, 0, 0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_vector_agrees_with_classical_simulation_on_all_inputs() {
+        let c = toffoli_fig4();
+        let sim = Simulator::new();
+        for input in classical::all_basis_states(3, 3) {
+            let expected = classical::simulate_classical(&c, &input).unwrap();
+            let out = sim.run_on_basis_state(&c, &input).unwrap();
+            assert!(
+                (out.probability(&expected).unwrap() - 1.0).abs() < 1e-10,
+                "mismatch for input {input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn superposition_input_entangles_correctly() {
+        // Put the controls in (|00>+|11>)/√2 ⊗ |0>: after the Toffoli the
+        // target should flip only on the |11> branch.
+        let c = toffoli_fig4();
+        let sim = Simulator::new();
+        let mut init = StateVector::zero_state(3, 3).unwrap();
+        let amp = qudit_core::Complex::real(1.0 / 2.0_f64.sqrt());
+        init.amplitudes_mut()[0] = amp; // |000>
+        init.amplitudes_mut()[StateVector::encode_digits(3, &[1, 1, 0]).unwrap()] = amp;
+        let out = sim.run_with_state(&c, init);
+        assert!((out.probability(&[0, 0, 0]).unwrap() - 0.5).abs() < 1e-10);
+        assert!((out.probability(&[1, 1, 1]).unwrap() - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn circuit_inverse_undoes_circuit_on_random_state() {
+        let c = toffoli_fig4();
+        let mut both = c.clone();
+        both.extend(&c.inverse()).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let psi = random_qubit_subspace_state(3, 3, &mut rng).unwrap();
+        let out = Simulator::new().run_with_state(&both, psi.clone());
+        assert!(out.fidelity(&psi) > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn run_moments_observer_sees_every_moment() {
+        let c = toffoli_fig4();
+        let schedule = Schedule::asap(&c);
+        let mut seen = Vec::new();
+        let state = StateVector::zero_state(3, 3).unwrap();
+        let _ = Simulator::new().run_moments(&c, &schedule, state, |m, _| seen.push(m));
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Grover search using the ancilla-free qutrit multiply-controlled Z
+//! (Section 5.2 of the paper).
+//!
+//! Run with: `cargo run --release --example grover_search`
+
+use qutrits::toffoli::grover::{
+    grover_circuit, grover_output_distribution, grover_success_probability, optimal_iterations,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_qubits = 4; // search over M = 16 items
+    let marked = 11;
+    let iterations = optimal_iterations(n_qubits);
+
+    let circuit = grover_circuit(n_qubits, marked, iterations)?;
+    println!(
+        "Grover search over {} items, marked item {marked}, {iterations} iterations",
+        1 << n_qubits
+    );
+    println!(
+        "circuit: {} qutrits (no ancilla), {} operations",
+        circuit.width(),
+        circuit.len()
+    );
+
+    let p = grover_success_probability(n_qubits, marked, iterations)?;
+    println!("success probability after {iterations} iterations: {:.2}%", 100.0 * p);
+
+    println!();
+    println!("success probability vs iteration count:");
+    for k in 0..=iterations + 2 {
+        let p = grover_success_probability(n_qubits, marked, k)?;
+        let bar: String = "#".repeat((60.0 * p) as usize);
+        println!("  {k:>2} iterations: {:>6.2}% {bar}", 100.0 * p);
+    }
+
+    println!();
+    println!("final output distribution (top 4 items):");
+    let mut dist: Vec<(usize, f64)> = grover_output_distribution(n_qubits, marked, iterations)?
+        .into_iter()
+        .enumerate()
+        .collect();
+    dist.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("probabilities are not NaN"));
+    for (item, p) in dist.into_iter().take(4) {
+        println!("  item {item:>2}: {:>6.2}%", 100.0 * p);
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! The ancilla-free O(log² N)-depth incrementer (Section 5.3 of the paper).
+//!
+//! Run with: `cargo run --release --example incrementer`
+
+use qudit_circuit::classical::simulate_classical;
+use qudit_circuit::Schedule;
+use qutrits::toffoli::incrementer::{incrementer, register_to_value, value_to_register};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Demonstrate correctness on an 8-bit register.
+    let n = 8;
+    let circuit = incrementer(n)?;
+    println!(
+        "incrementer on {n} bits: width {} (no ancilla), {} operations, depth {} moments",
+        circuit.width(),
+        circuit.len(),
+        Schedule::asap(&circuit).depth()
+    );
+
+    for value in [0usize, 7, 127, 200, 255] {
+        let input = value_to_register(value, n);
+        let out = simulate_classical(&circuit, &input)?;
+        println!("  {value:>3} + 1 = {:>3} (mod 256)", register_to_value(&out));
+    }
+
+    // Depth scaling: the whole point of the construction.
+    println!();
+    println!("depth scaling (log^2 N thanks to the log-depth multiply-controlled gate):");
+    println!("{:>6} {:>10} {:>12}", "bits", "depth", "operations");
+    for bits in [4usize, 8, 16, 32, 64, 128] {
+        let c = incrementer(bits)?;
+        println!(
+            "{:>6} {:>10} {:>12}",
+            bits,
+            Schedule::asap(&c).depth(),
+            c.len()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! A miniature Figure 11: compare the fidelity of the QUTRIT, QUBIT and
+//! QUBIT+ANCILLA constructions under the paper's superconducting and
+//! trapped-ion noise models, using the quantum-trajectory simulator.
+//!
+//! Run with: `cargo run --release --example noise_fidelity`
+//! (The full 13-control experiment is available via
+//! `cargo run --release -p bench --bin fig11 -- --controls 13 --trials 1000`.)
+
+use qutrits::noise::{models, simulate_fidelity, GateExpansion, InputState, TrajectoryConfig};
+use qutrits::toffoli::baselines::{qubit_no_ancilla, qubit_one_dirty_ancilla};
+use qutrits::toffoli::gen_toffoli::n_controlled_x;
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let n_controls = 6;
+    let trials = 30;
+
+    let qutrit = n_controlled_x(n_controls).expect("qutrit circuit");
+    let qubit = qubit_no_ancilla(n_controls, 2).expect("qubit circuit");
+    let qubit_ancilla = qubit_one_dirty_ancilla(n_controls, 2).expect("qubit+ancilla circuit");
+
+    let config = TrajectoryConfig {
+        trials,
+        seed: 2019,
+        expansion: GateExpansion::DiWei,
+        input: InputState::RandomQubitSubspace,
+    };
+
+    println!(
+        "mean fidelity of the {}-input Generalized Toffoli ({} trajectory trials per pair)",
+        n_controls + 1,
+        trials
+    );
+    println!("{:<16} {:>10} {:>10} {:>14}", "noise model", "QUTRIT", "QUBIT", "QUBIT+ANCILLA");
+    let mut chosen_models = models::superconducting_models();
+    chosen_models.push(models::ti_qubit());
+    chosen_models.push(models::dressed_qutrit());
+    for model in chosen_models {
+        let f_qutrit = simulate_fidelity(&qutrit, &model, &config)?.mean;
+        let f_qubit = simulate_fidelity(&qubit, &model, &config)?.mean;
+        let f_ancilla = simulate_fidelity(&qubit_ancilla, &model, &config)?.mean;
+        println!(
+            "{:<16} {:>9.1}% {:>9.1}% {:>13.1}%",
+            model.name,
+            100.0 * f_qutrit,
+            100.0 * f_qubit,
+            100.0 * f_ancilla
+        );
+    }
+    println!();
+    println!("(the QUTRIT column should dominate, as in the paper's Figure 11)");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! The artificial quantum neuron (Section 5.1 of the paper): a perceptron
+//! whose activation is computed by a Generalized Toffoli, here built with the
+//! ancilla-free qutrit tree.
+//!
+//! Run with: `cargo run --release --example quantum_neuron`
+
+use qutrits::toffoli::neuron::{neuron_activation_probability, neuron_circuit, SignVector};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 3; // 2^3 = 8-element input and weight vectors
+
+    // A weight vector and a few candidate inputs (true = +1, false = −1).
+    let weights = SignVector::new(
+        n,
+        vec![true, false, true, true, false, true, false, false],
+    )?;
+    let inputs = vec![
+        ("identical to weights", weights.clone()),
+        (
+            "one sign flipped",
+            SignVector::new(n, vec![true, false, true, true, false, true, false, true])?,
+        ),
+        (
+            "half the signs flipped",
+            SignVector::new(n, vec![true, false, true, true, true, false, true, true])?,
+        ),
+        ("all +1", SignVector::all_plus(n)),
+    ];
+
+    let circuit = neuron_circuit(&weights, &weights)?;
+    println!(
+        "quantum neuron on {} data qubits + 1 output: {} operations, width {}",
+        n,
+        circuit.len(),
+        circuit.width()
+    );
+    println!();
+    println!(
+        "{:<24} {:>18} {:>22}",
+        "input", "<w,i>/2^N", "activation P(|1>)"
+    );
+    for (label, input) in inputs {
+        let overlap = weights.normalized_inner_product(&input);
+        let p = neuron_activation_probability(&weights, &input)?;
+        println!("{label:<24} {overlap:>18.3} {:>21.1}%", 100.0 * p);
+    }
+    println!();
+    println!("the activation probability equals the squared normalised inner product,");
+    println!("so the neuron fires strongly only when the input matches the stored weights");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build the paper's ancilla-free Generalized Toffoli, verify it
+//! exhaustively, and compare its costs against the qubit-only baselines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use qudit_circuit::{analyze, CostWeights, Schedule};
+use qutrits::toffoli::baselines::{qubit_no_ancilla, qubit_one_dirty_ancilla};
+use qutrits::toffoli::gen_toffoli::n_controlled_x;
+use qutrits::toffoli::verify::verify_n_controlled_x_classical;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_controls = 7;
+
+    // 1. Build the qutrit-tree Generalized Toffoli: 7 controls, 1 target,
+    //    no ancilla.
+    let qutrit = n_controlled_x(n_controls)?;
+    println!(
+        "QUTRIT construction: width {} (controls + target only), {} operations",
+        qutrit.width(),
+        qutrit.len()
+    );
+
+    // 2. Verify it on every classical input (the paper's linear-space
+    //    verification procedure).
+    match verify_n_controlled_x_classical(&qutrit, n_controls, n_controls)? {
+        None => println!("verified: matches the {n_controls}-controlled NOT on all 2^{} inputs", n_controls + 1),
+        Some(cex) => println!("VERIFICATION FAILED: {cex:?}"),
+    }
+
+    // 3. Compare costs against the qubit-only baselines.
+    let weights = CostWeights::di_wei();
+    let qutrit_costs = analyze(&qutrit, weights);
+    let qubit = qubit_no_ancilla(n_controls, 2)?;
+    let qubit_costs = analyze(&qubit, weights);
+    let ancilla = qubit_one_dirty_ancilla(n_controls, 2)?;
+    let ancilla_costs = analyze(&ancilla, weights);
+
+    println!();
+    println!(
+        "{:<15} {:>8} {:>12} {:>12} {:>10}",
+        "construction", "width", "2-qudit", "1-qudit", "depth"
+    );
+    for (name, costs) in [
+        ("QUTRIT", qutrit_costs),
+        ("QUBIT", qubit_costs),
+        ("QUBIT+ANCILLA", ancilla_costs),
+    ] {
+        println!(
+            "{:<15} {:>8} {:>12} {:>12} {:>10}",
+            name, costs.width, costs.two_qudit_gates, costs.one_qudit_gates, costs.physical_depth
+        );
+    }
+
+    println!();
+    println!(
+        "logical tree depth of the qutrit construction: {} moments",
+        Schedule::asap(&qutrit).depth()
+    );
+    Ok(())
+}

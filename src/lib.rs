@@ -1,0 +1,39 @@
+//! # qutrits
+//!
+//! A Rust reproduction of *"Asymptotic Improvements to Quantum Circuits via
+//! Qutrits"* (Gokhale, Baker, Duckering, Brown, Brown, Chong — ISCA 2019).
+//!
+//! This facade crate re-exports the workspace's five crates:
+//!
+//! * [`qcore`] (`qudit-core`) — complex math, dense matrices, state vectors,
+//!   gate matrices, random states.
+//! * [`circuit`] (`qudit-circuit`) — the qudit circuit IR: gates, operations
+//!   with per-control activation levels, moment scheduling, cost analysis,
+//!   linear-space classical verification.
+//! * [`sim`] (`qudit-sim`) — the dense state-vector simulator.
+//! * [`noise`] (`qudit-noise`) — depolarizing and amplitude-damping channels,
+//!   the paper's superconducting and trapped-ion noise models, and the
+//!   quantum-trajectory fidelity simulator.
+//! * [`toffoli`] (`qutrit-toffoli`) — the paper's contribution: the
+//!   ancilla-free log-depth Generalized Toffoli via qutrits, its baselines,
+//!   and the derived circuits (incrementer, Grover, quantum neuron).
+//!
+//! ## Example
+//!
+//! ```
+//! use qutrits::circuit::Schedule;
+//! use qutrits::toffoli::gen_toffoli::n_controlled_x;
+//!
+//! let circuit = n_controlled_x(15)?;
+//! assert_eq!(circuit.width(), 16);          // no ancilla
+//! assert_eq!(Schedule::asap(&circuit).depth(), 7); // logarithmic depth
+//! # Ok::<(), qutrits::circuit::CircuitError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use qudit_circuit as circuit;
+pub use qudit_core as qcore;
+pub use qudit_noise as noise;
+pub use qudit_sim as sim;
+pub use qutrit_toffoli as toffoli;

@@ -1,0 +1,114 @@
+//! Cross-crate integration tests: every Generalized Toffoli construction
+//! (qutrit tree, qubit baselines, He) implements the same function, checked
+//! with both the classical simulator and the state-vector simulator.
+
+use qudit_circuit::classical::{all_binary_basis_states, simulate_classical};
+use qudit_circuit::Schedule;
+use qudit_sim::{qubit_subspace_probability, Simulator};
+use qutrit_toffoli::baselines::{he_log_depth, qubit_no_ancilla, qubit_one_dirty_ancilla};
+use qutrit_toffoli::gen_toffoli::n_controlled_x;
+use qutrit_toffoli::verify::{
+    verify_incrementer_classical, verify_n_controlled_x_classical,
+    verify_n_controlled_x_statevector,
+};
+
+#[test]
+fn all_constructions_agree_on_the_n_controlled_not() {
+    let n = 5;
+    let qutrit = n_controlled_x(n).unwrap();
+    let qubit_ancilla = qubit_one_dirty_ancilla(n, 2).unwrap();
+    let he = he_log_depth(n, 2).unwrap();
+
+    for input in all_binary_basis_states(n + 1) {
+        let out_qutrit = simulate_classical(&qutrit, &input).unwrap();
+
+        // The baselines have extra qubits (ancilla) beyond controls+target;
+        // pad the input with zeros and compare only the shared prefix.
+        let mut padded = input.clone();
+        padded.resize(qubit_ancilla.width(), 0);
+        let out_ancilla = simulate_classical(&qubit_ancilla, &padded).unwrap();
+
+        let mut padded_he = input.clone();
+        padded_he.resize(he.width(), 0);
+        let out_he = simulate_classical(&he, &padded_he).unwrap();
+
+        assert_eq!(&out_qutrit[..n + 1], &out_ancilla[..n + 1], "input {input:?}");
+        assert_eq!(&out_qutrit[..n + 1], &out_he[..n + 1], "input {input:?}");
+    }
+}
+
+#[test]
+fn qubit_baseline_statevector_matches_qutrit_classical() {
+    let n = 4;
+    let qutrit = n_controlled_x(n).unwrap();
+    let qubit = qubit_no_ancilla(n, 2).unwrap();
+    let sim = Simulator::new();
+    for input in all_binary_basis_states(n + 1) {
+        let expected = simulate_classical(&qutrit, &input).unwrap();
+        let out = sim.run_on_basis_state(&qubit, &input).unwrap();
+        assert!(
+            (out.probability(&expected).unwrap() - 1.0).abs() < 1e-7,
+            "input {input:?}"
+        );
+    }
+}
+
+#[test]
+fn verification_helpers_accept_all_constructions() {
+    assert!(verify_n_controlled_x_classical(&n_controlled_x(8).unwrap(), 8, 8)
+        .unwrap()
+        .is_none());
+    assert!(
+        verify_n_controlled_x_classical(&qubit_one_dirty_ancilla(6, 2).unwrap(), 6, 6)
+            .unwrap()
+            .is_none()
+    );
+    assert!(
+        verify_n_controlled_x_statevector(&qubit_no_ancilla(3, 2).unwrap(), 3, 3)
+            .unwrap()
+            .is_none()
+    );
+    assert!(
+        verify_incrementer_classical(&qutrit_toffoli::incrementer::incrementer(7).unwrap())
+            .unwrap()
+            .is_none()
+    );
+}
+
+#[test]
+fn qutrit_construction_never_leaks_the_two_state_on_binary_inputs() {
+    let n = 6;
+    let circuit = n_controlled_x(n).unwrap();
+    let sim = Simulator::new();
+    // Superposition input over the qubit subspace: apply the circuit and
+    // check the output stays entirely in the qubit subspace.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(17);
+    let input = qudit_core::random_qubit_subspace_state(3, n + 1, &mut rng).unwrap();
+    let out = sim.run_with_state(&circuit, input);
+    assert!((qubit_subspace_probability(&out) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn qutrit_depth_beats_baselines_even_at_moderate_sizes() {
+    let n = 13; // the paper's simulated size
+    let qutrit_depth = Schedule::asap(&n_controlled_x(n).unwrap()).depth();
+    let ancilla_depth = Schedule::asap(&qubit_one_dirty_ancilla(n, 2).unwrap()).depth();
+    let qubit_depth = Schedule::asap(&qubit_no_ancilla(n, 2).unwrap()).depth();
+    assert!(qutrit_depth < ancilla_depth);
+    assert!(ancilla_depth < qubit_depth);
+    assert!(qutrit_depth <= 9, "logical tree depth at n=13 is small");
+}
+
+#[test]
+fn generalized_toffoli_composes_with_its_inverse() {
+    let n = 6;
+    let circuit = n_controlled_x(n).unwrap();
+    let mut round_trip = circuit.clone();
+    round_trip.extend(&circuit.inverse()).unwrap();
+    for input in all_binary_basis_states(n + 1) {
+        let out = simulate_classical(&round_trip, &input).unwrap();
+        assert_eq!(out, input);
+    }
+}

@@ -1,0 +1,116 @@
+//! Cross-crate integration tests for the noise stack and the experiment
+//! harness: the channels are physical, the noise-model tables match the
+//! paper, and the Figure 11 fidelity ordering (QUTRIT ≫ QUBIT) holds on a
+//! reduced-size instance.
+
+use qudit_noise::{
+    lambda_m, models, qutrit_two_qudit_reliability_ratio, simulate_fidelity, GateExpansion,
+    InputState, TrajectoryConfig,
+};
+use qutrit_toffoli::baselines::{qubit_no_ancilla, qubit_one_dirty_ancilla};
+use qutrit_toffoli::cost::{paper_depth_model, paper_two_qudit_gate_model, Construction};
+use qutrit_toffoli::gen_toffoli::n_controlled_x;
+
+#[test]
+fn all_paper_noise_models_produce_valid_channels() {
+    for model in models::all_models() {
+        for d in [2usize, 3] {
+            model.single_qudit_gate_error(d).unwrap().validate().unwrap();
+            model.two_qudit_gate_error(d).unwrap().validate().unwrap();
+        }
+    }
+}
+
+#[test]
+fn qutrit_gates_are_less_reliable_per_operation_but_fewer_are_needed() {
+    // Section 7.1.1: two-qutrit gates are (1-80p2)/(1-15p2) times less
+    // reliable than two-qubit gates...
+    let p2 = models::sc().p2;
+    let per_gate_ratio = qutrit_two_qudit_reliability_ratio(p2);
+    assert!(per_gate_ratio < 1.0);
+    // ...but the construction needs ~66x fewer of them (Figure 10), which is
+    // why the qutrit circuit wins overall.
+    let n = 100;
+    let gate_ratio = paper_two_qudit_gate_model(Construction::Qubit, n)
+        / paper_two_qudit_gate_model(Construction::Qutrit, n);
+    assert!(gate_ratio > 60.0);
+}
+
+#[test]
+fn idle_error_probability_increases_with_duration_and_level() {
+    let t1 = 1e-3;
+    assert!(lambda_m(1, 300e-9, t1) > lambda_m(1, 100e-9, t1));
+    assert!(lambda_m(2, 300e-9, t1) > lambda_m(1, 300e-9, t1));
+}
+
+#[test]
+fn figure11_ordering_holds_at_reduced_size() {
+    // A 6-control instance with a handful of trials is enough to see the
+    // qualitative ordering of Figure 11: QUTRIT ≫ QUBIT under the SC model,
+    // with QUBIT+ANCILLA in between.
+    let n = 6;
+    let trials = 12;
+    let config = TrajectoryConfig {
+        trials,
+        seed: 7,
+        expansion: GateExpansion::DiWei,
+        input: InputState::RandomQubitSubspace,
+    };
+    let model = models::sc();
+
+    let qutrit = simulate_fidelity(&n_controlled_x(n).unwrap(), &model, &config)
+        .unwrap()
+        .mean;
+    let qubit = simulate_fidelity(&qubit_no_ancilla(n, 2).unwrap(), &model, &config)
+        .unwrap()
+        .mean;
+    let ancilla = simulate_fidelity(&qubit_one_dirty_ancilla(n, 2).unwrap(), &model, &config)
+        .unwrap()
+        .mean;
+
+    assert!(
+        qutrit > ancilla && ancilla > qubit,
+        "expected QUTRIT ({qutrit:.3}) > QUBIT+ANCILLA ({ancilla:.3}) > QUBIT ({qubit:.3})"
+    );
+    assert!(qutrit > 0.5, "qutrit fidelity should stay high: {qutrit:.3}");
+}
+
+#[test]
+fn trapped_ion_qutrit_models_favour_the_dressed_qutrit() {
+    let n = 5;
+    let config = TrajectoryConfig {
+        trials: 16,
+        seed: 3,
+        expansion: GateExpansion::DiWei,
+        input: InputState::RandomQubitSubspace,
+    };
+    let circuit = n_controlled_x(n).unwrap();
+    let bare = simulate_fidelity(&circuit, &models::bare_qutrit(), &config)
+        .unwrap()
+        .mean;
+    let dressed = simulate_fidelity(&circuit, &models::dressed_qutrit(), &config)
+        .unwrap()
+        .mean;
+    assert!(
+        dressed >= bare - 0.02,
+        "dressed ({dressed:.3}) should not trail bare ({bare:.3})"
+    );
+    assert!(dressed > 0.9);
+}
+
+#[test]
+fn figure9_and_figure10_models_have_the_paper_shape() {
+    // Figure 9: depth ordering and the log-vs-linear gap widens with N.
+    let gap_at_50 = paper_depth_model(Construction::Qubit, 50)
+        / paper_depth_model(Construction::Qutrit, 50);
+    let gap_at_200 = paper_depth_model(Construction::Qubit, 200)
+        / paper_depth_model(Construction::Qutrit, 200);
+    assert!(gap_at_200 > gap_at_50);
+    // Figure 10: all three series are linear, so their ratios are constant.
+    let r1 = paper_two_qudit_gate_model(Construction::QubitAncilla, 50)
+        / paper_two_qudit_gate_model(Construction::Qutrit, 50);
+    let r2 = paper_two_qudit_gate_model(Construction::QubitAncilla, 200)
+        / paper_two_qudit_gate_model(Construction::Qutrit, 200);
+    assert!((r1 - r2).abs() < 1e-9);
+    assert!((r1 - 8.0).abs() < 1.0, "the paper quotes an 8x gap");
+}

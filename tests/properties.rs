@@ -1,0 +1,127 @@
+//! Workspace-level property-based tests: invariants that span the circuit
+//! IR, the simulator, the noise channels and the paper's constructions.
+
+use proptest::prelude::*;
+use qudit_circuit::classical::simulate_classical;
+use qudit_circuit::{Circuit, Control, Gate, Schedule};
+use qudit_sim::Simulator;
+use qutrit_toffoli::gen_toffoli::n_controlled_x;
+use qutrit_toffoli::incrementer::{incrementer, register_to_value, value_to_register};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a pseudo-random classical qutrit circuit from a seed.
+fn random_classical_circuit(width: usize, gates: usize, seed: u64) -> Circuit {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut circuit = Circuit::new(3, width);
+    for _ in 0..gates {
+        let target = rng.gen_range(0..width);
+        let gate = match rng.gen_range(0..4) {
+            0 => Gate::x(3),
+            1 => Gate::increment(3),
+            2 => Gate::decrement(3),
+            _ => Gate::swap_levels(3, 0, 2),
+        };
+        if width > 1 && rng.gen_bool(0.6) {
+            let mut control = rng.gen_range(0..width);
+            while control == target {
+                control = rng.gen_range(0..width);
+            }
+            let level = rng.gen_range(0..3);
+            circuit
+                .push_controlled(gate, &[Control::new(control, level)], &[target])
+                .unwrap();
+        } else {
+            circuit.push_gate(gate, &[target]).unwrap();
+        }
+    }
+    circuit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_classical_circuits_are_reversible(seed in 0u64..10_000, width in 2usize..6) {
+        let circuit = random_classical_circuit(width, 12, seed);
+        let mut round_trip = circuit.clone();
+        round_trip.extend(&circuit.inverse()).unwrap();
+        for input in qudit_circuit::classical::all_basis_states(3, width) {
+            let out = simulate_classical(&round_trip, &input).unwrap();
+            prop_assert_eq!(out, input);
+        }
+    }
+
+    #[test]
+    fn statevector_and_classical_simulation_agree_on_random_circuits(
+        seed in 0u64..10_000,
+        width in 2usize..5
+    ) {
+        let circuit = random_classical_circuit(width, 10, seed);
+        let sim = Simulator::new();
+        for input in qudit_circuit::classical::all_basis_states(3, width) {
+            let expected = simulate_classical(&circuit, &input).unwrap();
+            let out = sim.run_on_basis_state(&circuit, &input).unwrap();
+            prop_assert!((out.probability(&expected).unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unitary_evolution_preserves_the_norm(seed in 0u64..10_000, width in 2usize..5) {
+        let circuit = random_classical_circuit(width, 15, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let input = qudit_core::random_state(3, width, &mut rng).unwrap();
+        let out = Simulator::new().run_with_state(&circuit, input);
+        prop_assert!((out.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_depth_never_exceeds_operation_count(seed in 0u64..10_000, width in 2usize..7) {
+        let circuit = random_classical_circuit(width, 20, seed);
+        let depth = Schedule::asap(&circuit).depth();
+        prop_assert!(depth <= circuit.len());
+        prop_assert!(depth >= circuit.len().div_ceil(circuit.width()));
+    }
+
+    #[test]
+    fn generalized_toffoli_flips_exactly_on_all_ones(
+        n in 2usize..9,
+        target_bit in 0usize..2,
+        flip_index in 0usize..8
+    ) {
+        let circuit = n_controlled_x(n).unwrap();
+        // All-ones controls flip the target.
+        let mut input = vec![1usize; n + 1];
+        input[n] = target_bit;
+        let out = simulate_classical(&circuit, &input).unwrap();
+        prop_assert_eq!(out[n], 1 - target_bit);
+        // Any single zeroed control prevents the flip.
+        if n > 0 {
+            let mut broken = input.clone();
+            broken[flip_index % n] = 0;
+            let out = simulate_classical(&circuit, &broken).unwrap();
+            prop_assert_eq!(out[n], target_bit);
+        }
+    }
+
+    #[test]
+    fn incrementer_adds_one_modulo_2_to_the_n(value in 0usize..1024, n in 1usize..11) {
+        let modulus = 1usize << n;
+        let value = value % modulus;
+        let circuit = incrementer(n).unwrap();
+        let out = simulate_classical(&circuit, &value_to_register(value, n)).unwrap();
+        prop_assert_eq!(register_to_value(&out), (value + 1) % modulus);
+    }
+
+    #[test]
+    fn repeated_increments_walk_the_whole_ring(start in 0usize..64, steps in 1usize..9) {
+        let n = 6;
+        let circuit = incrementer(n).unwrap();
+        let mut register = value_to_register(start % 64, n);
+        for _ in 0..steps {
+            register = simulate_classical(&circuit, &register).unwrap();
+        }
+        prop_assert_eq!(register_to_value(&register), (start + steps) % 64);
+    }
+}
