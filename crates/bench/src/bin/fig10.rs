@@ -35,7 +35,9 @@ fn main() {
             let model = paper_two_qudit_gate_model(construction, n);
             let measured = if n <= measure_cap {
                 let c = benchmark_circuit(construction, n);
-                analyze(&c, CostWeights::di_wei()).two_qudit_gates.to_string()
+                analyze(&c, CostWeights::di_wei())
+                    .two_qudit_gates
+                    .to_string()
             } else {
                 "-".to_string()
             };

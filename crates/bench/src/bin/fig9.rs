@@ -40,7 +40,9 @@ fn main() {
             let model = paper_depth_model(construction, n);
             let measured = if n <= measure_cap {
                 let c = benchmark_circuit(construction, n);
-                analyze(&c, CostWeights::di_wei()).physical_depth.to_string()
+                analyze(&c, CostWeights::di_wei())
+                    .physical_depth
+                    .to_string()
             } else {
                 "-".to_string()
             };

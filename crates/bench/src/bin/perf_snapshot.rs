@@ -1,0 +1,98 @@
+//! Machine-readable performance snapshot of the gate-application engine.
+//!
+//! Runs the generalized-Toffoli statevector workload at 8, 10 and 12 qutrits
+//! through the compiled plan kernels, measures mean wall time per gate
+//! application, and writes `BENCH_sim.json` to the current directory (also
+//! echoed to stdout) so future PRs can track the perf trajectory:
+//!
+//! ```json
+//! {
+//!   "bench": "gate_apply",
+//!   "workload": "n_controlled_x statevector replay",
+//!   "points": [
+//!     {"qutrits": 8, "amps": 6561, "ops": 13, "reps": 64, "ns_per_gate_apply": 12345.6},
+//!     ...
+//!   ]
+//! }
+//! ```
+//!
+//! Usage: `cargo run --release -p bench --bin perf_snapshot`
+
+use qudit_core::StateVector;
+use qudit_sim::Simulator;
+use qutrit_toffoli::gen_toffoli::n_controlled_x;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Point {
+    qutrits: usize,
+    amps: usize,
+    ops: usize,
+    reps: usize,
+    ns_per_gate_apply: f64,
+}
+
+fn measure(qutrits: usize) -> Point {
+    let circuit = n_controlled_x(qutrits - 1).expect("construction");
+    let sim = Simulator::new();
+    let compiled = sim.compile(&circuit);
+    let dim = circuit.dim();
+    let ops = circuit.len();
+    let amps = dim.pow(qutrits as u32);
+
+    let run_once = || {
+        let state = StateVector::zero_state(dim, qutrits).expect("state");
+        compiled.run(state)
+    };
+
+    // Warm-up, then scale the repetition count to the register size so every
+    // point gets a comparable measurement budget (~0.5 s).
+    let warmup = Instant::now();
+    let mut warm_reps = 0usize;
+    while warmup.elapsed().as_millis() < 100 || warm_reps == 0 {
+        std::hint::black_box(run_once());
+        warm_reps += 1;
+    }
+    let est_per_rep = warmup.elapsed().as_secs_f64() / warm_reps as f64;
+    let reps = ((0.5 / est_per_rep) as usize).clamp(4, 10_000);
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(run_once());
+    }
+    let elapsed = start.elapsed();
+    let ns_per_gate_apply = elapsed.as_nanos() as f64 / (reps * ops) as f64;
+
+    Point {
+        qutrits,
+        amps,
+        ops,
+        reps,
+        ns_per_gate_apply,
+    }
+}
+
+fn main() {
+    let points: Vec<Point> = [8usize, 10, 12].iter().map(|&n| measure(n)).collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"gate_apply\",\n");
+    json.push_str("  \"workload\": \"n_controlled_x statevector replay\",\n");
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"qutrits\": {}, \"amps\": {}, \"ops\": {}, \"reps\": {}, \"ns_per_gate_apply\": {:.1}}}{}",
+            p.qutrits, p.amps, p.ops, p.reps, p.ns_per_gate_apply, comma
+        )
+        .expect("string write");
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    print!("{json}");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    eprintln!("wrote BENCH_sim.json");
+}

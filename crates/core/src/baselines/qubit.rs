@@ -74,7 +74,11 @@ fn multi_controlled_x_power(
             let last = last[0];
             circuit.push_controlled(Gate::x_pow(dim, half), &[Control::on_one(last)], &[target])?;
             mcx_one_dirty(circuit, rest, target, last)?;
-            circuit.push_controlled(Gate::x_pow(dim, -half), &[Control::on_one(last)], &[target])?;
+            circuit.push_controlled(
+                Gate::x_pow(dim, -half),
+                &[Control::on_one(last)],
+                &[target],
+            )?;
             mcx_one_dirty(circuit, rest, target, last)?;
             multi_controlled_x_power(circuit, rest, target, half)
         }
@@ -134,12 +138,18 @@ mod tests {
         let out = sim.run_on_basis_state(&c, &input).unwrap();
         let mut expected = input.clone();
         expected[n] = 1;
-        assert!(out.amplitude(&expected).unwrap().approx_eq(Complex::ONE, 1e-7));
+        assert!(out
+            .amplitude(&expected)
+            .unwrap()
+            .approx_eq(Complex::ONE, 1e-7));
         // A single zero control leaves the register unchanged.
         let mut input2 = input.clone();
         input2[2] = 0;
         let out2 = sim.run_on_basis_state(&c, &input2).unwrap();
-        assert!(out2.amplitude(&input2).unwrap().approx_eq(Complex::ONE, 1e-7));
+        assert!(out2
+            .amplitude(&input2)
+            .unwrap()
+            .approx_eq(Complex::ONE, 1e-7));
     }
 
     #[test]
@@ -153,10 +163,11 @@ mod tests {
         // The deeper the recursion, the smaller the controlled rotation
         // angles — the experimental-challenge feature the paper points out.
         let c = qubit_no_ancilla(6, 2).unwrap();
-        let has_small_angle = c
-            .iter()
-            .any(|op| op.gate().name().starts_with("X^0.03"));
-        assert!(has_small_angle, "expected X^(1/32) gates in the decomposition");
+        let has_small_angle = c.iter().any(|op| op.gate().name().starts_with("X^0.03"));
+        assert!(
+            has_small_angle,
+            "expected X^(1/32) gates in the decomposition"
+        );
     }
 
     #[test]
@@ -172,7 +183,10 @@ mod tests {
             .map(|w| w[1] as f64 / w[0] as f64)
             .collect();
         for w in ratios.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "ratios should not increase: {counts:?}");
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "ratios should not increase: {counts:?}"
+            );
         }
         assert!(ratios[ratios.len() - 1] < 5.5, "ratios {ratios:?}");
         assert!(counts[3] > 2 * 64, "superlinear: {counts:?}");

@@ -98,11 +98,7 @@ fn carry_complete(circuit: &mut Circuit, register: &[usize]) -> CircuitResult<()
 
 /// Interprets a binary register (qudit 0 = least significant) as an integer.
 pub fn register_to_value(digits: &[usize]) -> usize {
-    digits
-        .iter()
-        .enumerate()
-        .map(|(i, &b)| b << i)
-        .sum()
+    digits.iter().enumerate().map(|(i, &b)| b << i).sum()
 }
 
 /// Writes an integer into binary register digits (qudit 0 = least
@@ -133,7 +129,10 @@ mod tests {
             for value in 0..modulus {
                 let input = value_to_register(value, n);
                 let out = simulate_classical(&c, &input).unwrap();
-                assert!(out.iter().all(|&d| d < 2), "n={n}, value={value}: leaked |2⟩");
+                assert!(
+                    out.iter().all(|&d| d < 2),
+                    "n={n}, value={value}: leaked |2⟩"
+                );
                 assert_eq!(
                     register_to_value(&out),
                     (value + 1) % modulus,
@@ -176,7 +175,10 @@ mod tests {
         // log² signature: doubling N adds O(log N) depth, so the increments
         // between successive doublings grow by a small constant (≈4 levels),
         // far from the doubling a linear-depth circuit would show.
-        let increments: Vec<isize> = depths.windows(2).map(|w| w[1] as isize - w[0] as isize).collect();
+        let increments: Vec<isize> = depths
+            .windows(2)
+            .map(|w| w[1] as isize - w[0] as isize)
+            .collect();
         for w in increments.windows(2) {
             let second_difference = w[1] - w[0];
             assert!(

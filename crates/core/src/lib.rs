@@ -34,6 +34,8 @@ pub mod toffoli;
 pub mod verify;
 
 pub use cost::Construction;
-pub use gen_toffoli::{generalized_toffoli, n_controlled_u, n_controlled_x, GeneralizedToffoliSpec};
+pub use gen_toffoli::{
+    generalized_toffoli, n_controlled_u, n_controlled_x, GeneralizedToffoliSpec,
+};
 pub use incrementer::incrementer;
 pub use toffoli::{toffoli, toffoli_via_qutrits};

@@ -77,7 +77,11 @@ impl SignVector {
 /// Appends the hypergraph-state phase pattern for a sign vector: for every
 /// basis state with a −1 sign, a multiply-controlled Z (built with the
 /// qutrit tree) flips its phase.
-fn push_sign_flips(circuit: &mut Circuit, qubits: &[usize], signs: &SignVector) -> CircuitResult<()> {
+fn push_sign_flips(
+    circuit: &mut Circuit,
+    qubits: &[usize],
+    signs: &SignVector,
+) -> CircuitResult<()> {
     let n = qubits.len();
     for (index, &positive) in signs.signs.iter().enumerate() {
         if positive {
@@ -196,16 +200,10 @@ mod tests {
     #[test]
     fn activation_matches_squared_inner_product() {
         let n = 3;
-        let w = SignVector::new(
-            n,
-            vec![true, false, true, true, false, true, false, false],
-        )
-        .unwrap();
-        let i = SignVector::new(
-            n,
-            vec![true, true, true, false, false, true, true, false],
-        )
-        .unwrap();
+        let w =
+            SignVector::new(n, vec![true, false, true, true, false, true, false, false]).unwrap();
+        let i =
+            SignVector::new(n, vec![true, true, true, false, false, true, true, false]).unwrap();
         let expected = w.normalized_inner_product(&i).powi(2);
         let p = neuron_activation_probability(&w, &i).unwrap();
         assert!((p - expected).abs() < 1e-9, "p={p}, expected={expected}");

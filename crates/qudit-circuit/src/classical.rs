@@ -30,7 +30,10 @@ pub fn simulate_classical(circuit: &Circuit, input: &[usize]) -> CircuitResult<V
     for (i, &d) in input.iter().enumerate() {
         if d >= circuit.dim() {
             return Err(CircuitError::InvalidClassicalInput {
-                reason: format!("digit {d} at position {i} exceeds dimension {}", circuit.dim()),
+                reason: format!(
+                    "digit {d} at position {i} exceeds dimension {}",
+                    circuit.dim()
+                ),
             });
         }
     }
@@ -68,6 +71,9 @@ pub fn all_binary_basis_states(width: usize) -> impl Iterator<Item = Vec<usize>>
     })
 }
 
+/// A verification counterexample: `(input, expected output, actual output)`.
+pub type Mismatch = (Vec<usize>, Vec<usize>, Vec<usize>);
+
 /// Exhaustively checks that `circuit` implements the classical function
 /// `expected` on every binary input, returning the first counterexample if
 /// one exists.
@@ -81,7 +87,7 @@ pub fn all_binary_basis_states(width: usize) -> impl Iterator<Item = Vec<usize>>
 pub fn verify_classical_function<F>(
     circuit: &Circuit,
     expected: F,
-) -> CircuitResult<Option<(Vec<usize>, Vec<usize>, Vec<usize>)>>
+) -> CircuitResult<Option<Mismatch>>
 where
     F: Fn(&[usize]) -> Vec<usize>,
 {

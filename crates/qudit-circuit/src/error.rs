@@ -60,16 +60,28 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QuditOutOfRange { qudit, width } => {
-                write!(f, "qudit {qudit} is out of range for a width-{width} circuit")
+                write!(
+                    f,
+                    "qudit {qudit} is out of range for a width-{width} circuit"
+                )
             }
             CircuitError::DuplicateQudit { qudit } => {
-                write!(f, "qudit {qudit} is used more than once by a single operation")
+                write!(
+                    f,
+                    "qudit {qudit} is used more than once by a single operation"
+                )
             }
             CircuitError::InvalidControlLevel { level, dimension } => {
-                write!(f, "control level {level} is invalid for dimension {dimension}")
+                write!(
+                    f,
+                    "control level {level} is invalid for dimension {dimension}"
+                )
             }
             CircuitError::GateShapeMismatch { expected, actual } => {
-                write!(f, "gate matrix is {actual}x{actual} but {expected}x{expected} was expected")
+                write!(
+                    f,
+                    "gate matrix is {actual}x{actual} but {expected}x{expected} was expected"
+                )
             }
             CircuitError::NotClassical { gate } => {
                 write!(f, "gate {gate} is not a classical permutation")

@@ -80,6 +80,15 @@ impl Gate {
         &self.matrix
     }
 
+    /// A reference-counted handle to the gate's matrix.
+    ///
+    /// The simulator's plan cache keys on the matrix allocation and holds
+    /// this handle to keep the keyed allocation alive, so one plan is built
+    /// per distinct gate even when the gate is cloned into many operations.
+    pub fn matrix_arc(&self) -> Arc<CMatrix> {
+        Arc::clone(&self.matrix)
+    }
+
     /// Returns the inverse gate (adjoint matrix).
     pub fn inverse(&self) -> Gate {
         let name = if let Some(stripped) = self.name.strip_suffix('†') {

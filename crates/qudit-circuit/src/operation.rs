@@ -114,6 +114,12 @@ impl Operation {
         &self.targets
     }
 
+    /// The control conditions as `(qudit, activation level)` pairs — the
+    /// shape the simulator's apply-plan builder consumes.
+    pub fn control_pairs(&self) -> Vec<(usize, usize)> {
+        self.controls.iter().map(|c| (c.qudit, c.level)).collect()
+    }
+
     /// All qudits touched by the operation: controls first (in order), then
     /// targets.
     pub fn qudits(&self) -> Vec<usize> {
@@ -189,11 +195,7 @@ impl Operation {
             .ok_or_else(|| CircuitError::NotClassical {
                 gate: self.gate.name().to_string(),
             })?;
-        if !self
-            .controls
-            .iter()
-            .all(|c| digits[c.qudit] == c.level)
-        {
+        if !self.controls.iter().all(|c| digits[c.qudit] == c.level) {
             return Ok(());
         }
         // Encode the target digits into a flat index, permute, decode.

@@ -46,11 +46,7 @@ impl Schedule {
 
         for (idx, op) in circuit.iter().enumerate() {
             let qudits = op.qudits();
-            let slot = qudits
-                .iter()
-                .map(|&q| frontier[q])
-                .max()
-                .unwrap_or(0);
+            let slot = qudits.iter().map(|&q| frontier[q]).max().unwrap_or(0);
             while moments.len() <= slot {
                 moments.push(Moment::default());
                 multi_qudit_flags.push(false);
@@ -80,10 +76,7 @@ impl Schedule {
                 op_indices: vec![idx],
             })
             .collect();
-        let multi_qudit_flags = circuit
-            .iter()
-            .map(|op| op.arity() >= 2)
-            .collect();
+        let multi_qudit_flags = circuit.iter().map(|op| op.arity() >= 2).collect();
         Schedule {
             moments,
             multi_qudit_flags,
@@ -183,15 +176,7 @@ mod tests {
         // Pairwise gates on (0,1), (2,3), (4,5), (6,7) then (1,3), (5,7)
         // then (3,7): a binary-tree pattern like Figure 5's left half.
         let mut c = Circuit::new(3, 8);
-        let pairs = [
-            (0, 1),
-            (2, 3),
-            (4, 5),
-            (6, 7),
-            (1, 3),
-            (5, 7),
-            (3, 7),
-        ];
+        let pairs = [(0, 1), (2, 3), (4, 5), (6, 7), (1, 3), (5, 7), (3, 7)];
         for (a, b) in pairs {
             c.push_controlled(Gate::increment(3), &[Control::on_one(a)], &[b])
                 .unwrap();

@@ -223,6 +223,7 @@ impl Mul<Complex> for f64 {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w⁻¹ by definition
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }
@@ -304,7 +305,7 @@ mod tests {
     #[test]
     fn cis_is_unit_magnitude() {
         for k in 0..16 {
-            let theta = k as f64 * 0.39269908169872414;
+            let theta = k as f64 * std::f64::consts::FRAC_PI_8;
             assert!((Complex::cis(theta).abs() - 1.0).abs() < TOL);
         }
     }
@@ -337,7 +338,7 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let zs = vec![Complex::new(1.0, 1.0); 4];
+        let zs = [Complex::new(1.0, 1.0); 4];
         let total: Complex = zs.iter().sum();
         assert_eq!(total, Complex::new(4.0, 4.0));
     }

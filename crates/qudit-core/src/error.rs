@@ -43,7 +43,10 @@ impl fmt::Display for CoreError {
                 write!(f, "expected {expected} elements but got {actual}")
             }
             CoreError::InvalidDimension { dimension } => {
-                write!(f, "invalid qudit dimension {dimension} (must be at least 2)")
+                write!(
+                    f,
+                    "invalid qudit dimension {dimension} (must be at least 2)"
+                )
             }
             CoreError::InvalidLevel { level, dimension } => {
                 write!(f, "level {level} is out of range for dimension {dimension}")

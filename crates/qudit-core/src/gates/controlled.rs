@@ -29,7 +29,11 @@ use crate::matrix::CMatrix;
 /// let cnot = controlled_matrix(2, 1, &qubit::x());
 /// assert!(cnot.is_unitary(1e-12));
 /// ```
-pub fn controlled_matrix(control_dim: usize, control_level: usize, target_gate: &CMatrix) -> CMatrix {
+pub fn controlled_matrix(
+    control_dim: usize,
+    control_level: usize,
+    target_gate: &CMatrix,
+) -> CMatrix {
     controlled_matrix_multi(&[(control_dim, control_level)], target_gate)
 }
 
@@ -49,7 +53,10 @@ pub fn controlled_matrix_multi(controls: &[(usize, usize)], target_gate: &CMatri
     let t = target_gate.rows();
     let control_space: usize = controls.iter().map(|&(d, _)| d).product();
     for &(d, level) in controls {
-        assert!(level < d, "control level {level} out of range for dimension {d}");
+        assert!(
+            level < d,
+            "control level {level} out of range for dimension {d}"
+        );
     }
     let n = control_space * t;
     let mut out = CMatrix::identity(n);

@@ -91,7 +91,18 @@ mod tests {
 
     #[test]
     fn all_gates_are_unitary() {
-        for m in [x(), y(), z(), h(), s(), t(), rx(0.3), ry(1.1), rz(2.7), phase(0.4)] {
+        for m in [
+            x(),
+            y(),
+            z(),
+            h(),
+            s(),
+            t(),
+            rx(0.3),
+            ry(1.1),
+            rz(2.7),
+            phase(0.4),
+        ] {
             assert!(m.is_unitary(TOL));
         }
     }

@@ -39,7 +39,7 @@ mod statevec;
 pub use complex::Complex;
 pub use error::{CoreError, CoreResult};
 pub use matrix::CMatrix;
-pub use random::{random_basis_state, random_qubit_subspace_state, random_state};
+pub use random::{complex_gaussian, random_basis_state, random_qubit_subspace_state, random_state};
 pub use statevec::StateVector;
 
 /// The qutrit dimension (`d = 3`), re-exported for convenience.

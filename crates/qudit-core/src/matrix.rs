@@ -259,13 +259,12 @@ impl CMatrix {
     pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
         let mut out = vec![Complex::ZERO; self.rows];
-        for r in 0..self.rows {
+        for (slot, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
             let mut acc = Complex::ZERO;
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for (a, x) in row.iter().zip(v.iter()) {
                 acc += *a * *x;
             }
-            out[r] = acc;
+            *slot = acc;
         }
         out
     }
@@ -305,17 +304,26 @@ impl CMatrix {
         self.is_square() && self.approx_eq(&self.adjoint(), tol)
     }
 
-    /// Returns `true` if every entry is 0 or 1 and each column has exactly
-    /// one nonzero entry — i.e. the matrix is a (classical) permutation.
+    /// Returns `true` if every entry is 0 or 1 and each column *and* each
+    /// row has exactly one nonzero entry — i.e. the matrix is a (classical)
+    /// permutation. Row occupancy must be checked too: a column-wise test
+    /// alone accepts non-bijective 0/1 matrices like `[[1,1],[0,0]]`, which
+    /// are not permutations (and which the simulator's permutation fast
+    /// path would silently mis-apply).
     pub fn is_permutation(&self, tol: f64) -> bool {
         if !self.is_square() {
             return false;
         }
+        let mut row_taken = vec![false; self.rows];
         for c in 0..self.cols {
             let mut ones = 0usize;
-            for r in 0..self.rows {
+            for (r, taken) in row_taken.iter_mut().enumerate() {
                 let z = self.get(r, c);
                 if z.approx_eq(Complex::ONE, tol) {
+                    if *taken {
+                        return false;
+                    }
+                    *taken = true;
                     ones += 1;
                 } else if !z.approx_eq(Complex::ZERO, tol) {
                     return false;
@@ -337,10 +345,10 @@ impl CMatrix {
             return None;
         }
         let mut perm = vec![0usize; self.cols];
-        for c in 0..self.cols {
+        for (c, slot) in perm.iter_mut().enumerate() {
             for r in 0..self.rows {
                 if self.get(r, c).approx_eq(Complex::ONE, tol) {
-                    perm[c] = r;
+                    *slot = r;
                 }
             }
         }
@@ -552,6 +560,15 @@ mod tests {
     fn trace_of_pauli_is_zero() {
         assert!(pauli_x().trace().approx_eq(Complex::ZERO, 1e-12));
         assert!(pauli_z().trace().approx_eq(Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn non_bijective_zero_one_matrix_is_not_permutation() {
+        // Column-wise counting alone would accept this: each column has
+        // exactly one 1, but both land in row 0.
+        let m = CMatrix::from_real_rows(&[&[1.0, 1.0], &[0.0, 0.0]]);
+        assert!(!m.is_permutation(1e-12));
+        assert_eq!(m.as_permutation(1e-12), None);
     }
 
     #[test]

@@ -13,8 +13,9 @@ use crate::statevec::StateVector;
 use rand::Rng;
 
 /// Draws a standard complex Gaussian (mean 0, unit variance per component)
-/// via the Box–Muller transform.
-fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R) -> Complex {
+/// via the Box–Muller transform — the building block for Haar-distributed
+/// states and unitaries (i.i.d. Gaussian entries, then normalise).
+pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R) -> Complex {
     // Box–Muller: two uniforms → two independent normals.
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
@@ -83,13 +84,13 @@ pub fn random_qubit_subspace_state<R: Rng + ?Sized>(
 ) -> CoreResult<StateVector> {
     let mut sv = StateVector::zero_state(dim, num_qudits)?;
     let amps = sv.amplitudes_mut();
-    for idx in 0..amps.len() {
+    for (idx, amp) in amps.iter_mut().enumerate() {
         let digits = StateVector::decode_index(dim, num_qudits, idx);
-        if digits.iter().all(|&d| d < 2) {
-            amps[idx] = complex_gaussian(rng);
+        *amp = if digits.iter().all(|&d| d < 2) {
+            complex_gaussian(rng)
         } else {
-            amps[idx] = Complex::ZERO;
-        }
+            Complex::ZERO
+        };
     }
     sv.renormalize();
     Ok(sv)
@@ -141,7 +142,7 @@ mod tests {
         let sv = random_qubit_subspace_state(3, 3, &mut rng).unwrap();
         for idx in 0..sv.len() {
             let digits = StateVector::decode_index(3, 3, idx);
-            if digits.iter().any(|&d| d == 2) {
+            if digits.contains(&2) {
                 assert!(sv.amplitudes()[idx].abs() < 1e-12);
             }
         }

@@ -161,6 +161,35 @@ impl StateVector {
         &mut self.amps
     }
 
+    /// Immutable view of the amplitudes in contiguous chunks of `chunk_len`
+    /// (the final chunk may be shorter).
+    ///
+    /// When `chunk_len` is `dim^k` the chunks are exactly the amplitude
+    /// groups spanned by the `k` least-significant qudits — the layout the
+    /// simulator's contiguous gate kernels exploit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    #[inline]
+    pub fn amplitude_chunks(&self, chunk_len: usize) -> std::slice::Chunks<'_, Complex> {
+        self.amps.chunks(chunk_len)
+    }
+
+    /// Mutable view of the amplitudes in contiguous chunks of `chunk_len`.
+    ///
+    /// The chunks are non-overlapping, so they can be handed to independent
+    /// workers; see [`StateVector::amplitude_chunks`] for the layout
+    /// guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    #[inline]
+    pub fn amplitude_chunks_mut(&mut self, chunk_len: usize) -> std::slice::ChunksMut<'_, Complex> {
+        self.amps.chunks_mut(chunk_len)
+    }
+
     /// The amplitude of the basis state with the given digits.
     ///
     /// # Errors
@@ -182,11 +211,7 @@ impl StateVector {
 
     /// The Euclidean norm of the state vector.
     pub fn norm(&self) -> f64 {
-        self.amps
-            .iter()
-            .map(|a| a.norm_sqr())
-            .sum::<f64>()
-            .sqrt()
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
     }
 
     /// Rescales the amplitudes to unit norm.
@@ -322,6 +347,25 @@ mod tests {
         let prior = sv.renormalize();
         assert!(prior < 1.0);
         assert!((sv.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_chunks_cover_the_buffer_disjointly() {
+        let mut sv = StateVector::from_basis_state(3, &[1, 2, 0]).unwrap();
+        assert_eq!(sv.amplitude_chunks(3).count(), 9);
+        assert_eq!(sv.amplitude_chunks(9).count(), 3);
+        let total: usize = sv.amplitude_chunks(4).map(<[Complex]>::len).sum();
+        assert_eq!(total, 27);
+        // Chunks of dim^k lines up with the groups of the k last qudits:
+        // |12x⟩ occupies chunk index 1*3+2 = 5 of the dim^1 chunking.
+        for (i, chunk) in sv.amplitude_chunks_mut(3).enumerate() {
+            let sum: f64 = chunk.iter().map(|a| a.norm_sqr()).sum();
+            if i == 5 {
+                assert!((sum - 1.0).abs() < 1e-12);
+            } else {
+                assert!(sum < 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -74,14 +74,14 @@ proptest! {
     }
 
     #[test]
-    fn matrix_product_of_unitaries_is_unitary(theta in 0.0f64..6.28, phi in 0.0f64..6.28) {
+    fn matrix_product_of_unitaries_is_unitary(theta in 0.0f64..std::f64::consts::TAU, phi in 0.0f64..std::f64::consts::TAU) {
         let a = gates::qutrit::subspace_ry(0, 1, theta);
         let b = gates::qutrit::subspace_ry(1, 2, phi);
         prop_assert!((&a * &b).is_unitary(1e-9));
     }
 
     #[test]
-    fn embed_preserves_unitarity(theta in 0.0f64..6.28) {
+    fn embed_preserves_unitarity(theta in 0.0f64..std::f64::consts::TAU) {
         let g = gates::qubit::rx(theta);
         prop_assert!(g.embed(3, &[0, 2]).is_unitary(1e-9));
     }

@@ -42,13 +42,22 @@ impl fmt::Display for NoiseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NoiseError::InvalidProbability { parameter, value } => {
-                write!(f, "probability parameter {parameter} = {value} is not physical")
+                write!(
+                    f,
+                    "probability parameter {parameter} = {value} is not physical"
+                )
             }
             NoiseError::NotTracePreserving { deviation } => {
-                write!(f, "kraus operators are not trace preserving (deviation {deviation})")
+                write!(
+                    f,
+                    "kraus operators are not trace preserving (deviation {deviation})"
+                )
             }
             NoiseError::DimensionMismatch { expected, actual } => {
-                write!(f, "channel dimension {expected} does not match state dimension {actual}")
+                write!(
+                    f,
+                    "channel dimension {expected} does not match state dimension {actual}"
+                )
             }
             NoiseError::InvalidModel { reason } => write!(f, "invalid noise model: {reason}"),
         }

@@ -8,7 +8,9 @@
 
 use crate::error::{NoiseError, NoiseResult};
 use qudit_core::{CMatrix, Complex, StateVector};
-use qudit_sim::apply_matrix;
+// Channel branches are applied on the calling thread: trajectory trials
+// already run one per core, so per-branch fan-out would only oversubscribe.
+use qudit_sim::apply_matrix_sequential as apply_matrix;
 use rand::Rng;
 
 /// A quantum noise channel acting on one or more qudits.

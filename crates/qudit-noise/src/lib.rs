@@ -19,9 +19,9 @@
 //! c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])?;
 //! c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])?;
 //!
-//! let config = TrajectoryConfig { trials: 10, ..TrajectoryConfig::default() };
+//! let config = TrajectoryConfig { trials: 40, ..TrajectoryConfig::default() };
 //! let estimate = simulate_fidelity(&c, &models::sc_t1_gates(), &config)?;
-//! assert!(estimate.mean > 0.95);
+//! assert!(estimate.mean > 0.9);
 //! # Ok::<(), Box<dyn std::error::Error + Send + Sync>>(())
 //! ```
 

@@ -131,12 +131,13 @@ mod tests {
     fn channels_built_from_models_are_valid() {
         for model in all_models() {
             for d in [2usize, 3] {
-                model.single_qudit_gate_error(d).unwrap().validate().unwrap();
-                model.two_qudit_gate_error(d).unwrap().validate().unwrap();
-                if let Some(idle) = model
-                    .idle_error(d, model.moment_duration(true))
+                model
+                    .single_qudit_gate_error(d)
                     .unwrap()
-                {
+                    .validate()
+                    .unwrap();
+                model.two_qudit_gate_error(d).unwrap().validate().unwrap();
+                if let Some(idle) = model.idle_error(d, model.moment_duration(true)).unwrap() {
                     idle.validate().unwrap();
                 }
             }

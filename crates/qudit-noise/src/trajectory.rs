@@ -19,7 +19,7 @@ use crate::kraus::Channel;
 use crate::models::NoiseModel;
 use qudit_circuit::{Circuit, Operation, Schedule};
 use qudit_core::{random_qubit_subspace_state, CoreError, StateVector};
-use qudit_sim::apply_operation;
+use qudit_sim::{CompiledCircuit, Simulator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -103,8 +103,19 @@ struct ChannelSet {
 }
 
 /// A trajectory noise simulator bound to a circuit and a noise model.
+///
+/// Construction compiles the circuit into per-operation apply plans
+/// ([`CompiledCircuit`]); the plans are shared by every trial — both the
+/// ideal evolution and the noisy moment-by-moment replay — so the circuit's
+/// gates are planned once per Monte Carlo run instead of once per
+/// application. (Noise-channel branches still plan on the fly inside
+/// `Channel::apply_trajectory`; their matrices are tiny, so the build cost
+/// is negligible next to the sweep itself.) Trials already run one per
+/// core, so gate application inside a trial is deliberately sequential —
+/// nested fan-out would oversubscribe the machine.
 pub struct TrajectorySimulator<'a> {
     circuit: &'a Circuit,
+    compiled: CompiledCircuit,
     model: &'a NoiseModel,
     schedule: Schedule,
     channels: ChannelSet,
@@ -131,6 +142,10 @@ impl<'a> TrajectorySimulator<'a> {
         let idle_expanded = model.idle_error(d, 6.0 * model.moment_duration(true))?;
         Ok(TrajectorySimulator {
             circuit,
+            // Compile through a Simulator so the mirrored compute/uncompute
+            // halves of the paper's circuits share one plan per distinct
+            // (gate, qudits) pair instead of each building their own.
+            compiled: Simulator::new().compile(circuit),
             model,
             schedule: Schedule::asap(circuit),
             channels: ChannelSet {
@@ -165,7 +180,12 @@ impl<'a> TrajectorySimulator<'a> {
     }
 
     /// Applies the gate-error channel(s) for one operation.
-    fn apply_gate_error<R: Rng + ?Sized>(&self, op: &Operation, state: &mut StateVector, rng: &mut R) {
+    fn apply_gate_error<R: Rng + ?Sized>(
+        &self,
+        op: &Operation,
+        state: &mut StateVector,
+        rng: &mut R,
+    ) {
         let qudits = op.qudits();
         match (op.arity(), self.expansion) {
             (0, _) => {}
@@ -175,9 +195,7 @@ impl<'a> TrajectorySimulator<'a> {
                     .apply_trajectory(state, &qudits, rng);
             }
             (2, _) => {
-                self.channels
-                    .two_gate
-                    .apply_trajectory(state, &qudits, rng);
+                self.channels.two_gate.apply_trajectory(state, &qudits, rng);
             }
             (_, GateExpansion::Logical) => {
                 self.channels
@@ -194,9 +212,7 @@ impl<'a> TrajectorySimulator<'a> {
                 }
                 for i in 0..7 {
                     let q = qudits[i % qudits.len()];
-                    self.channels
-                        .single_gate
-                        .apply_trajectory(state, &[q], rng);
+                    self.channels.single_gate.apply_trajectory(state, &[q], rng);
                 }
             }
         }
@@ -240,18 +256,15 @@ impl<'a> TrajectorySimulator<'a> {
         let mut rng = StdRng::seed_from_u64(seed);
         let initial = self.draw_input(input, &mut rng)?;
 
-        // Ideal (noise-free) evolution.
-        let mut ideal = initial.clone();
-        for op in self.circuit.iter() {
-            apply_operation(&mut ideal, op);
-        }
+        // Ideal (noise-free) evolution, through the shared compiled plans.
+        let ideal = self.compiled.run_sequential(initial.clone());
 
         // Noisy evolution, moment by moment.
         let mut noisy = initial;
         for (moment_idx, op_indices) in self.schedule.iter() {
             for &op_idx in op_indices {
                 let op = &self.circuit.operations()[op_idx];
-                apply_operation(&mut noisy, op);
+                self.compiled.plan(op_idx).apply_sequential(&mut noisy);
                 self.apply_gate_error(op, &mut noisy, &mut rng);
             }
             self.apply_idle_error(moment_idx, &mut noisy, &mut rng);

@@ -5,6 +5,36 @@
 //! as the paper's Cirq extension does (Section 6.2); 14-qutrit circuits (a
 //! ~77 MB state vector) are simulable on a laptop.
 //!
+//! ## Architecture: plans and kernels
+//!
+//! Gate application is the hot path of everything in this workspace — the
+//! trajectory Monte Carlo simulator replays circuits thousands of times — so
+//! it is split into a *planning* phase and an *execution* phase:
+//!
+//! 1. [`kernel::ApplyPlan`] precomputes, once per operation, everything the
+//!    inner loop would otherwise recompute: target strides, the `d^k` gather
+//!    offsets, the flat-index contribution of the control levels, the free
+//!    (non-target, non-control) qudit strides, and the kernel to dispatch to.
+//! 2. [`ApplyPlan::apply`](kernel::ApplyPlan::apply) enumerates the
+//!    `d^(n-k-c)` amplitude-group base indices with a mixed-radix odometer
+//!    over the free strides — no full-index scan, no `pow`/div/mod in any
+//!    inner loop — and runs one of four kernels per group:
+//!    * a **permutation** kernel for classical gates (`X`, `X±1`, level
+//!      swaps): precomputed index cycles, zero complex arithmetic;
+//!    * monomorphic **k = 1** / **k = 2** dense kernels (stack scratch,
+//!      branch-free multiply) for the dominant one- and two-target gates;
+//!    * a generic **gather–scatter** fallback for `k ≥ 3`.
+//!
+//!    Above [`kernel::PAR_MIN_AMPS`] amplitudes the groups are chunked
+//!    across rayon workers; groups never share an amplitude, so the workers
+//!    are race-free by construction.
+//! 3. [`Simulator`] caches plans per distinct (gate, qudits) pair, and
+//!    [`CompiledCircuit`] pins down one plan per operation so replay loops
+//!    (ideal evolution, trajectory trials) do no planning at all.
+//!
+//! The seed's naive full-scan implementation is retained in
+//! `apply::reference` as the oracle for the kernel equivalence test suite.
+//!
 //! The noise-free simulator lives here; the quantum-trajectory noise
 //! simulator (Algorithm 1 of the paper) builds on these kernels from the
 //! `qudit-noise` crate.
@@ -13,11 +43,13 @@
 #![warn(rust_2018_idioms)]
 
 mod apply;
+pub mod kernel;
 mod measure;
 mod simulator;
 
-pub use apply::{apply_matrix, apply_operation};
+pub use apply::{apply_matrix, apply_matrix_sequential, apply_operation, reference};
+pub use kernel::ApplyPlan;
 pub use measure::{
     marginal_distribution, qubit_subspace_probability, sample_histogram, sample_measurement,
 };
-pub use simulator::Simulator;
+pub use simulator::{CompiledCircuit, Simulator};

@@ -40,11 +40,13 @@ pub fn marginal_distribution(state: &StateVector, qudit: usize) -> Vec<f64> {
     let dim = state.dim();
     let n = state.num_qudits();
     assert!(qudit < n, "qudit index out of range");
+    // Amplitudes sharing a digit of `qudit` form contiguous runs of length
+    // `stride`, cycling through the `dim` digit values — so the chunked
+    // view sums each run without any per-amplitude index arithmetic.
     let stride = dim.pow((n - 1 - qudit) as u32);
     let mut probs = vec![0.0f64; dim];
-    for (idx, amp) in state.amplitudes().iter().enumerate() {
-        let digit = (idx / stride) % dim;
-        probs[digit] += amp.norm_sqr();
+    for (chunk_idx, chunk) in state.amplitude_chunks(stride).enumerate() {
+        probs[chunk_idx % dim] += chunk.iter().map(|a| a.norm_sqr()).sum::<f64>();
     }
     probs
 }

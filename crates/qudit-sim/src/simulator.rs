@@ -1,10 +1,119 @@
 //! Ideal (noise-free) circuit simulation.
 
-use crate::apply::apply_operation;
-use qudit_circuit::{Circuit, Schedule};
-use qudit_core::{CoreResult, StateVector};
+use crate::kernel::ApplyPlan;
+use qudit_circuit::{Circuit, Operation, Schedule};
+use qudit_core::{CMatrix, CoreResult, StateVector};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A circuit compiled into one [`ApplyPlan`] per operation, in program
+/// order.
+///
+/// Compiling hoists all per-operation precomputation (strides, gather
+/// offsets, control masks, kernel selection) out of the run loop; a compiled
+/// circuit is immutable and [`Sync`], so the trajectory simulator shares one
+/// across all its Monte Carlo trials.
+#[derive(Clone, Debug)]
+pub struct CompiledCircuit {
+    dim: usize,
+    width: usize,
+    plans: Vec<Arc<ApplyPlan>>,
+}
+
+impl CompiledCircuit {
+    /// Compiles every operation of the circuit.
+    pub fn compile(circuit: &Circuit) -> Self {
+        CompiledCircuit {
+            dim: circuit.dim(),
+            width: circuit.width(),
+            plans: circuit
+                .iter()
+                .map(|op| Arc::new(ApplyPlan::for_operation(circuit.width(), op)))
+                .collect(),
+        }
+    }
+
+    /// The qudit dimension of the source circuit.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The register width of the source circuit.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The plans, in operation order.
+    pub fn plans(&self) -> &[Arc<ApplyPlan>] {
+        &self.plans
+    }
+
+    /// The plan of operation `op_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_idx` is out of range.
+    pub fn plan(&self, op_idx: usize) -> &ApplyPlan {
+        &self.plans[op_idx]
+    }
+
+    /// Runs the whole compiled circuit on `state`, consuming and returning
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's shape does not match the circuit.
+    pub fn run(&self, mut state: StateVector) -> StateVector {
+        assert_eq!(state.dim(), self.dim, "dimension mismatch");
+        assert_eq!(state.num_qudits(), self.width, "width mismatch");
+        for plan in &self.plans {
+            plan.apply(&mut state);
+        }
+        state
+    }
+
+    /// Like [`CompiledCircuit::run`] but every gate is applied on the
+    /// calling thread — for callers that already parallelise at a coarser
+    /// granularity (one trajectory trial per core), where per-gate fan-out
+    /// would oversubscribe the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's shape does not match the circuit.
+    pub fn run_sequential(&self, mut state: StateVector) -> StateVector {
+        assert_eq!(state.dim(), self.dim, "dimension mismatch");
+        assert_eq!(state.num_qudits(), self.width, "width mismatch");
+        for plan in &self.plans {
+            plan.apply_sequential(&mut state);
+        }
+        state
+    }
+}
+
+/// Cache key for one (gate matrix, register width, targets, controls)
+/// combination. The matrix is keyed by allocation address; the cached entry
+/// holds the `Arc` so the address cannot be recycled while the key lives.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct PlanKey {
+    matrix_addr: usize,
+    width: usize,
+    targets: Vec<usize>,
+    controls: Vec<(usize, usize)>,
+}
+
+#[derive(Debug)]
+struct CachedPlan {
+    plan: Arc<ApplyPlan>,
+    /// Pins the matrix allocation that `PlanKey::matrix_addr` points at.
+    _matrix: Arc<CMatrix>,
+}
 
 /// A dense state-vector simulator for qudit circuits.
+///
+/// The simulator caches one [`ApplyPlan`] per distinct (gate, qudits)
+/// combination it encounters, so re-running the same circuit — or circuits
+/// sharing gates — skips all per-operation precomputation after the first
+/// pass.
 ///
 /// # Examples
 ///
@@ -20,15 +129,68 @@ use qudit_core::{CoreResult, StateVector};
 /// assert!((out.probability(&[1, 1]).unwrap() - 1.0).abs() < 1e-12);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Simulator {
-    _private: (),
+    cache: Mutex<HashMap<PlanKey, CachedPlan>>,
 }
 
+/// Plan-cache capacity. Keys are matrix *addresses*, so a caller that
+/// rebuilds its gates per circuit inserts keys that can never re-hit; the
+/// cap bounds that growth (and the pinned matrix `Arc`s). Plans are cheap
+/// to rebuild, so eviction is a wholesale clear rather than bookkeeping.
+const PLAN_CACHE_CAP: usize = 1024;
+
 impl Simulator {
-    /// Creates a simulator.
+    /// Creates a simulator with an empty plan cache.
     pub fn new() -> Self {
-        Simulator { _private: () }
+        Simulator::default()
+    }
+
+    /// Returns the cached plan for `op` on a `width`-qudit register,
+    /// building and caching it on first sight.
+    fn plan_for(&self, width: usize, op: &Operation) -> Arc<ApplyPlan> {
+        let key = PlanKey {
+            matrix_addr: Arc::as_ptr(&op.gate().matrix_arc()) as usize,
+            width,
+            targets: op.targets().to_vec(),
+            controls: op.control_pairs(),
+        };
+        let mut cache = self.cache.lock().expect("plan cache poisoned");
+        if let Some(cached) = cache.get(&key) {
+            return Arc::clone(&cached.plan);
+        }
+        let plan = Arc::new(ApplyPlan::for_operation(width, op));
+        if cache.len() >= PLAN_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(
+            key,
+            CachedPlan {
+                plan: Arc::clone(&plan),
+                _matrix: op.gate().matrix_arc(),
+            },
+        );
+        plan
+    }
+
+    /// The number of distinct plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Compiles a circuit through this simulator's plan cache.
+    ///
+    /// Prefer this over [`CompiledCircuit::compile`] when several circuits
+    /// share gates: shared operations compile once.
+    pub fn compile(&self, circuit: &Circuit) -> CompiledCircuit {
+        CompiledCircuit {
+            dim: circuit.dim(),
+            width: circuit.width(),
+            plans: circuit
+                .iter()
+                .map(|op| self.plan_for(circuit.width(), op))
+                .collect(),
+        }
     }
 
     /// Runs the circuit on the all-zeros input state.
@@ -48,13 +210,11 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if the state's dimension or width does not match the circuit.
-    pub fn run_with_state(&self, circuit: &Circuit, mut state: StateVector) -> StateVector {
-        assert_eq!(state.dim(), circuit.dim(), "dimension mismatch");
-        assert_eq!(state.num_qudits(), circuit.width(), "width mismatch");
-        for op in circuit.iter() {
-            apply_operation(&mut state, op);
-        }
-        state
+    pub fn run_with_state(&self, circuit: &Circuit, state: StateVector) -> StateVector {
+        // Resolve the whole circuit against the cache up front: one key
+        // build + lock round-trip per op per *compile*, zero per re-run of
+        // an op that is already cached.
+        self.compile(circuit).run(state)
     }
 
     /// Runs the circuit on a basis-state input given by digits.
@@ -89,9 +249,10 @@ impl Simulator {
     {
         assert_eq!(state.dim(), circuit.dim(), "dimension mismatch");
         assert_eq!(state.num_qudits(), circuit.width(), "width mismatch");
+        let compiled = self.compile(circuit);
         for (moment_idx, op_indices) in schedule.iter() {
             for &op_idx in op_indices {
-                apply_operation(&mut state, &circuit.operations()[op_idx]);
+                compiled.plan(op_idx).apply(&mut state);
             }
             observer(moment_idx, &mut state);
         }
@@ -172,5 +333,50 @@ mod tests {
         let state = StateVector::zero_state(3, 3).unwrap();
         let _ = Simulator::new().run_moments(&c, &schedule, state, |m, _| seen.push(m));
         assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn plan_cache_deduplicates_repeated_operations() {
+        // Figure 4's circuit re-runs share all plans; the increment and
+        // decrement are distinct gates, X is a third, so 3 plans total.
+        let c = toffoli_fig4();
+        let sim = Simulator::new();
+        sim.run(&c).unwrap();
+        let after_first = sim.cached_plans();
+        assert_eq!(after_first, 3);
+        sim.run(&c).unwrap();
+        sim.run(&c).unwrap();
+        assert_eq!(
+            sim.cached_plans(),
+            after_first,
+            "re-runs must not grow the cache"
+        );
+    }
+
+    #[test]
+    fn plan_cache_is_bounded() {
+        // Freshly built gates get fresh matrix addresses, so none of these
+        // inserts can re-hit; the cache must stay capped regardless.
+        let sim = Simulator::new();
+        for _ in 0..(super::PLAN_CACHE_CAP + 100) {
+            let mut c = Circuit::new(3, 2);
+            c.push_gate(Gate::increment(3), &[0]).unwrap();
+            sim.run(&c).unwrap();
+        }
+        assert!(sim.cached_plans() <= super::PLAN_CACHE_CAP);
+    }
+
+    #[test]
+    fn compiled_circuit_matches_simulator_run() {
+        let c = toffoli_fig4();
+        let sim = Simulator::new();
+        let compiled = sim.compile(&c);
+        for input in classical::all_basis_states(3, 3) {
+            let a = sim.run_on_basis_state(&c, &input).unwrap();
+            let b = compiled.run(StateVector::from_basis_state(3, &input).unwrap());
+            for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+                assert!(x.approx_eq(*y, 1e-12));
+            }
+        }
     }
 }

@@ -1,0 +1,269 @@
+//! Property-based equivalence suite: every kernel path of the
+//! stride-enumerated engine must agree with the retained naive reference
+//! (`qudit_sim::reference`) on random states, random gates and random
+//! control configurations, for `d ∈ {2, 3, 4}`.
+//!
+//! Paths covered:
+//! * dense `k = 1` (monomorphic d = 2, 3, 4 kernels),
+//! * dense `k = 2` (monomorphic d = 2, 3 kernels and the dynamic fallback),
+//! * generic gather–scatter (`k = 3`),
+//! * the sparse permutation fast path (classical gates, with controls),
+//! * the parallel dispatch (both the contiguous-chunk and the strided
+//!   shared-pointer variants, forced on regardless of host core count),
+//! * the plan-cache path through `Simulator` on whole random circuits.
+
+use proptest::prelude::*;
+use qudit_circuit::{Circuit, Control, Gate, Operation};
+use qudit_core::{complex_gaussian, random_state, CMatrix, Complex, StateVector};
+use qudit_sim::{reference, ApplyPlan, Simulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Max |amplitude difference| tolerated between the two engines.
+const TOL: f64 = 1e-10;
+
+/// A Haar-ish random unitary via modified Gram–Schmidt on a Gaussian matrix.
+fn random_unitary(n: usize, rng: &mut StdRng) -> CMatrix {
+    let mut cols: Vec<Vec<Complex>> = (0..n)
+        .map(|_| (0..n).map(|_| complex_gaussian(rng)).collect())
+        .collect();
+    for i in 0..n {
+        let (done, rest) = cols.split_at_mut(i);
+        let col = &mut rest[0];
+        for prev in done.iter() {
+            let proj: Complex = prev
+                .iter()
+                .zip(col.iter())
+                .map(|(a, b)| a.conj() * *b)
+                .sum();
+            for (x, y) in col.iter_mut().zip(prev.iter()) {
+                *x -= proj * *y;
+            }
+        }
+        let norm: f64 = col.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        assert!(norm > 1e-9, "degenerate random matrix");
+        for z in col.iter_mut() {
+            *z = z.scale(1.0 / norm);
+        }
+    }
+    let mut m = CMatrix::zeros(n, n);
+    for (c, col) in cols.iter().enumerate() {
+        for (r, z) in col.iter().enumerate() {
+            m.set(r, c, *z);
+        }
+    }
+    m
+}
+
+/// Picks `k` distinct qudit indices out of `0..n`.
+fn random_targets(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in (1..pool.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+fn assert_states_match(fast: &StateVector, slow: &StateVector, what: &str) {
+    for (i, (a, b)) in fast.amplitudes().iter().zip(slow.amplitudes()).enumerate() {
+        assert!(
+            a.approx_eq(*b, TOL),
+            "{what}: amplitude {i} differs: {a:?} vs {b:?}"
+        );
+    }
+}
+
+/// Applies `matrix` on `targets` with `controls` through (a) the plan kernel,
+/// sequential; (b) the plan kernel, forced-parallel dispatch; (c) the naive
+/// reference — and checks all three agree.
+fn check_equivalence(
+    dim: usize,
+    width: usize,
+    matrix: &CMatrix,
+    targets: &[usize],
+    controls: &[(usize, usize)],
+    state: &StateVector,
+    what: &str,
+) {
+    let plan = ApplyPlan::new(dim, width, matrix, targets, controls);
+    // Acceptance criterion: the kernel visits exactly d^(n-k-c) groups.
+    assert_eq!(
+        plan.groups(),
+        dim.pow((width - targets.len() - controls.len()) as u32),
+        "{what}: wrong group count"
+    );
+
+    let mut seq = state.clone();
+    plan.apply_forced(&mut seq, false);
+
+    let mut par = state.clone();
+    plan.apply_forced(&mut par, true);
+
+    let mut naive = state.clone();
+    let control_structs: Vec<Control> = controls
+        .iter()
+        .map(|&(q, level)| Control::new(q, level))
+        .collect();
+    if control_structs.is_empty() {
+        reference::apply_matrix_naive(&mut naive, matrix, targets);
+    } else {
+        let gate = Gate::new("rand", dim, targets.len(), matrix.clone()).unwrap();
+        let op = Operation::new(gate, control_structs, targets.to_vec()).unwrap();
+        reference::apply_operation_naive(&mut naive, &op);
+    }
+
+    assert_states_match(&seq, &naive, &format!("{what} (sequential)"));
+    assert_states_match(&par, &naive, &format!("{what} (parallel)"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Dense single-target gates: exercises the monomorphic d = 2, 3, 4
+    /// k = 1 kernels on every target position (contiguous and strided).
+    #[test]
+    fn dense_k1_matches_reference(seed in 0u64..1_000_000, dim in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = rng.gen_range(1..5);
+        let target = rng.gen_range(0..width);
+        let u = random_unitary(dim, &mut rng);
+        let state = random_state(dim, width, &mut rng).unwrap();
+        check_equivalence(dim, width, &u, &[target], &[], &state, "dense k=1");
+    }
+
+    /// Dense two-target gates: the monomorphic d = 2, 3 k = 2 kernels plus
+    /// the dynamic fallback at d = 4.
+    #[test]
+    fn dense_k2_matches_reference(seed in 0u64..1_000_000, dim in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = rng.gen_range(2..5);
+        let targets = random_targets(width, 2, &mut rng);
+        let u = random_unitary(dim * dim, &mut rng);
+        let state = random_state(dim, width, &mut rng).unwrap();
+        check_equivalence(dim, width, &u, &targets, &[], &state, "dense k=2");
+    }
+
+    /// Three-target gates take the generic gather–scatter path.
+    #[test]
+    fn generic_k3_matches_reference(seed in 0u64..1_000_000, dim in 2usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = rng.gen_range(3..5);
+        let targets = random_targets(width, 3, &mut rng);
+        let u = random_unitary(dim.pow(3), &mut rng);
+        let state = random_state(dim, width, &mut rng).unwrap();
+        check_equivalence(dim, width, &u, &targets, &[], &state, "generic k=3");
+    }
+
+    /// Random permutation matrices take the sparse cycle kernel.
+    #[test]
+    fn permutation_fast_path_matches_reference(seed in 0u64..1_000_000, dim in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width: usize = rng.gen_range(1..5);
+        let k = rng.gen_range(1..width.min(2) + 1);
+        let targets = random_targets(width, k, &mut rng);
+        let block = dim.pow(k as u32);
+        let mut perm: Vec<usize> = (0..block).collect();
+        for i in (1..block).rev() {
+            let j = rng.gen_range(0..i + 1);
+            perm.swap(i, j);
+        }
+        let m = CMatrix::permutation(&perm);
+        let plan = ApplyPlan::new(dim, width, &m, &targets, &[]);
+        assert!(plan.is_permutation(), "permutation matrix must take the sparse path");
+        let state = random_state(dim, width, &mut rng).unwrap();
+        check_equivalence(dim, width, &m, &targets, &[], &state, "permutation");
+    }
+
+    /// Controlled operations: random control counts and activation levels,
+    /// on both dense and classical gates.
+    #[test]
+    fn controlled_ops_match_reference(seed in 0u64..1_000_000, dim in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = rng.gen_range(2..6);
+        let qudits = random_targets(width, width.min(rng.gen_range(2..4)), &mut rng);
+        let (target, control_qudits) = qudits.split_first().unwrap();
+        let controls: Vec<(usize, usize)> = control_qudits
+            .iter()
+            .map(|&q| (q, rng.gen_range(0..dim)))
+            .collect();
+        let state = random_state(dim, width, &mut rng).unwrap();
+        let u = random_unitary(dim, &mut rng);
+        check_equivalence(dim, width, &u, &[*target], &controls, &state, "controlled dense");
+        // And a controlled classical gate (permutation under control).
+        let shift = Gate::increment(dim);
+        check_equivalence(
+            dim,
+            width,
+            shift.matrix(),
+            &[*target],
+            &controls,
+            &state,
+            "controlled permutation",
+        );
+    }
+
+    /// Whole random circuits through the plan-caching `Simulator` vs the
+    /// naive reference, op by op.
+    #[test]
+    fn simulator_matches_naive_on_random_circuits(seed in 0u64..1_000_000, dim in 2usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = rng.gen_range(2..5);
+        let mut circuit = Circuit::new(dim, width);
+        for _ in 0..8 {
+            let target = rng.gen_range(0..width);
+            let gate = match rng.gen_range(0..4) {
+                0 => Gate::increment(dim),
+                1 => Gate::from_matrix("U", dim, random_unitary(dim, &mut rng)).unwrap(),
+                2 => Gate::fourier(dim),
+                _ => Gate::x(dim),
+            };
+            if width > 1 && rng.gen_bool(0.5) {
+                let mut control = rng.gen_range(0..width);
+                while control == target {
+                    control = rng.gen_range(0..width);
+                }
+                let level = rng.gen_range(0..dim);
+                circuit
+                    .push_controlled(gate, &[Control::new(control, level)], &[target])
+                    .unwrap();
+            } else {
+                circuit.push_gate(gate, &[target]).unwrap();
+            }
+        }
+        let state = random_state(dim, width, &mut rng).unwrap();
+
+        let fast = Simulator::new().run_with_state(&circuit, state.clone());
+        let mut naive = state;
+        for op in circuit.iter() {
+            reference::apply_operation_naive(&mut naive, op);
+        }
+        assert_states_match(&fast, &naive, "random circuit");
+    }
+}
+
+/// One deterministic large case that crosses the real parallel threshold
+/// (9 qutrits = 19 683 amplitudes > `PAR_MIN_AMPS`), so `apply`'s own
+/// dispatch decision is exercised end-to-end on multi-core hosts.
+#[test]
+fn large_register_auto_dispatch_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(2019);
+    let dim = 3;
+    let width = 9;
+    let state = random_state(dim, width, &mut rng).unwrap();
+
+    for (targets, what) in [
+        (vec![8], "k=1 contiguous"),
+        (vec![0], "k=1 strided"),
+        (vec![4, 8], "k=2 mixed"),
+    ] {
+        let u = random_unitary(dim.pow(targets.len() as u32), &mut rng);
+        let plan = ApplyPlan::for_matrix(dim, width, &u, &targets);
+        let mut fast = state.clone();
+        plan.apply(&mut fast); // auto dispatch
+        let mut naive = state.clone();
+        reference::apply_matrix_naive(&mut naive, &u, &targets);
+        assert_states_match(&fast, &naive, what);
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline API-subset shim of the `criterion` crate.
+//!
+//! A plain wall-clock micro-benchmark harness exposing the `Criterion` /
+//! `BenchmarkGroup` / `BenchmarkId` / `Bencher` surface the workspace's
+//! benches use. Unlike real criterion there is no statistical analysis or
+//! HTML report: each benchmark is warmed up, timed over an adaptive number
+//! of iterations, and reported as `ns/iter` on stdout.
+//!
+//! Behaviour under cargo:
+//! * `cargo bench` passes `--bench` → full timing runs.
+//! * `cargo test --benches` passes `--test` → every benchmark body runs
+//!   exactly once, so benches are smoke-tested without burning time.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a harness invocation should behave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (under `cargo bench`).
+    Bench,
+    /// Run each body once (under `cargo test`).
+    Test,
+}
+
+/// The top-level benchmark harness.
+pub struct Criterion {
+    mode: Mode,
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if test_mode { Mode::Test } else { Mode::Bench },
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self.mode, self.measurement, &id.render(None), &mut f);
+        self
+    }
+
+    /// Prints the closing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named benchmark group, mirroring criterion's `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by wall time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement = t;
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.render(Some(&self.name));
+        run_benchmark(
+            self.criterion.mode,
+            self.criterion.measurement,
+            &label,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks a function under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().render(Some(&self.name));
+        run_benchmark(
+            self.criterion.mode,
+            self.criterion.measurement,
+            &label,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: Option<&str>) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if let Some(g) = group {
+            parts.push(g);
+        }
+        if let Some(f) = &self.function {
+            parts.push(f);
+        }
+        if let Some(p) = &self.parameter {
+            parts.push(p);
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to benchmark closures; its [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    mode: Mode,
+    measurement: Duration,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean ns/iter for the harness to report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            self.ns_per_iter = None;
+            return;
+        }
+        // Warm-up: run until ~10% of the measurement budget is spent, and
+        // estimate the per-iteration cost along the way.
+        let warmup_budget = self.measurement / 10;
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < warmup_budget || warmup_iters == 0 {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let est_per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let target_iters =
+            ((self.measurement.as_secs_f64() / est_per_iter) as u64).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.ns_per_iter = Some(elapsed.as_nanos() as f64 / target_iters as f64);
+    }
+}
+
+fn run_benchmark(mode: Mode, measurement: Duration, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        mode,
+        measurement,
+        ns_per_iter: None,
+    };
+    f(&mut bencher);
+    match (mode, bencher.ns_per_iter) {
+        (Mode::Test, _) => println!("test {label} ... ok (bench smoke run)"),
+        (Mode::Bench, Some(ns)) => println!("{label:<60} time: {}", format_ns(ns)),
+        (Mode::Bench, None) => println!("{label:<60} (no measurement: iter was never called)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 12).render(Some("g")), "g/f/12");
+        assert_eq!(BenchmarkId::from_parameter(8).render(Some("g")), "g/8");
+        assert_eq!(BenchmarkId::from("solo").render(None), "solo");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut calls = 0usize;
+        let mut bencher = Bencher {
+            mode: Mode::Test,
+            measurement: Duration::from_millis(10),
+            ns_per_iter: None,
+        };
+        bencher.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(bencher.ns_per_iter.is_none());
+    }
+
+    #[test]
+    fn bench_mode_measures_something() {
+        let mut bencher = Bencher {
+            mode: Mode::Bench,
+            measurement: Duration::from_millis(5),
+            ns_per_iter: None,
+        };
+        bencher.iter(|| black_box(3usize.pow(7)));
+        assert!(bencher.ns_per_iter.unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Offline API-subset shim of the `rayon` crate.
+//!
+//! Implements the data-parallel surface the workspace uses —
+//! `(0..n).into_par_iter().map(..).collect()`, `for_each`, [`join`] and
+//! [`current_num_threads`] — on top of `std::thread::scope`. Work is split
+//! into one contiguous block per available core; on a single-core host
+//! everything degrades to the sequential path with zero thread overhead.
+//!
+//! Ordering semantics match rayon: `collect` preserves the source order
+//! regardless of which thread produced each element.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// The number of threads the pool would use (here: available parallelism).
+///
+/// Memoized: `available_parallelism` does affinity syscalls and cgroup
+/// reads on Linux, and callers (the gate kernels) ask once per gate apply.
+pub fn current_num_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() > 1 {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon shim: join closure panicked"))
+        })
+    } else {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    }
+}
+
+/// The traits a `use rayon::prelude::*` import is expected to bring in.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSliceMut};
+}
+
+/// Parallel operations on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Like `chunks_mut`, but the chunks can be processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over non-overlapping mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> ParChunksMut<'_, T> {
+    /// Invokes `f` on every chunk, potentially in parallel.
+    ///
+    /// Chunks are distributed to threads in contiguous runs, so a thread
+    /// always works on a contiguous region of the underlying slice.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        let num_chunks = self.slice.len().div_ceil(self.chunk_size);
+        let threads = current_num_threads().min(num_chunks.max(1));
+        if threads <= 1 || num_chunks <= 1 {
+            for chunk in self.slice.chunks_mut(self.chunk_size) {
+                f(chunk);
+            }
+            return;
+        }
+        let chunks_per_thread = num_chunks.div_ceil(threads);
+        let run_len = chunks_per_thread * self.chunk_size;
+        std::thread::scope(|s| {
+            let f = &f;
+            let chunk_size = self.chunk_size;
+            let mut rest = self.slice;
+            while !rest.is_empty() {
+                let cut = run_len.min(rest.len());
+                let (run, tail) = rest.split_at_mut(cut);
+                rest = tail;
+                s.spawn(move || {
+                    for chunk in run.chunks_mut(chunk_size) {
+                        f(chunk);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The resulting parallel iterator type.
+    type Iter: ParallelIterator;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { range: self }
+    }
+}
+
+/// A parallel iterator over `Range<usize>`.
+pub struct RangeParIter {
+    range: Range<usize>,
+}
+
+/// A parallel iterator whose elements are produced by applying `f`.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+/// Internal random-access description of a parallel job: `len` items, each
+/// computable independently from its index.
+pub trait IndexedJob: Sync {
+    /// The produced item type.
+    type Item: Send;
+    /// Number of items.
+    fn job_len(&self) -> usize;
+    /// Computes item `i`.
+    fn item_at(&self, i: usize) -> Self::Item;
+}
+
+impl IndexedJob for RangeParIter {
+    type Item = usize;
+    fn job_len(&self) -> usize {
+        self.range.end.saturating_sub(self.range.start)
+    }
+    #[inline]
+    fn item_at(&self, i: usize) -> usize {
+        self.range.start + i
+    }
+}
+
+impl<B, F, O> IndexedJob for Map<B, F>
+where
+    B: IndexedJob,
+    F: Fn(B::Item) -> O + Sync,
+    O: Send,
+{
+    type Item = O;
+    fn job_len(&self) -> usize {
+        self.base.job_len()
+    }
+    #[inline]
+    fn item_at(&self, i: usize) -> O {
+        (self.f)(self.base.item_at(i))
+    }
+}
+
+/// Executes an [`IndexedJob`] across threads, returning items in order.
+fn run_to_vec<J: IndexedJob>(job: &J) -> Vec<J::Item> {
+    let len = job.job_len();
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(|i| job.item_at(i)).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut parts: Vec<Vec<J::Item>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(len);
+                s.spawn(move || (lo..hi).map(|i| job.item_at(i)).collect::<Vec<_>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim: worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for part in parts.iter_mut() {
+        out.append(part);
+    }
+    out
+}
+
+/// The parallel-iterator operations the workspace uses.
+pub trait ParallelIterator: IndexedJob + Sized {
+    /// Maps each item through `f`.
+    fn map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Invokes `f` on every item, potentially in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let job = self.map(f);
+        let len = job.job_len();
+        let threads = current_num_threads().min(len.max(1));
+        if threads <= 1 || len <= 1 {
+            for i in 0..len {
+                job.item_at(i);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(threads);
+        std::thread::scope(|s| {
+            let job = &job;
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(len);
+                s.spawn(move || {
+                    for i in lo..hi {
+                        job.item_at(i);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Collects all items, in source order, into `C`.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        run_to_vec(&self).into_iter().collect()
+    }
+}
+
+impl<T: IndexedJob + Sized> ParallelIterator for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, s) in squares.iter().enumerate() {
+            assert_eq!(*s, i * i);
+        }
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_on_err() {
+        let r: Result<Vec<usize>, String> = (0..100)
+            .into_par_iter()
+            .map(|i| {
+                if i == 57 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(r.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..500).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 499 * 500 / 2);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let v: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut data = vec![0u64; 1003]; // deliberately not a chunk multiple
+        data.as_mut_slice().par_chunks_mut(64).for_each(|chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+}

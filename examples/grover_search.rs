@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let p = grover_success_probability(n_qubits, marked, iterations)?;
-    println!("success probability after {iterations} iterations: {:.2}%", 100.0 * p);
+    println!(
+        "success probability after {iterations} iterations: {:.2}%",
+        100.0 * p
+    );
 
     println!();
     println!("success probability vs iteration count:");

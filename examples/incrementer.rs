@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for value in [0usize, 7, 127, 200, 255] {
         let input = value_to_register(value, n);
         let out = simulate_classical(&circuit, &input)?;
-        println!("  {value:>3} + 1 = {:>3} (mod 256)", register_to_value(&out));
+        println!(
+            "  {value:>3} + 1 = {:>3} (mod 256)",
+            register_to_value(&out)
+        );
     }
 
     // Depth scaling: the whole point of the construction.

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         n_controls + 1,
         trials
     );
-    println!("{:<16} {:>10} {:>10} {:>14}", "noise model", "QUTRIT", "QUBIT", "QUBIT+ANCILLA");
+    println!(
+        "{:<16} {:>10} {:>10} {:>14}",
+        "noise model", "QUTRIT", "QUBIT", "QUBIT+ANCILLA"
+    );
     let mut chosen_models = models::superconducting_models();
     chosen_models.push(models::ti_qubit());
     chosen_models.push(models::dressed_qutrit());

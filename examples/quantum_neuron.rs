@@ -10,10 +10,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 3; // 2^3 = 8-element input and weight vectors
 
     // A weight vector and a few candidate inputs (true = +1, false = −1).
-    let weights = SignVector::new(
-        n,
-        vec![true, false, true, true, false, true, false, false],
-    )?;
+    let weights = SignVector::new(n, vec![true, false, true, true, false, true, false, false])?;
     let inputs = vec![
         ("identical to weights", weights.clone()),
         (

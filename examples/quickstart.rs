@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Verify it on every classical input (the paper's linear-space
     //    verification procedure).
     match verify_n_controlled_x_classical(&qutrit, n_controls, n_controls)? {
-        None => println!("verified: matches the {n_controls}-controlled NOT on all 2^{} inputs", n_controls + 1),
+        None => println!(
+            "verified: matches the {n_controls}-controlled NOT on all 2^{} inputs",
+            n_controls + 1
+        ),
         Some(cex) => println!("VERIFICATION FAILED: {cex:?}"),
     }
 

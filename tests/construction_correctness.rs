@@ -32,7 +32,11 @@ fn all_constructions_agree_on_the_n_controlled_not() {
         padded_he.resize(he.width(), 0);
         let out_he = simulate_classical(&he, &padded_he).unwrap();
 
-        assert_eq!(&out_qutrit[..n + 1], &out_ancilla[..n + 1], "input {input:?}");
+        assert_eq!(
+            &out_qutrit[..n + 1],
+            &out_ancilla[..n + 1],
+            "input {input:?}"
+        );
         assert_eq!(&out_qutrit[..n + 1], &out_he[..n + 1], "input {input:?}");
     }
 }
@@ -55,9 +59,11 @@ fn qubit_baseline_statevector_matches_qutrit_classical() {
 
 #[test]
 fn verification_helpers_accept_all_constructions() {
-    assert!(verify_n_controlled_x_classical(&n_controlled_x(8).unwrap(), 8, 8)
-        .unwrap()
-        .is_none());
+    assert!(
+        verify_n_controlled_x_classical(&n_controlled_x(8).unwrap(), 8, 8)
+            .unwrap()
+            .is_none()
+    );
     assert!(
         verify_n_controlled_x_classical(&qubit_one_dirty_ancilla(6, 2).unwrap(), 6, 6)
             .unwrap()

@@ -15,7 +15,11 @@ use qutrit_toffoli::gen_toffoli::n_controlled_x;
 fn all_paper_noise_models_produce_valid_channels() {
     for model in models::all_models() {
         for d in [2usize, 3] {
-            model.single_qudit_gate_error(d).unwrap().validate().unwrap();
+            model
+                .single_qudit_gate_error(d)
+                .unwrap()
+                .validate()
+                .unwrap();
             model.two_qudit_gate_error(d).unwrap().validate().unwrap();
         }
     }
@@ -45,11 +49,13 @@ fn idle_error_probability_increases_with_duration_and_level() {
 
 #[test]
 fn figure11_ordering_holds_at_reduced_size() {
-    // A 6-control instance with a handful of trials is enough to see the
-    // qualitative ordering of Figure 11: QUTRIT ≫ QUBIT under the SC model,
-    // with QUBIT+ANCILLA in between.
+    // A 6-control instance is enough to see the qualitative ordering of
+    // Figure 11: QUTRIT ≫ QUBIT under the SC model, with QUBIT+ANCILLA in
+    // between. The QUTRIT vs QUBIT+ANCILLA gap is only ~0.04 at this size,
+    // so a real sample (≈100 trials) is needed — at a dozen trials the
+    // estimate is noise-dominated and the assertion is a coin flip.
     let n = 6;
-    let trials = 12;
+    let trials = 96;
     let config = TrajectoryConfig {
         trials,
         seed: 7,
@@ -72,7 +78,10 @@ fn figure11_ordering_holds_at_reduced_size() {
         qutrit > ancilla && ancilla > qubit,
         "expected QUTRIT ({qutrit:.3}) > QUBIT+ANCILLA ({ancilla:.3}) > QUBIT ({qubit:.3})"
     );
-    assert!(qutrit > 0.5, "qutrit fidelity should stay high: {qutrit:.3}");
+    assert!(
+        qutrit > 0.5,
+        "qutrit fidelity should stay high: {qutrit:.3}"
+    );
 }
 
 #[test]
@@ -101,10 +110,10 @@ fn trapped_ion_qutrit_models_favour_the_dressed_qutrit() {
 #[test]
 fn figure9_and_figure10_models_have_the_paper_shape() {
     // Figure 9: depth ordering and the log-vs-linear gap widens with N.
-    let gap_at_50 = paper_depth_model(Construction::Qubit, 50)
-        / paper_depth_model(Construction::Qutrit, 50);
-    let gap_at_200 = paper_depth_model(Construction::Qubit, 200)
-        / paper_depth_model(Construction::Qutrit, 200);
+    let gap_at_50 =
+        paper_depth_model(Construction::Qubit, 50) / paper_depth_model(Construction::Qutrit, 50);
+    let gap_at_200 =
+        paper_depth_model(Construction::Qubit, 200) / paper_depth_model(Construction::Qutrit, 200);
     assert!(gap_at_200 > gap_at_50);
     // Figure 10: all three series are linear, so their ratios are constant.
     let r1 = paper_two_qudit_gate_model(Construction::QubitAncilla, 50)
