@@ -1,0 +1,96 @@
+//! Backend cross-validation harness: checks that trajectory Monte Carlo
+//! fidelity estimates converge to the exact density-matrix backend's values
+//! on a fixed seed set, for d ∈ {2, 3} circuits up to 6 qudits and every
+//! noise model in the paper.
+//!
+//! Each case asserts `|F_trajectory − F_exact| ≤ σ_mult × max(binomial σ at
+//! F_exact, sample std error) + 1e-6`. The inputs are fixed (all-|1⟩) and
+//! the seeds pinned, so a pass is deterministic — CI runs this binary and a
+//! drift in either backend fails the build with a nonzero exit code.
+//!
+//! Usage:
+//! `cargo run --release -p bench --bin crossval [-- --trials 400 --seed 2019 --sigmas 3]`
+
+use bench::{benchmark_circuit, parse_flag_or};
+use qudit_circuit::Circuit;
+use qudit_noise::{cross_validate, models, GateExpansion, InputState, TrajectoryConfig};
+use qutrit_toffoli::cost::Construction;
+
+fn fig4_toffoli() -> Circuit {
+    benchmark_circuit(Construction::Qutrit, 2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials: usize = parse_flag_or(&args, "--trials", 400);
+    let seed: u64 = parse_flag_or(&args, "--seed", 2019);
+    let sigmas: f64 = parse_flag_or(&args, "--sigmas", 3.0);
+
+    // The fixed case set: every paper noise model on the 3-qutrit Figure 4
+    // Toffoli, plus larger d ∈ {2, 3} instances (up to 6 qudits) on
+    // representative models.
+    let mut cases: Vec<(String, Circuit, qudit_noise::NoiseModel)> = Vec::new();
+    for model in models::all_models() {
+        cases.push((
+            format!("fig4-toffoli/{}", model.name),
+            fig4_toffoli(),
+            model,
+        ));
+    }
+    for (label, construction, controls) in [
+        ("qutrit-5q", Construction::Qutrit, 4),
+        ("qutrit-6q", Construction::Qutrit, 5),
+        ("qubit-5q", Construction::Qubit, 4),
+        ("qubit-6q", Construction::Qubit, 5),
+    ] {
+        let model = models::sc_t1_gates();
+        cases.push((
+            format!("{label}/{}", model.name),
+            benchmark_circuit(construction, controls),
+            model,
+        ));
+    }
+
+    println!(
+        "Backend cross-validation: {} cases, {} trials, seed {}, {}σ bound",
+        cases.len(),
+        trials,
+        seed,
+        sigmas
+    );
+    println!(
+        "{:<28} {:>7} {:>10} {:>10} {:>10} {:>10}  status",
+        "case", "qudits", "exact", "estimate", "|diff|", "bound"
+    );
+
+    let mut failures = 0usize;
+    for (label, circuit, model) in &cases {
+        let config = TrajectoryConfig {
+            trials,
+            seed,
+            expansion: GateExpansion::DiWei,
+            input: InputState::AllOnes,
+        };
+        let cv = cross_validate(circuit, model, &config, sigmas).expect("cross-validation run");
+        let ok = cv.within_bounds();
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{:<28} {:>7} {:>10.6} {:>10.6} {:>10.2e} {:>10.2e}  {}",
+            label,
+            circuit.width(),
+            cv.exact,
+            cv.estimate.mean,
+            cv.deviation(),
+            cv.tolerance,
+            if ok { "ok" } else { "FAIL" }
+        );
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} cross-validation case(s) exceeded the bound");
+        std::process::exit(1);
+    }
+    println!("all cases within bounds");
+}

@@ -7,29 +7,36 @@
 //! reduced size so it completes on a laptop in minutes. Pass
 //! `--controls 13 --trials 1000` to reproduce the full experiment.
 //!
+//! `--backend density` switches every bar to the exact density-matrix
+//! engine (feasible up to ~6 qudits): fidelities become ground truth and the
+//! `2σ` column reflects only the spread over the sampled inputs.
+//!
 //! Usage:
-//! `cargo run --release -p bench --bin fig11 [-- --controls 7 --trials 40 --seed 2019]`
+//! `cargo run --release -p bench --bin fig11 [-- --controls 7 --trials 40 --seed 2019 --backend trajectory]`
 
-use bench::{figure11_fidelity, figure11_pairs, parse_flag_or, percent};
+use bench::{backend_from_args, figure11_fidelity_on, figure11_pairs, parse_flag_or, percent};
+use qudit_noise::BackendKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n_controls: usize = parse_flag_or(&args, "--controls", 7);
     let trials: usize = parse_flag_or(&args, "--trials", 40);
     let seed: u64 = parse_flag_or(&args, "--seed", 2019);
+    let backend = backend_from_args(&args, BackendKind::Trajectory);
 
     println!(
-        "Figure 11: mean fidelity of the {}-input Generalized Toffoli ({} controls, {} trials/bar)",
+        "Figure 11: mean fidelity of the {}-input Generalized Toffoli ({} controls, {} trials/bar, {} backend)",
         n_controls + 1,
         n_controls,
-        trials
+        trials,
+        backend.name()
     );
     println!(
         "{:<16} {:<15} {:>12} {:>10}",
         "Noise model", "Circuit", "Fidelity", "2-sigma"
     );
     for (construction, model) in figure11_pairs() {
-        let est = figure11_fidelity(construction, &model, n_controls, trials, seed);
+        let est = figure11_fidelity_on(backend, construction, &model, n_controls, trials, seed);
         println!(
             "{:<16} {:<15} {:>12} {:>10}",
             model.name,

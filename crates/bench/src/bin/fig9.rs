@@ -8,8 +8,9 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig9 [-- --max 200 --step 25]`
 
-use bench::{benchmark_circuit, parse_flag_or};
+use bench::{backend_from_args, benchmark_circuit, parse_flag_or, verify_constructions_on};
 use qudit_circuit::{analyze, CostWeights};
+use qudit_noise::BackendKind;
 use qutrit_toffoli::cost::{paper_depth_model, Construction};
 
 fn main() {
@@ -17,6 +18,17 @@ fn main() {
     let max: usize = parse_flag_or(&args, "--max", 200);
     let step: usize = parse_flag_or(&args, "--step", 25);
     let measure_cap: usize = parse_flag_or(&args, "--measure-cap", 200);
+    let backend = backend_from_args(&args, BackendKind::Trajectory);
+
+    // The depths below are structural, but the constructions they measure
+    // are first re-verified end-to-end through the selected backend.
+    match verify_constructions_on(backend, 3) {
+        Ok(()) => println!("(constructions verified on the {} backend)", backend.name()),
+        Err(e) => {
+            eprintln!("construction verification failed: {e}");
+            std::process::exit(1);
+        }
+    }
 
     println!("Figure 9: circuit depth for the N-controlled Generalized Toffoli");
     println!(

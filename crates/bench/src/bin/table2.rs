@@ -1,26 +1,51 @@
-//! Regenerates Table 2: superconducting noise-model parameters.
+//! Regenerates Table 2: superconducting noise-model parameters, plus a
+//! reference fidelity column computed through the selected simulation
+//! backend (the paper's Figure 4 Toffoli, 2 controls).
+//!
+//! `--backend density` (the default) reports the exact density-matrix
+//! fidelity; `--backend trajectory` reports the Monte Carlo estimate the
+//! exact value cross-validates.
+//!
+//! Usage:
+//! `cargo run --release -p bench --bin table2 [-- --backend density --trials 40 --seed 2019]`
 
+use bench::{backend_from_args, parse_flag_or, table_reference_fidelity};
 use qudit_noise::models::superconducting_models;
+use qudit_noise::BackendKind;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let backend = backend_from_args(&args, BackendKind::DensityMatrix);
+    let trials: usize = parse_flag_or(&args, "--trials", 40);
+    let seed: u64 = parse_flag_or(&args, "--seed", 2019);
+
     println!("Table 2: Noise models simulated for superconducting devices");
     println!(
-        "{:<14} {:>10} {:>10} {:>10}",
-        "Noise Model", "3p1", "15p2", "T1"
+        "{:<14} {:>10} {:>10} {:>10} {:>14}",
+        "Noise Model",
+        "3p1",
+        "15p2",
+        "T1",
+        format!("F({} bk)", backend.name())
     );
     for m in superconducting_models() {
+        let est = table_reference_fidelity(backend, &m, 3, trials, seed);
         println!(
-            "{:<14} {:>10.1e} {:>10.1e} {:>8.0} ms",
+            "{:<14} {:>10.1e} {:>10.1e} {:>8.0} ms {:>13.4}%",
             m.name,
             3.0 * m.p1,
             15.0 * m.p2,
-            m.t1.unwrap_or(0.0) * 1e3
+            m.t1.unwrap_or(0.0) * 1e3,
+            100.0 * est.mean
         );
     }
     println!();
     println!(
-        "(gate times: {} ns single-qudit, {} ns two-qudit)",
+        "(gate times: {} ns single-qudit, {} ns two-qudit; fidelity column: \
+         2-controlled qutrit Toffoli, {} input draws, seed {})",
         superconducting_models()[0].gate_time_1q * 1e9,
-        superconducting_models()[0].gate_time_2q * 1e9
+        superconducting_models()[0].gate_time_2q * 1e9,
+        trials,
+        seed
     );
 }

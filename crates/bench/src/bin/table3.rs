@@ -1,25 +1,48 @@
-//! Regenerates Table 3: trapped-ion ¹⁷¹Yb⁺ noise-model parameters.
+//! Regenerates Table 3: trapped-ion ¹⁷¹Yb⁺ noise-model parameters, plus a
+//! reference fidelity column computed through the selected simulation
+//! backend (a 2-controlled Toffoli built at the model's dimension).
+//!
+//! Usage:
+//! `cargo run --release -p bench --bin table3 [-- --backend density --trials 40 --seed 2019]`
 
+use bench::{backend_from_args, parse_flag_or, table_reference_fidelity};
 use qudit_noise::models::trapped_ion_models;
+use qudit_noise::BackendKind;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let backend = backend_from_args(&args, BackendKind::DensityMatrix);
+    let trials: usize = parse_flag_or(&args, "--trials", 40);
+    let seed: u64 = parse_flag_or(&args, "--seed", 2019);
+
     println!("Table 3: Noise models simulated for trapped ion devices");
-    println!("{:<16} {:>10} {:>10}", "Noise Model", "p1", "p2");
+    println!(
+        "{:<16} {:>10} {:>10} {:>14}",
+        "Noise Model",
+        "p1",
+        "p2",
+        format!("F({} bk)", backend.name())
+    );
     for m in trapped_ion_models() {
         // Table 3 quotes total single-/two-qudit gate error probabilities;
         // TI_QUBIT is a qubit (d = 2) model, the other two are qutrit models.
         let d = if m.name == "TI_QUBIT" { 2 } else { 3 };
+        let est = table_reference_fidelity(backend, &m, d, trials, seed);
         println!(
-            "{:<16} {:>10.1e} {:>10.1e}",
+            "{:<16} {:>10.1e} {:>10.1e} {:>13.4}%",
             m.name,
             m.total_single_qudit_error(d),
-            m.total_two_qudit_error(d)
+            m.total_two_qudit_error(d),
+            100.0 * est.mean
         );
     }
     println!();
     println!(
-        "(gate times: {} us single-qudit, {} us two-qudit)",
+        "(gate times: {} us single-qudit, {} us two-qudit; fidelity column: \
+         2-controlled Toffoli at the model's dimension, {} input draws, seed {})",
         trapped_ion_models()[0].gate_time_1q * 1e6,
-        trapped_ion_models()[0].gate_time_2q * 1e6
+        trapped_ion_models()[0].gate_time_2q * 1e6,
+        trials,
+        seed
     );
 }

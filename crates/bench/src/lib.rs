@@ -17,11 +17,12 @@
 
 use qudit_circuit::Circuit;
 use qudit_noise::{
-    simulate_fidelity, FidelityEstimate, GateExpansion, InputState, NoiseModel, TrajectoryConfig,
+    BackendKind, FidelityEstimate, GateExpansion, InputState, NoiseModel, TrajectoryConfig,
 };
 use qutrit_toffoli::baselines::{qubit_no_ancilla, qubit_one_dirty_ancilla};
 use qutrit_toffoli::cost::Construction;
 use qutrit_toffoli::gen_toffoli::n_controlled_x;
+use qutrit_toffoli::verify::verify_n_controlled_x_backend;
 
 /// Builds the benchmark circuit for a construction and control count.
 ///
@@ -69,7 +70,8 @@ pub fn figure11_pairs() -> Vec<(Construction, NoiseModel)> {
     pairs
 }
 
-/// Runs the Figure 11 fidelity estimate for one (construction, model) pair.
+/// Runs the Figure 11 fidelity estimate for one (construction, model) pair
+/// on the trajectory backend.
 ///
 /// # Panics
 ///
@@ -81,14 +83,145 @@ pub fn figure11_fidelity(
     trials: usize,
     seed: u64,
 ) -> FidelityEstimate {
+    figure11_fidelity_on(
+        BackendKind::Trajectory,
+        construction,
+        model,
+        n_controls,
+        trials,
+        seed,
+    )
+}
+
+/// Runs the Figure 11 fidelity estimate for one (construction, model) pair
+/// on the selected backend. The density-matrix backend returns exact
+/// per-input fidelities (averaged over the same seeded input draws the
+/// trajectory backend would use), so its `2σ` column reflects input
+/// variation only.
+///
+/// # Panics
+///
+/// Panics if the simulation fails (unphysical model parameters).
+pub fn figure11_fidelity_on(
+    backend: BackendKind,
+    construction: Construction,
+    model: &NoiseModel,
+    n_controls: usize,
+    trials: usize,
+    seed: u64,
+) -> FidelityEstimate {
     let circuit = benchmark_circuit(construction, n_controls);
+    if backend == BackendKind::DensityMatrix {
+        ensure_density_feasible(&circuit);
+    }
     let config = TrajectoryConfig {
         trials,
         seed,
         expansion: GateExpansion::DiWei,
         input: InputState::RandomQubitSubspace,
     };
-    simulate_fidelity(&circuit, model, &config).expect("trajectory simulation")
+    backend
+        .instantiate()
+        .fidelity(&circuit, model, &config)
+        .expect("fidelity simulation")
+}
+
+/// The largest density matrix the bench binaries will allocate per run:
+/// `3^14` entries (7 qutrits, ~76 MB). Beyond this, random-input averaging
+/// fans one ρ out per rayon worker and a laptop run degrades into swapping
+/// or an OOM kill, so the harness refuses loudly instead.
+const DENSITY_MAX_ENTRIES: u128 = 4_782_969; // 3^14
+
+/// Panics with an actionable message when the exact backend would need an
+/// infeasibly large density matrix for this circuit.
+///
+/// # Panics
+///
+/// Panics if `dim^(2·width)` exceeds [`DENSITY_MAX_ENTRIES`].
+fn ensure_density_feasible(circuit: &Circuit) {
+    // checked_pow: an overflowing width is by definition infeasible, and
+    // wrapping must not let it sneak past the threshold in release builds.
+    let entries = (circuit.dim() as u128).checked_pow(2 * circuit.width() as u32);
+    assert!(
+        entries.is_some_and(|e| e <= DENSITY_MAX_ENTRIES),
+        "the density-matrix backend would need {} entries (~{} MB) for this \
+         {}-qudit d={} circuit; reduce --controls (≤ 7 qutrits is feasible) or use \
+         --backend trajectory",
+        entries.map_or("> u128::MAX".to_string(), |e| e.to_string()),
+        entries.map_or("huge".to_string(), |e| (e.saturating_mul(16)
+            / (1024 * 1024))
+            .to_string()),
+        circuit.width(),
+        circuit.dim()
+    );
+}
+
+/// Parses the `--backend` CLI switch shared by the table/figure binaries.
+///
+/// # Panics
+///
+/// Panics (with the accepted values) on an unrecognised backend name, so a
+/// typo fails loudly instead of silently running the default engine.
+pub fn backend_from_args(args: &[String], default: BackendKind) -> BackendKind {
+    match parse_flag(args, "--backend") {
+        None => default,
+        Some(v) => BackendKind::from_flag(&v).unwrap_or_else(|| {
+            panic!("unknown backend {v:?}; expected \"trajectory\" or \"density\"")
+        }),
+    }
+}
+
+/// The reference fidelity column for the table binaries: the mean fidelity
+/// of the paper's Figure 4-style 2-controlled Toffoli (3 qudits, built at
+/// the model-appropriate dimension) under `model`, on the selected backend.
+///
+/// # Panics
+///
+/// Panics if the simulation fails (unphysical model parameters).
+pub fn table_reference_fidelity(
+    backend: BackendKind,
+    model: &NoiseModel,
+    dim: usize,
+    trials: usize,
+    seed: u64,
+) -> FidelityEstimate {
+    let construction = if dim == 2 {
+        Construction::Qubit
+    } else {
+        Construction::Qutrit
+    };
+    figure11_fidelity_on(backend, construction, model, 2, trials, seed)
+}
+
+/// Routes the paper's N-controlled-X verification through the selected
+/// backend for every simulable construction, returning an error string on
+/// the first counterexample. The figure binaries call this when `--backend`
+/// is passed, so a backend that drifts from the constructions fails the
+/// regeneration run.
+///
+/// # Panics
+///
+/// Panics if a construction cannot be built.
+pub fn verify_constructions_on(backend: BackendKind, n_controls: usize) -> Result<(), String> {
+    let engine = backend.instantiate();
+    for construction in Construction::benchmarked() {
+        let circuit = benchmark_circuit(construction, n_controls);
+        match verify_n_controlled_x_backend(engine.as_ref(), &circuit, n_controls, n_controls) {
+            Ok(None) => {}
+            Ok(Some(cex)) => {
+                return Err(format!(
+                    "{} failed on {}: input {:?} gave {:?}, expected {:?}",
+                    construction.name(),
+                    backend.name(),
+                    cex.input,
+                    cex.actual,
+                    cex.expected
+                ))
+            }
+            Err(e) => return Err(format!("{} verification error: {e}", construction.name())),
+        }
+    }
+    Ok(())
 }
 
 /// Formats a fidelity as a percentage string like the paper's figure labels.
@@ -153,5 +286,57 @@ mod tests {
             1,
         );
         assert!(est.mean > 0.8 && est.mean <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn backend_flag_parsing_defaults_and_overrides() {
+        let none: Vec<String> = Vec::new();
+        assert_eq!(
+            backend_from_args(&none, BackendKind::Trajectory),
+            BackendKind::Trajectory
+        );
+        let args: Vec<String> = ["--backend", "density"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            backend_from_args(&args, BackendKind::Trajectory),
+            BackendKind::DensityMatrix
+        );
+    }
+
+    #[test]
+    fn both_backends_verify_the_small_constructions() {
+        for backend in [BackendKind::Trajectory, BackendKind::DensityMatrix] {
+            verify_constructions_on(backend, 3).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "density-matrix backend would need")]
+    fn density_backend_refuses_infeasible_widths() {
+        // 8 qutrits → 3^16 ≈ 43M entries (~690 MB per ρ): refuse loudly.
+        figure11_fidelity_on(
+            BackendKind::DensityMatrix,
+            Construction::Qutrit,
+            &qudit_noise::models::sc(),
+            7,
+            1,
+            1,
+        );
+    }
+
+    #[test]
+    fn table_reference_fidelity_is_exact_on_the_density_backend() {
+        let est = table_reference_fidelity(
+            BackendKind::DensityMatrix,
+            &qudit_noise::models::sc(),
+            3,
+            3,
+            2019,
+        );
+        assert!(est.mean > 0.9 && est.mean < 1.0);
+        // Three exact per-input fidelities, deterministic for the seed.
+        assert_eq!(est.trials, 3);
     }
 }

@@ -7,7 +7,8 @@
 
 use qudit_circuit::classical::{all_binary_basis_states, simulate_classical};
 use qudit_circuit::{Circuit, CircuitResult};
-use qudit_core::Complex;
+use qudit_core::{Complex, StateVector};
+use qudit_noise::Backend;
 use qudit_sim::Simulator;
 
 /// A verification failure: the circuit mapped `input` to `actual` instead of
@@ -86,6 +87,70 @@ pub fn verify_n_controlled_x_statevector(
     Ok(None)
 }
 
+/// Verifies through an arbitrary simulation [`Backend`] that `circuit`
+/// implements an N-controlled-X up to phases: on every binary basis input,
+/// all the output probability must sit on the expected basis state.
+///
+/// This is the backend-agnostic routing of the verification scripts: the
+/// same check runs on the state-vector engine and the exact density-matrix
+/// engine (the bench binaries expose the choice as `--backend`). Probability
+/// rather than amplitude is compared because a density matrix carries no
+/// global phase; use [`verify_n_controlled_x_statevector`] when the phase
+/// itself must be pinned down.
+///
+/// # Errors
+///
+/// Propagates state-construction and read-out errors.
+pub fn verify_n_controlled_x_backend(
+    backend: &dyn Backend,
+    circuit: &Circuit,
+    n_controls: usize,
+    target: usize,
+) -> Result<Option<Counterexample>, Box<dyn std::error::Error>> {
+    let inputs: Vec<Vec<usize>> = all_binary_basis_states(circuit.width()).collect();
+    let mut result: Result<Option<Counterexample>, Box<dyn std::error::Error>> = Ok(None);
+    // run_each compiles the circuit once and sweeps every input through the
+    // shared plans; the observer stops the sweep at the first failure.
+    backend.run_each(
+        circuit,
+        &mut inputs.iter().map(|input| {
+            StateVector::from_basis_state(circuit.dim(), input).expect("binary digits are valid")
+        }),
+        &mut |i, out| {
+            let input = &inputs[i];
+            let mut expected = input.clone();
+            if input[..n_controls].iter().all(|&b| b == 1) {
+                expected[target] = 1 - expected[target];
+            }
+            match out.probability(&expected) {
+                Err(e) => {
+                    result = Err(e.into());
+                    false
+                }
+                Ok(p) if (p - 1.0).abs() > 1e-6 => {
+                    let probs = out.probabilities();
+                    let best = probs
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            a.partial_cmp(b).expect("probabilities are not NaN")
+                        })
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    result = Ok(Some(Counterexample {
+                        input: input.clone(),
+                        expected,
+                        actual: StateVector::decode_index(circuit.dim(), circuit.width(), best),
+                    }));
+                    false
+                }
+                Ok(_) => true,
+            }
+        },
+    );
+    result
+}
+
 /// Exhaustively verifies that `circuit` implements +1 mod 2^N on a binary
 /// register (qudit 0 = least significant bit).
 ///
@@ -138,6 +203,35 @@ mod tests {
         let n = 4;
         let c = qubit_no_ancilla(n, 2).unwrap();
         assert_eq!(verify_n_controlled_x_statevector(&c, n, n).unwrap(), None);
+    }
+
+    #[test]
+    fn qutrit_tree_passes_verification_on_both_backends() {
+        use qudit_noise::{DensityMatrixBackend, TrajectoryBackend};
+        let n = 3;
+        let c = n_controlled_x(n).unwrap();
+        for backend in [
+            &TrajectoryBackend as &dyn Backend,
+            &DensityMatrixBackend as &dyn Backend,
+        ] {
+            assert_eq!(
+                verify_n_controlled_x_backend(backend, &c, n, n).unwrap(),
+                None,
+                "failed on the {} backend",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn backend_verification_catches_a_broken_circuit() {
+        use qudit_noise::DensityMatrixBackend;
+        let mut c = qudit_circuit::Circuit::new(3, 3);
+        c.push_gate(qudit_circuit::Gate::x(3), &[2]).unwrap();
+        let cex = verify_n_controlled_x_backend(&DensityMatrixBackend, &c, 2, 2)
+            .unwrap()
+            .expect("a bare X is not a CCX");
+        assert_ne!(cex.expected, cex.actual);
     }
 
     #[test]

@@ -80,11 +80,8 @@ impl Gate {
         &self.matrix
     }
 
-    /// A reference-counted handle to the gate's matrix.
-    ///
-    /// The simulator's plan cache keys on the matrix allocation and holds
-    /// this handle to keep the keyed allocation alive, so one plan is built
-    /// per distinct gate even when the gate is cloned into many operations.
+    /// A reference-counted handle to the gate's matrix, for callers that
+    /// need to share the matrix without cloning its storage.
     pub fn matrix_arc(&self) -> Arc<CMatrix> {
         Arc::clone(&self.matrix)
     }

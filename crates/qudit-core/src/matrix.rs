@@ -196,6 +196,18 @@ impl CMatrix {
         out
     }
 
+    /// Returns the entrywise complex conjugate (no transposition).
+    ///
+    /// For a unitary `U` this is the matrix that acts on the *column* index
+    /// of a density matrix: `U·ρ·U†` vectorises to `(U ⊗ conj(U))·vec(ρ)`.
+    pub fn conj(&self) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
     /// Returns the (non-conjugated) transpose.
     pub fn transpose(&self) -> CMatrix {
         let mut out = CMatrix::zeros(self.cols, self.rows);
@@ -534,6 +546,16 @@ mod tests {
         assert!(xz.approx_eq(&zx.scale(Complex::real(-1.0)), 1e-12));
         // X^2 = I
         assert!((&x * &x).approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn conj_is_adjoint_of_transpose() {
+        let m = CMatrix::from_rows(&[
+            &[Complex::new(1.0, 2.0), Complex::new(-0.5, 0.25)],
+            &[Complex::I, Complex::new(0.0, -3.0)],
+        ]);
+        assert!(m.conj().approx_eq(&m.transpose().adjoint(), 1e-15));
+        assert_eq!(m.conj().get(0, 0), Complex::new(1.0, -2.0));
     }
 
     #[test]

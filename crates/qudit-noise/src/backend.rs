@@ -1,0 +1,367 @@
+//! The simulation-backend abstraction.
+//!
+//! Two engines can answer the same questions about a circuit:
+//!
+//! * the **trajectory** backend — state-vector evolution, noise sampled as
+//!   quantum trajectories (Algorithm 1). Scales to large registers; its
+//!   fidelities are Monte Carlo estimates with statistical error bars.
+//! * the **density-matrix** backend — exact `ρ` evolution with channels
+//!   applied as superoperators. Exponentially more memory (`d^2n`), but its
+//!   fidelities are ground truth with zero sampling error.
+//!
+//! [`Backend`] unifies them behind one `run`/`fidelity` API so verification
+//! helpers, benches and tests can be routed through either engine (the
+//! bench binaries expose this as a `--backend` switch), and
+//! [`cross_validate`] pits them against each other: the trajectory estimate
+//! must land within the computed confidence bound of the exact value.
+
+use crate::error::NoiseResult;
+use crate::exact::DensityNoiseSimulator;
+use crate::models::NoiseModel;
+use crate::trajectory::{FidelityEstimate, TrajectoryConfig, TrajectorySimulator};
+use qudit_circuit::Circuit;
+use qudit_core::{CoreResult, StateVector};
+use qudit_sim::{CompiledCircuit, CompiledDensityCircuit, DensityMatrix};
+
+/// The output of a noise-free backend run: a pure state for state-vector
+/// engines, a density matrix for exact engines. Common read-out queries are
+/// provided so callers can stay backend-agnostic.
+#[derive(Clone, Debug)]
+pub enum SimOutput {
+    /// A state vector `|ψ⟩`.
+    Pure(StateVector),
+    /// A density matrix `ρ` (pure in the noise-free case, but stored
+    /// generally).
+    Mixed(DensityMatrix),
+}
+
+impl SimOutput {
+    /// The probability of measuring the basis state with the given digits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any digit is out of range.
+    pub fn probability(&self, digits: &[usize]) -> CoreResult<f64> {
+        match self {
+            SimOutput::Pure(psi) => psi.probability(digits),
+            SimOutput::Mixed(rho) => rho.population(digits),
+        }
+    }
+
+    /// The full probability distribution over basis states.
+    pub fn probabilities(&self) -> Vec<f64> {
+        match self {
+            SimOutput::Pure(psi) => psi.probabilities(),
+            SimOutput::Mixed(rho) => rho.diagonal(),
+        }
+    }
+
+    /// The fidelity against a pure reference state: `|⟨φ|ψ⟩|²` or
+    /// `⟨φ|ρ|φ⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn fidelity_with_pure(&self, reference: &StateVector) -> f64 {
+        match self {
+            SimOutput::Pure(psi) => reference.fidelity(psi),
+            SimOutput::Mixed(rho) => rho.fidelity_with_pure(reference),
+        }
+    }
+}
+
+/// A simulation engine that can run circuits noise-free and estimate
+/// fidelities under a noise model.
+pub trait Backend: Send + Sync {
+    /// A short stable name (`"trajectory"` / `"density-matrix"`), used by
+    /// the `--backend` CLI switches and in reports.
+    fn name(&self) -> &'static str;
+
+    /// Noise-free evolution of a stream of inputs through one circuit
+    /// compilation: the circuit is compiled once, each input is evolved,
+    /// and `observer(input index, output)` is invoked per input. Stops
+    /// early when the observer returns `false`.
+    ///
+    /// Prefer this over repeated [`Backend::run`] calls when sweeping many
+    /// inputs (e.g. exhaustive verification over all basis states) — it
+    /// avoids re-planning every operation per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input's shape does not match the circuit.
+    fn run_each(
+        &self,
+        circuit: &Circuit,
+        inputs: &mut dyn Iterator<Item = StateVector>,
+        observer: &mut dyn FnMut(usize, SimOutput) -> bool,
+    );
+
+    /// Noise-free evolution of `initial` through `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state shape does not match the circuit.
+    fn run(&self, circuit: &Circuit, initial: &StateVector) -> SimOutput {
+        let mut out = None;
+        self.run_each(
+            circuit,
+            &mut std::iter::once(initial.clone()),
+            &mut |_, o| {
+                out = Some(o);
+                false
+            },
+        );
+        out.expect("run_each yields one output for one input")
+    }
+
+    /// Mean fidelity of `circuit` under `model` for the configured input
+    /// distribution. Trajectory backends sample `config.trials`
+    /// trajectories; the exact backend returns ground truth (averaging only
+    /// over inputs when the input distribution is random).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model is unphysical for the circuit's
+    /// dimension or the input specification is invalid.
+    fn fidelity(
+        &self,
+        circuit: &Circuit,
+        model: &NoiseModel,
+        config: &TrajectoryConfig,
+    ) -> NoiseResult<FidelityEstimate>;
+}
+
+/// The state-vector / quantum-trajectory engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrajectoryBackend;
+
+impl Backend for TrajectoryBackend {
+    fn name(&self) -> &'static str {
+        "trajectory"
+    }
+
+    fn run_each(
+        &self,
+        circuit: &Circuit,
+        inputs: &mut dyn Iterator<Item = StateVector>,
+        observer: &mut dyn FnMut(usize, SimOutput) -> bool,
+    ) {
+        let compiled = CompiledCircuit::compile(circuit);
+        for (i, input) in inputs.enumerate() {
+            if !observer(i, SimOutput::Pure(compiled.run(input))) {
+                return;
+            }
+        }
+    }
+
+    fn fidelity(
+        &self,
+        circuit: &Circuit,
+        model: &NoiseModel,
+        config: &TrajectoryConfig,
+    ) -> NoiseResult<FidelityEstimate> {
+        let sim = TrajectorySimulator::new(circuit, model, config.expansion)?;
+        sim.run(config).map_err(crate::error::NoiseError::from)
+    }
+}
+
+/// The exact density-matrix engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DensityMatrixBackend;
+
+impl Backend for DensityMatrixBackend {
+    fn name(&self) -> &'static str {
+        "density-matrix"
+    }
+
+    fn run_each(
+        &self,
+        circuit: &Circuit,
+        inputs: &mut dyn Iterator<Item = StateVector>,
+        observer: &mut dyn FnMut(usize, SimOutput) -> bool,
+    ) {
+        let compiled = CompiledDensityCircuit::compile(circuit);
+        for (i, input) in inputs.enumerate() {
+            let out = compiled.run(DensityMatrix::from_pure(&input));
+            if !observer(i, SimOutput::Mixed(out)) {
+                return;
+            }
+        }
+    }
+
+    fn fidelity(
+        &self,
+        circuit: &Circuit,
+        model: &NoiseModel,
+        config: &TrajectoryConfig,
+    ) -> NoiseResult<FidelityEstimate> {
+        let sim = DensityNoiseSimulator::new(circuit, model, config.expansion)?;
+        sim.run(config).map_err(crate::error::NoiseError::from)
+    }
+}
+
+/// Backend selector, for CLI `--backend` switches and config plumbing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// [`TrajectoryBackend`].
+    Trajectory,
+    /// [`DensityMatrixBackend`].
+    DensityMatrix,
+}
+
+impl BackendKind {
+    /// Parses a CLI flag value. Accepts `trajectory`/`sv`/`statevector` and
+    /// `density`/`density-matrix`/`dm`/`exact`.
+    pub fn from_flag(flag: &str) -> Option<BackendKind> {
+        match flag.to_ascii_lowercase().as_str() {
+            "trajectory" | "sv" | "statevector" => Some(BackendKind::Trajectory),
+            "density" | "density-matrix" | "dm" | "exact" => Some(BackendKind::DensityMatrix),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the selected backend.
+    pub fn instantiate(self) -> Box<dyn Backend> {
+        match self {
+            BackendKind::Trajectory => Box::new(TrajectoryBackend),
+            BackendKind::DensityMatrix => Box::new(DensityMatrixBackend),
+        }
+    }
+
+    /// The backend's stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Trajectory => TrajectoryBackend.name(),
+            BackendKind::DensityMatrix => DensityMatrixBackend.name(),
+        }
+    }
+}
+
+/// One trajectory-vs-exact comparison from [`cross_validate`].
+#[derive(Clone, Copy, Debug)]
+pub struct CrossValidation {
+    /// The exact (density-matrix) fidelity.
+    pub exact: f64,
+    /// The trajectory Monte Carlo estimate.
+    pub estimate: FidelityEstimate,
+    /// The confidence bound the estimate must fall within:
+    /// `sigmas × max(binomial σ at the exact value, sample std error)`.
+    pub tolerance: f64,
+}
+
+impl CrossValidation {
+    /// The absolute trajectory-vs-exact deviation.
+    pub fn deviation(&self) -> f64 {
+        (self.estimate.mean - self.exact).abs()
+    }
+
+    /// Whether the trajectory estimate landed within the bound.
+    pub fn within_bounds(&self) -> bool {
+        self.deviation() <= self.tolerance
+    }
+}
+
+/// Cross-validates the two backends on one (circuit, model, config) triple:
+/// runs the exact density-matrix fidelity and the trajectory estimate, and
+/// computes the confidence bound the estimate must satisfy.
+///
+/// Per-trial fidelities lie in `[0, 1]`, so the sample-mean standard error
+/// is bounded by the binomial form `√(F(1−F)/trials)` evaluated at the
+/// exact `F`; the bound used is `sigmas` times the larger of that and the
+/// observed sample standard error (plus a small absolute floor for the
+/// near-deterministic `F → 1` regime). With the same `config.seed`, both
+/// backends see identical input draws for random-input configs, so input
+/// variation cancels and the bound only has to cover noise sampling.
+///
+/// # Errors
+///
+/// Returns an error if the model is unphysical for the circuit dimension or
+/// the input specification is invalid.
+pub fn cross_validate(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    config: &TrajectoryConfig,
+    sigmas: f64,
+) -> NoiseResult<CrossValidation> {
+    let exact = DensityMatrixBackend.fidelity(circuit, model, config)?;
+    let estimate = TrajectoryBackend.fidelity(circuit, model, config)?;
+    let trials = estimate.trials.max(1) as f64;
+    let binomial_sigma =
+        (exact.mean.clamp(0.0, 1.0) * (1.0 - exact.mean.clamp(0.0, 1.0)) / trials).sqrt();
+    let tolerance = sigmas * binomial_sigma.max(estimate.std_error) + 1e-6;
+    Ok(CrossValidation {
+        exact: exact.mean,
+        estimate,
+        tolerance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::sc_t1_gates;
+    use crate::InputState;
+    use qudit_circuit::{Control, Gate};
+
+    fn toffoli_fig4() -> Circuit {
+        let mut c = Circuit::new(3, 3);
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+            .unwrap();
+        c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn both_backends_agree_on_noise_free_runs() {
+        let c = toffoli_fig4();
+        let input = StateVector::from_basis_state(3, &[1, 1, 0]).unwrap();
+        let pure = TrajectoryBackend.run(&c, &input);
+        let mixed = DensityMatrixBackend.run(&c, &input);
+        for (a, b) in pure.probabilities().iter().zip(mixed.probabilities()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!((mixed.probability(&[1, 1, 1]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backend_kind_parses_flags() {
+        assert_eq!(
+            BackendKind::from_flag("TRAJECTORY"),
+            Some(BackendKind::Trajectory)
+        );
+        assert_eq!(BackendKind::from_flag("sv"), Some(BackendKind::Trajectory));
+        assert_eq!(
+            BackendKind::from_flag("density"),
+            Some(BackendKind::DensityMatrix)
+        );
+        assert_eq!(
+            BackendKind::from_flag("exact"),
+            Some(BackendKind::DensityMatrix)
+        );
+        assert_eq!(BackendKind::from_flag("qft"), None);
+        assert_eq!(BackendKind::Trajectory.instantiate().name(), "trajectory");
+    }
+
+    #[test]
+    fn cross_validation_passes_on_the_fig4_toffoli() {
+        let c = toffoli_fig4();
+        let config = TrajectoryConfig {
+            trials: 200,
+            seed: 2019,
+            input: InputState::AllOnes,
+            ..TrajectoryConfig::default()
+        };
+        let cv = cross_validate(&c, &sc_t1_gates(), &config, 3.0).unwrap();
+        assert!(
+            cv.within_bounds(),
+            "trajectory {} vs exact {} exceeds bound {}",
+            cv.estimate.mean,
+            cv.exact,
+            cv.tolerance
+        );
+        assert!(cv.exact > 0.9 && cv.exact < 1.0);
+    }
+}

@@ -36,6 +36,20 @@ pub enum NoiseError {
         /// Human-readable description.
         reason: String,
     },
+    /// A simulation run failed (e.g. an invalid input specification for the
+    /// circuit, propagated from the core state constructors).
+    Simulation {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl From<qudit_core::CoreError> for NoiseError {
+    fn from(e: qudit_core::CoreError) -> Self {
+        NoiseError::Simulation {
+            reason: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for NoiseError {
@@ -60,6 +74,7 @@ impl fmt::Display for NoiseError {
                 )
             }
             NoiseError::InvalidModel { reason } => write!(f, "invalid noise model: {reason}"),
+            NoiseError::Simulation { reason } => write!(f, "simulation failed: {reason}"),
         }
     }
 }

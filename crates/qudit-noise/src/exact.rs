@@ -1,0 +1,298 @@
+//! Exact (density-matrix) noise simulation.
+//!
+//! Evolves `ρ` through the same noisy process the trajectory Monte Carlo
+//! samples — gate unitaries, per-operation depolarizing errors, per-moment
+//! amplitude-damping idles, with identical Di&Wei accounting — but applies
+//! every channel *exactly* as its superoperator `Σᵢ Kᵢ ⊗ conj(Kᵢ)` instead
+//! of drawing one branch. The resulting fidelity `⟨ψ_ideal|ρ|ψ_ideal⟩` is
+//! the ground-truth value the trajectory estimates converge to; the
+//! cross-validation harness ([`crate::cross_validate`]) asserts exactly
+//! that.
+//!
+//! Cost: `d^2n` entries instead of `d^n` amplitudes, so this is the small-n
+//! oracle (≲ 6–7 qutrits) while trajectories remain the scalable engine.
+
+use crate::error::NoiseResult;
+use crate::models::NoiseModel;
+use crate::trajectory::{
+    build_noise_sites, estimate_from_samples, for_each_gate_error_site, moment_idle_duration,
+    ErrorSite, FidelityEstimate, GateExpansion, IdleDuration, InputState, NoiseSites,
+    TrajectoryConfig,
+};
+use qudit_circuit::{Circuit, Operation, Schedule};
+use qudit_core::{random_qubit_subspace_state, CoreError, StateVector};
+use qudit_sim::{
+    superoperator_targets, ApplyPlan, CompiledCircuit, CompiledDensityCircuit, DensityMatrix,
+    Simulator,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// An exact density-matrix noise simulator bound to a circuit and a noise
+/// model.
+///
+/// Construction compiles the circuit twice — a state-vector
+/// [`CompiledCircuit`] for the ideal reference output and a
+/// [`CompiledDensityCircuit`] for the noisy `U·ρ·U†` evolution — and builds
+/// one superoperator [`ApplyPlan`] per (channel, site). Everything is
+/// immutable and `Sync`, so input averaging fans out across rayon workers.
+pub struct DensityNoiseSimulator<'a> {
+    circuit: &'a Circuit,
+    ideal: CompiledCircuit,
+    noisy: CompiledDensityCircuit,
+    model: &'a NoiseModel,
+    schedule: Schedule,
+    /// Per-site superoperator plans over the vectorised `2n`-qudit view of
+    /// `ρ` — same site set as the trajectory engine, each site a single
+    /// deterministic plan.
+    sites: NoiseSites<ApplyPlan>,
+    expansion: GateExpansion,
+}
+
+impl<'a> DensityNoiseSimulator<'a> {
+    /// Builds the simulator, pre-computing every superoperator plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model parameters are unphysical for the
+    /// circuit's qudit dimension.
+    pub fn new(
+        circuit: &'a Circuit,
+        model: &'a NoiseModel,
+        expansion: GateExpansion,
+    ) -> NoiseResult<Self> {
+        let d = circuit.dim();
+        let n = circuit.width();
+        let sites = build_noise_sites(circuit, model, expansion, |c, qudits| {
+            ApplyPlan::for_matrix(
+                d,
+                2 * n,
+                &c.superoperator(),
+                &superoperator_targets(qudits, n),
+            )
+        })?;
+        Ok(DensityNoiseSimulator {
+            circuit,
+            ideal: Simulator::new().compile(circuit),
+            noisy: CompiledDensityCircuit::compile(circuit),
+            model,
+            schedule: Schedule::asap(circuit),
+            sites,
+            expansion,
+        })
+    }
+
+    /// The noise model in use.
+    pub fn model(&self) -> &NoiseModel {
+        self.model
+    }
+
+    /// Applies the gate-error superoperator(s) for one operation — the
+    /// *same* site enumeration the trajectory simulator samples
+    /// ([`for_each_gate_error_site`] is the shared source of truth).
+    fn apply_gate_error(&self, op: &Operation, rho: &mut DensityMatrix) {
+        for_each_gate_error_site(op, self.expansion, |site| match site {
+            ErrorSite::Single(q) => rho.apply_plan(&self.sites.single_gate[q]),
+            ErrorSite::Pair(pair) => rho.apply_plan(
+                self.sites
+                    .two_gate
+                    .get(&pair)
+                    .expect("pair compiled at construction"),
+            ),
+        });
+    }
+
+    /// Applies the idle superoperator for a moment to every qudit.
+    fn apply_idle_error(&self, moment_idx: usize, rho: &mut DensityMatrix) {
+        let sites =
+            match moment_idle_duration(self.circuit, &self.schedule, moment_idx, self.expansion) {
+                IdleDuration::Expanded => &self.sites.idle_expanded,
+                IdleDuration::Long => &self.sites.idle_long,
+                IdleDuration::Short => &self.sites.idle_short,
+            };
+        if let Some(sites) = sites {
+            for site in sites {
+                rho.apply_plan(site);
+            }
+        }
+    }
+
+    /// Evolves `|ψ⟩⟨ψ|` for the initial state `initial` through the noisy
+    /// process exactly and returns the final density matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state shape does not match the circuit.
+    pub fn evolve(&self, initial: &StateVector) -> DensityMatrix {
+        let mut rho = DensityMatrix::from_pure(initial);
+        for (moment_idx, op_indices) in self.schedule.iter() {
+            for &op_idx in op_indices {
+                self.noisy.pair(op_idx).apply(&mut rho);
+                self.apply_gate_error(&self.circuit.operations()[op_idx], &mut rho);
+            }
+            self.apply_idle_error(moment_idx, &mut rho);
+        }
+        // The evolution is CPTP, so this only corrects the accumulated
+        // floating-point drift of the trace.
+        rho.renormalize();
+        rho
+    }
+
+    /// The exact fidelity `⟨ψ_ideal|ρ_noisy|ψ_ideal⟩` for one initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state shape does not match the circuit.
+    pub fn exact_fidelity(&self, initial: &StateVector) -> f64 {
+        let ideal = self.ideal.run_sequential(initial.clone());
+        self.evolve(initial).fidelity_with_pure(&ideal)
+    }
+
+    /// Draws the initial state for input-sample `i`, consuming the RNG the
+    /// same way trajectory trial `i` does — so an exact run and a trajectory
+    /// run with the same config see the *same* random inputs and differ only
+    /// in how noise is accounted.
+    fn draw_input(&self, input: &InputState, seed: u64) -> Result<StateVector, CoreError> {
+        let d = self.circuit.dim();
+        let n = self.circuit.width();
+        match input {
+            InputState::RandomQubitSubspace => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                random_qubit_subspace_state(d, n, &mut rng)
+            }
+            InputState::AllOnes => StateVector::from_basis_state(d, &vec![1usize; n]),
+            InputState::Basis(digits) => StateVector::from_basis_state(d, digits),
+        }
+    }
+
+    /// Runs the exact simulation for the configured input distribution.
+    ///
+    /// For a fixed input ([`InputState::AllOnes`] / [`InputState::Basis`])
+    /// the result is a single deterministic value (`std_error` 0, one
+    /// "trial"). For [`InputState::RandomQubitSubspace`] the exact fidelity
+    /// is averaged over `config.trials` seeded input draws — deterministic
+    /// for a fixed seed, with `std_error` reflecting input variation only
+    /// (the noise itself contributes none).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input specification is invalid for the
+    /// circuit.
+    pub fn run(&self, config: &TrajectoryConfig) -> Result<FidelityEstimate, CoreError> {
+        match &config.input {
+            InputState::RandomQubitSubspace => {
+                let fidelities: Result<Vec<f64>, CoreError> = (0..config.trials)
+                    .into_par_iter()
+                    .map(|i| {
+                        let input =
+                            self.draw_input(&config.input, config.seed.wrapping_add(i as u64))?;
+                        Ok(self.exact_fidelity(&input))
+                    })
+                    .collect();
+                Ok(estimate_from_samples(&fidelities?))
+            }
+            input => {
+                let initial = self.draw_input(input, config.seed)?;
+                Ok(FidelityEstimate {
+                    mean: self.exact_fidelity(&initial),
+                    std_error: 0.0,
+                    trials: 1,
+                })
+            }
+        }
+    }
+}
+
+/// Convenience entry point: exact fidelity of `circuit` under `model`.
+///
+/// # Errors
+///
+/// Returns an error if the model is unphysical for the circuit dimension or
+/// the input specification is invalid.
+pub fn exact_fidelity(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    config: &TrajectoryConfig,
+) -> Result<FidelityEstimate, Box<dyn std::error::Error + Send + Sync>> {
+    let sim = DensityNoiseSimulator::new(circuit, model, config.expansion)?;
+    Ok(sim.run(config)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{sc, sc_t1_gates};
+    use qudit_circuit::{Control, Gate};
+
+    fn toffoli_fig4() -> Circuit {
+        let mut c = Circuit::new(3, 3);
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+            .unwrap();
+        c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn noiseless_model_gives_exactly_unit_fidelity() {
+        let model = NoiseModel {
+            name: "NOISELESS".to_string(),
+            p1: 0.0,
+            p2: 0.0,
+            t1: None,
+            gate_time_1q: 100e-9,
+            gate_time_2q: 300e-9,
+        };
+        let c = toffoli_fig4();
+        let config = TrajectoryConfig {
+            input: InputState::AllOnes,
+            ..TrajectoryConfig::default()
+        };
+        let est = exact_fidelity(&c, &model, &config).unwrap();
+        assert!((est.mean - 1.0).abs() < 1e-12);
+        assert_eq!(est.std_error, 0.0);
+    }
+
+    #[test]
+    fn exact_fidelity_is_deterministic_and_physical() {
+        let c = toffoli_fig4();
+        let model = sc_t1_gates();
+        let config = TrajectoryConfig {
+            input: InputState::AllOnes,
+            ..TrajectoryConfig::default()
+        };
+        let a = exact_fidelity(&c, &model, &config).unwrap();
+        let b = exact_fidelity(&c, &model, &config).unwrap();
+        assert_eq!(a.mean, b.mean, "exact backend must be deterministic");
+        assert!(a.mean > 0.9 && a.mean < 1.0, "fidelity {}", a.mean);
+    }
+
+    #[test]
+    fn evolved_density_matrix_stays_physical() {
+        let c = toffoli_fig4();
+        let model = sc();
+        let sim = DensityNoiseSimulator::new(&c, &model, GateExpansion::DiWei).unwrap();
+        let rho = sim.evolve(&StateVector::from_basis_state(3, &[1, 1, 1]).unwrap());
+        assert!((rho.trace().re - 1.0).abs() < 1e-9);
+        assert!(rho.hermiticity_error() < 1e-10);
+        assert!(rho.min_population() > -1e-12);
+    }
+
+    #[test]
+    fn random_input_average_is_seeded_and_deterministic() {
+        let c = toffoli_fig4();
+        let model = sc();
+        let config = TrajectoryConfig {
+            trials: 4,
+            seed: 11,
+            ..TrajectoryConfig::default()
+        };
+        let a = exact_fidelity(&c, &model, &config).unwrap();
+        let b = exact_fidelity(&c, &model, &config).unwrap();
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.trials, 4);
+    }
+}

@@ -11,6 +11,7 @@ use qudit_core::{CMatrix, Complex, StateVector};
 // Channel branches are applied on the calling thread: trajectory trials
 // already run one per core, so per-branch fan-out would only oversubscribe.
 use qudit_sim::apply_matrix_sequential as apply_matrix;
+use qudit_sim::ApplyPlan;
 use rand::Rng;
 
 /// A quantum noise channel acting on one or more qudits.
@@ -105,6 +106,78 @@ impl Channel {
         }
     }
 
+    /// The superoperator `Σᵢ wᵢ·Kᵢ ⊗ conj(Kᵢ)` of the channel as a dense
+    /// matrix over the combined `(row ⊗ column)` space of the targeted
+    /// qudits, with `wᵢ` the branch probability for mixed-unitary channels
+    /// and 1 for general Kraus channels.
+    ///
+    /// Feeding this to
+    /// [`DensityMatrix::apply_superoperator`](qudit_sim::DensityMatrix::apply_superoperator)
+    /// applies the channel *exactly* — the density-matrix backend's
+    /// deterministic counterpart of [`Channel::apply_trajectory`].
+    pub fn superoperator(&self) -> CMatrix {
+        let d2 = self.dim() * self.dim();
+        let mut total = CMatrix::zeros(d2, d2);
+        match self {
+            Channel::MixedUnitary { probs, unitaries } => {
+                for (&p, u) in probs.iter().zip(unitaries) {
+                    if p == 0.0 {
+                        continue;
+                    }
+                    total = &total + &u.kron(&u.conj()).scale(Complex::real(p));
+                }
+            }
+            Channel::Kraus { operators } => {
+                for k in operators {
+                    total = &total + &k.kron(&k.conj());
+                }
+            }
+        }
+        total
+    }
+
+    /// Precompiles the channel's trajectory branches for one fixed
+    /// `(register shape, qudit set)` site, so the Monte Carlo loop does no
+    /// plan building per application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel dimension does not match `dim^qudits.len()`, or
+    /// the qudit indices are invalid for the register.
+    pub fn compile(&self, dim: usize, width: usize, qudits: &[usize]) -> CompiledChannel {
+        let expected = dim.pow(qudits.len() as u32);
+        assert_eq!(
+            self.dim(),
+            expected,
+            "channel dimension does not match targeted qudits"
+        );
+        match self {
+            Channel::MixedUnitary { probs, unitaries } => CompiledChannel {
+                kind: CompiledKind::MixedUnitary {
+                    probs: probs.clone(),
+                    plans: unitaries
+                        .iter()
+                        .map(|u| {
+                            if is_identity(u) {
+                                None
+                            } else {
+                                Some(ApplyPlan::for_matrix(dim, width, u, qudits))
+                            }
+                        })
+                        .collect(),
+                },
+            },
+            Channel::Kraus { operators } => CompiledChannel {
+                kind: CompiledKind::Kraus {
+                    plans: operators
+                        .iter()
+                        .map(|k| ApplyPlan::for_matrix(dim, width, k, qudits))
+                        .collect(),
+                },
+            },
+        }
+    }
+
     /// Samples one trajectory branch of the channel and applies it to the
     /// given qudits of the state, renormalising afterwards.
     ///
@@ -129,15 +202,7 @@ impl Channel {
         match self {
             Channel::MixedUnitary { probs, unitaries } => {
                 let r: f64 = rng.gen_range(0.0..1.0);
-                let mut acc = 0.0;
-                let mut chosen = probs.len() - 1;
-                for (i, &p) in probs.iter().enumerate() {
-                    acc += p;
-                    if r < acc {
-                        chosen = i;
-                        break;
-                    }
-                }
+                let chosen = weighted_pick(probs, r);
                 // Identity branches are usually first and dominant; skip the
                 // work when the chosen unitary is exactly the identity.
                 let u = &unitaries[chosen];
@@ -160,21 +225,88 @@ impl Channel {
                 }
                 let total: f64 = probs.iter().sum();
                 let r: f64 = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
-                let mut acc = 0.0;
-                let mut chosen = probs.len() - 1;
-                for (i, &p) in probs.iter().enumerate() {
-                    acc += p;
-                    if r < acc {
-                        chosen = i;
-                        break;
-                    }
-                }
+                let chosen = weighted_pick(&probs, r);
                 *state = branch_states.swap_remove(chosen);
                 state.renormalize();
                 chosen
             }
         }
     }
+}
+
+/// A [`Channel`] precompiled for one `(dim, width, qudit set)` site: every
+/// branch operator has a prebuilt [`ApplyPlan`], so trajectory sampling does
+/// no per-application planning. Immutable and `Sync` — one compiled site is
+/// shared by all Monte Carlo trials.
+#[derive(Clone, Debug)]
+pub struct CompiledChannel {
+    kind: CompiledKind,
+}
+
+#[derive(Clone, Debug)]
+enum CompiledKind {
+    /// Branch probabilities are state-independent; identity branches (the
+    /// dominant no-error case) are `None` and cost nothing to apply.
+    MixedUnitary {
+        probs: Vec<f64>,
+        plans: Vec<Option<ApplyPlan>>,
+    },
+    /// Branch probabilities are `‖Kᵢ|ψ⟩‖²`, recomputed per application.
+    Kraus { plans: Vec<ApplyPlan> },
+}
+
+impl CompiledChannel {
+    /// Samples one branch and applies it on the calling thread,
+    /// renormalising afterwards for state-dependent (Kraus) branches.
+    ///
+    /// Returns the index of the branch that was applied. Matches
+    /// [`Channel::apply_trajectory`] draw-for-draw, so a trajectory built on
+    /// compiled sites consumes the RNG stream identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state shape does not match the plans.
+    pub fn apply_trajectory<R: Rng + ?Sized>(&self, state: &mut StateVector, rng: &mut R) -> usize {
+        match &self.kind {
+            CompiledKind::MixedUnitary { probs, plans } => {
+                let r: f64 = rng.gen_range(0.0..1.0);
+                let chosen = weighted_pick(probs, r);
+                if let Some(plan) = &plans[chosen] {
+                    plan.apply_sequential(state);
+                }
+                chosen
+            }
+            CompiledKind::Kraus { plans } => {
+                let mut branch_states: Vec<StateVector> = Vec::with_capacity(plans.len());
+                let mut probs: Vec<f64> = Vec::with_capacity(plans.len());
+                for plan in plans {
+                    let mut scratch = state.clone();
+                    plan.apply_sequential(&mut scratch);
+                    probs.push(scratch.norm().powi(2));
+                    branch_states.push(scratch);
+                }
+                let total: f64 = probs.iter().sum();
+                let r: f64 = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+                let chosen = weighted_pick(&probs, r);
+                *state = branch_states.swap_remove(chosen);
+                state.renormalize();
+                chosen
+            }
+        }
+    }
+}
+
+/// Index of the first branch whose cumulative weight exceeds `r`, falling
+/// back to the last branch (guards against floating-point undershoot).
+fn weighted_pick(probs: &[f64], r: f64) -> usize {
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if r < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
 }
 
 fn is_identity(m: &CMatrix) -> bool {
@@ -293,6 +425,58 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(channel.apply_trajectory(&mut state, &[0], &mut rng), 0);
         }
+    }
+
+    #[test]
+    fn compiled_channel_consumes_the_same_rng_stream() {
+        // The compiled site must reproduce the uncompiled path draw-for-draw
+        // so precompiling cannot shift trajectory results.
+        for channel in [
+            crate::depolarizing::single_qudit_depolarizing(3, 1e-2).unwrap(),
+            crate::damping::qutrit_damping(0.2, 0.35).unwrap(),
+        ] {
+            let compiled = channel.compile(3, 2, &[1]);
+            let mut a = StateVector::from_basis_state(3, &[2, 2]).unwrap();
+            let mut b = a.clone();
+            let mut rng_a = StdRng::seed_from_u64(40);
+            let mut rng_b = StdRng::seed_from_u64(40);
+            for _ in 0..200 {
+                let ba = channel.apply_trajectory(&mut a, &[1], &mut rng_a);
+                let bb = compiled.apply_trajectory(&mut b, &mut rng_b);
+                assert_eq!(ba, bb);
+            }
+            for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+                assert!(x.approx_eq(*y, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn superoperator_of_identity_channel_is_identity() {
+        let channel = Channel::MixedUnitary {
+            probs: vec![1.0],
+            unitaries: vec![CMatrix::identity(3)],
+        };
+        assert!(channel
+            .superoperator()
+            .approx_eq(&CMatrix::identity(9), 1e-12));
+    }
+
+    #[test]
+    fn superoperator_preserves_trace_for_cptp_channels() {
+        // tr(E(ρ)) = tr(ρ) ⇔ the superoperator's columns, reshaped, have
+        // unit trace; check it on the damping channel by applying to vec(ρ).
+        let channel = crate::damping::qutrit_damping(0.3, 0.5).unwrap();
+        let s = channel.superoperator();
+        // vec(|2⟩⟨2|) is the basis column 8; E(|2⟩⟨2|) populations must sum
+        // to 1 with mass split between |0⟩ and |2⟩.
+        let mut vec_rho = vec![Complex::ZERO; 9];
+        vec_rho[8] = Complex::ONE;
+        let out = s.mul_vec(&vec_rho);
+        let trace: f64 = (0..3).map(|i| out[i * 3 + i].re).sum();
+        assert!((trace - 1.0).abs() < 1e-12);
+        assert!((out[0].re - 0.5).abs() < 1e-12); // λ2 = 0.5 decay to |0⟩
+        assert!((out[8].re - 0.5).abs() < 1e-12);
     }
 
     #[test]

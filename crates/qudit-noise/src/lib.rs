@@ -3,9 +3,18 @@
 //! Realistic noise modelling for qudit circuits, reproducing Sections 6.1, 7
 //! and Appendix A of the paper: symmetric depolarizing gate errors for
 //! arbitrary qudit dimension, amplitude-damping (T1) idle errors, the
-//! superconducting (Table 2) and trapped-ion (Table 3) parameter sets, and a
-//! quantum-trajectory Monte Carlo simulator (Algorithm 1) that estimates the
-//! mean fidelity of a circuit under a noise model.
+//! superconducting (Table 2) and trapped-ion (Table 3) parameter sets, and
+//! two simulation backends behind one [`Backend`] trait:
+//!
+//! * a quantum-trajectory Monte Carlo simulator (Algorithm 1) that
+//!   *estimates* the mean fidelity of a circuit under a noise model, and
+//! * an exact density-matrix simulator that computes the same fidelity as
+//!   ground truth for small registers, with every channel applied as its
+//!   superoperator instead of sampled.
+//!
+//! [`cross_validate`] checks the two against each other; the integration
+//! tests and the `crossval` bench binary run it on a fixed seed set so
+//! backend drift fails the build.
 //!
 //! ## Example
 //!
@@ -28,20 +37,27 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod backend;
 mod damping;
 mod depolarizing;
 mod error;
+mod exact;
 mod kraus;
 pub mod models;
 mod trajectory;
 
+pub use backend::{
+    cross_validate, Backend, BackendKind, CrossValidation, DensityMatrixBackend, SimOutput,
+    TrajectoryBackend,
+};
 pub use damping::{idle_damping_channel, lambda_m, qubit_damping, qutrit_damping};
 pub use depolarizing::{
     qutrit_two_qudit_reliability_ratio, single_qudit_depolarizing,
     single_qudit_no_error_probability, two_qudit_depolarizing, two_qudit_no_error_probability,
 };
 pub use error::{NoiseError, NoiseResult};
-pub use kraus::Channel;
+pub use exact::{exact_fidelity, DensityNoiseSimulator};
+pub use kraus::{Channel, CompiledChannel};
 pub use models::NoiseModel;
 pub use trajectory::{
     simulate_fidelity, FidelityEstimate, GateExpansion, InputState, TrajectoryConfig,

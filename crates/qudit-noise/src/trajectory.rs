@@ -15,7 +15,7 @@
 //! 4. records the fidelity `|⟨ψ_ideal|ψ_noisy⟩|²`.
 
 use crate::error::NoiseResult;
-use crate::kraus::Channel;
+use crate::kraus::{Channel, CompiledChannel};
 use crate::models::NoiseModel;
 use qudit_circuit::{Circuit, Operation, Schedule};
 use qudit_core::{random_qubit_subspace_state, CoreError, StateVector};
@@ -23,6 +23,7 @@ use qudit_sim::{CompiledCircuit, Simulator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::collections::HashMap;
 
 /// How gate errors are charged to operations touching three or more qudits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,32 +94,179 @@ impl FidelityEstimate {
     }
 }
 
-/// Pre-built noise channels for a (model, dimension) pair.
-struct ChannelSet {
-    single_gate: Channel,
-    two_gate: Channel,
-    idle_short: Option<Channel>,
-    idle_long: Option<Channel>,
-    idle_expanded: Option<Channel>,
+/// Noise channels materialised per application *site*: one artifact per
+/// qudit for single-qudit channels, one per qudit pair the circuit can
+/// touch for two-qudit channels. Built once per run; the replay loops only
+/// look up and apply.
+///
+/// `T` is the backend-specific per-site artifact: [`CompiledChannel`]
+/// (branch plans) for the trajectory engine, a superoperator
+/// [`ApplyPlan`](qudit_sim::ApplyPlan) for the exact engine. Both engines
+/// build through [`build_noise_sites`], so which channels exist at which
+/// sites is defined in exactly one place.
+pub(crate) struct NoiseSites<T> {
+    /// Single-qudit gate-error channel, indexed by qudit.
+    pub(crate) single_gate: Vec<T>,
+    /// Two-qudit gate-error channel, keyed by the (ordered) qudit pair.
+    pub(crate) two_gate: HashMap<[usize; 2], T>,
+    /// Idle channels per qudit, for single-qudit-moment, two-qudit-moment
+    /// and Di&Wei-expanded-moment durations. `None` when the model has no
+    /// `T1`.
+    pub(crate) idle_short: Option<Vec<T>>,
+    pub(crate) idle_long: Option<Vec<T>>,
+    pub(crate) idle_expanded: Option<Vec<T>>,
+}
+
+/// Builds the per-site noise artifacts for a (circuit, model, expansion)
+/// triple: the five channels (single/two-qudit gate error, three idle
+/// durations) and the site set they attach to, with `build` turning each
+/// `(channel, qudit set)` into the backend-specific artifact.
+///
+/// # Errors
+///
+/// Propagates model-validation failures from channel construction.
+pub(crate) fn build_noise_sites<T>(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    expansion: GateExpansion,
+    mut build: impl FnMut(&Channel, &[usize]) -> T,
+) -> NoiseResult<NoiseSites<T>> {
+    let d = circuit.dim();
+    let n = circuit.width();
+    let single_gate = model.single_qudit_gate_error(d)?;
+    let two_gate = model.two_qudit_gate_error(d)?;
+    let idle_short = model.idle_error(d, model.moment_duration(false))?;
+    let idle_long = model.idle_error(d, model.moment_duration(true))?;
+    let idle_expanded = model.idle_error(d, 6.0 * model.moment_duration(true))?;
+    let single_sites: Vec<T> = (0..n).map(|q| build(&single_gate, &[q])).collect();
+    let two_sites: HashMap<[usize; 2], T> = charged_pairs(circuit, expansion)
+        .into_iter()
+        .map(|pair| {
+            let site = build(&two_gate, &pair);
+            (pair, site)
+        })
+        .collect();
+    let mut idle_sites = |c: &Option<Channel>| -> Option<Vec<T>> {
+        c.as_ref()
+            .map(|ch| (0..n).map(|q| build(ch, &[q])).collect())
+    };
+    Ok(NoiseSites {
+        single_gate: single_sites,
+        two_gate: two_sites,
+        idle_short: idle_sites(&idle_short),
+        idle_long: idle_sites(&idle_long),
+        idle_expanded: idle_sites(&idle_expanded),
+    })
+}
+
+/// One gate-error charge: a single-qudit or two-qudit channel application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ErrorSite {
+    /// Charge the single-qudit gate-error channel to this qudit.
+    Single(usize),
+    /// Charge the two-qudit gate-error channel to this qudit pair.
+    Pair([usize; 2]),
+}
+
+/// Invokes `f` with every gate-error charge of `op` under `expansion`, in
+/// application order. This is the *single source of truth* for the noise
+/// accounting: the trajectory simulator samples a branch per site, the
+/// exact density-matrix simulator applies the superoperator per site, and
+/// both iterate exactly this enumeration — so the two backends cannot
+/// drift apart in which errors they charge.
+pub(crate) fn for_each_gate_error_site<F: FnMut(ErrorSite)>(
+    op: &Operation,
+    expansion: GateExpansion,
+    mut f: F,
+) {
+    let qudits = op.qudits();
+    match (op.arity(), expansion) {
+        (0, _) => {}
+        (1, _) => f(ErrorSite::Single(qudits[0])),
+        (2, _) | (_, GateExpansion::Logical) => f(ErrorSite::Pair([qudits[0], qudits[1]])),
+        (_, GateExpansion::DiWei) => {
+            // 6 two-qudit errors over the operation's qudit pairs and
+            // 7 single-qudit errors over its qudits, cycling.
+            let pairs: Vec<[usize; 2]> = pair_cycle(&qudits);
+            for i in 0..6 {
+                f(ErrorSite::Pair(pairs[i % pairs.len()]));
+            }
+            for i in 0..7 {
+                f(ErrorSite::Single(qudits[i % qudits.len()]));
+            }
+        }
+    }
+}
+
+/// The idle-error duration class of one schedule moment — the second half
+/// of the shared accounting policy (see [`for_each_gate_error_site`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum IdleDuration {
+    /// Single-qudit gate time.
+    Short,
+    /// Two-qudit gate time.
+    Long,
+    /// Six two-qudit gate times (a Di&Wei-expanded ≥3-qudit operation).
+    Expanded,
+}
+
+/// Classifies a moment's idle duration: expanded if Di&Wei accounting is on
+/// and the moment contains a ≥3-qudit operation, else long if it contains
+/// any multi-qudit gate, else short.
+pub(crate) fn moment_idle_duration(
+    circuit: &Circuit,
+    schedule: &Schedule,
+    moment_idx: usize,
+    expansion: GateExpansion,
+) -> IdleDuration {
+    let has_expanded = expansion == GateExpansion::DiWei
+        && schedule.moments()[moment_idx]
+            .op_indices
+            .iter()
+            .any(|&i| circuit.operations()[i].arity() >= 3);
+    if has_expanded {
+        IdleDuration::Expanded
+    } else if schedule.moment_has_multi_qudit_gate(moment_idx) {
+        IdleDuration::Long
+    } else {
+        IdleDuration::Short
+    }
+}
+
+/// Every qudit pair the gate-error accounting can charge for this circuit
+/// under the given expansion — derived from [`for_each_gate_error_site`],
+/// so the precompiled pair set always covers what the replay loops ask for.
+pub(crate) fn charged_pairs(circuit: &Circuit, expansion: GateExpansion) -> Vec<[usize; 2]> {
+    let mut seen = std::collections::HashSet::new();
+    let mut pairs = Vec::new();
+    for op in circuit.iter() {
+        for_each_gate_error_site(op, expansion, |site| {
+            if let ErrorSite::Pair(pair) = site {
+                if seen.insert(pair) {
+                    pairs.push(pair);
+                }
+            }
+        });
+    }
+    pairs
 }
 
 /// A trajectory noise simulator bound to a circuit and a noise model.
 ///
 /// Construction compiles the circuit into per-operation apply plans
-/// ([`CompiledCircuit`]); the plans are shared by every trial — both the
-/// ideal evolution and the noisy moment-by-moment replay — so the circuit's
-/// gates are planned once per Monte Carlo run instead of once per
-/// application. (Noise-channel branches still plan on the fly inside
-/// `Channel::apply_trajectory`; their matrices are tiny, so the build cost
-/// is negligible next to the sweep itself.) Trials already run one per
-/// core, so gate application inside a trial is deliberately sequential —
-/// nested fan-out would oversubscribe the machine.
+/// ([`CompiledCircuit`]) *and* precompiles every noise channel per
+/// application site ([`NoiseSites`]: per qudit for single-qudit channels,
+/// per charged qudit pair for two-qudit channels); both are shared by every
+/// trial, so a Monte Carlo run does zero plan building inside its trial
+/// loop. Trials already run one per core, so gate application inside a
+/// trial is deliberately sequential — nested fan-out would oversubscribe
+/// the machine.
 pub struct TrajectorySimulator<'a> {
     circuit: &'a Circuit,
     compiled: CompiledCircuit,
     model: &'a NoiseModel,
     schedule: Schedule,
-    channels: ChannelSet,
+    channels: NoiseSites<CompiledChannel>,
     expansion: GateExpansion,
 }
 
@@ -135,11 +283,10 @@ impl<'a> TrajectorySimulator<'a> {
         expansion: GateExpansion,
     ) -> NoiseResult<Self> {
         let d = circuit.dim();
-        let single_gate = model.single_qudit_gate_error(d)?;
-        let two_gate = model.two_qudit_gate_error(d)?;
-        let idle_short = model.idle_error(d, model.moment_duration(false))?;
-        let idle_long = model.idle_error(d, model.moment_duration(true))?;
-        let idle_expanded = model.idle_error(d, 6.0 * model.moment_duration(true))?;
+        let n = circuit.width();
+        let channels = build_noise_sites(circuit, model, expansion, |c, qudits| {
+            c.compile(d, n, qudits)
+        })?;
         Ok(TrajectorySimulator {
             circuit,
             // Compile through a Simulator so the mirrored compute/uncompute
@@ -148,13 +295,7 @@ impl<'a> TrajectorySimulator<'a> {
             compiled: Simulator::new().compile(circuit),
             model,
             schedule: Schedule::asap(circuit),
-            channels: ChannelSet {
-                single_gate,
-                two_gate,
-                idle_short,
-                idle_long,
-                idle_expanded,
-            },
+            channels,
             expansion,
         })
     }
@@ -186,36 +327,18 @@ impl<'a> TrajectorySimulator<'a> {
         state: &mut StateVector,
         rng: &mut R,
     ) {
-        let qudits = op.qudits();
-        match (op.arity(), self.expansion) {
-            (0, _) => {}
-            (1, _) => {
-                self.channels
-                    .single_gate
-                    .apply_trajectory(state, &qudits, rng);
+        for_each_gate_error_site(op, self.expansion, |site| match site {
+            ErrorSite::Single(q) => {
+                self.channels.single_gate[q].apply_trajectory(state, rng);
             }
-            (2, _) => {
-                self.channels.two_gate.apply_trajectory(state, &qudits, rng);
-            }
-            (_, GateExpansion::Logical) => {
+            ErrorSite::Pair(pair) => {
                 self.channels
                     .two_gate
-                    .apply_trajectory(state, &qudits[..2], rng);
+                    .get(&pair)
+                    .expect("pair compiled at construction")
+                    .apply_trajectory(state, rng);
             }
-            (_, GateExpansion::DiWei) => {
-                // 6 two-qudit errors over the operation's qudit pairs and
-                // 7 single-qudit errors over its qudits, cycling.
-                let pairs: Vec<[usize; 2]> = pair_cycle(&qudits);
-                for i in 0..6 {
-                    let pair = pairs[i % pairs.len()];
-                    self.channels.two_gate.apply_trajectory(state, &pair, rng);
-                }
-                for i in 0..7 {
-                    let q = qudits[i % qudits.len()];
-                    self.channels.single_gate.apply_trajectory(state, &[q], rng);
-                }
-            }
-        }
+        });
     }
 
     /// Applies the idle error for a moment to every qudit of the register.
@@ -225,22 +348,15 @@ impl<'a> TrajectorySimulator<'a> {
         state: &mut StateVector,
         rng: &mut R,
     ) {
-        let has_multi = self.schedule.moment_has_multi_qudit_gate(moment_idx);
-        let has_expanded = self.expansion == GateExpansion::DiWei
-            && self.schedule.moments()[moment_idx]
-                .op_indices
-                .iter()
-                .any(|&i| self.circuit.operations()[i].arity() >= 3);
-        let channel = if has_expanded {
-            &self.channels.idle_expanded
-        } else if has_multi {
-            &self.channels.idle_long
-        } else {
-            &self.channels.idle_short
-        };
-        if let Some(channel) = channel {
-            for q in 0..self.circuit.width() {
-                channel.apply_trajectory(state, &[q], rng);
+        let sites =
+            match moment_idle_duration(self.circuit, &self.schedule, moment_idx, self.expansion) {
+                IdleDuration::Expanded => &self.channels.idle_expanded,
+                IdleDuration::Long => &self.channels.idle_long,
+                IdleDuration::Short => &self.channels.idle_short,
+            };
+        if let Some(sites) = sites {
+            for site in sites {
+                site.apply_trajectory(state, rng);
             }
         }
     }
@@ -307,7 +423,7 @@ pub fn simulate_fidelity(
     Ok(sim.run(config)?)
 }
 
-fn estimate_from_samples(samples: &[f64]) -> FidelityEstimate {
+pub(crate) fn estimate_from_samples(samples: &[f64]) -> FidelityEstimate {
     let n = samples.len().max(1) as f64;
     let mean = samples.iter().sum::<f64>() / n;
     let var = if samples.len() > 1 {
@@ -323,7 +439,7 @@ fn estimate_from_samples(samples: &[f64]) -> FidelityEstimate {
 }
 
 /// All unordered pairs of the given qudits, cycled in a deterministic order.
-fn pair_cycle(qudits: &[usize]) -> Vec<[usize; 2]> {
+pub(crate) fn pair_cycle(qudits: &[usize]) -> Vec<[usize; 2]> {
     let mut pairs = Vec::new();
     for i in 0..qudits.len() {
         for j in (i + 1)..qudits.len() {

@@ -1,0 +1,671 @@
+//! Exact density-matrix simulation.
+//!
+//! A density matrix `ρ` over `n` qudits of dimension `d` is a `d^n × d^n`
+//! Hermitian, trace-1, positive matrix. Stored row-major, its flat buffer is
+//! *exactly* the amplitude buffer of a `2n`-qudit register: index
+//! `r·d^n + c` has the row digits as the first `n` qudits and the column
+//! digits as the last `n`. Every evolution primitive therefore reuses the
+//! stride-enumerated [`ApplyPlan`] kernels unchanged:
+//!
+//! * **Unitary conjugation** `ρ → U·ρ·U†` vectorises to
+//!   `(U ⊗ conj(U))·vec(ρ)`: one plan applies `U` to the row digits and a
+//!   second applies `conj(U)` to the column digits ([`UnitaryPlanPair`]).
+//!   Controls carry over verbatim — a controlled operation's plan already
+//!   restricts itself to the matching control digits on each side.
+//! * **Kraus channels** `ρ → Σᵢ Kᵢ·ρ·Kᵢ†` vectorise to the superoperator
+//!   `Σᵢ Kᵢ ⊗ conj(Kᵢ)` acting on the row *and* column digits of the
+//!   targeted qudits together — a single dense plan applied once, with no
+//!   sampling ([`DensityMatrix::apply_superoperator`]).
+//!
+//! This backend is exponentially more expensive than a state vector
+//! (`d^2n` vs `d^n` amplitudes) but exact: it gives ground-truth fidelities
+//! that the trajectory Monte Carlo estimates converge to, which is what the
+//! deterministic cross-validation tests assert.
+
+use crate::kernel::ApplyPlan;
+use qudit_circuit::{Circuit, Operation};
+use qudit_core::{CMatrix, Complex, CoreError, CoreResult, StateVector};
+
+/// A dense density matrix for `num_qudits` qudits of dimension `dim`.
+///
+/// # Examples
+///
+/// ```
+/// use qudit_core::gates;
+/// use qudit_sim::DensityMatrix;
+///
+/// // F₃|0⟩⟨0|F₃† on one qutrit: equal populations on all three levels.
+/// let mut rho = DensityMatrix::zero_state(3, 1).unwrap();
+/// rho.apply_unitary(&gates::qutrit::h3(), &[0]);
+/// assert!((rho.population(&[1]).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+/// assert!((rho.purity() - 1.0).abs() < 1e-12); // still pure
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DensityMatrix {
+    dim: usize,
+    num_qudits: usize,
+    /// `d^num_qudits` — the Hilbert-space dimension (row/column count).
+    size: usize,
+    /// Row-major `size × size` entries.
+    elems: Vec<Complex>,
+}
+
+impl DensityMatrix {
+    /// The density matrix of the all-zeros basis state `|0…0⟩⟨0…0|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidDimension`] if `dim < 2`.
+    pub fn zero_state(dim: usize, num_qudits: usize) -> CoreResult<Self> {
+        if dim < 2 {
+            return Err(CoreError::InvalidDimension { dimension: dim });
+        }
+        let size = dim.pow(num_qudits as u32);
+        let mut elems = vec![Complex::ZERO; size * size];
+        elems[0] = Complex::ONE;
+        Ok(DensityMatrix {
+            dim,
+            num_qudits,
+            size,
+            elems,
+        })
+    }
+
+    /// The density matrix of a computational basis state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StateVector::from_basis_state`].
+    pub fn from_basis_state(dim: usize, digits: &[usize]) -> CoreResult<Self> {
+        let mut rho = DensityMatrix::zero_state(dim, digits.len())?;
+        let idx = StateVector::encode_digits(dim, digits)?;
+        rho.elems[0] = Complex::ZERO;
+        rho.elems[idx * rho.size + idx] = Complex::ONE;
+        Ok(rho)
+    }
+
+    /// The pure density matrix `|ψ⟩⟨ψ|` of a state vector.
+    pub fn from_pure(psi: &StateVector) -> Self {
+        let size = psi.len();
+        let amps = psi.amplitudes();
+        let mut elems = vec![Complex::ZERO; size * size];
+        for (r, row) in elems.chunks_exact_mut(size).enumerate() {
+            let a = amps[r];
+            if a == Complex::ZERO {
+                continue;
+            }
+            for (slot, b) in row.iter_mut().zip(amps) {
+                *slot = a * b.conj();
+            }
+        }
+        DensityMatrix {
+            dim: psi.dim(),
+            num_qudits: psi.num_qudits(),
+            size,
+            elems,
+        }
+    }
+
+    /// The statistical mixture `Σᵢ wᵢ·|ψᵢ⟩⟨ψᵢ|` of pure states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotNormalized`] if the weights do not sum to 1
+    /// (within `1e-6`) or any weight is negative, or
+    /// [`CoreError::ShapeMismatch`] if the states disagree in shape or the
+    /// mixture is empty.
+    pub fn from_mixture(parts: &[(f64, &StateVector)]) -> CoreResult<Self> {
+        let (first_w, first) = parts.first().ok_or(CoreError::ShapeMismatch {
+            expected: 1,
+            actual: 0,
+        })?;
+        let total: f64 = parts.iter().map(|(w, _)| w).sum();
+        if (total - 1.0).abs() > 1e-6 || parts.iter().any(|&(w, _)| w < 0.0) {
+            return Err(CoreError::NotNormalized { norm: total });
+        }
+        let mut rho = DensityMatrix::from_pure(first);
+        for z in &mut rho.elems {
+            *z = z.scale(*first_w);
+        }
+        for (w, psi) in &parts[1..] {
+            if psi.dim() != rho.dim || psi.num_qudits() != rho.num_qudits {
+                return Err(CoreError::ShapeMismatch {
+                    expected: rho.size,
+                    actual: psi.len(),
+                });
+            }
+            let amps = psi.amplitudes();
+            for (r, row) in rho.elems.chunks_exact_mut(rho.size).enumerate() {
+                let a = amps[r].scale(*w);
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for (slot, b) in row.iter_mut().zip(amps) {
+                    *slot += a * b.conj();
+                }
+            }
+        }
+        Ok(rho)
+    }
+
+    /// The maximally mixed state `I/d^n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidDimension`] if `dim < 2`.
+    pub fn maximally_mixed(dim: usize, num_qudits: usize) -> CoreResult<Self> {
+        let mut rho = DensityMatrix::zero_state(dim, num_qudits)?;
+        rho.elems[0] = Complex::ZERO;
+        let p = Complex::real(1.0 / rho.size as f64);
+        for i in 0..rho.size {
+            rho.elems[i * rho.size + i] = p;
+        }
+        Ok(rho)
+    }
+
+    /// The per-qudit dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The number of qudits in the register.
+    #[inline]
+    pub fn num_qudits(&self) -> usize {
+        self.num_qudits
+    }
+
+    /// The Hilbert-space dimension `d^num_qudits` (row and column count).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The row-major flat entries (`size²` of them).
+    #[inline]
+    pub fn elements(&self) -> &[Complex] {
+        &self.elems
+    }
+
+    /// Entry `ρ[r, c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Complex {
+        assert!(r < self.size && c < self.size, "index out of bounds");
+        self.elems[r * self.size + c]
+    }
+
+    /// The trace `Σᵢ ρ[i, i]` (1 for a physical state).
+    pub fn trace(&self) -> Complex {
+        (0..self.size).map(|i| self.elems[i * self.size + i]).sum()
+    }
+
+    /// The diagonal as real populations (imaginary parts are discarded;
+    /// they are zero for a Hermitian matrix).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.size)
+            .map(|i| self.elems[i * self.size + i].re)
+            .collect()
+    }
+
+    /// The population (diagonal entry) of a basis state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidLevel`] if any digit is out of range.
+    pub fn population(&self, digits: &[usize]) -> CoreResult<f64> {
+        let idx = StateVector::encode_digits(self.dim, digits)?;
+        Ok(self.elems[idx * self.size + idx].re)
+    }
+
+    /// The purity `tr(ρ²)` — 1 for pure states, `1/d^n` for the maximally
+    /// mixed state. Uses `tr(ρ²) = Σ|ρ[r,c]|²`, valid for Hermitian `ρ`.
+    pub fn purity(&self) -> f64 {
+        self.elems.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// The largest deviation from Hermiticity, `max |ρ[r,c] − ρ[c,r]*|`.
+    pub fn hermiticity_error(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for r in 0..self.size {
+            for c in r..self.size {
+                let d = self.elems[r * self.size + c] - self.elems[c * self.size + r].conj();
+                worst = worst.max(d.abs());
+            }
+        }
+        worst
+    }
+
+    /// The smallest diagonal entry (real part). Negative values beyond
+    /// numerical noise indicate an unphysical (non-PSD) matrix.
+    pub fn min_population(&self) -> f64 {
+        (0..self.size)
+            .map(|i| self.elems[i * self.size + i].re)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Rescales so the trace is exactly 1. A zero-trace matrix is left
+    /// untouched. Returns the trace prior to rescaling.
+    pub fn renormalize(&mut self) -> f64 {
+        let t = self.trace().re;
+        if t != 0.0 {
+            let inv = 1.0 / t;
+            for z in &mut self.elems {
+                *z = z.scale(inv);
+            }
+        }
+        t
+    }
+
+    /// The fidelity `⟨ψ|ρ|ψ⟩` against a pure state — the exact counterpart
+    /// of the trajectory simulator's mean `|⟨ψ_ideal|ψ_noisy⟩|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn fidelity_with_pure(&self, psi: &StateVector) -> f64 {
+        assert_eq!(self.dim, psi.dim(), "dimension mismatch");
+        assert_eq!(self.num_qudits, psi.num_qudits(), "width mismatch");
+        let amps = psi.amplitudes();
+        let mut acc = Complex::ZERO;
+        for (r, row) in self.elems.chunks_exact(self.size).enumerate() {
+            let a = amps[r].conj();
+            if a == Complex::ZERO {
+                continue;
+            }
+            let mut inner = Complex::ZERO;
+            for (z, b) in row.iter().zip(amps) {
+                inner += *z * *b;
+            }
+            acc += a * inner;
+        }
+        acc.re
+    }
+
+    /// Applies `ρ → U·ρ·U†` for a unitary acting on the listed qudits
+    /// (most significant first).
+    ///
+    /// One-shot convenience; hot loops should compile a [`UnitaryPlanPair`]
+    /// (or a [`CompiledDensityCircuit`]) and reuse it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix size does not equal `dim^qudits.len()` or a
+    /// qudit index is invalid.
+    pub fn apply_unitary(&mut self, matrix: &CMatrix, qudits: &[usize]) {
+        UnitaryPlanPair::new(self.dim, self.num_qudits, matrix, qudits, &[]).apply(self);
+    }
+
+    /// Applies an [`Operation`] (gate + controls) as `ρ → V·ρ·V†` where `V`
+    /// is the controlled unitary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qudit index is invalid for this register.
+    pub fn apply_operation(&mut self, op: &Operation) {
+        UnitaryPlanPair::for_operation(self.num_qudits, op).apply(self);
+    }
+
+    /// Applies a superoperator matrix to the row and column digits of the
+    /// targeted qudits: `vec(ρ)` is multiplied by `smatrix` on the combined
+    /// `(row ⊗ column)` space of `qudits`.
+    ///
+    /// For a channel with Kraus operators `Kᵢ` over `qudits`, passing
+    /// `Σᵢ Kᵢ ⊗ conj(Kᵢ)` (a `d^2k × d^2k` matrix) computes
+    /// `ρ → Σᵢ Kᵢ·ρ·Kᵢ†` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `smatrix` is not `d^2k × d^2k` for `k = qudits.len()`, or a
+    /// qudit index is invalid.
+    pub fn apply_superoperator(&mut self, smatrix: &CMatrix, qudits: &[usize]) {
+        let targets = superoperator_targets(qudits, self.num_qudits);
+        let plan = ApplyPlan::for_matrix(self.dim, 2 * self.num_qudits, smatrix, &targets);
+        self.apply_plan(&plan);
+    }
+
+    /// Applies a single prebuilt plan over the vectorised `2n`-qudit view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was not built for `dim^(2·num_qudits)` amplitudes.
+    pub fn apply_plan(&mut self, plan: &ApplyPlan) {
+        assert_eq!(plan.dim(), self.dim, "dimension mismatch");
+        assert_eq!(
+            plan.num_qudits(),
+            2 * self.num_qudits,
+            "plan width must be 2×register width"
+        );
+        plan.apply_amplitudes(&mut self.elems, plan.auto_parallel());
+    }
+}
+
+/// The target list a superoperator plan acts on: the row digits of `qudits`
+/// followed by their column digits (offset by the register width).
+pub fn superoperator_targets(qudits: &[usize], width: usize) -> Vec<usize> {
+    qudits
+        .iter()
+        .copied()
+        .chain(qudits.iter().map(|&q| q + width))
+        .collect()
+}
+
+/// A compiled `ρ → V·ρ·V†` for one (controlled) unitary: the row-side plan
+/// for `V` and the column-side plan for `conj(V)`, built once and reusable
+/// across applications (and threads — plans are `Sync`).
+#[derive(Clone, Debug)]
+pub struct UnitaryPlanPair {
+    row: ApplyPlan,
+    col: ApplyPlan,
+}
+
+impl UnitaryPlanPair {
+    /// Builds the pair for `matrix` on `targets` with explicit
+    /// `(qudit, level)` controls, over a `width`-qudit register.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ApplyPlan::new`].
+    pub fn new(
+        dim: usize,
+        width: usize,
+        matrix: &CMatrix,
+        targets: &[usize],
+        controls: &[(usize, usize)],
+    ) -> Self {
+        let col_targets: Vec<usize> = targets.iter().map(|&q| q + width).collect();
+        let col_controls: Vec<(usize, usize)> =
+            controls.iter().map(|&(q, l)| (q + width, l)).collect();
+        UnitaryPlanPair {
+            row: ApplyPlan::new(dim, 2 * width, matrix, targets, controls),
+            col: ApplyPlan::new(dim, 2 * width, &matrix.conj(), &col_targets, &col_controls),
+        }
+    }
+
+    /// Builds the pair for an [`Operation`] on a `width`-qudit register.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ApplyPlan::for_operation`].
+    pub fn for_operation(width: usize, op: &Operation) -> Self {
+        UnitaryPlanPair::new(
+            op.gate().dim(),
+            width,
+            op.gate().matrix(),
+            op.targets(),
+            &op.control_pairs(),
+        )
+    }
+
+    /// Applies `ρ → V·ρ·V†` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the density matrix shape does not match the pair.
+    pub fn apply(&self, rho: &mut DensityMatrix) {
+        rho.apply_plan(&self.row);
+        rho.apply_plan(&self.col);
+    }
+}
+
+/// A circuit compiled into one [`UnitaryPlanPair`] per operation — the
+/// density-matrix counterpart of [`CompiledCircuit`](crate::CompiledCircuit).
+#[derive(Clone, Debug)]
+pub struct CompiledDensityCircuit {
+    dim: usize,
+    width: usize,
+    pairs: Vec<UnitaryPlanPair>,
+}
+
+impl CompiledDensityCircuit {
+    /// Compiles every operation of the circuit.
+    pub fn compile(circuit: &Circuit) -> Self {
+        CompiledDensityCircuit {
+            dim: circuit.dim(),
+            width: circuit.width(),
+            pairs: circuit
+                .iter()
+                .map(|op| UnitaryPlanPair::for_operation(circuit.width(), op))
+                .collect(),
+        }
+    }
+
+    /// The qudit dimension of the source circuit.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The register width of the source circuit.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The compiled pairs, in operation order.
+    pub fn pairs(&self) -> &[UnitaryPlanPair] {
+        &self.pairs
+    }
+
+    /// The pair of operation `op_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_idx` is out of range.
+    pub fn pair(&self, op_idx: usize) -> &UnitaryPlanPair {
+        &self.pairs[op_idx]
+    }
+
+    /// Runs the whole compiled circuit on `ρ`, consuming and returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the density matrix shape does not match the circuit.
+    pub fn run(&self, mut rho: DensityMatrix) -> DensityMatrix {
+        assert_eq!(rho.dim(), self.dim, "dimension mismatch");
+        assert_eq!(rho.num_qudits(), self.width, "width mismatch");
+        for pair in &self.pairs {
+            pair.apply(&mut rho);
+        }
+        rho
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::reference;
+    use qudit_circuit::{Control, Gate};
+    use qudit_core::gates;
+    use qudit_core::random_state;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(rho: &DensityMatrix, expected: &[&[f64]], tol: f64) {
+        for (r, row) in expected.iter().enumerate() {
+            for (c, &want) in row.iter().enumerate() {
+                let got = rho.get(r, c);
+                assert!(
+                    (got.re - want).abs() < tol && got.im.abs() < tol,
+                    "ρ[{r},{c}] = {got:?}, expected {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pure_basis_state_has_single_population() {
+        let rho = DensityMatrix::from_basis_state(3, &[1, 2]).unwrap();
+        assert!((rho.population(&[1, 2]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!(rho.hermiticity_error() < 1e-15);
+    }
+
+    #[test]
+    fn x_plus_1_moves_a_qutrit_population_hand_computed() {
+        // X+1 · |1⟩⟨1| · (X+1)† = |2⟩⟨2|: all mass on ρ[2,2].
+        let mut rho = DensityMatrix::from_basis_state(3, &[1]).unwrap();
+        rho.apply_unitary(&gates::qudit::shift(3), &[0]);
+        assert_close(
+            &rho,
+            &[&[0.0, 0.0, 0.0], &[0.0, 0.0, 0.0], &[0.0, 0.0, 1.0]],
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn hadamard_on_zero_gives_hand_computed_coherences() {
+        // H|0⟩⟨0|H† on the 0/1 subspace of a qutrit: ρ = ½(|0⟩+|1⟩)(⟨0|+⟨1|).
+        let mut rho = DensityMatrix::zero_state(3, 1).unwrap();
+        rho.apply_unitary(Gate::h(3).matrix(), &[0]);
+        assert_close(
+            &rho,
+            &[&[0.5, 0.5, 0.0], &[0.5, 0.5, 0.0], &[0.0, 0.0, 0.0]],
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn controlled_increment_two_qutrits_hand_computed() {
+        // |1⟩-controlled X+1 on |11⟩⟨11| → |12⟩⟨12| (index 5 of 9).
+        let op =
+            qudit_circuit::Operation::new(Gate::increment(3), vec![Control::on_one(0)], vec![1])
+                .unwrap();
+        let mut rho = DensityMatrix::from_basis_state(3, &[1, 1]).unwrap();
+        rho.apply_operation(&op);
+        assert!((rho.population(&[1, 2]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        // Control inactive: |01⟩⟨01| stays put.
+        let mut inert = DensityMatrix::from_basis_state(3, &[0, 1]).unwrap();
+        inert.apply_operation(&op);
+        assert!((inert.population(&[0, 1]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_qutrit_entangling_circuit_matches_hand_computed_bell_pair() {
+        // H on qudit 0 then |1⟩-controlled X: (|00⟩ + |11⟩)/√2, whose ρ has
+        // the four 0.5 entries at indices {0, 4} × {0, 4}.
+        let mut rho = DensityMatrix::zero_state(3, 2).unwrap();
+        rho.apply_unitary(Gate::h(3).matrix(), &[0]);
+        let cx =
+            qudit_circuit::Operation::new(Gate::x(3), vec![Control::on_one(0)], vec![1]).unwrap();
+        rho.apply_operation(&cx);
+        for (r, c) in [(0, 0), (0, 4), (4, 0), (4, 4)] {
+            assert!((rho.get(r, c).re - 0.5).abs() < 1e-12, "ρ[{r},{c}]");
+        }
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evolution_matches_reference_outer_products() {
+        // Evolving |ψ⟩⟨ψ| through a circuit fragment must equal the outer
+        // product of the naive-reference-evolved |ψ'⟩.
+        let mut rng = StdRng::seed_from_u64(17);
+        let psi = random_state(3, 3, &mut rng).unwrap();
+        let ops = [
+            qudit_circuit::Operation::uncontrolled(Gate::fourier(3), vec![1]).unwrap(),
+            qudit_circuit::Operation::new(Gate::increment(3), vec![Control::on_two(1)], vec![2])
+                .unwrap(),
+            qudit_circuit::Operation::new(
+                Gate::h(3),
+                vec![Control::on_one(2), Control::on_zero(1)],
+                vec![0],
+            )
+            .unwrap(),
+        ];
+
+        let mut rho = DensityMatrix::from_pure(&psi);
+        let mut slow = psi;
+        for op in &ops {
+            rho.apply_operation(op);
+            reference::apply_operation_naive(&mut slow, op);
+        }
+        let expected = DensityMatrix::from_pure(&slow);
+        for (a, b) in rho.elements().iter().zip(expected.elements()) {
+            assert!(a.approx_eq(*b, 1e-10));
+        }
+        assert!((rho.fidelity_with_pure(&slow) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn compiled_density_circuit_matches_statevector_run() {
+        let mut c = Circuit::new(3, 3);
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+            .unwrap();
+        c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        let compiled = CompiledDensityCircuit::compile(&c);
+        let mut rng = StdRng::seed_from_u64(4);
+        let psi = random_state(3, 3, &mut rng).unwrap();
+        let rho = compiled.run(DensityMatrix::from_pure(&psi));
+        let out = crate::Simulator::new().run_with_state(&c, psi);
+        for (a, b) in rho
+            .elements()
+            .iter()
+            .zip(DensityMatrix::from_pure(&out).elements())
+        {
+            assert!(a.approx_eq(*b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn superoperator_application_matches_explicit_kraus_sum() {
+        // A qubit amplitude-damping channel applied via its superoperator
+        // must equal Σ K ρ K† computed densely by hand.
+        let lambda: f64 = 0.3;
+        let k0 = CMatrix::from_rows(&[
+            &[Complex::ONE, Complex::ZERO],
+            &[Complex::ZERO, Complex::real((1.0 - lambda).sqrt())],
+        ]);
+        let k1 = CMatrix::from_rows(&[
+            &[Complex::ZERO, Complex::real(lambda.sqrt())],
+            &[Complex::ZERO, Complex::ZERO],
+        ]);
+        let superop = &k0.kron(&k0.conj()) + &k1.kron(&k1.conj());
+
+        let mut rng = StdRng::seed_from_u64(8);
+        let psi = random_state(2, 2, &mut rng).unwrap();
+        let mut rho = DensityMatrix::from_pure(&psi);
+        rho.apply_superoperator(&superop, &[1]);
+
+        // Dense reference: K acts on qudit 1 → lift to I ⊗ K.
+        let lift = |k: &CMatrix| CMatrix::identity(2).kron(k);
+        let full0 = lift(&k0);
+        let full1 = lift(&k1);
+        let dense =
+            CMatrix::from_vec(4, 4, DensityMatrix::from_pure(&psi).elements().to_vec()).unwrap();
+        let expected = &(&full0 * &dense) * &full0.adjoint();
+        let expected = &expected + &(&(&full1 * &dense) * &full1.adjoint());
+        for (a, b) in rho.elements().iter().zip(expected.as_slice()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!(rho.hermiticity_error() < 1e-12);
+    }
+
+    #[test]
+    fn maximally_mixed_is_invariant_under_unitaries() {
+        let mut rho = DensityMatrix::maximally_mixed(3, 2).unwrap();
+        let before = rho.clone();
+        rho.apply_unitary(&gates::qutrit::h3(), &[0]);
+        rho.apply_unitary(&gates::qudit::fourier(3), &[1]);
+        for (a, b) in rho.elements().iter().zip(before.elements()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+        assert!((rho.purity() - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_with_pure_matches_statevector_fidelity_for_pure_rho() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = random_state(3, 2, &mut rng).unwrap();
+        let b = random_state(3, 2, &mut rng).unwrap();
+        let rho = DensityMatrix::from_pure(&a);
+        assert!((rho.fidelity_with_pure(&b) - a.fidelity(&b)).abs() < 1e-12);
+    }
+}

@@ -35,6 +35,18 @@
 //! The seed's naive full-scan implementation is retained in
 //! `apply::reference` as the oracle for the kernel equivalence test suite.
 //!
+//! ## Backends
+//!
+//! Two simulation backends share the same plan/kernel machinery:
+//!
+//! * the **state-vector** backend ([`Simulator`] / [`CompiledCircuit`]) —
+//!   `d^n` amplitudes, exact for noise-free evolution, sampled (quantum
+//!   trajectories, in `qudit-noise`) under noise;
+//! * the **density-matrix** backend ([`density`]) — `d^2n` entries, exact
+//!   under noise: `U·ρ·U†` is two plan applications on the vectorised `ρ`
+//!   (`U` on the row digits, `conj(U)` on the column digits) and Kraus
+//!   channels are single precompiled superoperator plans.
+//!
 //! The noise-free simulator lives here; the quantum-trajectory noise
 //! simulator (Algorithm 1 of the paper) builds on these kernels from the
 //! `qudit-noise` crate.
@@ -43,11 +55,13 @@
 #![warn(rust_2018_idioms)]
 
 mod apply;
+pub mod density;
 pub mod kernel;
 mod measure;
 mod simulator;
 
 pub use apply::{apply_matrix, apply_matrix_sequential, apply_operation, reference};
+pub use density::{superoperator_targets, CompiledDensityCircuit, DensityMatrix, UnitaryPlanPair};
 pub use kernel::ApplyPlan;
 pub use measure::{
     marginal_distribution, qubit_subspace_probability, sample_histogram, sample_measurement,

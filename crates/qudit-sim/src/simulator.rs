@@ -2,7 +2,7 @@
 
 use crate::kernel::ApplyPlan;
 use qudit_circuit::{Circuit, Operation, Schedule};
-use qudit_core::{CMatrix, CoreResult, StateVector};
+use qudit_core::{CoreResult, StateVector};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -90,22 +90,39 @@ impl CompiledCircuit {
     }
 }
 
-/// Cache key for one (gate matrix, register width, targets, controls)
-/// combination. The matrix is keyed by allocation address; the cached entry
-/// holds the `Arc` so the address cannot be recycled while the key lives.
+/// Cache key for one (gate structure, register width, targets, controls)
+/// combination. The matrix is keyed by *contents* (bit patterns of its
+/// entries) plus its arity, so structurally-equal gates built by separate
+/// constructor calls — e.g. the mirrored compute/uncompute halves of the
+/// paper's circuits rebuilding `X+1` — share one plan. Negative zero is
+/// normalised so `0.0` and `-0.0` entries produce the same key.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct PlanKey {
-    matrix_addr: usize,
+    dim: usize,
+    rows: usize,
+    matrix_bits: Vec<u64>,
     width: usize,
     targets: Vec<usize>,
     controls: Vec<(usize, usize)>,
 }
 
-#[derive(Debug)]
-struct CachedPlan {
-    plan: Arc<ApplyPlan>,
-    /// Pins the matrix allocation that `PlanKey::matrix_addr` points at.
-    _matrix: Arc<CMatrix>,
+impl PlanKey {
+    fn for_operation(width: usize, op: &Operation) -> Self {
+        let matrix = op.gate().matrix();
+        let bit = |x: f64| if x == 0.0 { 0 } else { x.to_bits() };
+        PlanKey {
+            dim: op.gate().dim(),
+            rows: matrix.rows(),
+            matrix_bits: matrix
+                .as_slice()
+                .iter()
+                .flat_map(|z| [bit(z.re), bit(z.im)])
+                .collect(),
+            width,
+            targets: op.targets().to_vec(),
+            controls: op.control_pairs(),
+        }
+    }
 }
 
 /// A dense state-vector simulator for qudit circuits.
@@ -131,13 +148,13 @@ struct CachedPlan {
 /// ```
 #[derive(Debug, Default)]
 pub struct Simulator {
-    cache: Mutex<HashMap<PlanKey, CachedPlan>>,
+    cache: Mutex<HashMap<PlanKey, Arc<ApplyPlan>>>,
 }
 
-/// Plan-cache capacity. Keys are matrix *addresses*, so a caller that
-/// rebuilds its gates per circuit inserts keys that can never re-hit; the
-/// cap bounds that growth (and the pinned matrix `Arc`s). Plans are cheap
-/// to rebuild, so eviction is a wholesale clear rather than bookkeeping.
+/// Plan-cache capacity. Keys are structural, so re-built gates re-hit; the
+/// cap bounds growth from genuinely distinct matrices (e.g. the continuum
+/// of `X^t` roots in the qubit baselines). Plans are cheap to rebuild, so
+/// eviction is a wholesale clear rather than bookkeeping.
 const PLAN_CACHE_CAP: usize = 1024;
 
 impl Simulator {
@@ -149,27 +166,16 @@ impl Simulator {
     /// Returns the cached plan for `op` on a `width`-qudit register,
     /// building and caching it on first sight.
     fn plan_for(&self, width: usize, op: &Operation) -> Arc<ApplyPlan> {
-        let key = PlanKey {
-            matrix_addr: Arc::as_ptr(&op.gate().matrix_arc()) as usize,
-            width,
-            targets: op.targets().to_vec(),
-            controls: op.control_pairs(),
-        };
+        let key = PlanKey::for_operation(width, op);
         let mut cache = self.cache.lock().expect("plan cache poisoned");
         if let Some(cached) = cache.get(&key) {
-            return Arc::clone(&cached.plan);
+            return Arc::clone(cached);
         }
         let plan = Arc::new(ApplyPlan::for_operation(width, op));
         if cache.len() >= PLAN_CACHE_CAP {
             cache.clear();
         }
-        cache.insert(
-            key,
-            CachedPlan {
-                plan: Arc::clone(&plan),
-                _matrix: op.gate().matrix_arc(),
-            },
-        );
+        cache.insert(key, Arc::clone(&plan));
         plan
     }
 
@@ -354,13 +360,27 @@ mod tests {
     }
 
     #[test]
-    fn plan_cache_is_bounded() {
-        // Freshly built gates get fresh matrix addresses, so none of these
-        // inserts can re-hit; the cache must stay capped regardless.
+    fn structurally_equal_gates_share_one_plan() {
+        // Separate constructor calls build separate matrix allocations, but
+        // the cache keys on contents, so they all dedup to a single plan.
         let sim = Simulator::new();
-        for _ in 0..(super::PLAN_CACHE_CAP + 100) {
+        for _ in 0..20 {
             let mut c = Circuit::new(3, 2);
             c.push_gate(Gate::increment(3), &[0]).unwrap();
+            sim.run(&c).unwrap();
+        }
+        assert_eq!(sim.cached_plans(), 1);
+    }
+
+    #[test]
+    fn plan_cache_is_bounded() {
+        // Genuinely distinct matrices (a continuum of X^t roots) can never
+        // re-hit; the cache must stay capped regardless.
+        let sim = Simulator::new();
+        for i in 0..(super::PLAN_CACHE_CAP + 100) {
+            let mut c = Circuit::new(3, 2);
+            c.push_gate(Gate::x_pow(3, (i + 1) as f64 * 1e-6), &[0])
+                .unwrap();
             sim.run(&c).unwrap();
         }
         assert!(sim.cached_plans() <= super::PLAN_CACHE_CAP);

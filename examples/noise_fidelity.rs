@@ -6,7 +6,9 @@
 //! (The full 13-control experiment is available via
 //! `cargo run --release -p bench --bin fig11 -- --controls 13 --trials 1000`.)
 
-use qutrits::noise::{models, simulate_fidelity, GateExpansion, InputState, TrajectoryConfig};
+use qutrits::noise::{
+    cross_validate, models, simulate_fidelity, GateExpansion, InputState, TrajectoryConfig,
+};
 use qutrits::toffoli::baselines::{qubit_no_ancilla, qubit_one_dirty_ancilla};
 use qutrits::toffoli::gen_toffoli::n_controlled_x;
 
@@ -51,5 +53,29 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     }
     println!();
     println!("(the QUTRIT column should dominate, as in the paper's Figure 11)");
+
+    // Sanity-check the sampling against ground truth: on a small instance
+    // the exact density-matrix backend gives the true fidelity, and the
+    // trajectory estimate must land within the statistical bound of it.
+    let small = n_controlled_x(3).expect("qutrit circuit");
+    let cv = cross_validate(
+        &small,
+        &models::sc(),
+        &TrajectoryConfig {
+            trials: 200,
+            seed: 2019,
+            expansion: GateExpansion::DiWei,
+            input: InputState::AllOnes,
+        },
+        3.0,
+    )?;
+    println!(
+        "cross-check (3-control, SC): exact {:.4} vs trajectory {:.4} (|diff| {:.1e} ≤ bound {:.1e}: {})",
+        cv.exact,
+        cv.estimate.mean,
+        cv.deviation(),
+        cv.tolerance,
+        if cv.within_bounds() { "ok" } else { "FAIL" }
+    );
     Ok(())
 }

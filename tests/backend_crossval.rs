@@ -1,0 +1,112 @@
+//! Backend cross-validation: the trajectory Monte Carlo estimate must
+//! converge to the exact density-matrix backend's ground-truth fidelity.
+//!
+//! Every case fixes the input (all-|1⟩) and the seed, so passing is
+//! deterministic: the trajectory mean over `trials` samples must land
+//! within `3σ` of the exact value, where `σ` is the binomial bound
+//! `√(F(1−F)/trials)` (per-trial fidelities lie in `[0, 1]`). The `crossval`
+//! bench binary runs the same harness at larger sizes in CI.
+
+use qudit_circuit::Circuit;
+use qudit_noise::{
+    cross_validate, models, Backend, DensityMatrixBackend, GateExpansion, InputState,
+    TrajectoryBackend, TrajectoryConfig,
+};
+use qutrit_toffoli::baselines::qubit_no_ancilla;
+use qutrit_toffoli::gen_toffoli::n_controlled_x;
+
+fn fig4_toffoli() -> Circuit {
+    n_controlled_x(2).unwrap()
+}
+
+fn fixed_input_config(trials: usize, seed: u64) -> TrajectoryConfig {
+    TrajectoryConfig {
+        trials,
+        seed,
+        expansion: GateExpansion::DiWei,
+        input: InputState::AllOnes,
+    }
+}
+
+#[test]
+fn trajectory_converges_to_exact_for_every_noise_model_on_the_fig4_toffoli() {
+    // The acceptance case: every paper noise model, 3-qutrit test circuit,
+    // trajectory within 3σ of the binomial bound around the exact value.
+    let circuit = fig4_toffoli();
+    let config = fixed_input_config(300, 2019);
+    for model in models::all_models() {
+        let cv = cross_validate(&circuit, &model, &config, 3.0).unwrap();
+        assert!(
+            cv.within_bounds(),
+            "{}: trajectory {:.6} vs exact {:.6} exceeds bound {:.2e}",
+            model.name,
+            cv.estimate.mean,
+            cv.exact,
+            cv.tolerance
+        );
+        assert!(cv.exact > 0.9 && cv.exact <= 1.0, "{}", model.name);
+    }
+}
+
+#[test]
+fn trajectory_converges_to_exact_on_a_qubit_circuit() {
+    // d = 2 coverage: the 3-controlled qubit-only baseline (4 qubits).
+    let circuit = qubit_no_ancilla(3, 2).unwrap();
+    let config = fixed_input_config(300, 11);
+    let cv = cross_validate(&circuit, &models::sc_t1_gates(), &config, 3.0).unwrap();
+    assert!(
+        cv.within_bounds(),
+        "trajectory {:.6} vs exact {:.6} exceeds bound {:.2e}",
+        cv.estimate.mean,
+        cv.exact,
+        cv.tolerance
+    );
+}
+
+#[test]
+fn backends_agree_exactly_when_there_is_no_noise() {
+    // With p1 = p2 = 0 and no T1 the trajectory draws no branches at all,
+    // so the two backends must agree to numerical precision — and both must
+    // report unit fidelity.
+    let noiseless = qudit_noise::NoiseModel {
+        name: "NOISELESS".to_string(),
+        p1: 0.0,
+        p2: 0.0,
+        t1: None,
+        gate_time_1q: 100e-9,
+        gate_time_2q: 300e-9,
+    };
+    let circuit = fig4_toffoli();
+    let config = fixed_input_config(5, 1);
+    let exact = DensityMatrixBackend
+        .fidelity(&circuit, &noiseless, &config)
+        .unwrap();
+    let sampled = TrajectoryBackend
+        .fidelity(&circuit, &noiseless, &config)
+        .unwrap();
+    assert!((exact.mean - 1.0).abs() < 1e-10);
+    assert!((sampled.mean - exact.mean).abs() < 1e-9);
+}
+
+#[test]
+fn random_input_cross_validation_shares_input_draws() {
+    // With RandomQubitSubspace inputs both backends draw the *same* seeded
+    // inputs (trial i uses seed + i before any noise sampling), so the only
+    // disagreement left is trajectory noise sampling — the bound still
+    // holds at modest trial counts.
+    let circuit = fig4_toffoli();
+    let config = TrajectoryConfig {
+        trials: 200,
+        seed: 5,
+        expansion: GateExpansion::DiWei,
+        input: InputState::RandomQubitSubspace,
+    };
+    let cv = cross_validate(&circuit, &models::sc(), &config, 3.0).unwrap();
+    assert!(
+        cv.within_bounds(),
+        "trajectory {:.6} vs exact {:.6} exceeds bound {:.2e}",
+        cv.estimate.mean,
+        cv.exact,
+        cv.tolerance
+    );
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the density-matrix backend: under every noise
+//! channel the paper uses, `ρ` must stay Hermitian, trace-1 and have a
+//! non-negative diagonal (the observable slice of positivity), and unitary
+//! conjugation must preserve purity.
+
+use proptest::prelude::*;
+use qudit_core::random_state;
+use qudit_noise::{models, Channel, NoiseModel};
+use qudit_sim::DensityMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOL: f64 = 1e-9;
+
+/// Every distinct (channel, dimension) pair the paper's models generate:
+/// single- and two-qudit depolarizing plus the T1 idle damping channels.
+fn all_channels(model: &NoiseModel, d: usize) -> Vec<(String, Channel, usize)> {
+    let mut out = vec![
+        (
+            format!("{}-single-d{d}", model.name),
+            model.single_qudit_gate_error(d).unwrap(),
+            1,
+        ),
+        (
+            format!("{}-two-d{d}", model.name),
+            model.two_qudit_gate_error(d).unwrap(),
+            2,
+        ),
+    ];
+    for (label, long) in [("short", false), ("long", true)] {
+        if let Some(idle) = model.idle_error(d, model.moment_duration(long)).unwrap() {
+            out.push((format!("{}-idle-{label}-d{d}", model.name), idle, 1));
+        }
+    }
+    out
+}
+
+/// A mixed (but physical) random density matrix: an unequal mixture of two
+/// random pure states.
+fn random_mixed(d: usize, n: usize, seed: u64) -> DensityMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = random_state(d, n, &mut rng).unwrap();
+    let b = random_state(d, n, &mut rng).unwrap();
+    DensityMatrix::from_mixture(&[(0.7, &a), (0.3, &b)]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_channel_preserves_density_matrix_invariants(
+        seed in 0u64..10_000,
+        model_idx in 0usize..7,
+    ) {
+        let model = &models::all_models()[model_idx];
+        for d in [2usize, 3] {
+            for (label, channel, arity) in all_channels(model, d) {
+                // A 3-qudit register, channel applied to a site that is not
+                // aligned with the register edge.
+                let n = 3;
+                let qudits: Vec<usize> = (1..1 + arity).collect();
+                let mut rho = random_mixed(d, n, seed);
+                rho.apply_superoperator(&channel.superoperator(), &qudits);
+
+                prop_assert!(
+                    (rho.trace().re - 1.0).abs() < TOL,
+                    "{label}: trace drifted to {}", rho.trace().re
+                );
+                prop_assert!(
+                    rho.hermiticity_error() < TOL,
+                    "{label}: hermiticity error {}", rho.hermiticity_error()
+                );
+                prop_assert!(
+                    rho.min_population() > -TOL,
+                    "{label}: negative population {}", rho.min_population()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unitary_conjugation_preserves_purity_and_trace(
+        seed in 0u64..10_000,
+        target in 0usize..3,
+    ) {
+        let mut rho = random_mixed(3, 3, seed);
+        let purity_before = rho.purity();
+        rho.apply_unitary(&qudit_core::gates::qutrit::h3(), &[target]);
+        rho.apply_unitary(&qudit_core::gates::qudit::shift(3), &[(target + 1) % 3]);
+        prop_assert!((rho.purity() - purity_before).abs() < TOL);
+        prop_assert!((rho.trace().re - 1.0).abs() < TOL);
+        prop_assert!(rho.hermiticity_error() < TOL);
+    }
+}
