@@ -4,7 +4,7 @@
 //! Usage: `cargo run --release -p bench --bin fig10 [-- --max 200 --step 25]`
 
 use bench::{backend_from_args, benchmark_circuit, parse_flag_or, verify_constructions_on};
-use qudit_circuit::{analyze, CostWeights};
+use qudit_circuit::ResourceReport;
 use qudit_noise::BackendKind;
 use qutrit_toffoli::cost::{paper_two_qudit_gate_model, Construction};
 
@@ -47,9 +47,7 @@ fn main() {
             let model = paper_two_qudit_gate_model(construction, n);
             let measured = if n <= measure_cap {
                 let c = benchmark_circuit(construction, n);
-                analyze(&c, CostWeights::di_wei())
-                    .two_qudit_gates
-                    .to_string()
+                ResourceReport::measure(&c).two_qudit_gates().to_string()
             } else {
                 "-".to_string()
             };

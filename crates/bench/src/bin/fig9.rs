@@ -9,7 +9,7 @@
 //! Usage: `cargo run --release -p bench --bin fig9 [-- --max 200 --step 25]`
 
 use bench::{backend_from_args, benchmark_circuit, parse_flag_or, verify_constructions_on};
-use qudit_circuit::{analyze, CostWeights};
+use qudit_circuit::ResourceReport;
 use qudit_noise::BackendKind;
 use qutrit_toffoli::cost::{paper_depth_model, Construction};
 
@@ -52,9 +52,7 @@ fn main() {
             let model = paper_depth_model(construction, n);
             let measured = if n <= measure_cap {
                 let c = benchmark_circuit(construction, n);
-                analyze(&c, CostWeights::di_wei())
-                    .physical_depth
-                    .to_string()
+                ResourceReport::measure(&c).depth().to_string()
             } else {
                 "-".to_string()
             };

@@ -18,6 +18,7 @@
 //!
 //! Usage: `cargo run --release -p bench --bin perf_snapshot`
 
+use qudit_circuit::PassLevel;
 use qudit_core::StateVector;
 use qudit_sim::Simulator;
 use qutrit_toffoli::gen_toffoli::n_controlled_x;
@@ -35,9 +36,13 @@ struct Point {
 fn measure(qutrits: usize) -> Point {
     let circuit = n_controlled_x(qutrits - 1).expect("construction");
     let sim = Simulator::new();
-    let compiled = sim.compile(&circuit);
+    // The production compile path: Ideal pass pipeline, then plan kernels.
+    // `ops` is the post-pass kernel-invocation count (identical to the raw
+    // count for this construction — the tree has nothing to fuse or
+    // cancel — but the denominator is defined by what actually runs).
+    let (compiled, ir) = sim.compile_optimized(&circuit, PassLevel::Ideal);
     let dim = circuit.dim();
-    let ops = circuit.len();
+    let ops = ir.circuit().len();
     let amps = dim.pow(qutrits as u32);
 
     let run_once = || {

@@ -10,7 +10,7 @@
 
 use crate::baselines::{he_log_depth, qubit_no_ancilla, qubit_one_dirty_ancilla};
 use crate::gen_toffoli::n_controlled_x;
-use qudit_circuit::{analyze, CircuitCosts, CircuitResult, CostWeights};
+use qudit_circuit::{CircuitResult, ResourceReport};
 
 /// The circuit constructions compared in the paper's evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -149,7 +149,10 @@ pub fn paper_two_qudit_gate_model(construction: Construction, n_controls: usize)
 }
 
 /// Builds the circuit for a construction (where we implement one) and
-/// measures its costs with the Di & Wei expansion of multi-qudit gates.
+/// measures it with the [`ResourceReport`] analyzer — the same analyzer
+/// the compiler's pass pipeline reports pre/post resources with, so every
+/// count column in the paper reproductions comes from one place. Physical
+/// columns use the Di & Wei expansion of multi-qudit gates.
 ///
 /// Returns `None` for the analytic-only constructions (Wang, Lanyon).
 ///
@@ -159,7 +162,7 @@ pub fn paper_two_qudit_gate_model(construction: Construction, n_controls: usize)
 pub fn measured_costs(
     construction: Construction,
     n_controls: usize,
-) -> CircuitResult<Option<CircuitCosts>> {
+) -> CircuitResult<Option<ResourceReport>> {
     let circuit = match construction {
         Construction::Qutrit => Some(n_controlled_x(n_controls)?),
         Construction::Qubit | Construction::Barenco => Some(qubit_no_ancilla(n_controls, 2)?),
@@ -167,7 +170,7 @@ pub fn measured_costs(
         Construction::He => Some(he_log_depth(n_controls, 2)?),
         Construction::Wang | Construction::Lanyon => None,
     };
-    Ok(circuit.map(|c| analyze(&c, CostWeights::di_wei())))
+    Ok(circuit.as_ref().map(ResourceReport::measure))
 }
 
 #[cfg(test)]
@@ -214,9 +217,9 @@ mod tests {
     #[test]
     fn measured_qutrit_costs_track_the_analytic_model() {
         for n in [16usize, 64] {
-            let costs = measured_costs(Construction::Qutrit, n).unwrap().unwrap();
+            let report = measured_costs(Construction::Qutrit, n).unwrap().unwrap();
             let model = paper_two_qudit_gate_model(Construction::Qutrit, n);
-            let measured = costs.two_qudit_gates as f64;
+            let measured = report.two_qudit_gates() as f64;
             assert!(
                 (measured - model).abs() / model < 0.35,
                 "n={n}: measured {measured} vs model {model}"
@@ -232,8 +235,8 @@ mod tests {
             .unwrap()
             .unwrap();
         let qubit = measured_costs(Construction::Qubit, n).unwrap().unwrap();
-        assert!(qutrit.physical_depth < ancilla.physical_depth);
-        assert!(ancilla.physical_depth < qubit.physical_depth);
+        assert!(qutrit.depth() < ancilla.depth());
+        assert!(ancilla.depth() < qubit.depth());
     }
 
     #[test]

@@ -68,13 +68,16 @@ pub fn verify_n_controlled_x_statevector(
     n_controls: usize,
     target: usize,
 ) -> Result<Option<Counterexample>, Box<dyn std::error::Error>> {
-    let sim = Simulator::new();
+    // Compile (pass pipeline + plans) once; the 2^width basis sweep only
+    // replays the compiled kernels.
+    let (compiled, _ir) =
+        Simulator::new().compile_optimized(circuit, qudit_circuit::PassLevel::Ideal);
     for input in all_binary_basis_states(circuit.width()) {
         let mut expected = input.clone();
         if input[..n_controls].iter().all(|&b| b == 1) {
             expected[target] = 1 - expected[target];
         }
-        let out = sim.run_on_basis_state(circuit, &input)?;
+        let out = compiled.run(StateVector::from_basis_state(circuit.dim(), &input)?);
         let amp = out.amplitude(&expected)?;
         if !amp.approx_eq(Complex::ONE, 1e-6) {
             return Ok(Some(Counterexample {

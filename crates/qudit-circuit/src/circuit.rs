@@ -43,6 +43,14 @@ impl Circuit {
         }
     }
 
+    /// Rebuilds a circuit from an already-validated operation list — the
+    /// compiler passes transform operations that came out of a valid
+    /// circuit, so re-validating every index on each pass would be wasted
+    /// work.
+    pub(crate) fn from_ops(dim: usize, width: usize, ops: Vec<Operation>) -> Self {
+        Circuit { dim, width, ops }
+    }
+
     /// The qudit dimension.
     pub fn dim(&self) -> usize {
         self.dim

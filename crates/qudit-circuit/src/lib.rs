@@ -33,6 +33,7 @@ pub mod cost;
 mod error;
 mod gate;
 mod operation;
+pub mod passes;
 mod schedule;
 
 pub use circuit::Circuit;
@@ -40,4 +41,5 @@ pub use cost::{analyze, analyze_default, CircuitCosts, CostWeights};
 pub use error::{CircuitError, CircuitResult};
 pub use gate::Gate;
 pub use operation::{Control, Operation};
-pub use schedule::{circuit_depth, Moment, Schedule};
+pub use passes::{KernelClass, PassLevel, ResourceReport};
+pub use schedule::{circuit_depth, Moment, MomentDuration, Schedule};

@@ -1,0 +1,1002 @@
+//! A pass-based circuit compiler: IR transformation pipeline feeding the
+//! simulation backends.
+//!
+//! The paper's headline claims are *resource* claims — depth and two-qudit
+//! gate count — and its simulations replay every gate of the raw op list as
+//! one kernel invocation. This module turns the circuit into a compiler IR
+//! and runs a configurable pipeline of transformation passes over it before
+//! anything is compiled to kernels:
+//!
+//! * [`CancellationPass`] removes adjacent inverse pairs (`U` then `U†` with
+//!   no intervening operation on the same qudits, e.g. an increment
+//!   immediately undone by a decrement) and outright identity operations;
+//! * [`FusionPass`] composes runs of adjacent single-qudit gates on the same
+//!   qudit into one gate (`H` then `X` becomes the single matrix `X·H`), and
+//!   drops the pair entirely when the product is the identity;
+//! * [`RepackPass`] re-derives the as-early-as-possible [`Schedule`] after
+//!   removals, so the depth the analyzer reports is the depth of the
+//!   *transformed* circuit;
+//! * [`SpecializePass`] tags every operation with its [`KernelClass`]
+//!   (identity / permutation / diagonal / dense), the structure the
+//!   simulator's plan builder uses to pick the cheap kernel.
+//!
+//! ## Pass levels and noise semantics
+//!
+//! Fusing or cancelling gates changes how many error channels a noisy
+//! simulation charges, so optimization must never silently leak into
+//! fidelity results. Two explicit [`PassLevel`]s pin the semantics:
+//!
+//! * [`PassLevel::NoisePreserving`] — only transformations that leave the
+//!   schedule *and* the operation list unchanged are allowed: fusion is
+//!   restricted to operations sharing a moment (a moment touches each qudit
+//!   at most once, so nothing ever fuses) and cancellation/repacking do not
+//!   run. The output circuit is guaranteed operation-for-operation identical
+//!   to the input, so noisy fidelities are bit-identical with and without
+//!   the pipeline. Both noise backends compile through this level.
+//! * [`PassLevel::Ideal`] — the full pipeline, valid for noise-free runs
+//!   only, where unitary equivalence is the only obligation.
+//!
+//! [`ResourceReport`] measures gate counts, two-qudit counts and depth
+//! before and after the pipeline; the bench binaries regenerating the
+//! paper's figures produce their count columns through it.
+
+use crate::circuit::Circuit;
+use crate::cost::{analyze, CircuitCosts, CostWeights};
+use crate::gate::Gate;
+use crate::operation::Operation;
+use crate::schedule::Schedule;
+use std::fmt;
+
+/// Tolerance for structural matrix classification (permutation / diagonal /
+/// identity detection) and inverse-pair recognition. Shared with the
+/// simulator's kernel selection so the compiler's tags and the kernels
+/// actually dispatched can never disagree.
+pub const KERNEL_CLASS_TOL: f64 = 1e-12;
+
+/// The structural class of an operation's gate matrix, which determines the
+/// cheapest kernel the simulator can apply it with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// The identity: applying the operation is a no-op.
+    Identity,
+    /// A basis permutation (classical gate): amplitudes move, never mix.
+    Permutation,
+    /// A diagonal matrix (phase-type gate): each amplitude is scaled
+    /// independently, no gather/scatter.
+    Diagonal,
+    /// A general dense matrix.
+    Dense,
+}
+
+impl KernelClass {
+    /// Classifies a gate matrix. Controls do not change the class — the
+    /// kernel applies control conditions by restricting which amplitude
+    /// groups it visits, orthogonally to the matrix structure.
+    pub fn of_matrix(matrix: &qudit_core::CMatrix) -> KernelClass {
+        if let Some(perm) = matrix.as_permutation(KERNEL_CLASS_TOL) {
+            if perm.iter().enumerate().all(|(i, &p)| i == p) {
+                KernelClass::Identity
+            } else {
+                KernelClass::Permutation
+            }
+        } else if matrix.is_diagonal(KERNEL_CLASS_TOL) {
+            KernelClass::Diagonal
+        } else {
+            KernelClass::Dense
+        }
+    }
+
+    /// Classifies an operation by its gate matrix.
+    pub fn of_operation(op: &Operation) -> KernelClass {
+        KernelClass::of_matrix(op.gate().matrix())
+    }
+}
+
+/// How aggressively the pipeline may transform the circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PassLevel {
+    /// Leave the operation list and schedule exactly as-is; only
+    /// within-moment fusion (a provable no-op under the moment invariant)
+    /// and specialization tagging run. Noisy fidelity results are
+    /// bit-identical with and without the pipeline. This is the level both
+    /// noise backends compile through.
+    NoisePreserving,
+    /// Full optimization: cancellation, cross-moment fusion and depth
+    /// repacking. Preserves the circuit unitary but not the gate count or
+    /// schedule, so it is valid for noise-free runs only.
+    Ideal,
+}
+
+impl PassLevel {
+    /// The level's stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PassLevel::NoisePreserving => "noise-preserving",
+            PassLevel::Ideal => "ideal",
+        }
+    }
+}
+
+/// The mutable compilation state a [`Pass`] transforms.
+///
+/// Holds the current operation list (as a [`Circuit`]), the schedule when
+/// one is known to be valid for that list, and the per-operation kernel
+/// tags once [`SpecializePass`] has run. Mutating the operation list
+/// invalidates both derived artifacts; [`RepackPass`] / [`SpecializePass`]
+/// re-derive them.
+#[derive(Clone, Debug)]
+pub struct CircuitIr {
+    circuit: Circuit,
+    /// `None` after a transformation pass changed the op list ("stale").
+    schedule: Option<Schedule>,
+    /// Kernel tags per operation, in op order; `None` until specialization.
+    kernel_tags: Option<Vec<KernelClass>>,
+}
+
+impl CircuitIr {
+    /// Builds the IR for a circuit, with its ASAP schedule attached.
+    pub fn new(circuit: &Circuit) -> Self {
+        CircuitIr {
+            circuit: circuit.clone(),
+            schedule: Some(Schedule::asap(circuit)),
+            kernel_tags: None,
+        }
+    }
+
+    /// The current operation list.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The current schedule, recomputing it if a transformation left it
+    /// stale.
+    pub fn schedule(&mut self) -> &Schedule {
+        if self.schedule.is_none() {
+            self.schedule = Some(Schedule::asap(&self.circuit));
+        }
+        self.schedule.as_ref().expect("just ensured")
+    }
+
+    /// Replaces the operation list, invalidating the schedule and tags.
+    fn replace_ops(&mut self, ops: Vec<Operation>) {
+        self.circuit = Circuit::from_ops(self.circuit.dim(), self.circuit.width(), ops);
+        self.schedule = None;
+        self.kernel_tags = None;
+    }
+}
+
+/// What one pass invocation did, for the [`PassManager`]'s statistics.
+///
+/// The manager iterates its pipeline to a fixpoint, so the same pass can
+/// appear in several rounds; `round` tells the invocations apart.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassStats {
+    /// The pass name.
+    pub pass: &'static str,
+    /// Which fixpoint round (1-based) this invocation ran in.
+    pub round: usize,
+    /// Operation count entering the pass.
+    pub ops_before: usize,
+    /// Operation count leaving the pass.
+    pub ops_after: usize,
+    /// Human-readable summary of the pass-specific effect (pairs fused,
+    /// pairs cancelled, kernel-class histogram, …).
+    pub detail: String,
+}
+
+impl PassStats {
+    /// Whether the pass changed the operation list.
+    pub fn changed(&self) -> bool {
+        self.ops_before != self.ops_after
+    }
+}
+
+/// A circuit transformation pass.
+pub trait Pass {
+    /// The pass's stable name, used in statistics and reports.
+    fn name(&self) -> &'static str;
+
+    /// Transforms the IR in place and reports what happened.
+    fn run(&self, ir: &mut CircuitIr) -> PassStats;
+
+    /// Whether the pass only derives artifacts (schedule, tags) and never
+    /// changes the operation list. Analysis passes run once after the
+    /// transformation fixpoint instead of in every round.
+    fn is_analysis(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+/// Removes adjacent inverse pairs and identity operations.
+///
+/// Two operations cancel when they have identical controls and targets,
+/// their gate matrices are mutual inverses, and no operation between them
+/// touches any of their qudits (so they are adjacent on every wire they
+/// use). A single pass catches the innermost pair of a nested
+/// `U V V† U†` structure; the [`PassManager`] iterates the pipeline to a
+/// fixpoint, unwrapping such nests completely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CancellationPass;
+
+impl Pass for CancellationPass {
+    fn name(&self) -> &'static str {
+        "cancel"
+    }
+
+    fn run(&self, ir: &mut CircuitIr) -> PassStats {
+        let ops_before = ir.circuit.len();
+        let width = ir.circuit.width();
+        let mut out: Vec<Option<Operation>> = Vec::with_capacity(ops_before);
+        let mut last_touch: Vec<Option<usize>> = vec![None; width];
+        let mut pairs = 0usize;
+        let mut identities = 0usize;
+
+        for op in ir.circuit.iter() {
+            if op.gate().matrix().is_identity(KERNEL_CLASS_TOL) {
+                identities += 1;
+                continue;
+            }
+            let qudits = op.qudits();
+            // The candidate is the unique previous op that last touched
+            // *every* qudit of `op` and is still present — adjacency on all
+            // wires at once.
+            let candidate: Option<usize> = match qudits.split_first() {
+                Some((&first, rest)) => last_touch[first]
+                    .filter(|&j| rest.iter().all(|&q| last_touch[q] == Some(j)))
+                    .filter(|&j| {
+                        out[j].as_ref().is_some_and(|prev| {
+                            prev.controls() == op.controls()
+                                && prev.targets() == op.targets()
+                                && op
+                                    .gate()
+                                    .matrix()
+                                    .is_inverse_of(prev.gate().matrix(), KERNEL_CLASS_TOL)
+                        })
+                    }),
+                None => None,
+            };
+            if let Some(j) = candidate {
+                out[j] = None;
+                for &q in &qudits {
+                    last_touch[q] = None;
+                }
+                pairs += 1;
+            } else {
+                out.push(Some(op.clone()));
+                let idx = out.len() - 1;
+                for &q in &qudits {
+                    last_touch[q] = Some(idx);
+                }
+            }
+        }
+
+        let ops: Vec<Operation> = out.into_iter().flatten().collect();
+        let ops_after = ops.len();
+        if ops_after != ops_before {
+            ir.replace_ops(ops);
+        }
+        PassStats {
+            pass: self.name(),
+            round: 0,
+            ops_before,
+            ops_after,
+            detail: format!("{pairs} inverse pair(s), {identities} identity op(s)"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fusion
+// ---------------------------------------------------------------------------
+
+/// Fuses runs of adjacent single-qudit gates on the same qudit into one
+/// composed gate, dropping the run entirely when the product is the
+/// identity (`H` then `H`).
+///
+/// With `across_moments = false` the pass only fuses gates that share a
+/// schedule moment. A moment touches every qudit at most once, so nothing
+/// ever fuses and the schedule is provably preserved — this is the
+/// [`PassLevel::NoisePreserving`] configuration, kept as a real pass so the
+/// invariant is enforced by construction rather than by convention.
+#[derive(Clone, Copy, Debug)]
+pub struct FusionPass {
+    /// Whether gates from different schedule moments may fuse.
+    pub across_moments: bool,
+}
+
+/// Longest fused-gate display name before collapsing to `"fused"`.
+const MAX_FUSED_NAME: usize = 24;
+
+impl Pass for FusionPass {
+    fn name(&self) -> &'static str {
+        if self.across_moments {
+            "fuse"
+        } else {
+            "fuse(within-moment)"
+        }
+    }
+
+    fn run(&self, ir: &mut CircuitIr) -> PassStats {
+        let ops_before = ir.circuit.len();
+        let dim = ir.circuit.dim();
+        let width = ir.circuit.width();
+        // Moment index per op, for the within-moment restriction.
+        let moment_of: Vec<usize> = if self.across_moments {
+            Vec::new()
+        } else {
+            let schedule = ir.schedule();
+            let mut m = vec![0usize; ops_before];
+            for (moment_idx, op_indices) in schedule.iter() {
+                for &i in op_indices {
+                    m[i] = moment_idx;
+                }
+            }
+            m
+        };
+
+        let mut out: Vec<Option<Operation>> = Vec::with_capacity(ops_before);
+        // Moment of the op currently held in each `out` slot (singles only).
+        let mut out_moment: Vec<usize> = Vec::with_capacity(ops_before);
+        let mut last_touch: Vec<Option<usize>> = vec![None; width];
+        let mut fused = 0usize;
+        let mut dropped = 0usize;
+
+        for (op_idx, op) in ir.circuit.iter().enumerate() {
+            let moment = if self.across_moments {
+                0
+            } else {
+                moment_of[op_idx]
+            };
+            let single = op.controls().is_empty() && op.targets().len() == 1;
+            let target = if single { Some(op.targets()[0]) } else { None };
+            let prev_slot = target.and_then(|t| last_touch[t]).filter(|&j| {
+                out[j].as_ref().is_some_and(|prev| {
+                    prev.controls().is_empty()
+                        && prev.targets().len() == 1
+                        && (self.across_moments || out_moment[j] == moment)
+                })
+            });
+
+            if let (Some(t), Some(j)) = (target, prev_slot) {
+                let prev = out[j].as_ref().expect("filtered above");
+                // `prev` runs first, so the composed matrix is op · prev.
+                let composed = op.gate().matrix() * prev.gate().matrix();
+                if composed.is_identity(KERNEL_CLASS_TOL) {
+                    out[j] = None;
+                    last_touch[t] = None;
+                    dropped += 1;
+                } else {
+                    let name = fused_name(prev.gate(), op.gate());
+                    let gate = Gate::new(name, dim, 1, composed)
+                        .expect("product of dim x dim matrices has the gate's shape");
+                    out[j] = Some(
+                        Operation::uncontrolled(gate, vec![t])
+                            .expect("single valid target cannot fail validation"),
+                    );
+                    out_moment[j] = moment;
+                    fused += 1;
+                }
+                continue;
+            }
+
+            out.push(Some(op.clone()));
+            out_moment.push(moment);
+            let idx = out.len() - 1;
+            for q in op.qudits() {
+                last_touch[q] = Some(idx);
+            }
+        }
+
+        let ops: Vec<Operation> = out.into_iter().flatten().collect();
+        let ops_after = ops.len();
+        if ops_after != ops_before {
+            ir.replace_ops(ops);
+        }
+        PassStats {
+            pass: self.name(),
+            round: 0,
+            ops_before,
+            ops_after,
+            detail: format!("{fused} pair(s) fused, {dropped} identity product(s) dropped"),
+        }
+    }
+}
+
+/// Display name for a fused gate, collapsing long chains.
+fn fused_name(first: &Gate, second: &Gate) -> String {
+    let name = format!("{}·{}", second.name(), first.name());
+    if name.chars().count() > MAX_FUSED_NAME {
+        "fused".to_string()
+    } else {
+        name
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Repacking and specialization
+// ---------------------------------------------------------------------------
+
+/// Re-derives the ASAP schedule of the (possibly shrunken) operation list,
+/// so downstream consumers see the post-removal depth.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RepackPass;
+
+impl Pass for RepackPass {
+    fn name(&self) -> &'static str {
+        "repack"
+    }
+
+    fn is_analysis(&self) -> bool {
+        true
+    }
+
+    fn run(&self, ir: &mut CircuitIr) -> PassStats {
+        let ops = ir.circuit.len();
+        let depth = ir.schedule().depth();
+        PassStats {
+            pass: self.name(),
+            round: 0,
+            ops_before: ops,
+            ops_after: ops,
+            detail: format!("ASAP depth {depth}"),
+        }
+    }
+}
+
+/// Tags every operation with its [`KernelClass`], the structure the
+/// simulator's plan builder keys its kernel selection on.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpecializePass;
+
+impl Pass for SpecializePass {
+    fn name(&self) -> &'static str {
+        "specialize"
+    }
+
+    fn is_analysis(&self) -> bool {
+        true
+    }
+
+    fn run(&self, ir: &mut CircuitIr) -> PassStats {
+        let ops = ir.circuit.len();
+        let tags: Vec<KernelClass> = ir.circuit.iter().map(KernelClass::of_operation).collect();
+        let counts = KernelCounts::from_tags(&tags);
+        ir.kernel_tags = Some(tags);
+        PassStats {
+            pass: self.name(),
+            round: 0,
+            ops_before: ops,
+            ops_after: ops,
+            detail: counts.to_string(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resource reporting
+// ---------------------------------------------------------------------------
+
+/// Histogram of operation kernel classes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCounts {
+    /// Operations whose gate is the identity.
+    pub identity: usize,
+    /// Basis-permutation (classical) operations.
+    pub permutation: usize,
+    /// Diagonal (phase-type) operations.
+    pub diagonal: usize,
+    /// General dense operations.
+    pub dense: usize,
+}
+
+impl KernelCounts {
+    /// Builds the histogram from per-operation tags.
+    pub fn from_tags(tags: &[KernelClass]) -> Self {
+        let mut counts = KernelCounts::default();
+        for tag in tags {
+            match tag {
+                KernelClass::Identity => counts.identity += 1,
+                KernelClass::Permutation => counts.permutation += 1,
+                KernelClass::Diagonal => counts.diagonal += 1,
+                KernelClass::Dense => counts.dense += 1,
+            }
+        }
+        counts
+    }
+}
+
+impl fmt::Display for KernelCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} perm / {} diag / {} dense / {} id",
+            self.permutation, self.diagonal, self.dense, self.identity
+        )
+    }
+}
+
+/// The resource analysis of one circuit: the paper's count columns (gate
+/// counts, two-qudit gate count, depth) at logical and physical (Di & Wei)
+/// granularity, plus the kernel-class histogram.
+///
+/// This analyzer is the single producer of the resource numbers the bench
+/// binaries print for Figures 9–10 and the constructions' cost tables; ad
+/// hoc counting at call sites is what it replaces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResourceReport {
+    /// Costs with ≥3-qudit operations counted as single logical gates.
+    pub logical: CircuitCosts,
+    /// Costs under the paper's Di & Wei expansion of ≥3-qudit operations.
+    pub physical: CircuitCosts,
+    /// Kernel-class histogram of the operation list.
+    pub kernels: KernelCounts,
+}
+
+impl ResourceReport {
+    /// Measures a circuit.
+    pub fn measure(circuit: &Circuit) -> Self {
+        let tags: Vec<KernelClass> = circuit.iter().map(KernelClass::of_operation).collect();
+        ResourceReport::from_parts(circuit, &tags)
+    }
+
+    /// Builds the report from already-computed kernel tags (the pipeline
+    /// reuses the specialization pass's tags rather than reclassifying).
+    fn from_parts(circuit: &Circuit, tags: &[KernelClass]) -> Self {
+        ResourceReport {
+            logical: analyze(circuit, CostWeights::logical()),
+            physical: analyze(circuit, CostWeights::di_wei()),
+            kernels: KernelCounts::from_tags(tags),
+        }
+    }
+
+    /// Total operation count (logical granularity) — the number of kernel
+    /// invocations a compiled replay performs.
+    pub fn total_ops(&self) -> usize {
+        self.logical.total_ops
+    }
+
+    /// The paper's two-qudit gate-count column (Di & Wei expansion).
+    pub fn two_qudit_gates(&self) -> usize {
+        self.physical.two_qudit_gates
+    }
+
+    /// The paper's circuit-depth column (physical moments, Di & Wei
+    /// expansion).
+    pub fn depth(&self) -> usize {
+        self.physical.physical_depth
+    }
+
+    /// The logical depth (ASAP moments, no expansion).
+    pub fn logical_depth(&self) -> usize {
+        self.logical.logical_depth
+    }
+}
+
+impl fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ops ({} two-qudit), depth {} (logical {}), kernels: {}",
+            self.total_ops(),
+            self.two_qudit_gates(),
+            self.depth(),
+            self.logical_depth(),
+            self.kernels
+        )
+    }
+}
+
+/// Everything the pipeline did to one circuit: resources before and after,
+/// and per-pass statistics in execution order.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// The level the pipeline ran at.
+    pub level: PassLevel,
+    /// Resources of the input circuit.
+    pub pre: ResourceReport,
+    /// Resources of the transformed circuit.
+    pub post: ResourceReport,
+    /// Statistics of every pass invocation, in order.
+    pub passes: Vec<PassStats>,
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pass pipeline ({} level):", self.level.name())?;
+        writeln!(f, "  pre:  {}", self.pre)?;
+        writeln!(f, "  post: {}", self.post)?;
+        // Show every invocation that changed the circuit, plus the final
+        // (informational) invocation of each pass.
+        for (i, stats) in self.passes.iter().enumerate() {
+            let is_last_of_pass = self.passes[i + 1..].iter().all(|s| s.pass != stats.pass);
+            if !stats.changed() && !is_last_of_pass {
+                continue;
+            }
+            writeln!(
+                f,
+                "  round {} {:<20} {:>4} -> {:<4} ops  ({})",
+                stats.round, stats.pass, stats.ops_before, stats.ops_after, stats.detail
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass manager
+// ---------------------------------------------------------------------------
+
+/// Runs an ordered list of passes over a circuit, iterating to a fixpoint,
+/// and collects per-pass statistics.
+pub struct PassManager {
+    level: PassLevel,
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// The standard pipeline for a level:
+    ///
+    /// * `NoisePreserving` — within-moment fusion + specialization (no
+    ///   structural change possible by construction);
+    /// * `Ideal` — cancellation, cross-moment fusion, repacking,
+    ///   specialization.
+    pub fn standard(level: PassLevel) -> Self {
+        let passes: Vec<Box<dyn Pass>> = match level {
+            PassLevel::NoisePreserving => vec![
+                Box::new(FusionPass {
+                    across_moments: false,
+                }),
+                Box::new(SpecializePass),
+            ],
+            PassLevel::Ideal => vec![
+                Box::new(CancellationPass),
+                Box::new(FusionPass {
+                    across_moments: true,
+                }),
+                Box::new(RepackPass),
+                Box::new(SpecializePass),
+            ],
+        };
+        PassManager { level, passes }
+    }
+
+    /// A manager with no passes, for building custom pipelines with
+    /// [`PassManager::push`].
+    pub fn empty(level: PassLevel) -> Self {
+        PassManager {
+            level,
+            passes: Vec::new(),
+        }
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn push(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// The level this manager runs at.
+    pub fn level(&self) -> PassLevel {
+        self.level
+    }
+
+    /// Runs the pipeline over `circuit` until no pass changes the operation
+    /// list any more (cancellation exposes new fusion opportunities and vice
+    /// versa — nested `U V V† U†` structures unwrap one layer per round).
+    pub fn compile(&self, circuit: &Circuit) -> CompiledIr {
+        let pre = ResourceReport::measure(circuit);
+        let mut ir = CircuitIr::new(circuit);
+        let mut all_stats: Vec<PassStats> = Vec::new();
+        // Transformation passes iterate to a fixpoint (each round either
+        // strictly shrinks the op list or is the last, so this terminates
+        // after at most `len/2 + 1` rounds); analysis passes — which never
+        // change the op list — run once afterwards.
+        let mut round = 0usize;
+        loop {
+            round += 1;
+            let mut changed = false;
+            for pass in self.passes.iter().filter(|p| !p.is_analysis()) {
+                let mut stats = pass.run(&mut ir);
+                stats.round = round;
+                changed |= stats.changed();
+                all_stats.push(stats);
+            }
+            if !changed {
+                break;
+            }
+        }
+        for pass in self.passes.iter().filter(|p| p.is_analysis()) {
+            let mut stats = pass.run(&mut ir);
+            stats.round = round;
+            all_stats.push(stats);
+        }
+        ir.schedule(); // ensure the final schedule is materialised
+        let kernel_tags = ir
+            .kernel_tags
+            .take()
+            .unwrap_or_else(|| ir.circuit.iter().map(KernelClass::of_operation).collect());
+        // The post report reuses the tags the pipeline just computed
+        // instead of reclassifying every matrix.
+        let post = ResourceReport::from_parts(&ir.circuit, &kernel_tags);
+        CompiledIr {
+            schedule: ir.schedule.take().expect("materialised above"),
+            circuit: ir.circuit,
+            kernel_tags,
+            report: PipelineReport {
+                level: self.level,
+                pre,
+                post,
+                passes: all_stats,
+            },
+        }
+    }
+}
+
+/// The pipeline's output: the transformed circuit, its schedule, the
+/// per-operation kernel tags and the full [`PipelineReport`].
+///
+/// This is what the simulation layer compiles: `CompiledCircuit` /
+/// `CompiledDensityCircuit` in `qudit-sim` build their per-operation plans
+/// from `circuit()` (in op order, index-aligned with `schedule()`), and the
+/// noise simulators drive their moment replay and idle-error accounting off
+/// `schedule()`.
+#[derive(Clone, Debug)]
+pub struct CompiledIr {
+    circuit: Circuit,
+    schedule: Schedule,
+    kernel_tags: Vec<KernelClass>,
+    report: PipelineReport,
+}
+
+impl CompiledIr {
+    /// The transformed circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The schedule of the transformed circuit (op indices refer to
+    /// [`CompiledIr::circuit`]).
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The kernel class of every operation, in op order.
+    pub fn kernel_tags(&self) -> &[KernelClass] {
+        &self.kernel_tags
+    }
+
+    /// The pipeline report (pre/post resources, per-pass statistics).
+    pub fn report(&self) -> &PipelineReport {
+        &self.report
+    }
+
+    /// Decomposes into the owned circuit, schedule and report.
+    pub fn into_parts(self) -> (Circuit, Schedule, PipelineReport) {
+        (self.circuit, self.schedule, self.report)
+    }
+}
+
+/// Runs the standard pipeline for `level` over a circuit.
+///
+/// This is the compile path the simulation backends use: noise-free
+/// compilation goes through [`PassLevel::Ideal`], both noise backends
+/// through [`PassLevel::NoisePreserving`].
+pub fn compile(circuit: &Circuit, level: PassLevel) -> CompiledIr {
+    PassManager::standard(level).compile(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operation::Control;
+
+    fn toffoli_fig4() -> Circuit {
+        let mut c = Circuit::new(3, 3);
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+            .unwrap();
+        c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn noise_preserving_is_the_identity_transformation() {
+        let mut c = toffoli_fig4();
+        c.push_gate(Gate::h(3), &[0]).unwrap();
+        c.push_gate(Gate::x(3), &[0]).unwrap(); // fusable at Ideal only
+        let ir = compile(&c, PassLevel::NoisePreserving);
+        assert_eq!(ir.circuit(), &c, "op list must be untouched");
+        assert_eq!(ir.schedule(), &Schedule::asap(&c));
+        assert_eq!(ir.report().post.total_ops(), c.len());
+    }
+
+    #[test]
+    fn cancellation_removes_circuit_times_inverse_completely() {
+        let mut c = toffoli_fig4();
+        c.extend(&toffoli_fig4().inverse()).unwrap();
+        let ir = compile(&c, PassLevel::Ideal);
+        assert_eq!(
+            ir.circuit().len(),
+            0,
+            "U·U† must cancel to the empty circuit:\n{}",
+            ir.report()
+        );
+        assert_eq!(ir.schedule().depth(), 0);
+    }
+
+    #[test]
+    fn cancellation_requires_adjacency_on_every_wire() {
+        // increment(0→1), CX(1→2), decrement(0→1): the CX touches qudit 1,
+        // so the increment/decrement pair is *not* adjacent and must stay.
+        let c = toffoli_fig4();
+        let ir = compile(&c, PassLevel::Ideal);
+        assert_eq!(ir.circuit().len(), 3);
+    }
+
+    #[test]
+    fn fusion_composes_adjacent_single_qudit_gates() {
+        let mut c = Circuit::new(3, 2);
+        c.push_gate(Gate::h(3), &[0]).unwrap();
+        c.push_gate(Gate::x(3), &[0]).unwrap();
+        c.push_gate(Gate::z(3), &[1]).unwrap();
+        let ir = compile(&c, PassLevel::Ideal);
+        assert_eq!(ir.circuit().len(), 2, "H·X fuse, Z(1) stays");
+        let fused = &ir.circuit().operations()[0];
+        let expected = Gate::x(3).matrix() * Gate::h(3).matrix();
+        assert!(fused.gate().matrix().approx_eq(&expected, 1e-12));
+        assert_eq!(fused.gate().name(), "X·H");
+    }
+
+    #[test]
+    fn fusion_drops_self_inverse_pairs_entirely() {
+        let mut c = Circuit::new(3, 1);
+        c.push_gate(Gate::h(3), &[0]).unwrap();
+        c.push_gate(Gate::h(3), &[0]).unwrap();
+        let ir = compile(&c, PassLevel::Ideal);
+        assert_eq!(ir.circuit().len(), 0, "H·H = I must vanish");
+    }
+
+    #[test]
+    fn fusion_respects_intervening_multi_qudit_ops() {
+        // H(0), CX(0→1), H(0): the CX touches qudit 0, so the Hs must not
+        // fuse across it.
+        let mut c = Circuit::new(3, 2);
+        c.push_gate(Gate::h(3), &[0]).unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_gate(Gate::h(3), &[0]).unwrap();
+        let ir = compile(&c, PassLevel::Ideal);
+        assert_eq!(ir.circuit().len(), 3);
+    }
+
+    #[test]
+    fn fusion_chains_runs_longer_than_two() {
+        let mut c = Circuit::new(3, 1);
+        for _ in 0..5 {
+            c.push_gate(Gate::h(3), &[0]).unwrap();
+        }
+        let ir = compile(&c, PassLevel::Ideal);
+        // H^5 = H: four gates' worth of products collapse into one.
+        assert_eq!(ir.circuit().len(), 1);
+        assert!(ir.circuit().operations()[0]
+            .gate()
+            .matrix()
+            .approx_eq(Gate::h(3).matrix(), 1e-10));
+    }
+
+    #[test]
+    fn repacking_shrinks_depth_after_removal() {
+        // X(0), H(1), H(1), X(0): the Hs vanish, leaving two X ops on the
+        // same qudit... which then fuse to identity too. Use distinct gates:
+        // X(0), H(1), H(1), Z(0) → Z·X fused on qudit 0, depth 2 → 1.
+        let mut c = Circuit::new(3, 2);
+        c.push_gate(Gate::x(3), &[0]).unwrap();
+        c.push_gate(Gate::h(3), &[1]).unwrap();
+        c.push_gate(Gate::h(3), &[1]).unwrap();
+        c.push_gate(Gate::z(3), &[0]).unwrap();
+        let pre_depth = Schedule::asap(&c).depth();
+        assert_eq!(pre_depth, 2);
+        let ir = compile(&c, PassLevel::Ideal);
+        assert_eq!(ir.circuit().len(), 1);
+        assert_eq!(ir.schedule().depth(), 1);
+        assert!(ir.report().post.depth() < ir.report().pre.depth());
+    }
+
+    #[test]
+    fn nested_inverse_structures_unwrap_via_fixpoint() {
+        // A B B† A† with overlapping qudits: only the inner pair is
+        // adjacent at first; the second round catches the outer pair.
+        let mut c = Circuit::new(3, 2);
+        let a = Operation::new(Gate::increment(3), vec![Control::on_one(0)], vec![1]).unwrap();
+        let b = Operation::new(Gate::fourier(3), vec![Control::on_two(0)], vec![1]).unwrap();
+        c.push(a.clone()).unwrap();
+        c.push(b.clone()).unwrap();
+        c.push(b.inverse()).unwrap();
+        c.push(a.inverse()).unwrap();
+        let ir = compile(&c, PassLevel::Ideal);
+        assert_eq!(ir.circuit().len(), 0, "{}", ir.report());
+    }
+
+    #[test]
+    fn kernel_classification_matches_gate_structure() {
+        assert_eq!(
+            KernelClass::of_matrix(&qudit_core::CMatrix::identity(3)),
+            KernelClass::Identity
+        );
+        assert_eq!(
+            KernelClass::of_matrix(Gate::increment(3).matrix()),
+            KernelClass::Permutation
+        );
+        assert_eq!(
+            KernelClass::of_matrix(Gate::z(3).matrix()),
+            KernelClass::Diagonal
+        );
+        assert_eq!(
+            KernelClass::of_matrix(Gate::clock(3).matrix()),
+            KernelClass::Diagonal
+        );
+        assert_eq!(
+            KernelClass::of_matrix(Gate::h(3).matrix()),
+            KernelClass::Dense
+        );
+    }
+
+    #[test]
+    fn specialize_tags_every_operation() {
+        let mut c = toffoli_fig4();
+        c.push_controlled(Gate::z(3), &[Control::on_one(0)], &[2])
+            .unwrap();
+        let ir = compile(&c, PassLevel::NoisePreserving);
+        assert_eq!(
+            ir.kernel_tags(),
+            &[
+                KernelClass::Permutation,
+                KernelClass::Permutation,
+                KernelClass::Permutation,
+                KernelClass::Diagonal
+            ]
+        );
+        assert_eq!(ir.report().post.kernels.permutation, 3);
+        assert_eq!(ir.report().post.kernels.diagonal, 1);
+    }
+
+    #[test]
+    fn resource_report_measures_the_fig4_toffoli() {
+        let report = ResourceReport::measure(&toffoli_fig4());
+        assert_eq!(report.total_ops(), 3);
+        assert_eq!(report.two_qudit_gates(), 3);
+        assert_eq!(report.depth(), 3);
+        assert_eq!(report.logical_depth(), 3);
+    }
+
+    #[test]
+    fn report_display_mentions_passes_and_counts() {
+        let mut c = Circuit::new(3, 1);
+        c.push_gate(Gate::h(3), &[0]).unwrap();
+        c.push_gate(Gate::h(3), &[0]).unwrap();
+        let ir = compile(&c, PassLevel::Ideal);
+        let text = ir.report().to_string();
+        assert!(text.contains("fuse"), "{text}");
+        assert!(text.contains("ideal"), "{text}");
+    }
+
+    #[test]
+    fn custom_pipelines_run_pushed_passes() {
+        let mut c = Circuit::new(3, 1);
+        c.push_gate(Gate::h(3), &[0]).unwrap();
+        c.push_gate(Gate::h(3), &[0]).unwrap();
+        let mut manager = PassManager::empty(PassLevel::Ideal);
+        manager.push(Box::new(CancellationPass));
+        let ir = manager.compile(&c);
+        // H then H is an adjacent self-inverse pair: cancellation alone
+        // removes it (round 1 changes, round 2 confirms the fixpoint).
+        assert_eq!(ir.circuit().len(), 0);
+        assert_eq!(ir.report().passes.iter().filter(|s| s.changed()).count(), 1);
+    }
+}

@@ -9,11 +9,33 @@
 use crate::circuit::Circuit;
 use crate::operation::Operation;
 
+/// The duration class of one schedule moment — the quantity the paper's
+/// idle-error accounting is driven by (a moment lasts as long as its
+/// slowest gate).
+///
+/// This is the *single source of truth* shared by the compiler passes and
+/// the noise accounting in `qudit-noise`: both ask the [`Moment`] directly
+/// instead of re-deriving the class from gate arities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MomentDuration {
+    /// Only single-qudit gates: one single-qudit gate time.
+    SingleQudit,
+    /// Contains a gate touching ≥ 2 qudits: one two-qudit gate time.
+    MultiQudit,
+    /// Contains an operation touching ≥ 3 qudits *and* the caller accounts
+    /// such operations by their Di & Wei decomposition: six two-qudit gate
+    /// times.
+    ExpandedMultiQudit,
+}
+
 /// A set of operation indices that execute simultaneously.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Moment {
     /// Indices into the source circuit's operation list.
     pub op_indices: Vec<usize>,
+    /// The largest arity (touched-qudit count) among the moment's
+    /// operations; 0 for an empty moment.
+    max_arity: usize,
 }
 
 impl Moment {
@@ -26,15 +48,36 @@ impl Moment {
     pub fn is_empty(&self) -> bool {
         self.op_indices.is_empty()
     }
+
+    /// The largest arity among the moment's operations (0 when empty).
+    pub fn max_arity(&self) -> usize {
+        self.max_arity
+    }
+
+    /// The moment's duration class. `expand_three_qudit` selects whether
+    /// ≥ 3-qudit operations are accounted at their Di & Wei decomposition
+    /// length (six two-qudit gate times) or as a single two-qudit slot.
+    pub fn duration(&self, expand_three_qudit: bool) -> MomentDuration {
+        if expand_three_qudit && self.max_arity >= 3 {
+            MomentDuration::ExpandedMultiQudit
+        } else if self.max_arity >= 2 {
+            MomentDuration::MultiQudit
+        } else {
+            MomentDuration::SingleQudit
+        }
+    }
+
+    /// Records an operation in the moment.
+    fn push(&mut self, op_idx: usize, arity: usize) {
+        self.op_indices.push(op_idx);
+        self.max_arity = self.max_arity.max(arity);
+    }
 }
 
 /// An as-early-as-possible schedule of a circuit into moments.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Schedule {
     moments: Vec<Moment>,
-    /// For each moment, whether it contains an operation touching ≥ 2 qudits
-    /// (two-qudit gates are slower, so idle errors scale with this flag).
-    multi_qudit_flags: Vec<bool>,
 }
 
 impl Schedule {
@@ -42,28 +85,20 @@ impl Schedule {
     pub fn asap(circuit: &Circuit) -> Self {
         let mut frontier = vec![0usize; circuit.width()];
         let mut moments: Vec<Moment> = Vec::new();
-        let mut multi_qudit_flags: Vec<bool> = Vec::new();
 
         for (idx, op) in circuit.iter().enumerate() {
             let qudits = op.qudits();
             let slot = qudits.iter().map(|&q| frontier[q]).max().unwrap_or(0);
             while moments.len() <= slot {
                 moments.push(Moment::default());
-                multi_qudit_flags.push(false);
             }
-            moments[slot].op_indices.push(idx);
-            if op.arity() >= 2 {
-                multi_qudit_flags[slot] = true;
-            }
+            moments[slot].push(idx, op.arity());
             for &q in &qudits {
                 frontier[q] = slot + 1;
             }
         }
 
-        Schedule {
-            moments,
-            multi_qudit_flags,
-        }
+        Schedule { moments }
     }
 
     /// Schedules the circuit serially: one operation per moment.
@@ -71,16 +106,16 @@ impl Schedule {
     /// Used as an ablation baseline — it maximises idle time and therefore
     /// idle errors.
     pub fn serial(circuit: &Circuit) -> Self {
-        let moments: Vec<Moment> = (0..circuit.len())
-            .map(|idx| Moment {
-                op_indices: vec![idx],
+        let moments: Vec<Moment> = circuit
+            .iter()
+            .enumerate()
+            .map(|(idx, op)| {
+                let mut m = Moment::default();
+                m.push(idx, op.arity());
+                m
             })
             .collect();
-        let multi_qudit_flags = circuit.iter().map(|op| op.arity() >= 2).collect();
-        Schedule {
-            moments,
-            multi_qudit_flags,
-        }
+        Schedule { moments }
     }
 
     /// The scheduled moments in execution order.
@@ -94,13 +129,13 @@ impl Schedule {
     }
 
     /// Whether the given moment contains a multi-qudit (≥ 2 qudits)
-    /// operation.
+    /// operation. Shorthand for `moments()[moment].max_arity() >= 2`.
     ///
     /// # Panics
     ///
     /// Panics if `moment` is out of range.
     pub fn moment_has_multi_qudit_gate(&self, moment: usize) -> bool {
-        self.multi_qudit_flags[moment]
+        self.moments[moment].max_arity() >= 2
     }
 
     /// Iterates over `(moment index, &[operation index])` pairs.
@@ -210,6 +245,36 @@ mod tests {
         c2.push_gate(Gate::x(3), &[0]).unwrap();
         let s2 = Schedule::asap(&c2);
         assert!(!s2.moment_has_multi_qudit_gate(0));
+    }
+
+    #[test]
+    fn moment_duration_classifies_by_max_arity() {
+        let mut c = Circuit::new(3, 3);
+        c.push_gate(Gate::x(3), &[0]).unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_one(1)], &[2])
+            .unwrap();
+        c.push_controlled(
+            Gate::increment(3),
+            &[Control::on_one(0), Control::on_two(1)],
+            &[2],
+        )
+        .unwrap();
+        let s = Schedule::asap(&c);
+        // Moment 0: an X and a 2-qudit CX in parallel.
+        let m0 = &s.moments()[0];
+        assert_eq!(m0.max_arity(), 2);
+        assert_eq!(m0.duration(true), MomentDuration::MultiQudit);
+        assert_eq!(m0.duration(false), MomentDuration::MultiQudit);
+        // Moment 1: the 3-qudit operation — expanded only under Di & Wei.
+        let m1 = &s.moments()[1];
+        assert_eq!(m1.max_arity(), 3);
+        assert_eq!(m1.duration(true), MomentDuration::ExpandedMultiQudit);
+        assert_eq!(m1.duration(false), MomentDuration::MultiQudit);
+
+        let mut single = Circuit::new(3, 1);
+        single.push_gate(Gate::h(3), &[0]).unwrap();
+        let ss = Schedule::asap(&single);
+        assert_eq!(ss.moments()[0].duration(true), MomentDuration::SingleQudit);
     }
 
     #[test]

@@ -348,6 +348,49 @@ impl CMatrix {
         true
     }
 
+    /// Returns `true` if the matrix is the identity within `tol`.
+    pub fn is_identity(&self, tol: f64) -> bool {
+        self.is_square() && self.approx_eq(&CMatrix::identity(self.rows), tol)
+    }
+
+    /// Returns `true` if every off-diagonal entry is within `tol` of zero —
+    /// i.e. the matrix acts by scaling each basis state independently.
+    pub fn is_diagonal(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if r != c && self.get(r, c).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Interprets the matrix as a diagonal operator and returns its
+    /// diagonal entries (exactly as stored — entries are not snapped).
+    ///
+    /// Returns `None` if any off-diagonal entry exceeds `tol`.
+    pub fn as_diagonal(&self, tol: f64) -> Option<Vec<Complex>> {
+        if !self.is_diagonal(tol) {
+            return None;
+        }
+        Some((0..self.rows).map(|i| self.get(i, i)).collect())
+    }
+
+    /// Returns `true` if `self · other = I` within `tol` — i.e. the two
+    /// matrices are mutual inverses. For unitaries this recognises adjacent
+    /// `U`/`U†` pairs (the circuit-compiler cancellation pass uses exactly
+    /// this check).
+    pub fn is_inverse_of(&self, other: &CMatrix, tol: f64) -> bool {
+        if !self.is_square() || self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        (self * other).is_identity(tol)
+    }
+
     /// Interprets the matrix as a permutation and returns the map
     /// `input basis index → output basis index`.
     ///
@@ -526,6 +569,32 @@ mod tests {
         assert!(i.is_unitary(1e-12));
         assert!(i.is_hermitian(1e-12));
         assert!(i.is_permutation(1e-12));
+    }
+
+    #[test]
+    fn identity_and_diagonal_detection() {
+        assert!(CMatrix::identity(4).is_identity(1e-12));
+        assert!(!pauli_x().is_identity(1e-12));
+        assert!(pauli_z().is_diagonal(1e-12));
+        assert!(!pauli_x().is_diagonal(1e-12));
+        let d = pauli_z().as_diagonal(1e-12).unwrap();
+        assert_eq!(d, vec![Complex::ONE, Complex::real(-1.0)]);
+        assert!(pauli_x().as_diagonal(1e-12).is_none());
+        // Non-square matrices are neither.
+        assert!(!CMatrix::zeros(2, 3).is_diagonal(1e-12));
+    }
+
+    #[test]
+    fn inverse_detection() {
+        let x = pauli_x();
+        assert!(x.is_inverse_of(&x, 1e-12), "X is self-inverse");
+        assert!(!x.is_inverse_of(&pauli_z(), 1e-12));
+        // Shift and its adjoint are inverses on a qutrit.
+        let shift = CMatrix::permutation(&[1, 2, 0]);
+        assert!(shift.is_inverse_of(&shift.adjoint(), 1e-12));
+        assert!(!shift.is_inverse_of(&shift, 1e-12));
+        // Shape mismatches are simply "not inverse".
+        assert!(!x.is_inverse_of(&CMatrix::identity(3), 1e-12));
     }
 
     #[test]

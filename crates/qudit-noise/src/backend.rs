@@ -19,6 +19,7 @@ use crate::error::NoiseResult;
 use crate::exact::DensityNoiseSimulator;
 use crate::models::NoiseModel;
 use crate::trajectory::{FidelityEstimate, TrajectoryConfig, TrajectorySimulator};
+use qudit_circuit::passes::{self, PassLevel};
 use qudit_circuit::Circuit;
 use qudit_core::{CoreResult, StateVector};
 use qudit_sim::{CompiledCircuit, CompiledDensityCircuit, DensityMatrix};
@@ -146,7 +147,8 @@ impl Backend for TrajectoryBackend {
         inputs: &mut dyn Iterator<Item = StateVector>,
         observer: &mut dyn FnMut(usize, SimOutput) -> bool,
     ) {
-        let compiled = CompiledCircuit::compile(circuit);
+        // Noise-free: the full Ideal pass pipeline may fuse and cancel.
+        let compiled = CompiledCircuit::compile_ir(&passes::compile(circuit, PassLevel::Ideal));
         for (i, input) in inputs.enumerate() {
             if !observer(i, SimOutput::Pure(compiled.run(input))) {
                 return;
@@ -180,7 +182,9 @@ impl Backend for DensityMatrixBackend {
         inputs: &mut dyn Iterator<Item = StateVector>,
         observer: &mut dyn FnMut(usize, SimOutput) -> bool,
     ) {
-        let compiled = CompiledDensityCircuit::compile(circuit);
+        // Noise-free: the full Ideal pass pipeline may fuse and cancel.
+        let compiled =
+            CompiledDensityCircuit::compile_ir(&passes::compile(circuit, PassLevel::Ideal));
         for (i, input) in inputs.enumerate() {
             let out = compiled.run(DensityMatrix::from_pure(&input));
             if !observer(i, SimOutput::Mixed(out)) {

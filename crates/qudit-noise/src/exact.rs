@@ -15,11 +15,11 @@
 use crate::error::NoiseResult;
 use crate::models::NoiseModel;
 use crate::trajectory::{
-    build_noise_sites, estimate_from_samples, for_each_gate_error_site, moment_idle_duration,
-    ErrorSite, FidelityEstimate, GateExpansion, IdleDuration, InputState, NoiseSites,
-    TrajectoryConfig,
+    build_noise_sites, estimate_from_samples, for_each_gate_error_site, ErrorSite,
+    FidelityEstimate, GateExpansion, InputState, NoiseSites, TrajectoryConfig,
 };
-use qudit_circuit::{Circuit, Operation, Schedule};
+use qudit_circuit::passes::{self, PassLevel};
+use qudit_circuit::{Circuit, MomentDuration, Operation, Schedule};
 use qudit_core::{random_qubit_subspace_state, CoreError, StateVector};
 use qudit_sim::{
     superoperator_targets, ApplyPlan, CompiledCircuit, CompiledDensityCircuit, DensityMatrix,
@@ -32,13 +32,16 @@ use rayon::prelude::*;
 /// An exact density-matrix noise simulator bound to a circuit and a noise
 /// model.
 ///
-/// Construction compiles the circuit twice — a state-vector
+/// Construction first runs the circuit through the compiler's
+/// [`PassLevel::NoisePreserving`] pipeline (guaranteed identity on the op
+/// list and schedule, so exact fidelities are bit-identical with and
+/// without it) and compiles the post-pass circuit twice — a state-vector
 /// [`CompiledCircuit`] for the ideal reference output and a
-/// [`CompiledDensityCircuit`] for the noisy `U·ρ·U†` evolution — and builds
-/// one superoperator [`ApplyPlan`] per (channel, site). Everything is
+/// [`CompiledDensityCircuit`] for the noisy `U·ρ·U†` evolution — plus one
+/// superoperator [`ApplyPlan`] per (channel, site). Everything is
 /// immutable and `Sync`, so input averaging fans out across rayon workers.
 pub struct DensityNoiseSimulator<'a> {
-    circuit: &'a Circuit,
+    circuit: Circuit,
     ideal: CompiledCircuit,
     noisy: CompiledDensityCircuit,
     model: &'a NoiseModel,
@@ -58,13 +61,15 @@ impl<'a> DensityNoiseSimulator<'a> {
     /// Returns an error if the model parameters are unphysical for the
     /// circuit's qudit dimension.
     pub fn new(
-        circuit: &'a Circuit,
+        circuit: &Circuit,
         model: &'a NoiseModel,
         expansion: GateExpansion,
     ) -> NoiseResult<Self> {
         let d = circuit.dim();
         let n = circuit.width();
-        let sites = build_noise_sites(circuit, model, expansion, |c, qudits| {
+        let (circuit, schedule, _report) =
+            passes::compile(circuit, PassLevel::NoisePreserving).into_parts();
+        let sites = build_noise_sites(&circuit, model, expansion, |c, qudits| {
             ApplyPlan::for_matrix(
                 d,
                 2 * n,
@@ -73,11 +78,11 @@ impl<'a> DensityNoiseSimulator<'a> {
             )
         })?;
         Ok(DensityNoiseSimulator {
+            ideal: Simulator::new().compile(&circuit),
+            noisy: CompiledDensityCircuit::compile(&circuit),
             circuit,
-            ideal: Simulator::new().compile(circuit),
-            noisy: CompiledDensityCircuit::compile(circuit),
             model,
-            schedule: Schedule::asap(circuit),
+            schedule,
             sites,
             expansion,
         })
@@ -103,14 +108,18 @@ impl<'a> DensityNoiseSimulator<'a> {
         });
     }
 
-    /// Applies the idle superoperator for a moment to every qudit.
+    /// Applies the idle superoperator for a moment to every qudit. The
+    /// duration class comes straight from the schedule's
+    /// [`Moment::duration`](qudit_circuit::Moment::duration) — the same
+    /// accounting the trajectory engine samples.
     fn apply_idle_error(&self, moment_idx: usize, rho: &mut DensityMatrix) {
-        let sites =
-            match moment_idle_duration(self.circuit, &self.schedule, moment_idx, self.expansion) {
-                IdleDuration::Expanded => &self.sites.idle_expanded,
-                IdleDuration::Long => &self.sites.idle_long,
-                IdleDuration::Short => &self.sites.idle_short,
-            };
+        let duration =
+            self.schedule.moments()[moment_idx].duration(self.expansion == GateExpansion::DiWei);
+        let sites = match duration {
+            MomentDuration::ExpandedMultiQudit => &self.sites.idle_expanded,
+            MomentDuration::MultiQudit => &self.sites.idle_long,
+            MomentDuration::SingleQudit => &self.sites.idle_short,
+        };
         if let Some(sites) = sites {
             for site in sites {
                 rho.apply_plan(site);

@@ -17,7 +17,8 @@
 use crate::error::NoiseResult;
 use crate::kraus::{Channel, CompiledChannel};
 use crate::models::NoiseModel;
-use qudit_circuit::{Circuit, Operation, Schedule};
+use qudit_circuit::passes::{self, PassLevel};
+use qudit_circuit::{Circuit, MomentDuration, Operation, Schedule};
 use qudit_core::{random_qubit_subspace_state, CoreError, StateVector};
 use qudit_sim::{CompiledCircuit, Simulator};
 use rand::rngs::StdRng;
@@ -198,41 +199,6 @@ pub(crate) fn for_each_gate_error_site<F: FnMut(ErrorSite)>(
     }
 }
 
-/// The idle-error duration class of one schedule moment — the second half
-/// of the shared accounting policy (see [`for_each_gate_error_site`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum IdleDuration {
-    /// Single-qudit gate time.
-    Short,
-    /// Two-qudit gate time.
-    Long,
-    /// Six two-qudit gate times (a Di&Wei-expanded ≥3-qudit operation).
-    Expanded,
-}
-
-/// Classifies a moment's idle duration: expanded if Di&Wei accounting is on
-/// and the moment contains a ≥3-qudit operation, else long if it contains
-/// any multi-qudit gate, else short.
-pub(crate) fn moment_idle_duration(
-    circuit: &Circuit,
-    schedule: &Schedule,
-    moment_idx: usize,
-    expansion: GateExpansion,
-) -> IdleDuration {
-    let has_expanded = expansion == GateExpansion::DiWei
-        && schedule.moments()[moment_idx]
-            .op_indices
-            .iter()
-            .any(|&i| circuit.operations()[i].arity() >= 3);
-    if has_expanded {
-        IdleDuration::Expanded
-    } else if schedule.moment_has_multi_qudit_gate(moment_idx) {
-        IdleDuration::Long
-    } else {
-        IdleDuration::Short
-    }
-}
-
 /// Every qudit pair the gate-error accounting can charge for this circuit
 /// under the given expansion — derived from [`for_each_gate_error_site`],
 /// so the precompiled pair set always covers what the replay loops ask for.
@@ -253,8 +219,13 @@ pub(crate) fn charged_pairs(circuit: &Circuit, expansion: GateExpansion) -> Vec<
 
 /// A trajectory noise simulator bound to a circuit and a noise model.
 ///
-/// Construction compiles the circuit into per-operation apply plans
-/// ([`CompiledCircuit`]) *and* precompiles every noise channel per
+/// Construction first runs the circuit through the compiler's
+/// [`PassLevel::NoisePreserving`] pipeline — which is guaranteed to leave
+/// the operation list and schedule unchanged, so fidelities are
+/// bit-identical with and without it — and everything downstream (compiled
+/// plans, moment replay, idle accounting) consumes the post-pass circuit
+/// and [`Schedule`]. It then compiles the circuit into per-operation apply
+/// plans ([`CompiledCircuit`]) *and* precompiles every noise channel per
 /// application site ([`NoiseSites`]: per qudit for single-qudit channels,
 /// per charged qudit pair for two-qudit channels); both are shared by every
 /// trial, so a Monte Carlo run does zero plan building inside its trial
@@ -262,7 +233,7 @@ pub(crate) fn charged_pairs(circuit: &Circuit, expansion: GateExpansion) -> Vec<
 /// trial is deliberately sequential — nested fan-out would oversubscribe
 /// the machine.
 pub struct TrajectorySimulator<'a> {
-    circuit: &'a Circuit,
+    circuit: Circuit,
     compiled: CompiledCircuit,
     model: &'a NoiseModel,
     schedule: Schedule,
@@ -278,23 +249,28 @@ impl<'a> TrajectorySimulator<'a> {
     /// Returns an error if the model parameters are unphysical for the
     /// circuit's qudit dimension.
     pub fn new(
-        circuit: &'a Circuit,
+        circuit: &Circuit,
         model: &'a NoiseModel,
         expansion: GateExpansion,
     ) -> NoiseResult<Self> {
         let d = circuit.dim();
         let n = circuit.width();
-        let channels = build_noise_sites(circuit, model, expansion, |c, qudits| {
+        // Noise-preserving by construction: the op list and schedule come
+        // out identical; compiling through the pipeline keeps both noise
+        // backends on the single post-pass compile path.
+        let (circuit, schedule, _report) =
+            passes::compile(circuit, PassLevel::NoisePreserving).into_parts();
+        let channels = build_noise_sites(&circuit, model, expansion, |c, qudits| {
             c.compile(d, n, qudits)
         })?;
         Ok(TrajectorySimulator {
-            circuit,
             // Compile through a Simulator so the mirrored compute/uncompute
             // halves of the paper's circuits share one plan per distinct
             // (gate, qudits) pair instead of each building their own.
-            compiled: Simulator::new().compile(circuit),
+            compiled: Simulator::new().compile(&circuit),
+            circuit,
             model,
-            schedule: Schedule::asap(circuit),
+            schedule,
             channels,
             expansion,
         })
@@ -342,18 +318,22 @@ impl<'a> TrajectorySimulator<'a> {
     }
 
     /// Applies the idle error for a moment to every qudit of the register.
+    /// The duration class comes straight from the schedule's
+    /// [`Moment::duration`](qudit_circuit::Moment::duration) — the single
+    /// accounting shared with the exact backend and the compiler passes.
     fn apply_idle_error<R: Rng + ?Sized>(
         &self,
         moment_idx: usize,
         state: &mut StateVector,
         rng: &mut R,
     ) {
-        let sites =
-            match moment_idle_duration(self.circuit, &self.schedule, moment_idx, self.expansion) {
-                IdleDuration::Expanded => &self.channels.idle_expanded,
-                IdleDuration::Long => &self.channels.idle_long,
-                IdleDuration::Short => &self.channels.idle_short,
-            };
+        let duration =
+            self.schedule.moments()[moment_idx].duration(self.expansion == GateExpansion::DiWei);
+        let sites = match duration {
+            MomentDuration::ExpandedMultiQudit => &self.channels.idle_expanded,
+            MomentDuration::MultiQudit => &self.channels.idle_long,
+            MomentDuration::SingleQudit => &self.channels.idle_short,
+        };
         if let Some(sites) = sites {
             for site in sites {
                 site.apply_trajectory(state, rng);

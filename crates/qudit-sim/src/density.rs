@@ -22,9 +22,11 @@
 //! that the trajectory Monte Carlo estimates converge to, which is what the
 //! deterministic cross-validation tests assert.
 
-use crate::kernel::ApplyPlan;
+use crate::kernel::{ApplyPlan, PAR_MIN_AMPS};
+use qudit_circuit::passes::CompiledIr;
 use qudit_circuit::{Circuit, Operation};
 use qudit_core::{CMatrix, Complex, CoreError, CoreResult, StateVector};
+use rayon::prelude::*;
 
 /// A dense density matrix for `num_qudits` qudits of dimension `dim`.
 ///
@@ -85,17 +87,32 @@ impl DensityMatrix {
     }
 
     /// The pure density matrix `|ψ⟩⟨ψ|` of a state vector.
+    ///
+    /// The `size²` outer-product sweep is chunked row-wise across rayon
+    /// workers once the buffer is large enough to amortise the fan-out —
+    /// this runs once per input draw in the exact noise backend, where the
+    /// buffer is the dominant allocation.
     pub fn from_pure(psi: &StateVector) -> Self {
         let size = psi.len();
         let amps = psi.amplitudes();
         let mut elems = vec![Complex::ZERO; size * size];
-        for (r, row) in elems.chunks_exact_mut(size).enumerate() {
+        let fill_row = |r: usize, row: &mut [Complex]| {
             let a = amps[r];
             if a == Complex::ZERO {
-                continue;
+                return;
             }
             for (slot, b) in row.iter_mut().zip(amps) {
                 *slot = a * b.conj();
+            }
+        };
+        if size * size >= PAR_MIN_AMPS && rayon::current_num_threads() > 1 {
+            elems
+                .par_chunks_mut(size)
+                .enumerate()
+                .for_each(|(r, row)| fill_row(r, row));
+        } else {
+            for (r, row) in elems.chunks_exact_mut(size).enumerate() {
+                fill_row(r, row);
             }
         }
         DensityMatrix {
@@ -263,6 +280,10 @@ impl DensityMatrix {
     /// The fidelity `⟨ψ|ρ|ψ⟩` against a pure state — the exact counterpart
     /// of the trajectory simulator's mean `|⟨ψ_ideal|ψ_noisy⟩|²`.
     ///
+    /// Large matrices split the row sweep across rayon workers (the
+    /// per-row contributions are independent; they are reduced in row
+    /// order so the result does not depend on the thread count).
+    ///
     /// # Panics
     ///
     /// Panics if the shapes differ.
@@ -270,19 +291,24 @@ impl DensityMatrix {
         assert_eq!(self.dim, psi.dim(), "dimension mismatch");
         assert_eq!(self.num_qudits, psi.num_qudits(), "width mismatch");
         let amps = psi.amplitudes();
-        let mut acc = Complex::ZERO;
-        for (r, row) in self.elems.chunks_exact(self.size).enumerate() {
+        let row_contrib = |r: usize| -> Complex {
             let a = amps[r].conj();
             if a == Complex::ZERO {
-                continue;
+                return Complex::ZERO;
             }
+            let row = &self.elems[r * self.size..(r + 1) * self.size];
             let mut inner = Complex::ZERO;
             for (z, b) in row.iter().zip(amps) {
                 inner += *z * *b;
             }
-            acc += a * inner;
+            a * inner
+        };
+        if self.elems.len() >= PAR_MIN_AMPS && rayon::current_num_threads() > 1 {
+            let contribs: Vec<Complex> = (0..self.size).into_par_iter().map(row_contrib).collect();
+            contribs.into_iter().sum::<Complex>().re
+        } else {
+            (0..self.size).map(row_contrib).sum::<Complex>().re
         }
-        acc.re
     }
 
     /// Applies `ρ → U·ρ·U†` for a unitary acting on the listed qudits
@@ -421,7 +447,10 @@ pub struct CompiledDensityCircuit {
 }
 
 impl CompiledDensityCircuit {
-    /// Compiles every operation of the circuit.
+    /// Compiles every operation of the circuit exactly as given (no pass
+    /// pipeline) — the index-aligned primitive; see
+    /// [`CompiledCircuit`](crate::CompiledCircuit) for when to prefer
+    /// [`CompiledDensityCircuit::compile_ir`].
     pub fn compile(circuit: &Circuit) -> Self {
         CompiledDensityCircuit {
             dim: circuit.dim(),
@@ -431,6 +460,12 @@ impl CompiledDensityCircuit {
                 .map(|op| UnitaryPlanPair::for_operation(circuit.width(), op))
                 .collect(),
         }
+    }
+
+    /// Compiles the pass-transformed IR: one plan pair per post-pass
+    /// operation, index-aligned with [`CompiledIr::schedule`].
+    pub fn compile_ir(ir: &CompiledIr) -> Self {
+        CompiledDensityCircuit::compile(ir.circuit())
     }
 
     /// The qudit dimension of the source circuit.

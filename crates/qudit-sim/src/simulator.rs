@@ -1,6 +1,7 @@
 //! Ideal (noise-free) circuit simulation.
 
 use crate::kernel::ApplyPlan;
+use qudit_circuit::passes::{self, CompiledIr, PassLevel};
 use qudit_circuit::{Circuit, Operation, Schedule};
 use qudit_core::{CoreResult, StateVector};
 use std::collections::HashMap;
@@ -13,6 +14,13 @@ use std::sync::{Arc, Mutex};
 /// offsets, control masks, kernel selection) out of the run loop; a compiled
 /// circuit is immutable and [`Sync`], so the trajectory simulator shares one
 /// across all its Monte Carlo trials.
+///
+/// Plans are index-aligned with the operation list they were compiled from:
+/// `plan(i)` applies operation `i`. Whole-circuit replays should compile
+/// from the *pass-transformed* IR ([`CompiledCircuit::compile_ir`] or
+/// [`Simulator::compile_optimized`]) so fused/cancelled gates never reach
+/// the kernels; compile from a raw [`Circuit`] only when an externally held
+/// [`Schedule`] must keep indexing the original op list.
 #[derive(Clone, Debug)]
 pub struct CompiledCircuit {
     dim: usize,
@@ -21,7 +29,8 @@ pub struct CompiledCircuit {
 }
 
 impl CompiledCircuit {
-    /// Compiles every operation of the circuit.
+    /// Compiles every operation of the circuit exactly as given (no pass
+    /// pipeline) — the index-aligned primitive.
     pub fn compile(circuit: &Circuit) -> Self {
         CompiledCircuit {
             dim: circuit.dim(),
@@ -31,6 +40,12 @@ impl CompiledCircuit {
                 .map(|op| Arc::new(ApplyPlan::for_operation(circuit.width(), op)))
                 .collect(),
         }
+    }
+
+    /// Compiles the pass-transformed IR: one plan per post-pass operation,
+    /// index-aligned with [`CompiledIr::schedule`].
+    pub fn compile_ir(ir: &CompiledIr) -> Self {
+        CompiledCircuit::compile(ir.circuit())
     }
 
     /// The qudit dimension of the source circuit.
@@ -184,10 +199,13 @@ impl Simulator {
         self.cache.lock().expect("plan cache poisoned").len()
     }
 
-    /// Compiles a circuit through this simulator's plan cache.
+    /// Compiles a circuit through this simulator's plan cache, exactly as
+    /// given (no pass pipeline).
     ///
     /// Prefer this over [`CompiledCircuit::compile`] when several circuits
-    /// share gates: shared operations compile once.
+    /// share gates: shared operations compile once. Use
+    /// [`Simulator::compile_optimized`] for whole-circuit replays, where
+    /// the pass pipeline should run first.
     pub fn compile(&self, circuit: &Circuit) -> CompiledCircuit {
         CompiledCircuit {
             dim: circuit.dim(),
@@ -197,6 +215,19 @@ impl Simulator {
                 .map(|op| self.plan_for(circuit.width(), op))
                 .collect(),
         }
+    }
+
+    /// Runs the pass pipeline at `level` over the circuit, then compiles
+    /// the transformed IR through this simulator's plan cache. Returns the
+    /// compiled circuit together with the pipeline output (transformed
+    /// op list, post-pass schedule, pre/post resource report).
+    pub fn compile_optimized(
+        &self,
+        circuit: &Circuit,
+        level: PassLevel,
+    ) -> (CompiledCircuit, CompiledIr) {
+        let ir = passes::compile(circuit, level);
+        (self.compile(ir.circuit()), ir)
     }
 
     /// Runs the circuit on the all-zeros input state.
@@ -213,14 +244,20 @@ impl Simulator {
     /// Runs the circuit on a caller-supplied initial state, consuming and
     /// returning it.
     ///
+    /// Noise-free evolution compiles through the full
+    /// [`PassLevel::Ideal`] pipeline: adjacent inverse pairs cancel,
+    /// adjacent single-qudit gates fuse, and the kernels replay the
+    /// transformed circuit — same unitary, fewer kernel invocations.
+    ///
     /// # Panics
     ///
     /// Panics if the state's dimension or width does not match the circuit.
     pub fn run_with_state(&self, circuit: &Circuit, state: StateVector) -> StateVector {
-        // Resolve the whole circuit against the cache up front: one key
-        // build + lock round-trip per op per *compile*, zero per re-run of
-        // an op that is already cached.
-        self.compile(circuit).run(state)
+        // Resolve the whole transformed circuit against the cache up
+        // front: one key build + lock round-trip per op per *compile*,
+        // zero per re-run of an op that is already cached.
+        let (compiled, _) = self.compile_optimized(circuit, PassLevel::Ideal);
+        compiled.run(state)
     }
 
     /// Runs the circuit on a basis-state input given by digits.
@@ -239,6 +276,12 @@ impl Simulator {
 
     /// Runs the circuit moment-by-moment, invoking `observer` after each
     /// moment. This is the hook the trajectory noise simulator builds on.
+    ///
+    /// The caller owns the schedule, so the circuit is compiled exactly as
+    /// given (`schedule`'s op indices must keep referring to `circuit`'s op
+    /// list); callers wanting the pass pipeline should transform the
+    /// circuit first (`qudit_circuit::passes::compile`) and pass the
+    /// post-pass circuit + schedule here.
     ///
     /// # Panics
     ///

@@ -74,7 +74,13 @@ pub struct ParChunksMut<'a, T> {
     chunk_size: usize,
 }
 
-impl<T: Send> ParChunksMut<'_, T> {
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index, mirroring rayon's
+    /// `IndexedParallelIterator::enumerate` on `par_chunks_mut`.
+    pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+        EnumerateParChunksMut { inner: self }
+    }
+
     /// Invokes `f` on every chunk, potentially in parallel.
     ///
     /// Chunks are distributed to threads in contiguous runs, so a thread
@@ -104,6 +110,51 @@ impl<T: Send> ParChunksMut<'_, T> {
                 s.spawn(move || {
                     for chunk in run.chunks_mut(chunk_size) {
                         f(chunk);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Index-carrying parallel iterator over mutable chunks (the result of
+/// `par_chunks_mut(..).enumerate()`).
+pub struct EnumerateParChunksMut<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<T: Send> EnumerateParChunksMut<'_, T> {
+    /// Invokes `f` on every `(chunk index, chunk)` pair, potentially in
+    /// parallel. Chunk indices match `slice.chunks_mut(chunk_size)` order.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunk_size = self.inner.chunk_size;
+        let slice = self.inner.slice;
+        let num_chunks = slice.len().div_ceil(chunk_size);
+        let threads = current_num_threads().min(num_chunks.max(1));
+        if threads <= 1 || num_chunks <= 1 {
+            for (i, chunk) in slice.chunks_mut(chunk_size).enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        let chunks_per_thread = num_chunks.div_ceil(threads);
+        let run_len = chunks_per_thread * chunk_size;
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut rest = slice;
+            let mut first_chunk = 0usize;
+            while !rest.is_empty() {
+                let cut = run_len.min(rest.len());
+                let (run, tail) = rest.split_at_mut(cut);
+                rest = tail;
+                let base = first_chunk;
+                first_chunk += chunks_per_thread;
+                s.spawn(move || {
+                    for (i, chunk) in run.chunks_mut(chunk_size).enumerate() {
+                        f((base + i, chunk));
                     }
                 });
             }
@@ -311,5 +362,21 @@ mod tests {
             }
         });
         assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn enumerated_par_chunks_see_correct_indices() {
+        let mut data = vec![0usize; 1003];
+        data.as_mut_slice()
+            .par_chunks_mut(64)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for x in chunk {
+                    *x = i;
+                }
+            });
+        for (pos, &x) in data.iter().enumerate() {
+            assert_eq!(x, pos / 64, "element {pos}");
+        }
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use qudit_circuit::{analyze, CostWeights, Schedule};
+use qudit_circuit::{ResourceReport, Schedule};
 use qutrits::toffoli::baselines::{qubit_no_ancilla, qubit_one_dirty_ancilla};
 use qutrits::toffoli::gen_toffoli::n_controlled_x;
 use qutrits::toffoli::verify::verify_n_controlled_x_classical;
@@ -30,27 +30,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(cex) => println!("VERIFICATION FAILED: {cex:?}"),
     }
 
-    // 3. Compare costs against the qubit-only baselines.
-    let weights = CostWeights::di_wei();
-    let qutrit_costs = analyze(&qutrit, weights);
+    // 3. Compare costs against the qubit-only baselines, through the
+    //    compiler's resource analyzer (Di & Wei expansion for the physical
+    //    columns).
+    let qutrit_report = ResourceReport::measure(&qutrit);
     let qubit = qubit_no_ancilla(n_controls, 2)?;
-    let qubit_costs = analyze(&qubit, weights);
+    let qubit_report = ResourceReport::measure(&qubit);
     let ancilla = qubit_one_dirty_ancilla(n_controls, 2)?;
-    let ancilla_costs = analyze(&ancilla, weights);
+    let ancilla_report = ResourceReport::measure(&ancilla);
 
     println!();
     println!(
         "{:<15} {:>8} {:>12} {:>12} {:>10}",
         "construction", "width", "2-qudit", "1-qudit", "depth"
     );
-    for (name, costs) in [
-        ("QUTRIT", qutrit_costs),
-        ("QUBIT", qubit_costs),
-        ("QUBIT+ANCILLA", ancilla_costs),
+    for (name, report) in [
+        ("QUTRIT", qutrit_report),
+        ("QUBIT", qubit_report),
+        ("QUBIT+ANCILLA", ancilla_report),
     ] {
         println!(
             "{:<15} {:>8} {:>12} {:>12} {:>10}",
-            name, costs.width, costs.two_qudit_gates, costs.one_qudit_gates, costs.physical_depth
+            name,
+            report.physical.width,
+            report.two_qudit_gates(),
+            report.physical.one_qudit_gates,
+            report.depth()
         );
     }
 
