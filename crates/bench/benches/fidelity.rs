@@ -13,7 +13,7 @@ fn bench_trajectory_trial(c: &mut Criterion) {
         for construction in [Construction::Qutrit, Construction::QubitAncilla] {
             let circuit = benchmark_circuit(construction, n_controls);
             let model = models::sc();
-            let sim = TrajectorySimulator::new(&circuit, &model, GateExpansion::DiWei).unwrap();
+            let sim = TrajectorySimulator::new(&circuit, &model).unwrap();
             group.bench_with_input(
                 BenchmarkId::new(construction.name(), n_controls),
                 &sim,
@@ -38,10 +38,14 @@ fn bench_noise_model_ablation(c: &mut Criterion) {
     let circuit = benchmark_circuit(Construction::Qutrit, 5);
     let model = models::sc();
     for (label, expansion) in [
-        ("di_wei", GateExpansion::DiWei),
-        ("logical", GateExpansion::Logical),
+        ("di_wei_physical", None),
+        ("di_wei_virtual", Some(GateExpansion::DiWei)),
+        ("logical", Some(GateExpansion::Logical)),
     ] {
-        let sim = TrajectorySimulator::new(&circuit, &model, expansion).unwrap();
+        let sim = match expansion {
+            None => TrajectorySimulator::new(&circuit, &model).unwrap(),
+            Some(e) => TrajectorySimulator::with_virtual_expansion(&circuit, &model, e).unwrap(),
+        };
         group.bench_function(label, |b| {
             let mut seed = 0u64;
             b.iter(|| {

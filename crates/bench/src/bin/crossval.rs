@@ -3,18 +3,29 @@
 //! on a fixed seed set, for d ∈ {2, 3} circuits up to 6 qudits and every
 //! noise model in the paper.
 //!
-//! Each case asserts `|F_trajectory − F_exact| ≤ σ_mult × max(binomial σ at
-//! F_exact, sample std error) + 1e-6`. The inputs are fixed (all-|1⟩) and
+//! Every case runs **twice**: once through the default physical lowering
+//! (`PassLevel::Physical` — the Di & Wei blocks simulated in the IR) and
+//! once through the deprecated virtual-expansion shim. Each run asserts
+//! `|F_trajectory − F_exact| ≤ σ_mult × max(binomial σ at F_exact, sample
+//! std error) + 1e-6`, and on top the two *exact* values are pinned against
+//! each other at ≤ 1e-9 — the differential gate proving the lowering did
+//! not change the paper's accounting. The inputs are fixed (all-|1⟩) and
 //! the seeds pinned, so a pass is deterministic — CI runs this binary and a
-//! drift in either backend fails the build with a nonzero exit code.
+//! drift in either backend or either accounting fails the build with a
+//! nonzero exit code.
 //!
 //! Usage:
 //! `cargo run --release -p bench --bin crossval [-- --trials 400 --seed 2019 --sigmas 3]`
 
 use bench::{benchmark_circuit, parse_flag_or};
 use qudit_circuit::Circuit;
-use qudit_noise::{cross_validate, models, GateExpansion, InputState, TrajectoryConfig};
+use qudit_noise::{
+    cross_validate, models, DensityNoiseSimulator, GateExpansion, InputState, TrajectoryConfig,
+};
 use qutrit_toffoli::cost::Construction;
+
+/// The physical-vs-virtual exact-fidelity agreement bound.
+const DIFF_TOL: f64 = 1e-9;
 
 fn fig4_toffoli() -> Circuit {
     benchmark_circuit(Construction::Qutrit, 2)
@@ -52,45 +63,96 @@ fn main() {
     }
 
     println!(
-        "Backend cross-validation: {} cases, {} trials, seed {}, {}σ bound",
+        "Backend cross-validation: {} cases × 2 accountings, {} trials, seed {}, {}σ bound",
         cases.len(),
         trials,
         seed,
         sigmas
     );
     println!(
-        "{:<28} {:>7} {:>10} {:>10} {:>10} {:>10}  status",
+        "{:<38} {:>7} {:>10} {:>10} {:>10} {:>10}  status",
         "case", "qudits", "exact", "estimate", "|diff|", "bound"
     );
 
     let mut failures = 0usize;
     for (label, circuit, model) in &cases {
-        let config = TrajectoryConfig {
-            trials,
-            seed,
-            expansion: GateExpansion::DiWei,
-            input: InputState::AllOnes,
-        };
-        let cv = cross_validate(circuit, model, &config, sigmas).expect("cross-validation run");
-        let ok = cv.within_bounds();
-        if !ok {
-            failures += 1;
+        let mut exact_by_accounting: Vec<f64> = Vec::new();
+        for accounting in ["physical", "virtual"] {
+            // The default `DiWei` config routes both backends through the
+            // Physical lowering; the virtual run goes through the
+            // deprecated shim explicitly (Di & Wei synthetic sites).
+            let cv = if accounting == "physical" {
+                let config = TrajectoryConfig {
+                    trials,
+                    seed,
+                    expansion: GateExpansion::DiWei,
+                    input: InputState::AllOnes,
+                };
+                cross_validate(circuit, model, &config, sigmas).expect("cross-validation run")
+            } else {
+                cross_validate_virtual(circuit, model, trials, seed, sigmas)
+            };
+            exact_by_accounting.push(cv.exact);
+            let ok = cv.within_bounds();
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "{:<38} {:>7} {:>10.6} {:>10.6} {:>10.2e} {:>10.2e}  {}",
+                format!("{label} [{accounting}]"),
+                circuit.width(),
+                cv.exact,
+                cv.estimate.mean,
+                cv.deviation(),
+                cv.tolerance,
+                if ok { "ok" } else { "FAIL" }
+            );
         }
-        println!(
-            "{:<28} {:>7} {:>10.6} {:>10.6} {:>10.2e} {:>10.2e}  {}",
-            label,
-            circuit.width(),
-            cv.exact,
-            cv.estimate.mean,
-            cv.deviation(),
-            cv.tolerance,
-            if ok { "ok" } else { "FAIL" }
-        );
+        // The differential gate: physical and virtual exact values agree.
+        let diff = (exact_by_accounting[0] - exact_by_accounting[1]).abs();
+        if diff > DIFF_TOL {
+            failures += 1;
+            println!(
+                "{:<38} physical-vs-virtual exact diff {:.2e} exceeds {:.0e}  FAIL",
+                label, diff, DIFF_TOL
+            );
+        }
     }
 
     if failures > 0 {
         eprintln!("{failures} cross-validation case(s) exceeded the bound");
         std::process::exit(1);
     }
-    println!("all cases within bounds");
+    println!("all cases within bounds (incl. physical-vs-virtual ≤ 1e-9)");
+}
+
+/// Cross-validates the deprecated virtual Di & Wei accounting: exact and
+/// trajectory both built through `with_virtual_expansion`, same bound as
+/// [`cross_validate`].
+fn cross_validate_virtual(
+    circuit: &Circuit,
+    model: &qudit_noise::NoiseModel,
+    trials: usize,
+    seed: u64,
+    sigmas: f64,
+) -> qudit_noise::CrossValidation {
+    let config = TrajectoryConfig {
+        trials,
+        seed,
+        expansion: GateExpansion::DiWei,
+        input: InputState::AllOnes,
+    };
+    let exact = DensityNoiseSimulator::with_virtual_expansion(circuit, model, GateExpansion::DiWei)
+        .expect("virtual exact simulator")
+        .run(&config)
+        .expect("virtual exact run");
+    let estimate = qudit_noise::TrajectorySimulator::with_virtual_expansion(
+        circuit,
+        model,
+        GateExpansion::DiWei,
+    )
+    .expect("virtual trajectory simulator")
+    .run(&config)
+    .expect("virtual trajectory run");
+    qudit_noise::CrossValidation::from_runs(exact, estimate, sigmas)
 }

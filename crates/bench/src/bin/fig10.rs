@@ -47,7 +47,11 @@ fn main() {
             let model = paper_two_qudit_gate_model(construction, n);
             let measured = if n <= measure_cap {
                 let c = benchmark_circuit(construction, n);
-                ResourceReport::measure(&c).two_qudit_gates().to_string()
+                // Measured on the *physically lowered* circuit (Di & Wei
+                // blocks in the IR), not inferred from per-arity weights.
+                ResourceReport::measure_physical(&c)
+                    .two_qudit_gates()
+                    .to_string()
             } else {
                 "-".to_string()
             };

@@ -3,9 +3,12 @@
 //! Runs the compiler's `Ideal` pass pipeline (cancellation, single-qudit
 //! fusion, depth repacking, kernel specialization) over each construction
 //! and prints what the transformation bought: kernel invocations (total
-//! ops), two-qudit gate count and depth before and after. The
-//! noise-preserving level is also run to demonstrate it is the identity
-//! transformation (noisy fidelity semantics cannot drift).
+//! ops), two-qudit gate count and depth before and after; then the same
+//! table for the `Physical` lowering (Di & Wei blocks in the IR — the
+//! goldens 85 two-qudit/depth 37 for nCX(15)) and for `PhysicalIdeal`
+//! (optimization *across* decomposition boundaries). The noise-preserving
+//! level is also run to demonstrate it is the identity transformation
+//! (noisy fidelity semantics cannot drift).
 //!
 //! Usage: `cargo run --release -p bench --bin passes [-- --verbose]`
 
@@ -40,27 +43,34 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let verbose = args.iter().any(|a| a == "--verbose");
 
-    println!("Pass-pipeline resource report (Ideal level)");
-    println!(
-        "{:<34} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}",
-        "construction", "ops pre", "ops post", "2q pre", "2q post", "d pre", "d post"
-    );
-    for (name, circuit) in cases() {
-        let ir = compile(&circuit, PassLevel::Ideal);
-        let report = ir.report();
+    for level in [
+        PassLevel::Ideal,
+        PassLevel::Physical,
+        PassLevel::PhysicalIdeal,
+    ] {
+        println!("Pass-pipeline resource report ({} level)", level.name());
         println!(
             "{:<34} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}",
-            name,
-            report.pre.total_ops(),
-            report.post.total_ops(),
-            report.pre.two_qudit_gates(),
-            report.post.two_qudit_gates(),
-            report.pre.depth(),
-            report.post.depth()
+            "construction", "ops pre", "ops post", "2q pre", "2q post", "d pre", "d post"
         );
-        if verbose {
-            print!("{report}");
+        for (name, circuit) in cases() {
+            let ir = compile(&circuit, level);
+            let report = ir.report();
+            println!(
+                "{:<34} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}",
+                name,
+                report.pre.total_ops(),
+                report.post.total_ops(),
+                report.pre.two_qudit_gates(),
+                report.post.two_qudit_gates(),
+                report.pre.depth(),
+                report.post.depth()
+            );
+            if verbose {
+                print!("{report}");
+            }
         }
+        println!();
     }
 
     println!();

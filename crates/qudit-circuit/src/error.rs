@@ -54,6 +54,11 @@ pub enum CircuitError {
         /// Human-readable description of the mismatch.
         reason: String,
     },
+    /// An operation cannot be lowered by the physical decomposition pass.
+    UnsupportedOperation {
+        /// Human-readable description of the unsupported shape.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -91,6 +96,9 @@ impl fmt::Display for CircuitError {
             }
             CircuitError::IncompatibleCircuits { reason } => {
                 write!(f, "incompatible circuits: {reason}")
+            }
+            CircuitError::UnsupportedOperation { reason } => {
+                write!(f, "unsupported operation: {reason}")
             }
         }
     }

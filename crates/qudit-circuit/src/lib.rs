@@ -30,6 +30,7 @@
 mod circuit;
 pub mod classical;
 pub mod cost;
+pub mod decompose;
 mod error;
 mod gate;
 mod operation;
@@ -38,8 +39,11 @@ mod schedule;
 
 pub use circuit::Circuit;
 pub use cost::{analyze, analyze_default, CircuitCosts, CostWeights};
+pub use decompose::decompose_operation;
 pub use error::{CircuitError, CircuitResult};
 pub use gate::Gate;
 pub use operation::{Control, Operation};
-pub use passes::{KernelClass, PassLevel, ResourceReport};
-pub use schedule::{circuit_depth, Moment, MomentDuration, Schedule};
+pub use passes::{DecompositionPass, KernelClass, PassLevel, ResourceReport};
+pub use schedule::{
+    circuit_depth, Frame, FrameDuration, FrameSchedule, Moment, MomentDuration, Schedule,
+};

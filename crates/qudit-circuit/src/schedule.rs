@@ -161,6 +161,108 @@ impl Schedule {
     }
 }
 
+/// The duration of one execution frame, in gate-time units.
+///
+/// A *frame* is the noise-accounting unit of a compiled circuit: one
+/// logical moment of the pre-lowering schedule, together with everything a
+/// decomposition pass expanded its operations into. Its duration falls out
+/// of the lowered schedule — the number of two-qudit layers the frame's
+/// operations occupy — rather than being inferred from operation arity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FrameDuration {
+    /// The frame contains only single-qudit gates: one single-qudit gate
+    /// time.
+    SingleQudit,
+    /// The frame spans this many two-qudit layers, each lasting one
+    /// two-qudit gate time. Single-qudit gates interleave with the layers
+    /// (the paper's Di & Wei depth accounting), so they add no time.
+    TwoQuditLayers(usize),
+}
+
+impl FrameDuration {
+    /// The frame's contribution to physical depth, in moments.
+    pub fn depth(self) -> usize {
+        match self {
+            FrameDuration::SingleQudit => 1,
+            FrameDuration::TwoQuditLayers(layers) => layers.max(1),
+        }
+    }
+}
+
+/// One execution frame: the operation indices it contains (into the
+/// compiled circuit's op list, in op order) and its duration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    op_indices: Vec<usize>,
+    duration: FrameDuration,
+}
+
+impl Frame {
+    /// Builds a frame from its operations and measured duration.
+    pub fn new(op_indices: Vec<usize>, duration: FrameDuration) -> Self {
+        Frame {
+            op_indices,
+            duration,
+        }
+    }
+
+    /// The operation indices executed in this frame, in op order.
+    pub fn op_indices(&self) -> &[usize] {
+        &self.op_indices
+    }
+
+    /// The frame's duration.
+    pub fn duration(&self) -> FrameDuration {
+        self.duration
+    }
+}
+
+/// The frame partition of a compiled circuit: every operation belongs to
+/// exactly one frame, frames execute in order, and idle errors are charged
+/// once per frame for its measured duration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FrameSchedule {
+    frames: Vec<Frame>,
+}
+
+impl FrameSchedule {
+    /// Builds a frame schedule from explicit frames.
+    pub fn new(frames: Vec<Frame>) -> Self {
+        FrameSchedule { frames }
+    }
+
+    /// The frames in execution order.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// The physical depth: the total number of moments across all frames.
+    pub fn physical_depth(&self) -> usize {
+        self.frames.iter().map(|f| f.duration().depth()).sum()
+    }
+
+    /// Frames for an *unlowered* circuit, one per schedule moment, with
+    /// durations from [`Moment::duration`]: this is the virtual accounting
+    /// the deprecated `GateExpansion` shim preserves (`expand_three_qudit`
+    /// maps a ≥3-qudit moment to the Di & Wei constant of 6 layers instead
+    /// of a measured count).
+    pub fn from_moments(schedule: &Schedule, expand_three_qudit: bool) -> FrameSchedule {
+        let frames = schedule
+            .moments()
+            .iter()
+            .map(|m| {
+                let duration = match m.duration(expand_three_qudit) {
+                    MomentDuration::SingleQudit => FrameDuration::SingleQudit,
+                    MomentDuration::MultiQudit => FrameDuration::TwoQuditLayers(1),
+                    MomentDuration::ExpandedMultiQudit => FrameDuration::TwoQuditLayers(6),
+                };
+                Frame::new(m.op_indices.clone(), duration)
+            })
+            .collect();
+        FrameSchedule { frames }
+    }
+}
+
 /// Convenience: the ASAP depth of a circuit.
 pub fn circuit_depth(circuit: &Circuit) -> usize {
     Schedule::asap(circuit).depth()

@@ -1,0 +1,259 @@
+//! Eigendecomposition of small normal matrices.
+//!
+//! The physical-lowering compiler pass (`qudit-circuit`) synthesises the
+//! Di & Wei two-qudit realisation of a multiply-controlled gate from the
+//! spectral decomposition of its target unitary: `U = Q · diag(e^{iθ}) · Q†`.
+//! Gate matrices are tiny (`d × d` with `d ≤ ~5`), so a cyclic complex
+//! Jacobi sweep is both simple and numerically robust at these sizes.
+//!
+//! The solver works in two layers:
+//!
+//! * [`eig_hermitian`] — classic cyclic Jacobi for complex Hermitian
+//!   matrices: each off-diagonal entry is phased to a real value and
+//!   annihilated with a Givens rotation; sweeps repeat until the
+//!   off-diagonal mass is negligible.
+//! * [`eig_unitary`] — a unitary `U` is normal, so it shares eigenvectors
+//!   with the Hermitian pencil `H(γ) = (U + U†)/2 + γ·(U − U†)/(2i)`.
+//!   Diagonalising `H(γ)` for a generic `γ` yields `Q`; the eigenvalues are
+//!   read off the diagonal of `Q†UQ`. A degenerate `γ` (two distinct
+//!   eigenphases colliding in `cos θ + γ sin θ`) is detected by a residual
+//!   check and another `γ` is tried.
+
+use crate::complex::Complex;
+use crate::matrix::CMatrix;
+
+/// Off-diagonal mass below which a Jacobi sweep is considered converged.
+const JACOBI_TOL: f64 = 1e-14;
+
+/// Hard cap on Jacobi sweeps (far beyond what a `d ≤ 8` matrix needs).
+const MAX_SWEEPS: usize = 64;
+
+/// Mixing coefficients tried for the Hermitian pencil `H(γ)`. The first is
+/// an arbitrary irrational-ish constant; the rest only matter if a matrix
+/// manages to collide eigenphases under the earlier ones.
+const GAMMA_CANDIDATES: [f64; 4] = [0.730_112_978_309, 0.310_998_124_87, 1.618_033_988_75, -0.41];
+
+/// Diagonalises a complex Hermitian matrix with cyclic Jacobi rotations.
+///
+/// Returns `(eigenvalues, Q)` with `A = Q · diag(eigenvalues) · Q†` and `Q`
+/// unitary. Eigenvalues are in the order produced by the sweeps (not
+/// sorted); callers who need pairing with a second matrix read it through
+/// `Q` anyway.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn eig_hermitian(a: &CMatrix) -> (Vec<f64>, CMatrix) {
+    assert!(a.is_square(), "eigendecomposition needs a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut q = CMatrix::identity(n);
+
+    for _ in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for r in (p + 1)..n {
+                off += m.get(p, r).norm_sqr();
+            }
+        }
+        if off.sqrt() <= JACOBI_TOL {
+            break;
+        }
+        for p in 0..n {
+            for r in (p + 1)..n {
+                let apq = m.get(p, r);
+                if apq.abs() <= JACOBI_TOL * 0.01 {
+                    continue;
+                }
+                // Phase the pivot to a real value, then rotate it away.
+                let phase = apq.scale(1.0 / apq.abs());
+                let app = m.get(p, p).re;
+                let aqq = m.get(r, r).re;
+                let theta = 0.5 * (2.0 * apq.abs()).atan2(app - aqq);
+                let (s, c) = theta.sin_cos();
+                // Column rotation J restricted to the (p, r) plane:
+                //   col_p ← c·col_p + s·phasē·col_r
+                //   col_r ← −s·phase·col_p + c·col_r
+                let jpp = Complex::real(c);
+                let jpr = phase.scale(-s);
+                let jrp = phase.conj().scale(s);
+                let jrr = Complex::real(c);
+                // m ← J† m J; q ← q J.
+                for row in 0..n {
+                    let xp = m.get(row, p);
+                    let xr = m.get(row, r);
+                    m.set(row, p, xp * jpp + xr * jrp);
+                    m.set(row, r, xp * jpr + xr * jrr);
+                }
+                for col in 0..n {
+                    let xp = m.get(p, col);
+                    let xr = m.get(r, col);
+                    m.set(p, col, xp * jpp.conj() + xr * jrp.conj());
+                    m.set(r, col, xp * jpr.conj() + xr * jrr.conj());
+                }
+                for row in 0..n {
+                    let xp = q.get(row, p);
+                    let xr = q.get(row, r);
+                    q.set(row, p, xp * jpp + xr * jrp);
+                    q.set(row, r, xp * jpr + xr * jrr);
+                }
+            }
+        }
+    }
+
+    let eigenvalues = (0..n).map(|i| m.get(i, i).re).collect();
+    (eigenvalues, q)
+}
+
+/// Diagonalises a unitary matrix: returns `(eigenvalues, Q)` with
+/// `U = Q · diag(eigenvalues) · Q†`, `Q` unitary and every eigenvalue on the
+/// unit circle.
+///
+/// Returns `None` when no tried pencil produces a decomposition within
+/// `tol` — in practice only for inputs that are not (close to) unitary.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn eig_unitary(u: &CMatrix, tol: f64) -> Option<(Vec<Complex>, CMatrix)> {
+    assert!(u.is_square(), "eigendecomposition needs a square matrix");
+    let n = u.rows();
+    let udag = u.adjoint();
+    let half = Complex::real(0.5);
+    let half_over_i = Complex::new(0.0, -0.5);
+    let h1 = (u + &udag).scale(half);
+    let h2 = (u - &udag).scale(half_over_i);
+
+    for &gamma in &GAMMA_CANDIDATES {
+        let pencil = &h1 + &h2.scale(Complex::real(gamma));
+        let (_, q) = eig_hermitian(&pencil);
+        // Read the eigenvalues of U through Q and verify the residual: a
+        // degenerate γ leaves U non-diagonal in this basis.
+        let d = &(&q.adjoint() * u) * &q;
+        let mut eigenvalues = Vec::with_capacity(n);
+        for i in 0..n {
+            let lambda = d.get(i, i);
+            // Project onto the unit circle; unitarity puts it there already
+            // up to rounding.
+            let r = lambda.abs();
+            if (r - 1.0).abs() > tol.max(1e-9) {
+                eigenvalues.clear();
+                break;
+            }
+            eigenvalues.push(lambda.scale(1.0 / r));
+        }
+        if eigenvalues.len() != n {
+            continue;
+        }
+        let rebuilt = &(&q * &CMatrix::diagonal(&eigenvalues)) * &q.adjoint();
+        if rebuilt.max_abs_diff(u) <= tol {
+            return Some((eigenvalues, q));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use crate::random::complex_gaussian;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_unitary(n: usize, rng: &mut StdRng) -> CMatrix {
+        // Gram–Schmidt on a Gaussian matrix.
+        let mut cols: Vec<Vec<Complex>> = (0..n)
+            .map(|_| (0..n).map(|_| complex_gaussian(rng)).collect())
+            .collect();
+        for i in 0..n {
+            let (done, rest) = cols.split_at_mut(i);
+            let col = &mut rest[0];
+            for prev in done.iter() {
+                let proj: Complex = prev
+                    .iter()
+                    .zip(col.iter())
+                    .map(|(a, b)| a.conj() * *b)
+                    .sum();
+                for (x, y) in col.iter_mut().zip(prev.iter()) {
+                    *x -= proj * *y;
+                }
+            }
+            let norm: f64 = col.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            for z in col.iter_mut() {
+                *z = z.scale(1.0 / norm);
+            }
+        }
+        let mut m = CMatrix::zeros(n, n);
+        for (c, col) in cols.iter().enumerate() {
+            for (r, z) in col.iter().enumerate() {
+                m.set(r, c, *z);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn hermitian_jacobi_diagonalises_random_matrices() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in 2..=6 {
+            let g = random_unitary(n, &mut rng);
+            // A random Hermitian matrix: G D G† with real D.
+            let d: Vec<Complex> = (0..n).map(|i| Complex::real(i as f64 - 1.3)).collect();
+            let a = &(&g * &CMatrix::diagonal(&d)) * &g.adjoint();
+            let (evals, q) = eig_hermitian(&a);
+            assert!(q.is_unitary(1e-10), "Q must be unitary at n={n}");
+            let lam: Vec<Complex> = evals.iter().map(|&x| Complex::real(x)).collect();
+            let rebuilt = &(&q * &CMatrix::diagonal(&lam)) * &q.adjoint();
+            assert!(
+                rebuilt.max_abs_diff(&a) < 1e-10,
+                "residual {} at n={n}",
+                rebuilt.max_abs_diff(&a)
+            );
+        }
+    }
+
+    #[test]
+    fn unitary_eig_handles_standard_gates() {
+        for u in [
+            gates::qutrit::x_plus_1(),
+            gates::qudit::shift(4),
+            gates::qudit::level_swap(3, 0, 2),
+            gates::qudit::fourier(3),
+            gates::qudit::clock(5),
+            gates::qubit::h().embed(3, &[0, 1]),
+            CMatrix::identity(3),
+        ] {
+            let (evals, q) = eig_unitary(&u, 1e-10).expect("decomposition");
+            assert!(q.is_unitary(1e-10));
+            let rebuilt = &(&q * &CMatrix::diagonal(&evals)) * &q.adjoint();
+            assert!(rebuilt.max_abs_diff(&u) < 1e-10);
+            for e in evals {
+                assert!((e.abs() - 1.0).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn unitary_eig_handles_random_unitaries() {
+        let mut rng = StdRng::seed_from_u64(2019);
+        for n in 2..=5 {
+            for _ in 0..8 {
+                let u = random_unitary(n, &mut rng);
+                let (evals, q) = eig_unitary(&u, 1e-9).expect("decomposition");
+                let rebuilt = &(&q * &CMatrix::diagonal(&evals)) * &q.adjoint();
+                assert!(
+                    rebuilt.max_abs_diff(&u) < 1e-9,
+                    "residual {} at n={n}",
+                    rebuilt.max_abs_diff(&u)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_unitary_input_is_rejected() {
+        let a = CMatrix::from_real_rows(&[&[2.0, 0.0], &[0.0, 0.5]]);
+        assert!(eig_unitary(&a, 1e-9).is_none());
+    }
+}

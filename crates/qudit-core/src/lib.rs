@@ -30,6 +30,7 @@
 #![warn(rust_2018_idioms)]
 
 mod complex;
+mod eig;
 mod error;
 pub mod gates;
 mod matrix;
@@ -37,6 +38,7 @@ mod random;
 mod statevec;
 
 pub use complex::Complex;
+pub use eig::{eig_hermitian, eig_unitary};
 pub use error::{CoreError, CoreResult};
 pub use matrix::CMatrix;
 pub use random::{complex_gaussian, random_basis_state, random_qubit_subspace_state, random_state};

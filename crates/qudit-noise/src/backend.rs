@@ -162,7 +162,7 @@ impl Backend for TrajectoryBackend {
         model: &NoiseModel,
         config: &TrajectoryConfig,
     ) -> NoiseResult<FidelityEstimate> {
-        let sim = TrajectorySimulator::new(circuit, model, config.expansion)?;
+        let sim = TrajectorySimulator::for_expansion(circuit, model, config.expansion)?;
         sim.run(config).map_err(crate::error::NoiseError::from)
     }
 }
@@ -199,7 +199,7 @@ impl Backend for DensityMatrixBackend {
         model: &NoiseModel,
         config: &TrajectoryConfig,
     ) -> NoiseResult<FidelityEstimate> {
-        let sim = DensityNoiseSimulator::new(circuit, model, config.expansion)?;
+        let sim = DensityNoiseSimulator::for_expansion(circuit, model, config.expansion)?;
         sim.run(config).map_err(crate::error::NoiseError::from)
     }
 }
@@ -254,6 +254,23 @@ pub struct CrossValidation {
 }
 
 impl CrossValidation {
+    /// Builds the comparison from an exact run and a trajectory run,
+    /// computing the standard confidence bound: `sigmas × max(binomial σ
+    /// at the exact value, sample std error)` plus a small absolute floor
+    /// for the near-deterministic `F → 1` regime. The single source of the
+    /// bound formula — [`cross_validate`] and the `crossval` CI gate's
+    /// virtual-accounting leg both build through it.
+    pub fn from_runs(exact: FidelityEstimate, estimate: FidelityEstimate, sigmas: f64) -> Self {
+        let trials = estimate.trials.max(1) as f64;
+        let binomial_sigma =
+            (exact.mean.clamp(0.0, 1.0) * (1.0 - exact.mean.clamp(0.0, 1.0)) / trials).sqrt();
+        CrossValidation {
+            exact: exact.mean,
+            estimate,
+            tolerance: sigmas * binomial_sigma.max(estimate.std_error) + 1e-6,
+        }
+    }
+
     /// The absolute trajectory-vs-exact deviation.
     pub fn deviation(&self) -> f64 {
         (self.estimate.mean - self.exact).abs()
@@ -289,15 +306,7 @@ pub fn cross_validate(
 ) -> NoiseResult<CrossValidation> {
     let exact = DensityMatrixBackend.fidelity(circuit, model, config)?;
     let estimate = TrajectoryBackend.fidelity(circuit, model, config)?;
-    let trials = estimate.trials.max(1) as f64;
-    let binomial_sigma =
-        (exact.mean.clamp(0.0, 1.0) * (1.0 - exact.mean.clamp(0.0, 1.0)) / trials).sqrt();
-    let tolerance = sigmas * binomial_sigma.max(estimate.std_error) + 1e-6;
-    Ok(CrossValidation {
-        exact: exact.mean,
-        estimate,
-        tolerance,
-    })
+    Ok(CrossValidation::from_runs(exact, estimate, sigmas))
 }
 
 #[cfg(test)]

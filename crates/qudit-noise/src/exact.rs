@@ -1,13 +1,15 @@
 //! Exact (density-matrix) noise simulation.
 //!
 //! Evolves `ρ` through the same noisy process the trajectory Monte Carlo
-//! samples — gate unitaries, per-operation depolarizing errors, per-moment
-//! amplitude-damping idles, with identical Di&Wei accounting — but applies
-//! every channel *exactly* as its superoperator `Σᵢ Kᵢ ⊗ conj(Kᵢ)` instead
-//! of drawing one branch. The resulting fidelity `⟨ψ_ideal|ρ|ψ_ideal⟩` is
-//! the ground-truth value the trajectory estimates converge to; the
-//! cross-validation harness ([`crate::cross_validate`]) asserts exactly
-//! that.
+//! samples — the same [`NoiseProgram`]: per frame, the gate unitaries, then
+//! one gate-error channel per gate, then the frame's idle error — but
+//! applies every channel *exactly* as its superoperator `Σᵢ Kᵢ ⊗ conj(Kᵢ)`
+//! instead of drawing one branch. The resulting fidelity
+//! `⟨ψ_ideal|ρ|ψ_ideal⟩` is the ground-truth value the trajectory estimates
+//! converge to; the cross-validation harness ([`crate::cross_validate`])
+//! asserts exactly that, and the `decomposition_diff` suite asserts the
+//! physically lowered program agrees with the legacy virtual accounting to
+//! ≤ 1e-9.
 //!
 //! Cost: `d^2n` entries instead of `d^n` amplitudes, so this is the small-n
 //! oracle (≲ 6–7 qutrits) while trajectories remain the scalable engine.
@@ -15,11 +17,9 @@
 use crate::error::NoiseResult;
 use crate::models::NoiseModel;
 use crate::trajectory::{
-    build_noise_sites, estimate_from_samples, for_each_gate_error_site, ErrorSite,
-    FidelityEstimate, GateExpansion, InputState, NoiseSites, TrajectoryConfig,
+    build_noise_sites, estimate_from_samples, FidelityEstimate, GateExpansion, InputState,
+    NoiseProgram, NoiseSites, TrajectoryConfig,
 };
-use qudit_circuit::passes::{self, PassLevel};
-use qudit_circuit::{Circuit, MomentDuration, Operation, Schedule};
 use qudit_core::{random_qubit_subspace_state, CoreError, StateVector};
 use qudit_sim::{
     superoperator_targets, ApplyPlan, CompiledCircuit, CompiledDensityCircuit, DensityMatrix,
@@ -32,44 +32,75 @@ use rayon::prelude::*;
 /// An exact density-matrix noise simulator bound to a circuit and a noise
 /// model.
 ///
-/// Construction first runs the circuit through the compiler's
-/// [`PassLevel::NoisePreserving`] pipeline (guaranteed identity on the op
-/// list and schedule, so exact fidelities are bit-identical with and
-/// without it) and compiles the post-pass circuit twice — a state-vector
+/// Construction compiles a [`NoiseProgram`] (physically lowered by
+/// default) and compiles the program circuit twice — a state-vector
 /// [`CompiledCircuit`] for the ideal reference output and a
 /// [`CompiledDensityCircuit`] for the noisy `U·ρ·U†` evolution — plus one
 /// superoperator [`ApplyPlan`] per (channel, site). Everything is
 /// immutable and `Sync`, so input averaging fans out across rayon workers.
 pub struct DensityNoiseSimulator<'a> {
-    circuit: Circuit,
+    program: NoiseProgram,
     ideal: CompiledCircuit,
     noisy: CompiledDensityCircuit,
     model: &'a NoiseModel,
-    schedule: Schedule,
     /// Per-site superoperator plans over the vectorised `2n`-qudit view of
     /// `ρ` — same site set as the trajectory engine, each site a single
     /// deterministic plan.
     sites: NoiseSites<ApplyPlan>,
-    expansion: GateExpansion,
 }
 
 impl<'a> DensityNoiseSimulator<'a> {
-    /// Builds the simulator, pre-computing every superoperator plan.
+    /// Builds the simulator on the physically lowered circuit — the
+    /// default accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model parameters are unphysical for the
+    /// circuit's qudit dimension, or the circuit cannot be lowered.
+    pub fn new(circuit: &qudit_circuit::Circuit, model: &'a NoiseModel) -> NoiseResult<Self> {
+        Self::from_program(NoiseProgram::physical(circuit)?, model)
+    }
+
+    /// Builds the simulator on the **deprecated** virtual-expansion
+    /// accounting (synthetic per-arity error sites, no lowering).
     ///
     /// # Errors
     ///
     /// Returns an error if the model parameters are unphysical for the
     /// circuit's qudit dimension.
-    pub fn new(
-        circuit: &Circuit,
+    pub fn with_virtual_expansion(
+        circuit: &qudit_circuit::Circuit,
         model: &'a NoiseModel,
         expansion: GateExpansion,
     ) -> NoiseResult<Self> {
-        let d = circuit.dim();
-        let n = circuit.width();
-        let (circuit, schedule, _report) =
-            passes::compile(circuit, PassLevel::NoisePreserving).into_parts();
-        let sites = build_noise_sites(&circuit, model, expansion, |c, qudits| {
+        Self::from_program(NoiseProgram::virtual_expansion(circuit, expansion), model)
+    }
+
+    /// Builds the simulator a config's `expansion` selects: `DiWei` → the
+    /// physical lowering, `Logical` → the deprecated virtual baseline. The
+    /// single dispatch point behind [`exact_fidelity`] and the
+    /// [`Backend`](crate::Backend) trait.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DensityNoiseSimulator::new`].
+    pub fn for_expansion(
+        circuit: &qudit_circuit::Circuit,
+        model: &'a NoiseModel,
+        expansion: GateExpansion,
+    ) -> NoiseResult<Self> {
+        match expansion {
+            GateExpansion::DiWei => Self::new(circuit, model),
+            GateExpansion::Logical => {
+                Self::with_virtual_expansion(circuit, model, GateExpansion::Logical)
+            }
+        }
+    }
+
+    fn from_program(program: NoiseProgram, model: &'a NoiseModel) -> NoiseResult<Self> {
+        let d = program.circuit.dim();
+        let n = program.circuit.width();
+        let sites = build_noise_sites(&program, model, |c, qudits| {
             ApplyPlan::for_matrix(
                 d,
                 2 * n,
@@ -78,53 +109,17 @@ impl<'a> DensityNoiseSimulator<'a> {
             )
         })?;
         Ok(DensityNoiseSimulator {
-            ideal: Simulator::new().compile(&circuit),
-            noisy: CompiledDensityCircuit::compile(&circuit),
-            circuit,
+            ideal: Simulator::new().compile(&program.circuit),
+            noisy: CompiledDensityCircuit::compile(&program.circuit),
+            program,
             model,
-            schedule,
             sites,
-            expansion,
         })
     }
 
     /// The noise model in use.
     pub fn model(&self) -> &NoiseModel {
         self.model
-    }
-
-    /// Applies the gate-error superoperator(s) for one operation — the
-    /// *same* site enumeration the trajectory simulator samples
-    /// ([`for_each_gate_error_site`] is the shared source of truth).
-    fn apply_gate_error(&self, op: &Operation, rho: &mut DensityMatrix) {
-        for_each_gate_error_site(op, self.expansion, |site| match site {
-            ErrorSite::Single(q) => rho.apply_plan(&self.sites.single_gate[q]),
-            ErrorSite::Pair(pair) => rho.apply_plan(
-                self.sites
-                    .two_gate
-                    .get(&pair)
-                    .expect("pair compiled at construction"),
-            ),
-        });
-    }
-
-    /// Applies the idle superoperator for a moment to every qudit. The
-    /// duration class comes straight from the schedule's
-    /// [`Moment::duration`](qudit_circuit::Moment::duration) — the same
-    /// accounting the trajectory engine samples.
-    fn apply_idle_error(&self, moment_idx: usize, rho: &mut DensityMatrix) {
-        let duration =
-            self.schedule.moments()[moment_idx].duration(self.expansion == GateExpansion::DiWei);
-        let sites = match duration {
-            MomentDuration::ExpandedMultiQudit => &self.sites.idle_expanded,
-            MomentDuration::MultiQudit => &self.sites.idle_long,
-            MomentDuration::SingleQudit => &self.sites.idle_short,
-        };
-        if let Some(sites) = sites {
-            for site in sites {
-                rho.apply_plan(site);
-            }
-        }
     }
 
     /// Evolves `|ψ⟩⟨ψ|` for the initial state `initial` through the noisy
@@ -135,12 +130,19 @@ impl<'a> DensityNoiseSimulator<'a> {
     /// Panics if the state shape does not match the circuit.
     pub fn evolve(&self, initial: &StateVector) -> DensityMatrix {
         let mut rho = DensityMatrix::from_pure(initial);
-        for (moment_idx, op_indices) in self.schedule.iter() {
-            for &op_idx in op_indices {
+        for frame in &self.program.frames {
+            for &op_idx in &frame.ops {
                 self.noisy.pair(op_idx).apply(&mut rho);
-                self.apply_gate_error(&self.circuit.operations()[op_idx], &mut rho);
             }
-            self.apply_idle_error(moment_idx, &mut rho);
+            for &op_idx in &frame.ops {
+                self.sites
+                    .for_op_sites(&self.program.sites[op_idx], |plan| rho.apply_plan(plan));
+            }
+            if let Some(sites) = self.sites.idle.get(&frame.duration) {
+                for site in sites {
+                    rho.apply_plan(site);
+                }
+            }
         }
         // The evolution is CPTP, so this only corrects the accumulated
         // floating-point drift of the trace.
@@ -163,8 +165,8 @@ impl<'a> DensityNoiseSimulator<'a> {
     /// run with the same config see the *same* random inputs and differ only
     /// in how noise is accounted.
     fn draw_input(&self, input: &InputState, seed: u64) -> Result<StateVector, CoreError> {
-        let d = self.circuit.dim();
-        let n = self.circuit.width();
+        let d = self.program.circuit.dim();
+        let n = self.program.circuit.width();
         match input {
             InputState::RandomQubitSubspace => {
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -214,17 +216,20 @@ impl<'a> DensityNoiseSimulator<'a> {
 }
 
 /// Convenience entry point: exact fidelity of `circuit` under `model`.
+/// `config.expansion` selects the accounting: `DiWei` (default) simulates
+/// the physically lowered circuit, `Logical` the deprecated optimistic
+/// baseline.
 ///
 /// # Errors
 ///
 /// Returns an error if the model is unphysical for the circuit dimension or
 /// the input specification is invalid.
 pub fn exact_fidelity(
-    circuit: &Circuit,
+    circuit: &qudit_circuit::Circuit,
     model: &NoiseModel,
     config: &TrajectoryConfig,
 ) -> Result<FidelityEstimate, Box<dyn std::error::Error + Send + Sync>> {
-    let sim = DensityNoiseSimulator::new(circuit, model, config.expansion)?;
+    let sim = DensityNoiseSimulator::for_expansion(circuit, model, config.expansion)?;
     Ok(sim.run(config)?)
 }
 
@@ -232,7 +237,7 @@ pub fn exact_fidelity(
 mod tests {
     use super::*;
     use crate::models::{sc, sc_t1_gates};
-    use qudit_circuit::{Control, Gate};
+    use qudit_circuit::{Circuit, Control, Gate};
 
     fn toffoli_fig4() -> Circuit {
         let mut c = Circuit::new(3, 3);
@@ -283,8 +288,27 @@ mod tests {
     fn evolved_density_matrix_stays_physical() {
         let c = toffoli_fig4();
         let model = sc();
-        let sim = DensityNoiseSimulator::new(&c, &model, GateExpansion::DiWei).unwrap();
+        let sim = DensityNoiseSimulator::new(&c, &model).unwrap();
         let rho = sim.evolve(&StateVector::from_basis_state(3, &[1, 1, 1]).unwrap());
+        assert!((rho.trace().re - 1.0).abs() < 1e-9);
+        assert!(rho.hermiticity_error() < 1e-10);
+        assert!(rho.min_population() > -1e-12);
+    }
+
+    #[test]
+    fn evolved_density_matrix_stays_physical_under_lowered_blocks() {
+        // A genuine three-qutrit op: the physical program replays the full
+        // Di & Wei block with per-gate errors; ρ must remain a state.
+        let mut c = Circuit::new(3, 3);
+        c.push_controlled(
+            Gate::increment(3),
+            &[Control::on_one(0), Control::on_two(1)],
+            &[2],
+        )
+        .unwrap();
+        let model = sc_t1_gates();
+        let sim = DensityNoiseSimulator::new(&c, &model).unwrap();
+        let rho = sim.evolve(&StateVector::from_basis_state(3, &[1, 1, 0]).unwrap());
         assert!((rho.trace().re - 1.0).abs() < 1e-9);
         assert!(rho.hermiticity_error() < 1e-10);
         assert!(rho.min_population() > -1e-12);

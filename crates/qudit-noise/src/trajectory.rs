@@ -3,22 +3,49 @@
 //! Instead of evolving a `d^N × d^N` density matrix, each trial propagates a
 //! single state vector and draws one error branch per noise-channel
 //! application; averaging the resulting fidelities over many trials converges
-//! to the density-matrix result. Per Algorithm 1, every trial:
+//! to the density-matrix result.
 //!
-//! 1. draws an initial state,
-//! 2. computes the ideal (noise-free) output,
-//! 3. replays the circuit moment-by-moment, applying a gate-error channel to
-//!    every qudit group acted on (single- or two-qudit depolarizing depending
-//!    on the gate arity) and then an idle amplitude-damping error to every
-//!    qudit, with duration set by whether the moment contains a two-qudit
-//!    gate,
-//! 4. records the fidelity `|⟨ψ_ideal|ψ_noisy⟩|²`.
+//! ## Frame-based accounting
+//!
+//! Both noise backends replay a [`NoiseProgram`]: the circuit partitioned
+//! into *frames* (one per logical moment of the source circuit), each frame
+//! holding its operations and a measured idle duration. Per frame, a trial
+//!
+//! 1. applies every operation's unitary,
+//! 2. applies every operation's gate-error channel — **one error per gate,
+//!    on the gate's own qudits** (single-qudit depolarizing for 1-qudit
+//!    gates, two-qudit depolarizing for 2-qudit gates), and
+//! 3. applies the idle amplitude-damping error to every qudit for the
+//!    frame's duration.
+//!
+//! The default program ([`NoiseProgram::physical`]) compiles the circuit
+//! through the compiler's [`PassLevel::Physical`] pipeline, which lowers
+//! every ≥3-qudit operation into its exact Di & Wei realisation (6
+//! two-qudit + 7 single-qudit gates, 6 two-qudit layers) — so the error
+//! sites and idle durations *fall out of the lowered circuit*, with no
+//! arity-dispatch anywhere in the noise code. Because every gate-error
+//! channel here is a Weyl-symmetric depolarizing channel (equivalently:
+//! "replace the targeted qudits with the maximally mixed state with
+//! probability `d²p`"), all gate errors of a frame commute with one
+//! another, and charging them at the end of the frame is *exactly* equal
+//! to the legacy virtual accounting the paper publishes — the
+//! `decomposition_diff` differential suite pins that equality at ≤ 1e-9
+//! across every noise model.
+//!
+//! ## Deprecated: virtual expansion
+//!
+//! [`GateExpansion`] and [`NoiseProgram::virtual_expansion`] preserve the
+//! pre-lowering accounting, which charged 6 two-qudit + 7 single-qudit
+//! synthetic error sites per ≥3-qudit operation without simulating the
+//! lowered gates. They are kept for one release as a compatibility shim —
+//! the differential tests compare the two paths — and as the `Logical`
+//! ablation baseline. New code should use the physical constructors.
 
-use crate::error::NoiseResult;
+use crate::error::{NoiseError, NoiseResult};
 use crate::kraus::{Channel, CompiledChannel};
 use crate::models::NoiseModel;
 use qudit_circuit::passes::{self, PassLevel};
-use qudit_circuit::{Circuit, MomentDuration, Operation, Schedule};
+use qudit_circuit::{Circuit, FrameDuration, FrameSchedule, Operation};
 use qudit_core::{random_qubit_subspace_state, CoreError, StateVector};
 use qudit_sim::{CompiledCircuit, Simulator};
 use rand::rngs::StdRng;
@@ -26,17 +53,26 @@ use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::collections::HashMap;
 
-/// How gate errors are charged to operations touching three or more qudits.
+/// How gate errors are charged to operations touching three or more qudits
+/// by the **deprecated** virtual-expansion accounting
+/// ([`NoiseProgram::virtual_expansion`]).
+///
+/// The physical path does not consult this type: since the Di & Wei
+/// lowering landed in the compiler ([`PassLevel::Physical`]), errors attach
+/// to the real lowered gates. `DiWei` survives as the name of the default
+/// accounting in [`TrajectoryConfig`] (routed to the physical path) and
+/// `Logical` as the optimistic ablation baseline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GateExpansion {
     /// Charge one two-qudit gate error to the operation's first two qudits.
     /// (Useful as an optimistic ablation baseline.)
     Logical,
-    /// Charge the paper's Di & Wei decomposition: 6 two-qudit gate errors and
-    /// 7 single-qudit gate errors spread over the operation's qudits, and
-    /// 6 two-qudit-length idle periods. This is the accounting the paper uses
-    /// for its simulations ("the three-input gates are decomposed into 6
-    /// two-input and 7 single-input gates").
+    /// The paper's Di & Wei decomposition: 6 two-qudit gate errors and
+    /// 7 single-qudit gate errors per ≥3-qudit operation, and 6
+    /// two-qudit-length idle periods. Through the config this now selects
+    /// the *physical* path (the decomposition simulated in the IR); through
+    /// [`NoiseProgram::virtual_expansion`] it reproduces the legacy
+    /// synthetic-site accounting.
     DiWei,
 }
 
@@ -60,7 +96,9 @@ pub struct TrajectoryConfig {
     pub trials: usize,
     /// Base RNG seed; trial `i` uses `seed + i`.
     pub seed: u64,
-    /// Gate-error accounting for ≥3-qudit operations.
+    /// Gate-error accounting for ≥3-qudit operations: `DiWei` (default)
+    /// simulates the physically lowered circuit; `Logical` is the
+    /// deprecated optimistic baseline.
     pub expansion: GateExpansion,
     /// Input-state distribution.
     pub input: InputState,
@@ -95,10 +133,162 @@ impl FidelityEstimate {
     }
 }
 
+/// One gate-error charge: a single-qudit or two-qudit channel application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ErrorSite {
+    /// Charge the single-qudit gate-error channel to this qudit.
+    Single(usize),
+    /// Charge the two-qudit gate-error channel to this qudit pair.
+    Pair([usize; 2]),
+}
+
+/// One frame of a [`NoiseProgram`]: the operations executed in it and the
+/// idle duration charged after them.
+#[derive(Clone, Debug)]
+pub(crate) struct ProgramFrame {
+    /// Indices into the program circuit's op list, in op order.
+    pub(crate) ops: Vec<usize>,
+    /// The frame's idle duration.
+    pub(crate) duration: FrameDuration,
+}
+
+/// Everything a noise backend replays: the circuit (possibly lowered), its
+/// frame partition, and the gate-error sites of every operation.
+///
+/// Both backends consume this one structure, so which errors are charged
+/// where is defined in exactly one place and the two engines cannot drift
+/// apart.
+pub(crate) struct NoiseProgram {
+    pub(crate) circuit: Circuit,
+    pub(crate) frames: Vec<ProgramFrame>,
+    /// Per-operation gate-error sites, index-aligned with the circuit.
+    pub(crate) sites: Vec<Vec<ErrorSite>>,
+}
+
+impl NoiseProgram {
+    /// The default program: the circuit lowered through
+    /// [`PassLevel::Physical`], with one gate error per lowered gate on the
+    /// gate's own qudits and idle durations measured from the lowered frame
+    /// schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError::Simulation`] if the circuit contains a
+    /// ≥3-qudit operation the decomposition cannot lower (multi-target
+    /// high-arity operations).
+    pub(crate) fn physical(circuit: &Circuit) -> NoiseResult<NoiseProgram> {
+        let ir = passes::compile(circuit, PassLevel::Physical);
+        let frames = ir
+            .frames()
+            .expect("the Physical pipeline always records frames")
+            .clone();
+        let circuit = ir.circuit().clone();
+        if let Some(op) = circuit.iter().find(|op| op.arity() >= 3) {
+            return Err(NoiseError::Simulation {
+                reason: format!("operation {op} could not be lowered to arity ≤ 2"),
+            });
+        }
+        let sites = circuit.iter().map(uniform_sites).collect();
+        Ok(NoiseProgram {
+            circuit,
+            frames: program_frames(&frames),
+            sites,
+        })
+    }
+
+    /// The **deprecated** virtual-expansion program: the circuit compiled
+    /// through the (identity) [`PassLevel::NoisePreserving`] pipeline, with
+    /// synthetic per-operation error sites from the legacy arity dispatch
+    /// and idle durations from the per-arity constants. Kept for one
+    /// release as the differential-test baseline and the `Logical`
+    /// ablation.
+    pub(crate) fn virtual_expansion(circuit: &Circuit, expansion: GateExpansion) -> NoiseProgram {
+        let ir = passes::compile(circuit, PassLevel::NoisePreserving);
+        let frames = FrameSchedule::from_moments(ir.schedule(), expansion == GateExpansion::DiWei);
+        let circuit = ir.circuit().clone();
+        let sites = circuit
+            .iter()
+            .map(|op| {
+                let mut v = Vec::new();
+                for_each_gate_error_site(op, expansion, |site| v.push(site));
+                v
+            })
+            .collect();
+        NoiseProgram {
+            circuit,
+            frames: program_frames(&frames),
+            sites,
+        }
+    }
+
+    /// Every qudit pair the program's gate errors charge, in first-use
+    /// order.
+    fn charged_pairs(&self) -> Vec<[usize; 2]> {
+        let mut seen = std::collections::HashSet::new();
+        let mut pairs = Vec::new();
+        for sites in &self.sites {
+            for site in sites {
+                if let ErrorSite::Pair(pair) = site {
+                    if seen.insert(*pair) {
+                        pairs.push(*pair);
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Every distinct frame duration, in first-use order.
+    fn durations(&self) -> Vec<FrameDuration> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for frame in &self.frames {
+            if seen.insert(frame.duration) {
+                out.push(frame.duration);
+            }
+        }
+        out
+    }
+}
+
+/// The uniform (physical) site rule: a gate charges one error on its own
+/// qudits. No arity dispatch — the compiler guarantees arity ≤ 2.
+fn uniform_sites(op: &Operation) -> Vec<ErrorSite> {
+    let qudits = op.qudits();
+    match qudits.len() {
+        0 => Vec::new(),
+        1 => vec![ErrorSite::Single(qudits[0])],
+        2 => vec![ErrorSite::Pair([qudits[0], qudits[1]])],
+        _ => unreachable!("physical programs are lowered to arity ≤ 2"),
+    }
+}
+
+fn program_frames(frames: &FrameSchedule) -> Vec<ProgramFrame> {
+    frames
+        .frames()
+        .iter()
+        .map(|f| ProgramFrame {
+            ops: f.op_indices().to_vec(),
+            duration: f.duration(),
+        })
+        .collect()
+}
+
+/// The idle duration of a frame in seconds under a model: single-qudit
+/// frames last one single-qudit gate time, `k`-layer frames `k` two-qudit
+/// gate times.
+fn duration_seconds(duration: FrameDuration, model: &NoiseModel) -> f64 {
+    match duration {
+        FrameDuration::SingleQudit => model.gate_time_1q,
+        FrameDuration::TwoQuditLayers(k) => k as f64 * model.gate_time_2q,
+    }
+}
+
 /// Noise channels materialised per application *site*: one artifact per
-/// qudit for single-qudit channels, one per qudit pair the circuit can
-/// touch for two-qudit channels. Built once per run; the replay loops only
-/// look up and apply.
+/// qudit for single-qudit channels, one per qudit pair the program can
+/// touch for two-qudit channels, and one per (frame duration, qudit) for
+/// idle channels. Built once per run; the replay loops only look up and
+/// apply.
 ///
 /// `T` is the backend-specific per-site artifact: [`CompiledChannel`]
 /// (branch plans) for the trajectory engine, a superoperator
@@ -110,71 +300,70 @@ pub(crate) struct NoiseSites<T> {
     pub(crate) single_gate: Vec<T>,
     /// Two-qudit gate-error channel, keyed by the (ordered) qudit pair.
     pub(crate) two_gate: HashMap<[usize; 2], T>,
-    /// Idle channels per qudit, for single-qudit-moment, two-qudit-moment
-    /// and Di&Wei-expanded-moment durations. `None` when the model has no
-    /// `T1`.
-    pub(crate) idle_short: Option<Vec<T>>,
-    pub(crate) idle_long: Option<Vec<T>>,
-    pub(crate) idle_expanded: Option<Vec<T>>,
+    /// Idle channels per frame duration, each a per-qudit vector. Empty
+    /// when the model has no `T1`.
+    pub(crate) idle: HashMap<FrameDuration, Vec<T>>,
 }
 
-/// Builds the per-site noise artifacts for a (circuit, model, expansion)
-/// triple: the five channels (single/two-qudit gate error, three idle
-/// durations) and the site set they attach to, with `build` turning each
-/// `(channel, qudit set)` into the backend-specific artifact.
+impl<T> NoiseSites<T> {
+    /// Applies `f` to every gate-error site of one operation, resolving
+    /// the per-site artifact.
+    pub(crate) fn for_op_sites(&self, sites: &[ErrorSite], mut f: impl FnMut(&T)) {
+        for site in sites {
+            match site {
+                ErrorSite::Single(q) => f(&self.single_gate[*q]),
+                ErrorSite::Pair(pair) => f(self
+                    .two_gate
+                    .get(pair)
+                    .expect("pair compiled at construction")),
+            }
+        }
+    }
+}
+
+/// Builds the per-site noise artifacts for a (program, model) pair, with
+/// `build` turning each `(channel, qudit set)` into the backend-specific
+/// artifact.
 ///
 /// # Errors
 ///
 /// Propagates model-validation failures from channel construction.
 pub(crate) fn build_noise_sites<T>(
-    circuit: &Circuit,
+    program: &NoiseProgram,
     model: &NoiseModel,
-    expansion: GateExpansion,
     mut build: impl FnMut(&Channel, &[usize]) -> T,
 ) -> NoiseResult<NoiseSites<T>> {
-    let d = circuit.dim();
-    let n = circuit.width();
+    let d = program.circuit.dim();
+    let n = program.circuit.width();
     let single_gate = model.single_qudit_gate_error(d)?;
     let two_gate = model.two_qudit_gate_error(d)?;
-    let idle_short = model.idle_error(d, model.moment_duration(false))?;
-    let idle_long = model.idle_error(d, model.moment_duration(true))?;
-    let idle_expanded = model.idle_error(d, 6.0 * model.moment_duration(true))?;
     let single_sites: Vec<T> = (0..n).map(|q| build(&single_gate, &[q])).collect();
-    let two_sites: HashMap<[usize; 2], T> = charged_pairs(circuit, expansion)
+    let two_sites: HashMap<[usize; 2], T> = program
+        .charged_pairs()
         .into_iter()
         .map(|pair| {
             let site = build(&two_gate, &pair);
             (pair, site)
         })
         .collect();
-    let mut idle_sites = |c: &Option<Channel>| -> Option<Vec<T>> {
-        c.as_ref()
-            .map(|ch| (0..n).map(|q| build(ch, &[q])).collect())
-    };
+    let mut idle = HashMap::new();
+    for duration in program.durations() {
+        if let Some(channel) = model.idle_error(d, duration_seconds(duration, model))? {
+            let sites: Vec<T> = (0..n).map(|q| build(&channel, &[q])).collect();
+            idle.insert(duration, sites);
+        }
+    }
     Ok(NoiseSites {
         single_gate: single_sites,
         two_gate: two_sites,
-        idle_short: idle_sites(&idle_short),
-        idle_long: idle_sites(&idle_long),
-        idle_expanded: idle_sites(&idle_expanded),
+        idle,
     })
 }
 
-/// One gate-error charge: a single-qudit or two-qudit channel application.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum ErrorSite {
-    /// Charge the single-qudit gate-error channel to this qudit.
-    Single(usize),
-    /// Charge the two-qudit gate-error channel to this qudit pair.
-    Pair([usize; 2]),
-}
-
-/// Invokes `f` with every gate-error charge of `op` under `expansion`, in
-/// application order. This is the *single source of truth* for the noise
-/// accounting: the trajectory simulator samples a branch per site, the
-/// exact density-matrix simulator applies the superoperator per site, and
-/// both iterate exactly this enumeration — so the two backends cannot
-/// drift apart in which errors they charge.
+/// **Deprecated shim**: invokes `f` with every synthetic gate-error charge
+/// of `op` under the virtual `expansion`, in application order. This is the
+/// legacy arity dispatch the physical lowering replaced; it feeds
+/// [`NoiseProgram::virtual_expansion`] only.
 pub(crate) fn for_each_gate_error_site<F: FnMut(ErrorSite)>(
     op: &Operation,
     expansion: GateExpansion,
@@ -199,80 +388,84 @@ pub(crate) fn for_each_gate_error_site<F: FnMut(ErrorSite)>(
     }
 }
 
-/// Every qudit pair the gate-error accounting can charge for this circuit
-/// under the given expansion — derived from [`for_each_gate_error_site`],
-/// so the precompiled pair set always covers what the replay loops ask for.
-pub(crate) fn charged_pairs(circuit: &Circuit, expansion: GateExpansion) -> Vec<[usize; 2]> {
-    let mut seen = std::collections::HashSet::new();
-    let mut pairs = Vec::new();
-    for op in circuit.iter() {
-        for_each_gate_error_site(op, expansion, |site| {
-            if let ErrorSite::Pair(pair) = site {
-                if seen.insert(pair) {
-                    pairs.push(pair);
-                }
-            }
-        });
-    }
-    pairs
-}
-
 /// A trajectory noise simulator bound to a circuit and a noise model.
 ///
-/// Construction first runs the circuit through the compiler's
-/// [`PassLevel::NoisePreserving`] pipeline — which is guaranteed to leave
-/// the operation list and schedule unchanged, so fidelities are
-/// bit-identical with and without it — and everything downstream (compiled
-/// plans, moment replay, idle accounting) consumes the post-pass circuit
-/// and [`Schedule`]. It then compiles the circuit into per-operation apply
-/// plans ([`CompiledCircuit`]) *and* precompiles every noise channel per
-/// application site ([`NoiseSites`]: per qudit for single-qudit channels,
-/// per charged qudit pair for two-qudit channels); both are shared by every
-/// trial, so a Monte Carlo run does zero plan building inside its trial
-/// loop. Trials already run one per core, so gate application inside a
-/// trial is deliberately sequential — nested fan-out would oversubscribe
-/// the machine.
+/// Construction compiles a [`NoiseProgram`] (physically lowered by
+/// default), compiles the program circuit into per-operation apply plans
+/// ([`CompiledCircuit`]) *and* precompiles every noise channel per
+/// application site ([`NoiseSites`]); both are shared by every trial, so a
+/// Monte Carlo run does zero plan building inside its trial loop. Trials
+/// already run one per core, so gate application inside a trial is
+/// deliberately sequential — nested fan-out would oversubscribe the
+/// machine.
 pub struct TrajectorySimulator<'a> {
-    circuit: Circuit,
+    program: NoiseProgram,
     compiled: CompiledCircuit,
     model: &'a NoiseModel,
-    schedule: Schedule,
     channels: NoiseSites<CompiledChannel>,
-    expansion: GateExpansion,
 }
 
 impl<'a> TrajectorySimulator<'a> {
-    /// Builds a trajectory simulator, pre-computing the noise channels.
+    /// Builds a trajectory simulator on the physically lowered circuit —
+    /// the default accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model parameters are unphysical for the
+    /// circuit's qudit dimension, or the circuit cannot be lowered.
+    pub fn new(circuit: &Circuit, model: &'a NoiseModel) -> NoiseResult<Self> {
+        Self::from_program(NoiseProgram::physical(circuit)?, model)
+    }
+
+    /// Builds a trajectory simulator on the **deprecated** virtual
+    /// expansion accounting (synthetic per-arity error sites, no lowering).
     ///
     /// # Errors
     ///
     /// Returns an error if the model parameters are unphysical for the
     /// circuit's qudit dimension.
-    pub fn new(
+    pub fn with_virtual_expansion(
         circuit: &Circuit,
         model: &'a NoiseModel,
         expansion: GateExpansion,
     ) -> NoiseResult<Self> {
-        let d = circuit.dim();
-        let n = circuit.width();
-        // Noise-preserving by construction: the op list and schedule come
-        // out identical; compiling through the pipeline keeps both noise
-        // backends on the single post-pass compile path.
-        let (circuit, schedule, _report) =
-            passes::compile(circuit, PassLevel::NoisePreserving).into_parts();
-        let channels = build_noise_sites(&circuit, model, expansion, |c, qudits| {
-            c.compile(d, n, qudits)
-        })?;
+        Self::from_program(NoiseProgram::virtual_expansion(circuit, expansion), model)
+    }
+
+    /// Builds the simulator a config's `expansion` selects: `DiWei` → the
+    /// physical lowering, `Logical` → the deprecated virtual baseline. The
+    /// single dispatch point behind [`simulate_fidelity`] and the
+    /// [`Backend`](crate::Backend) trait.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TrajectorySimulator::new`].
+    pub fn for_expansion(
+        circuit: &Circuit,
+        model: &'a NoiseModel,
+        expansion: GateExpansion,
+    ) -> NoiseResult<Self> {
+        match expansion {
+            GateExpansion::DiWei => Self::new(circuit, model),
+            GateExpansion::Logical => {
+                Self::with_virtual_expansion(circuit, model, GateExpansion::Logical)
+            }
+        }
+    }
+
+    fn from_program(program: NoiseProgram, model: &'a NoiseModel) -> NoiseResult<Self> {
+        let d = program.circuit.dim();
+        let n = program.circuit.width();
+        let channels = build_noise_sites(&program, model, |c, qudits| c.compile(d, n, qudits))?;
         Ok(TrajectorySimulator {
-            // Compile through a Simulator so the mirrored compute/uncompute
-            // halves of the paper's circuits share one plan per distinct
-            // (gate, qudits) pair instead of each building their own.
-            compiled: Simulator::new().compile(&circuit),
-            circuit,
+            // Compile through a Simulator so structurally equal gates (the
+            // mirrored compute/uncompute halves, the repeated Di & Wei
+            // block gates) share one plan instead of each building their
+            // own.
+            compiled: Simulator::new().compile(&program.circuit),
+            program,
             model,
-            schedule,
             channels,
-            expansion,
         })
     }
 
@@ -287,57 +480,12 @@ impl<'a> TrajectorySimulator<'a> {
         input: &InputState,
         rng: &mut R,
     ) -> Result<StateVector, CoreError> {
-        let d = self.circuit.dim();
-        let n = self.circuit.width();
+        let d = self.program.circuit.dim();
+        let n = self.program.circuit.width();
         match input {
             InputState::RandomQubitSubspace => random_qubit_subspace_state(d, n, rng),
             InputState::AllOnes => StateVector::from_basis_state(d, &vec![1usize; n]),
             InputState::Basis(digits) => StateVector::from_basis_state(d, digits),
-        }
-    }
-
-    /// Applies the gate-error channel(s) for one operation.
-    fn apply_gate_error<R: Rng + ?Sized>(
-        &self,
-        op: &Operation,
-        state: &mut StateVector,
-        rng: &mut R,
-    ) {
-        for_each_gate_error_site(op, self.expansion, |site| match site {
-            ErrorSite::Single(q) => {
-                self.channels.single_gate[q].apply_trajectory(state, rng);
-            }
-            ErrorSite::Pair(pair) => {
-                self.channels
-                    .two_gate
-                    .get(&pair)
-                    .expect("pair compiled at construction")
-                    .apply_trajectory(state, rng);
-            }
-        });
-    }
-
-    /// Applies the idle error for a moment to every qudit of the register.
-    /// The duration class comes straight from the schedule's
-    /// [`Moment::duration`](qudit_circuit::Moment::duration) — the single
-    /// accounting shared with the exact backend and the compiler passes.
-    fn apply_idle_error<R: Rng + ?Sized>(
-        &self,
-        moment_idx: usize,
-        state: &mut StateVector,
-        rng: &mut R,
-    ) {
-        let duration =
-            self.schedule.moments()[moment_idx].duration(self.expansion == GateExpansion::DiWei);
-        let sites = match duration {
-            MomentDuration::ExpandedMultiQudit => &self.channels.idle_expanded,
-            MomentDuration::MultiQudit => &self.channels.idle_long,
-            MomentDuration::SingleQudit => &self.channels.idle_short,
-        };
-        if let Some(sites) = sites {
-            for site in sites {
-                site.apply_trajectory(state, rng);
-            }
         }
     }
 
@@ -355,15 +503,24 @@ impl<'a> TrajectorySimulator<'a> {
         // Ideal (noise-free) evolution, through the shared compiled plans.
         let ideal = self.compiled.run_sequential(initial.clone());
 
-        // Noisy evolution, moment by moment.
+        // Noisy evolution, frame by frame: unitaries, then the frame's
+        // gate errors, then the idle error for the frame's duration.
         let mut noisy = initial;
-        for (moment_idx, op_indices) in self.schedule.iter() {
-            for &op_idx in op_indices {
-                let op = &self.circuit.operations()[op_idx];
+        for frame in &self.program.frames {
+            for &op_idx in &frame.ops {
                 self.compiled.plan(op_idx).apply_sequential(&mut noisy);
-                self.apply_gate_error(op, &mut noisy, &mut rng);
             }
-            self.apply_idle_error(moment_idx, &mut noisy, &mut rng);
+            for &op_idx in &frame.ops {
+                self.channels
+                    .for_op_sites(&self.program.sites[op_idx], |site| {
+                        site.apply_trajectory(&mut noisy, &mut rng);
+                    });
+            }
+            if let Some(sites) = self.channels.idle.get(&frame.duration) {
+                for site in sites {
+                    site.apply_trajectory(&mut noisy, &mut rng);
+                }
+            }
             noisy.renormalize();
         }
 
@@ -388,7 +545,9 @@ impl<'a> TrajectorySimulator<'a> {
 }
 
 /// Convenience entry point: simulate `circuit` under `model` with the given
-/// configuration.
+/// configuration. `config.expansion` selects the accounting: `DiWei`
+/// (default) simulates the physically lowered circuit, `Logical` the
+/// deprecated optimistic baseline.
 ///
 /// # Errors
 ///
@@ -399,7 +558,7 @@ pub fn simulate_fidelity(
     model: &NoiseModel,
     config: &TrajectoryConfig,
 ) -> Result<FidelityEstimate, Box<dyn std::error::Error + Send + Sync>> {
-    let sim = TrajectorySimulator::new(circuit, model, config.expansion)?;
+    let sim = TrajectorySimulator::for_expansion(circuit, model, config.expansion)?;
     Ok(sim.run(config)?)
 }
 
@@ -418,7 +577,8 @@ pub(crate) fn estimate_from_samples(samples: &[f64]) -> FidelityEstimate {
     }
 }
 
-/// All unordered pairs of the given qudits, cycled in a deterministic order.
+/// All unordered pairs of the given qudits, cycled in a deterministic order
+/// (part of the deprecated virtual-expansion shim).
 pub(crate) fn pair_cycle(qudits: &[usize]) -> Vec<[usize; 2]> {
     let mut pairs = Vec::new();
     for i in 0..qudits.len() {
@@ -474,6 +634,25 @@ mod tests {
     }
 
     #[test]
+    fn noiseless_model_gives_unit_fidelity_on_lowered_three_qudit_ops() {
+        // A genuine ≥3-qudit operation: the lowering must preserve the
+        // unitary, so a noiseless run still returns fidelity 1.
+        let mut c = Circuit::new(3, 3);
+        c.push_controlled(
+            Gate::increment(3),
+            &[Control::on_one(0), Control::on_two(1)],
+            &[2],
+        )
+        .unwrap();
+        let config = TrajectoryConfig {
+            trials: 5,
+            ..TrajectoryConfig::default()
+        };
+        let est = simulate_fidelity(&c, &noiseless_model(), &config).unwrap();
+        assert!((est.mean - 1.0).abs() < 1e-9, "mean {}", est.mean);
+    }
+
+    #[test]
     fn noisy_model_reduces_fidelity_but_not_below_zero() {
         let c = toffoli_fig4();
         let model = sc();
@@ -519,7 +698,7 @@ mod tests {
     fn all_ones_input_is_deterministic_per_seed() {
         let c = toffoli_fig4();
         let model = sc();
-        let sim = TrajectorySimulator::new(&c, &model, GateExpansion::DiWei).unwrap();
+        let sim = TrajectorySimulator::new(&c, &model).unwrap();
         let f1 = sim.run_trial(&InputState::AllOnes, 99).unwrap();
         let f2 = sim.run_trial(&InputState::AllOnes, 99).unwrap();
         assert_eq!(f1, f2);
@@ -567,6 +746,55 @@ mod tests {
             diwei.mean,
             logical.mean
         );
+    }
+
+    #[test]
+    fn physical_program_charges_one_site_per_lowered_gate() {
+        let mut c = Circuit::new(3, 3);
+        c.push_controlled(
+            Gate::increment(3),
+            &[Control::on_one(0), Control::on_two(1)],
+            &[2],
+        )
+        .unwrap();
+        let program = NoiseProgram::physical(&c).unwrap();
+        assert_eq!(program.circuit.len(), 13, "6 two-qudit + 7 single-qudit");
+        let pairs = program
+            .sites
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s, ErrorSite::Pair(_)))
+            .count();
+        let singles = program
+            .sites
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s, ErrorSite::Single(_)))
+            .count();
+        assert_eq!(pairs, 6);
+        assert_eq!(singles, 7);
+        assert_eq!(program.frames.len(), 1);
+        assert_eq!(program.frames[0].duration, FrameDuration::TwoQuditLayers(6));
+    }
+
+    #[test]
+    fn virtual_program_reproduces_the_legacy_site_multiset() {
+        let mut c = Circuit::new(3, 3);
+        c.push_controlled(
+            Gate::increment(3),
+            &[Control::on_one(0), Control::on_two(1)],
+            &[2],
+        )
+        .unwrap();
+        let legacy = NoiseProgram::virtual_expansion(&c, GateExpansion::DiWei);
+        let physical = NoiseProgram::physical(&c).unwrap();
+        let multiset = |p: &NoiseProgram| {
+            let mut v: Vec<String> = p.sites.iter().flatten().map(|s| format!("{s:?}")).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(multiset(&legacy), multiset(&physical));
+        assert_eq!(legacy.frames[0].duration, physical.frames[0].duration);
     }
 
     #[test]

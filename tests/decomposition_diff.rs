@@ -1,0 +1,243 @@
+//! Differential harness for the physical Di & Wei lowering.
+//!
+//! The `DecompositionPass` changes *how* every ≥3-qudit operation is
+//! executed (a real 6 two-qudit + 7 single-qudit block in the IR instead of
+//! synthetic per-arity error sites in the noise backends). Two properties
+//! pin the cutover:
+//!
+//! 1. **Unitary preservation:** the lowered circuit's unitary equals the
+//!    reference oracle's (the retained naive engine replaying the *raw*
+//!    circuit), on basis states and random states, for the paper's
+//!    constructions and for random multiply-controlled operations over
+//!    `d ∈ {2, 3}`.
+//! 2. **Accounting equivalence:** the exact density-matrix backend's
+//!    fidelity under the lowered circuit (uniform per-gate errors, frame
+//!    idle durations measured from the lowered schedule) matches the legacy
+//!    `GateExpansion::DiWei` virtual accounting to ≤ 1e-9 for **every**
+//!    noise model of the paper on all three construction families. This is
+//!    not a statistical bound — the depolarizing channels are Weyl twirls
+//!    (replace channels), which commute, so the two accountings are equal
+//!    as superoperators and the tests see only floating-point noise.
+
+use proptest::prelude::*;
+use qudit_circuit::passes::{compile, PassLevel};
+use qudit_circuit::{Circuit, Control, Gate};
+use qudit_core::{random_state, StateVector};
+use qudit_noise::{models, DensityNoiseSimulator, GateExpansion, InputState, TrajectoryConfig};
+use qudit_sim::{reference, CompiledCircuit};
+use qutrit_toffoli::gen_toffoli::n_controlled_x;
+use qutrit_toffoli::incrementer::incrementer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const UNITARY_TOL: f64 = 1e-9;
+const ACCOUNTING_TOL: f64 = 1e-9;
+
+fn fig4_toffoli() -> Circuit {
+    n_controlled_x(2).unwrap()
+}
+
+/// Replays the raw circuit through the naive reference oracle and the
+/// lowered circuit through the compiled kernels; asserts equal output
+/// amplitudes.
+fn assert_lowering_preserves_unitary(circuit: &Circuit, state: StateVector) {
+    let ir = compile(circuit, PassLevel::Physical);
+    assert!(
+        ir.circuit().iter().all(|op| op.arity() <= 2),
+        "physical lowering must reach arity ≤ 2"
+    );
+    let fast = CompiledCircuit::compile_ir(&ir).run(state.clone());
+    let mut naive = state;
+    for op in circuit.iter() {
+        reference::apply_operation_naive(&mut naive, op);
+    }
+    for (i, (a, b)) in fast.amplitudes().iter().zip(naive.amplitudes()).enumerate() {
+        assert!(
+            a.approx_eq(*b, UNITARY_TOL),
+            "amplitude {i} differs: {a:?} vs {b:?}"
+        );
+    }
+}
+
+#[test]
+fn lowered_fig4_toffoli_matches_oracle_on_all_binary_inputs() {
+    let c = fig4_toffoli();
+    for value in 0..(1usize << 3) {
+        let digits: Vec<usize> = (0..3).map(|i| (value >> i) & 1).collect();
+        let state = StateVector::from_basis_state(3, &digits).unwrap();
+        assert_lowering_preserves_unitary(&c, state);
+    }
+}
+
+#[test]
+fn lowered_incrementer_8_matches_oracle() {
+    // Width 8 (3^8 amplitudes): basis spot checks plus random states cover
+    // the full block structure including |2⟩-controlled internal nodes.
+    let c = incrementer(8).unwrap();
+    let mut rng = StdRng::seed_from_u64(41);
+    for value in [0usize, 1, 37, 127, 128, 200, 255] {
+        let digits: Vec<usize> = (0..8).map(|i| (value >> i) & 1).collect();
+        assert_lowering_preserves_unitary(&c, StateVector::from_basis_state(3, &digits).unwrap());
+    }
+    for _ in 0..3 {
+        assert_lowering_preserves_unitary(&c, random_state(3, 8, &mut rng).unwrap());
+    }
+}
+
+#[test]
+fn lowered_n_controlled_x_family_matches_oracle() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for n_controls in [3usize, 4, 5, 6] {
+        let c = n_controlled_x(n_controls).unwrap();
+        // The all-ones input exercises every tree level; random states
+        // exercise the full Hilbert space including |2⟩ components the
+        // binary functional tests never reach.
+        let all_ones = StateVector::from_basis_state(3, &vec![1; n_controls + 1]).unwrap();
+        assert_lowering_preserves_unitary(&c, all_ones);
+        assert_lowering_preserves_unitary(&c, random_state(3, n_controls + 1, &mut rng).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random multiply-controlled operations over d ∈ {2, 3}: the lowered
+    /// unitary equals the reference oracle on random states.
+    #[test]
+    fn lowered_random_controlled_ops_match_oracle(seed in 0u64..1_000_000, dim in 2usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = rng.gen_range(3..5);
+        let mut circuit = Circuit::new(dim, width);
+        let ops = rng.gen_range(1..4);
+        for _ in 0..ops {
+            // Pick 3 distinct qudits: two controls + one target.
+            let mut qudits: Vec<usize> = (0..width).collect();
+            for i in (1..qudits.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                qudits.swap(i, j);
+            }
+            let gate = match rng.gen_range(0..5) {
+                0 => Gate::increment(dim),
+                1 => Gate::decrement(dim),
+                2 => Gate::x(dim),
+                3 => Gate::h(dim),
+                _ => Gate::fourier(dim),
+            };
+            let controls = vec![
+                Control::new(qudits[0], rng.gen_range(0..dim)),
+                Control::new(qudits[1], rng.gen_range(0..dim)),
+            ];
+            circuit
+                .push_controlled(gate, &controls, &[qudits[2]])
+                .unwrap();
+        }
+        let state = random_state(dim, width, &mut rng).unwrap();
+
+        let ir = compile(&circuit, PassLevel::Physical);
+        prop_assert!(ir.circuit().iter().all(|op| op.arity() <= 2));
+        let fast = CompiledCircuit::compile_ir(&ir).run(state.clone());
+        let mut naive = state;
+        for op in circuit.iter() {
+            reference::apply_operation_naive(&mut naive, op);
+        }
+        for (i, (a, b)) in fast.amplitudes().iter().zip(naive.amplitudes()).enumerate() {
+            prop_assert!(
+                a.approx_eq(*b, UNITARY_TOL),
+                "amplitude {i}: {a:?} vs {b:?}"
+            );
+        }
+    }
+}
+
+/// The three construction families of the differential acceptance case, at
+/// widths the exact backend handles comfortably in a debug test run.
+fn diff_cases() -> Vec<(&'static str, Circuit)> {
+    // Widths are kept ≤ 5 so the superoperator evolutions stay fast in a
+    // debug test run; the lowering itself is identical at every width and
+    // the unitary oracle suite above covers the larger instances.
+    vec![
+        ("fig4-toffoli", fig4_toffoli()),
+        ("incrementer(5)", incrementer(5).unwrap()),
+        ("n-controlled-x(3)", n_controlled_x(3).unwrap()),
+    ]
+}
+
+#[test]
+fn physical_lowering_matches_legacy_diwei_accounting_for_every_model() {
+    // The acceptance case: exact-backend fidelity under the lowered
+    // circuit vs the legacy virtual accounting, ≤ 1e-9, on all 7 noise
+    // models × 3 constructions, all-|1⟩ input.
+    for (name, circuit) in diff_cases() {
+        for model in models::all_models() {
+            let legacy = DensityNoiseSimulator::with_virtual_expansion(
+                &circuit,
+                &model,
+                GateExpansion::DiWei,
+            )
+            .unwrap();
+            let physical = DensityNoiseSimulator::new(&circuit, &model).unwrap();
+            let input = StateVector::from_basis_state(3, &vec![1usize; circuit.width()]).unwrap();
+            let f_legacy = legacy.exact_fidelity(&input);
+            let f_physical = physical.exact_fidelity(&input);
+            assert!(
+                (f_legacy - f_physical).abs() <= ACCOUNTING_TOL,
+                "{name}/{}: physical {f_physical:.12} vs legacy {f_legacy:.12} \
+                 (diff {:.3e})",
+                model.name,
+                (f_legacy - f_physical).abs()
+            );
+        }
+    }
+}
+
+#[test]
+fn physical_lowering_matches_legacy_diwei_on_random_inputs() {
+    // Random superposition inputs reach the |2⟩ components and interference
+    // terms the all-ones case cannot; one representative model per family.
+    let config = TrajectoryConfig {
+        trials: 1,
+        seed: 23,
+        expansion: GateExpansion::DiWei,
+        input: InputState::RandomQubitSubspace,
+    };
+    for (name, circuit) in diff_cases() {
+        for model in [models::sc_t1_gates(), models::dressed_qutrit()] {
+            let legacy = DensityNoiseSimulator::with_virtual_expansion(
+                &circuit,
+                &model,
+                GateExpansion::DiWei,
+            )
+            .unwrap();
+            let physical = DensityNoiseSimulator::new(&circuit, &model).unwrap();
+            let f_legacy = legacy.run(&config).unwrap().mean;
+            let f_physical = physical.run(&config).unwrap().mean;
+            assert!(
+                (f_legacy - f_physical).abs() <= ACCOUNTING_TOL,
+                "{name}/{}: physical {f_physical:.12} vs legacy {f_legacy:.12}",
+                model.name
+            );
+        }
+    }
+}
+
+#[test]
+fn trajectory_physical_stays_within_crossval_bounds() {
+    // The trajectory engine on the lowered program must still converge to
+    // the (lowered) exact value: the statistical gate that CI also runs at
+    // larger sizes through `bench --bin crossval`.
+    let circuit = n_controlled_x(3).unwrap();
+    let config = TrajectoryConfig {
+        trials: 300,
+        seed: 2019,
+        expansion: GateExpansion::DiWei,
+        input: InputState::AllOnes,
+    };
+    let cv = qudit_noise::cross_validate(&circuit, &models::sc_t1_gates(), &config, 3.0).unwrap();
+    assert!(
+        cv.within_bounds(),
+        "trajectory {:.6} vs exact {:.6} exceeds bound {:.2e}",
+        cv.estimate.mean,
+        cv.exact,
+        cv.tolerance
+    );
+}

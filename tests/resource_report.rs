@@ -7,6 +7,7 @@
 //! a drift in the scheduler, the Di & Wei expansion or the constructions
 //! themselves fails this suite.
 
+use qudit_circuit::passes::{compile, PassLevel};
 use qudit_circuit::{KernelClass, ResourceReport};
 use qutrit_toffoli::gen_toffoli::n_controlled_x;
 use qutrit_toffoli::incrementer::incrementer;
@@ -74,6 +75,81 @@ fn incrementer_8_resources_are_pinned() {
         "incrementer must be all-permutation: {:?}",
         report.kernels
     );
+}
+
+#[test]
+fn lowered_n_controlled_x_15_reproduces_the_inferred_goldens() {
+    // The cutover pin: the *measured* resources of the physically lowered
+    // circuit must equal what `Moment::duration(true)` / the Di & Wei cost
+    // weights have always inferred — 85 two-qudit gates and physical depth
+    // 37 for nCX(15) (14 tree ops × 6 + the central gate; 6 tree moments
+    // × 6 layers + 1).
+    let circuit = n_controlled_x(15).unwrap();
+    let ir = compile(&circuit, PassLevel::Physical);
+    let lowered = ir.circuit();
+    assert!(lowered.iter().all(|op| op.arity() <= 2));
+    assert_eq!(lowered.iter().filter(|op| op.arity() == 2).count(), 85);
+    assert_eq!(lowered.iter().filter(|op| op.arity() == 1).count(), 14 * 7);
+    assert_eq!(ir.frames().unwrap().physical_depth(), 37);
+
+    // The measured report and the inferred report agree column for column.
+    let measured = ResourceReport::measure_physical(&circuit);
+    let inferred = ResourceReport::measure(&circuit);
+    assert_eq!(measured.two_qudit_gates(), inferred.two_qudit_gates());
+    assert_eq!(measured.depth(), inferred.depth());
+    assert_eq!(
+        measured.physical.one_qudit_gates,
+        inferred.physical.one_qudit_gates
+    );
+    assert_eq!(measured.total_ops(), 15, "logical op count is unchanged");
+}
+
+#[test]
+fn lowered_incrementer_8_reproduces_the_inferred_goldens() {
+    // incrementer(8): 46 physical two-qudit gates, physical depth 39 —
+    // measured on the lowered circuit, equal to the inferred values.
+    let circuit = incrementer(8).unwrap();
+    let ir = compile(&circuit, PassLevel::Physical);
+    assert_eq!(ir.circuit().iter().filter(|op| op.arity() == 2).count(), 46);
+    assert_eq!(ir.frames().unwrap().physical_depth(), 39);
+
+    let measured = ResourceReport::measure_physical(&circuit);
+    assert_eq!(measured.two_qudit_gates(), 46);
+    assert_eq!(measured.depth(), 39);
+    assert_eq!(measured.total_ops(), 28);
+    let inferred = ResourceReport::measure(&circuit);
+    assert_eq!(measured.two_qudit_gates(), inferred.two_qudit_gates());
+    assert_eq!(measured.depth(), inferred.depth());
+    assert_eq!(
+        measured.physical.one_qudit_gates,
+        inferred.physical.one_qudit_gates
+    );
+}
+
+#[test]
+fn lowered_depth_column_matches_the_inferred_logarithmic_series() {
+    // The Figure 9 depth column, measured on real lowered circuits.
+    let depths: Vec<usize> = [7usize, 15, 31]
+        .iter()
+        .map(|&n| ResourceReport::measure_physical(&n_controlled_x(n).unwrap()).depth())
+        .collect();
+    assert_eq!(depths, vec![25, 37, 49]);
+}
+
+#[test]
+fn physical_ideal_level_shrinks_lowered_circuits() {
+    // Optimization across decomposition boundaries: identity padding and
+    // det-1 phase gates vanish, diagonal-commutation cancellation fires.
+    let circuit = n_controlled_x(15).unwrap();
+    let physical = compile(&circuit, PassLevel::Physical);
+    let optimized = compile(&circuit, PassLevel::PhysicalIdeal);
+    assert!(
+        optimized.circuit().len() < physical.circuit().len(),
+        "{} -> {} ops",
+        physical.circuit().len(),
+        optimized.circuit().len()
+    );
+    assert!(optimized.report().post.depth() < physical.report().post.depth());
 }
 
 #[test]
