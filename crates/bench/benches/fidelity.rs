@@ -1,27 +1,36 @@
-//! Criterion benches for the quantum-trajectory noise simulator (the engine
-//! behind Figure 11), at reduced sizes so `cargo bench` stays fast.
+//! Criterion benches for the noisy-fidelity path (the engine behind
+//! Figure 11), at reduced sizes so `cargo bench` stays fast. Jobs run
+//! through the `qudit-api` executor, so what is timed is the production
+//! path: the structure-keyed compile cache plus the trajectory replay.
 
 use bench::benchmark_circuit;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qudit_noise::{models, GateExpansion, InputState, TrajectorySimulator};
+use qudit_api::{Executor, InputState, JobSpec, PassLevel};
+use qudit_noise::models;
 use qutrit_toffoli::cost::Construction;
 
-fn bench_trajectory_trial(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11_trajectory_trial");
+fn bench_trajectory_fidelity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_trajectory_job");
     group.sample_size(10);
+    let executor = Executor::new();
     for n_controls in [4usize, 6] {
         for construction in [Construction::Qutrit, Construction::QubitAncilla] {
             let circuit = benchmark_circuit(construction, n_controls);
-            let model = models::sc();
-            let sim = TrajectorySimulator::new(&circuit, &model).unwrap();
             group.bench_with_input(
                 BenchmarkId::new(construction.name(), n_controls),
-                &sim,
-                |b, sim| {
+                &circuit,
+                |b, circuit| {
                     let mut seed = 0u64;
                     b.iter(|| {
                         seed += 1;
-                        sim.run_trial(&InputState::AllOnes, seed).unwrap()
+                        let spec = JobSpec::builder(circuit.clone())
+                            .noise(models::sc())
+                            .trials(4)
+                            .seed(seed)
+                            .input(InputState::AllOnes)
+                            .build()
+                            .unwrap();
+                        executor.run(&spec).unwrap()
                     })
                 },
             );
@@ -30,32 +39,39 @@ fn bench_trajectory_trial(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_noise_model_ablation(c: &mut Criterion) {
-    // Ablation bench: Di & Wei expansion vs single-charge accounting for the
-    // same circuit and model.
+fn bench_noise_accounting_ablation(c: &mut Criterion) {
+    // Ablation bench: the lowered (physical) accounting vs the logical
+    // single-charge accounting for the same circuit and model.
     let mut group = c.benchmark_group("ablation_noise_granularity");
     group.sample_size(10);
     let circuit = benchmark_circuit(Construction::Qutrit, 5);
-    let model = models::sc();
-    for (label, expansion) in [
-        ("di_wei_physical", None),
-        ("di_wei_virtual", Some(GateExpansion::DiWei)),
-        ("logical", Some(GateExpansion::Logical)),
+    let executor = Executor::new();
+    for (label, level) in [
+        ("di_wei_physical", PassLevel::Physical),
+        ("logical", PassLevel::NoisePreserving),
     ] {
-        let sim = match expansion {
-            None => TrajectorySimulator::new(&circuit, &model).unwrap(),
-            Some(e) => TrajectorySimulator::with_virtual_expansion(&circuit, &model, e).unwrap(),
-        };
         group.bench_function(label, |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                sim.run_trial(&InputState::AllOnes, seed).unwrap()
+                let spec = JobSpec::builder(circuit.clone())
+                    .noise(models::sc())
+                    .level(level)
+                    .trials(4)
+                    .seed(seed)
+                    .input(InputState::AllOnes)
+                    .build()
+                    .unwrap();
+                executor.run(&spec).unwrap()
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_trajectory_trial, bench_noise_model_ablation);
+criterion_group!(
+    benches,
+    bench_trajectory_fidelity,
+    bench_noise_accounting_ablation
+);
 criterion_main!(benches);

@@ -1,8 +1,10 @@
 //! Ablation studies for the design choices called out in DESIGN.md:
 //!
-//! 1. Noise-accounting granularity: charging each three-qutrit gate its
-//!    Di & Wei expansion (6 two-qutrit + 7 single-qutrit error events) versus
-//!    charging it a single two-qudit error (the optimistic "logical" model).
+//! 1. Noise-accounting granularity: simulating each three-qutrit gate as
+//!    its lowered Di & Wei block (6 two-qutrit + 7 single-qutrit error
+//!    events — the façade's `physical` pass level) versus charging it a
+//!    single two-qudit error (the optimistic `logical` /
+//!    `noise-preserving` level).
 //! 2. Scheduling: ASAP moments (the paper's Cirq-style scheduler) versus a
 //!    fully serial schedule, and the effect on depth (and therefore idle
 //!    error exposure).
@@ -10,34 +12,43 @@
 //!
 //! Usage: `cargo run --release -p bench --bin ablation [-- --controls 7 --trials 40]`
 
-use bench::{benchmark_circuit, parse_flag_or, percent};
+use bench::{benchmark_circuit, percent};
+use qudit_api::{CliArgs, Executor, InputState, JobSpec, NoiseModel, PassLevel};
 use qudit_circuit::Schedule;
-use qudit_noise::{
-    models, simulate_fidelity, GateExpansion, InputState, NoiseModel, TrajectoryConfig,
-};
+use qudit_noise::models;
 use qutrit_toffoli::cost::Construction;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n_controls: usize = parse_flag_or(&args, "--controls", 7);
-    let trials: usize = parse_flag_or(&args, "--trials", 40);
-    let seed: u64 = parse_flag_or(&args, "--seed", 2019);
+    let args = CliArgs::from_env();
+    let n_controls: usize = args.flag_or("--controls", 7).expect("--controls");
+    let trials: usize = args.flag_or("--trials", 40).expect("--trials");
+    let seed: u64 = args.flag_or("--seed", 2019).expect("--seed");
 
     let circuit = benchmark_circuit(Construction::Qutrit, n_controls);
+    let executor = Executor::new();
+    let fidelity = |model: &NoiseModel, level: PassLevel| {
+        let spec = JobSpec::builder(circuit.clone())
+            .noise(model.clone())
+            .level(level)
+            .trials(trials)
+            .seed(seed)
+            .input(InputState::RandomQubitSubspace)
+            .build()
+            .expect("valid ablation spec");
+        executor
+            .run(&spec)
+            .and_then(|r| r.fidelity().cloned())
+            .expect("simulation")
+            .mean
+    };
 
     println!("Ablation 1: three-qutrit gate noise accounting (QUTRIT, SC model)");
-    for (label, expansion) in [
-        ("Di & Wei expansion (paper)", GateExpansion::DiWei),
-        ("single two-qudit charge", GateExpansion::Logical),
+    for (label, level) in [
+        ("Di & Wei lowering (paper)", PassLevel::Physical),
+        ("single two-qudit charge", PassLevel::NoisePreserving),
     ] {
-        let config = TrajectoryConfig {
-            trials,
-            seed,
-            expansion,
-            input: InputState::RandomQubitSubspace,
-        };
-        let est = simulate_fidelity(&circuit, &models::sc(), &config).expect("simulation");
-        println!("  {label:<30} fidelity {}", percent(est.mean));
+        let mean = fidelity(&models::sc(), level);
+        println!("  {label:<30} fidelity {}", percent(mean));
     }
 
     println!();
@@ -56,13 +67,7 @@ fn main() {
         ..sc.clone()
     };
     for model in [&sc, &no_idle] {
-        let config = TrajectoryConfig {
-            trials,
-            seed,
-            expansion: GateExpansion::DiWei,
-            input: InputState::RandomQubitSubspace,
-        };
-        let est = simulate_fidelity(&circuit, model, &config).expect("simulation");
-        println!("  {:<14} fidelity {}", model.name, percent(est.mean));
+        let mean = fidelity(model, PassLevel::Physical);
+        println!("  {:<14} fidelity {}", model.name, percent(mean));
     }
 }

@@ -5,37 +5,38 @@
 //!
 //! Every case runs **twice**: once through the default physical lowering
 //! (`PassLevel::Physical` — the Di & Wei blocks simulated in the IR) and
-//! once through the deprecated virtual-expansion shim. Each run asserts
-//! `|F_trajectory − F_exact| ≤ σ_mult × max(binomial σ at F_exact, sample
-//! std error) + 1e-6`, and on top the two *exact* values are pinned against
-//! each other at ≤ 1e-9 — the differential gate proving the lowering did
-//! not change the paper's accounting. The inputs are fixed (all-|1⟩) and
+//! once through the logical-granularity ablation accounting
+//! (`PassLevel::NoisePreserving` — one error per unlowered operation).
+//! Each run asserts `|F_trajectory − F_exact| ≤ σ_mult × max(binomial σ at
+//! F_exact, sample std error) + 1e-6`. The inputs are fixed (all-|1⟩) and
 //! the seeds pinned, so a pass is deterministic — CI runs this binary and a
 //! drift in either backend or either accounting fails the build with a
-//! nonzero exit code.
+//! nonzero exit code. (The physical-vs-virtual 1e-9 differential that
+//! retired the PR 4 shim lives in `tests/decomposition_diff.rs`, against a
+//! test-local oracle.)
+//!
+//! Both legs of every case go through one shared [`Executor`]
+//! ([`Executor::cross_validate`]), so each distinct (circuit, level) pair
+//! compiles exactly once for the whole run.
 //!
 //! Usage:
 //! `cargo run --release -p bench --bin crossval [-- --trials 400 --seed 2019 --sigmas 3]`
 
-use bench::{benchmark_circuit, parse_flag_or};
+use bench::benchmark_circuit;
+use qudit_api::{CliArgs, Executor, InputState, JobSpec, PassLevel};
 use qudit_circuit::Circuit;
-use qudit_noise::{
-    cross_validate, models, DensityNoiseSimulator, GateExpansion, InputState, TrajectoryConfig,
-};
+use qudit_noise::models;
 use qutrit_toffoli::cost::Construction;
-
-/// The physical-vs-virtual exact-fidelity agreement bound.
-const DIFF_TOL: f64 = 1e-9;
 
 fn fig4_toffoli() -> Circuit {
     benchmark_circuit(Construction::Qutrit, 2)
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let trials: usize = parse_flag_or(&args, "--trials", 400);
-    let seed: u64 = parse_flag_or(&args, "--seed", 2019);
-    let sigmas: f64 = parse_flag_or(&args, "--sigmas", 3.0);
+    let args = CliArgs::from_env();
+    let trials: usize = args.flag_or("--trials", 400).expect("--trials");
+    let seed: u64 = args.flag_or("--seed", 2019).expect("--seed");
+    let sigmas: f64 = args.flag_or("--sigmas", 3.0).expect("--sigmas");
 
     // The fixed case set: every paper noise model on the 3-qutrit Figure 4
     // Toffoli, plus larger d ∈ {2, 3} instances (up to 6 qudits) on
@@ -74,25 +75,28 @@ fn main() {
         "case", "qudits", "exact", "estimate", "|diff|", "bound"
     );
 
+    let executor = Executor::new();
     let mut failures = 0usize;
     for (label, circuit, model) in &cases {
-        let mut exact_by_accounting: Vec<f64> = Vec::new();
-        for accounting in ["physical", "virtual"] {
-            // The default `DiWei` config routes both backends through the
-            // Physical lowering; the virtual run goes through the
-            // deprecated shim explicitly (Di & Wei synthetic sites).
-            let cv = if accounting == "physical" {
-                let config = TrajectoryConfig {
-                    trials,
-                    seed,
-                    expansion: GateExpansion::DiWei,
-                    input: InputState::AllOnes,
-                };
-                cross_validate(circuit, model, &config, sigmas).expect("cross-validation run")
-            } else {
-                cross_validate_virtual(circuit, model, trials, seed, sigmas)
-            };
-            exact_by_accounting.push(cv.exact);
+        for (accounting, level) in [
+            ("physical", PassLevel::Physical),
+            ("logical", PassLevel::NoisePreserving),
+        ] {
+            let spec = JobSpec::builder(circuit.clone())
+                .noise(model.clone())
+                .level(level)
+                .trials(trials)
+                .seed(seed)
+                .input(InputState::AllOnes)
+                .build()
+                .unwrap_or_else(|e| {
+                    eprintln!("{label} [{accounting}]: invalid spec: {e}");
+                    std::process::exit(1);
+                });
+            let cv = executor.cross_validate(&spec, sigmas).unwrap_or_else(|e| {
+                eprintln!("{label} [{accounting}]: cross-validation failed: {e}");
+                std::process::exit(1);
+            });
             let ok = cv.within_bounds();
             if !ok {
                 failures += 1;
@@ -108,51 +112,11 @@ fn main() {
                 if ok { "ok" } else { "FAIL" }
             );
         }
-        // The differential gate: physical and virtual exact values agree.
-        let diff = (exact_by_accounting[0] - exact_by_accounting[1]).abs();
-        if diff > DIFF_TOL {
-            failures += 1;
-            println!(
-                "{:<38} physical-vs-virtual exact diff {:.2e} exceeds {:.0e}  FAIL",
-                label, diff, DIFF_TOL
-            );
-        }
     }
 
     if failures > 0 {
         eprintln!("{failures} cross-validation case(s) exceeded the bound");
         std::process::exit(1);
     }
-    println!("all cases within bounds (incl. physical-vs-virtual ≤ 1e-9)");
-}
-
-/// Cross-validates the deprecated virtual Di & Wei accounting: exact and
-/// trajectory both built through `with_virtual_expansion`, same bound as
-/// [`cross_validate`].
-fn cross_validate_virtual(
-    circuit: &Circuit,
-    model: &qudit_noise::NoiseModel,
-    trials: usize,
-    seed: u64,
-    sigmas: f64,
-) -> qudit_noise::CrossValidation {
-    let config = TrajectoryConfig {
-        trials,
-        seed,
-        expansion: GateExpansion::DiWei,
-        input: InputState::AllOnes,
-    };
-    let exact = DensityNoiseSimulator::with_virtual_expansion(circuit, model, GateExpansion::DiWei)
-        .expect("virtual exact simulator")
-        .run(&config)
-        .expect("virtual exact run");
-    let estimate = qudit_noise::TrajectorySimulator::with_virtual_expansion(
-        circuit,
-        model,
-        GateExpansion::DiWei,
-    )
-    .expect("virtual trajectory simulator")
-    .run(&config)
-    .expect("virtual trajectory run");
-    qudit_noise::CrossValidation::from_runs(exact, estimate, sigmas)
+    println!("all cases within bounds (physical and logical accountings)");
 }

@@ -11,18 +11,40 @@
 //! engine (feasible up to ~6 qudits): fidelities become ground truth and the
 //! `2σ` column reflects only the spread over the sampled inputs.
 //!
+//! All 16 bars are described as [`JobSpec`]s and submitted in one
+//! [`Executor::run_batch`] call: structurally shared circuits compile once
+//! and the bars fan out across rayon workers (bit-identical to running them
+//! sequentially).
+//!
 //! Usage:
 //! `cargo run --release -p bench --bin fig11 [-- --controls 7 --trials 40 --seed 2019 --backend trajectory]`
 
-use bench::{backend_from_args, figure11_fidelity_on, figure11_pairs, parse_flag_or, percent};
-use qudit_noise::BackendKind;
+use bench::{figure11_job, figure11_pairs, percent};
+use qudit_api::{BackendKind, CliArgs, Executor, JobSpec};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n_controls: usize = parse_flag_or(&args, "--controls", 7);
-    let trials: usize = parse_flag_or(&args, "--trials", 40);
-    let seed: u64 = parse_flag_or(&args, "--seed", 2019);
-    let backend = backend_from_args(&args, BackendKind::Trajectory);
+    let args = CliArgs::from_env();
+    let n_controls: usize = args.flag_or("--controls", 7).expect("--controls");
+    let trials: usize = args.flag_or("--trials", 40).expect("--trials");
+    let seed: u64 = args.flag_or("--seed", 2019).expect("--seed");
+    let backend = args.backend_or(BackendKind::Trajectory).expect("--backend");
+
+    let pairs = figure11_pairs();
+    let jobs: Vec<JobSpec> = pairs
+        .iter()
+        .map(|(construction, model)| {
+            figure11_job(backend, *construction, model, n_controls, trials, seed).unwrap_or_else(
+                |e| {
+                    eprintln!(
+                        "invalid job for {}/{}: {e}",
+                        construction.name(),
+                        model.name
+                    );
+                    std::process::exit(1);
+                },
+            )
+        })
+        .collect();
 
     println!(
         "Figure 11: mean fidelity of the {}-input Generalized Toffoli ({} controls, {} trials/bar, {} backend)",
@@ -35,8 +57,14 @@ fn main() {
         "{:<16} {:<15} {:>12} {:>10}",
         "Noise model", "Circuit", "Fidelity", "2-sigma"
     );
-    for (construction, model) in figure11_pairs() {
-        let est = figure11_fidelity_on(backend, construction, &model, n_controls, trials, seed);
+    let executor = Executor::new();
+    for ((construction, model), result) in pairs.iter().zip(executor.run_batch(&jobs)) {
+        let est = result
+            .and_then(|r| r.fidelity().cloned())
+            .unwrap_or_else(|e| {
+                eprintln!("{}/{} failed: {e}", construction.name(), model.name);
+                std::process::exit(1);
+            });
         println!(
             "{:<16} {:<15} {:>12} {:>10}",
             model.name,

@@ -8,21 +8,21 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig9 [-- --max 200 --step 25]`
 
-use bench::{backend_from_args, benchmark_circuit, parse_flag_or, verify_constructions_on};
+use bench::{benchmark_circuit, verify_constructions_on};
+use qudit_api::{BackendKind, CliArgs, Executor};
 use qudit_circuit::ResourceReport;
-use qudit_noise::BackendKind;
 use qutrit_toffoli::cost::{paper_depth_model, Construction};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let max: usize = parse_flag_or(&args, "--max", 200);
-    let step: usize = parse_flag_or(&args, "--step", 25);
-    let measure_cap: usize = parse_flag_or(&args, "--measure-cap", 200);
-    let backend = backend_from_args(&args, BackendKind::Trajectory);
+    let args = CliArgs::from_env();
+    let max: usize = args.flag_or("--max", 200).expect("--max");
+    let step: usize = args.flag_or("--step", 25).expect("--step");
+    let measure_cap: usize = args.flag_or("--measure-cap", 200).expect("--measure-cap");
+    let backend = args.backend_or(BackendKind::Trajectory).expect("--backend");
 
     // The depths below are structural, but the constructions they measure
     // are first re-verified end-to-end through the selected backend.
-    match verify_constructions_on(backend, 3) {
+    match verify_constructions_on(&Executor::new(), backend, 3) {
         Ok(()) => println!("(constructions verified on the {} backend)", backend.name()),
         Err(e) => {
             eprintln!("construction verification failed: {e}");

@@ -40,8 +40,8 @@ fn cases() -> Vec<(String, Circuit)> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let verbose = args.iter().any(|a| a == "--verbose");
+    let args = qudit_api::CliArgs::from_env();
+    let verbose = args.has("--verbose");
 
     for level in [
         PassLevel::Ideal,

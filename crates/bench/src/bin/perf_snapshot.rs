@@ -18,9 +18,8 @@
 //!
 //! Usage: `cargo run --release -p bench --bin perf_snapshot`
 
-use qudit_circuit::PassLevel;
+use qudit_api::{Executor, PassLevel};
 use qudit_core::StateVector;
-use qudit_sim::Simulator;
 use qutrit_toffoli::gen_toffoli::n_controlled_x;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -33,21 +32,21 @@ struct Point {
     ns_per_gate_apply: f64,
 }
 
-fn measure(qutrits: usize) -> Point {
+fn measure(executor: &Executor, qutrits: usize) -> Point {
     let circuit = n_controlled_x(qutrits - 1).expect("construction");
-    let sim = Simulator::new();
-    // The production compile path: Ideal pass pipeline, then plan kernels.
-    // `ops` is the post-pass kernel-invocation count (identical to the raw
-    // count for this construction — the tree has nothing to fuse or
-    // cancel — but the denominator is defined by what actually runs).
-    let (compiled, ir) = sim.compile_optimized(&circuit, PassLevel::Ideal);
+    // The production compile path: the façade's Ideal-level compile
+    // (pass pipeline, then plan kernels). `ops` is the post-pass
+    // kernel-invocation count (identical to the raw count for this
+    // construction — the tree has nothing to fuse or cancel — but the
+    // denominator is defined by what actually runs).
+    let compiled = executor.compile_statevector(&circuit, PassLevel::Ideal);
     let dim = circuit.dim();
-    let ops = ir.circuit().len();
+    let ops = compiled.op_count();
     let amps = dim.pow(qutrits as u32);
 
     let run_once = || {
         let state = StateVector::zero_state(dim, qutrits).expect("state");
-        compiled.run(state)
+        compiled.run(state).expect("shape matches by construction")
     };
 
     // Warm-up, then scale the repetition count to the register size so every
@@ -78,7 +77,11 @@ fn measure(qutrits: usize) -> Point {
 }
 
 fn main() {
-    let points: Vec<Point> = [8usize, 10, 12].iter().map(|&n| measure(n)).collect();
+    let executor = Executor::new();
+    let points: Vec<Point> = [8usize, 10, 12]
+        .iter()
+        .map(|&n| measure(&executor, n))
+        .collect();
 
     let mut json = String::new();
     json.push_str("{\n");

@@ -5,15 +5,18 @@
 //! Usage:
 //! `cargo run --release -p bench --bin table3 [-- --backend density --trials 40 --seed 2019]`
 
-use bench::{backend_from_args, parse_flag_or, table_reference_fidelity};
+use bench::table_reference_fidelity;
+use qudit_api::{BackendKind, CliArgs, Executor};
 use qudit_noise::models::trapped_ion_models;
-use qudit_noise::BackendKind;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let backend = backend_from_args(&args, BackendKind::DensityMatrix);
-    let trials: usize = parse_flag_or(&args, "--trials", 40);
-    let seed: u64 = parse_flag_or(&args, "--seed", 2019);
+    let args = CliArgs::from_env();
+    let backend = args
+        .backend_or(BackendKind::DensityMatrix)
+        .expect("--backend");
+    let trials: usize = args.flag_or("--trials", 40).expect("--trials");
+    let seed: u64 = args.flag_or("--seed", 2019).expect("--seed");
+    let executor = Executor::new();
 
     println!("Table 3: Noise models simulated for trapped ion devices");
     println!(
@@ -27,7 +30,11 @@ fn main() {
         // Table 3 quotes total single-/two-qudit gate error probabilities;
         // TI_QUBIT is a qubit (d = 2) model, the other two are qutrit models.
         let d = if m.name == "TI_QUBIT" { 2 } else { 3 };
-        let est = table_reference_fidelity(backend, &m, d, trials, seed);
+        let est =
+            table_reference_fidelity(&executor, backend, &m, d, trials, seed).unwrap_or_else(|e| {
+                eprintln!("{} failed: {e}", m.name);
+                std::process::exit(1);
+            });
         println!(
             "{:<16} {:>10.1e} {:>10.1e} {:>13.4}%",
             m.name,

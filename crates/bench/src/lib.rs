@@ -12,13 +12,19 @@
 //! | `fig10`  | Figure 10 — two-qudit gate count vs number of controls |
 //! | `fig11`  | Figure 11 — mean fidelity per (circuit, noise model) pair |
 //!
-//! The Criterion benches in `benches/` time the underlying simulator and
+//! Every simulation the binaries run goes through the `qudit-api` façade:
+//! jobs are described as [`JobSpec`]s (CLI switches parse through
+//! [`qudit_api::CliArgs`] / [`JobSpec::from_cli_args`]) and executed by one
+//! shared [`Executor`], so the bins exercise exactly the compile-once batch
+//! path a service front end would. No binary constructs a simulator
+//! directly — `tests/api_facade.rs` greps for that.
+//!
+//! The Criterion benches in `benches/` time the underlying engines and
 //! constructions and exercise the same code paths at reduced sizes.
 
+use qudit_api::{ApiResult, BackendKind, Executor, FidelityEstimate, InputState, JobSpec};
 use qudit_circuit::Circuit;
-use qudit_noise::{
-    BackendKind, FidelityEstimate, GateExpansion, InputState, NoiseModel, TrajectoryConfig,
-};
+use qudit_noise::NoiseModel;
 use qutrit_toffoli::baselines::{qubit_no_ancilla, qubit_one_dirty_ancilla};
 use qutrit_toffoli::cost::Construction;
 use qutrit_toffoli::gen_toffoli::n_controlled_x;
@@ -70,143 +76,95 @@ pub fn figure11_pairs() -> Vec<(Construction, NoiseModel)> {
     pairs
 }
 
-/// Runs the Figure 11 fidelity estimate for one (construction, model) pair
-/// on the trajectory backend.
+/// Describes one Figure 11 bar as a façade job: the construction's circuit
+/// under `model`, random-qubit-subspace inputs, on the selected backend.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation fails (unphysical model parameters).
-pub fn figure11_fidelity(
-    construction: Construction,
-    model: &NoiseModel,
-    n_controls: usize,
-    trials: usize,
-    seed: u64,
-) -> FidelityEstimate {
-    figure11_fidelity_on(
-        BackendKind::Trajectory,
-        construction,
-        model,
-        n_controls,
-        trials,
-        seed,
-    )
-}
-
-/// Runs the Figure 11 fidelity estimate for one (construction, model) pair
-/// on the selected backend. The density-matrix backend returns exact
-/// per-input fidelities (averaged over the same seeded input draws the
-/// trajectory backend would use), so its `2σ` column reflects input
-/// variation only.
-///
-/// # Panics
-///
-/// Panics if the simulation fails (unphysical model parameters).
-pub fn figure11_fidelity_on(
+/// Returns a spec-validation error — e.g. the density-matrix backend at an
+/// infeasible width, which used to be a panic in this crate and is now a
+/// typed refusal from the job builder.
+pub fn figure11_job(
     backend: BackendKind,
     construction: Construction,
     model: &NoiseModel,
     n_controls: usize,
     trials: usize,
     seed: u64,
-) -> FidelityEstimate {
-    let circuit = benchmark_circuit(construction, n_controls);
-    if backend == BackendKind::DensityMatrix {
-        ensure_density_feasible(&circuit);
-    }
-    let config = TrajectoryConfig {
-        trials,
-        seed,
-        expansion: GateExpansion::DiWei,
-        input: InputState::RandomQubitSubspace,
-    };
-    backend
-        .instantiate()
-        .fidelity(&circuit, model, &config)
-        .expect("fidelity simulation")
+) -> ApiResult<JobSpec> {
+    JobSpec::builder(benchmark_circuit(construction, n_controls))
+        .backend(backend)
+        .noise(model.clone())
+        .trials(trials)
+        .seed(seed)
+        .input(InputState::RandomQubitSubspace)
+        .build()
 }
 
-/// The largest density matrix the bench binaries will allocate per run:
-/// `3^14` entries (7 qutrits, ~76 MB). Beyond this, random-input averaging
-/// fans one ρ out per rayon worker and a laptop run degrades into swapping
-/// or an OOM kill, so the harness refuses loudly instead.
-const DENSITY_MAX_ENTRIES: u128 = 4_782_969; // 3^14
-
-/// Panics with an actionable message when the exact backend would need an
-/// infeasibly large density matrix for this circuit.
+/// Runs the Figure 11 fidelity estimate for one (construction, model) pair
+/// on the selected backend through `executor`. The density-matrix backend
+/// returns exact per-input fidelities (averaged over the same seeded input
+/// draws the trajectory backend would use), so its `2σ` column reflects
+/// input variation only.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `dim^(2·width)` exceeds [`DENSITY_MAX_ENTRIES`].
-fn ensure_density_feasible(circuit: &Circuit) {
-    // checked_pow: an overflowing width is by definition infeasible, and
-    // wrapping must not let it sneak past the threshold in release builds.
-    let entries = (circuit.dim() as u128).checked_pow(2 * circuit.width() as u32);
-    assert!(
-        entries.is_some_and(|e| e <= DENSITY_MAX_ENTRIES),
-        "the density-matrix backend would need {} entries (~{} MB) for this \
-         {}-qudit d={} circuit; reduce --controls (≤ 7 qutrits is feasible) or use \
-         --backend trajectory",
-        entries.map_or("> u128::MAX".to_string(), |e| e.to_string()),
-        entries.map_or("huge".to_string(), |e| (e.saturating_mul(16)
-            / (1024 * 1024))
-            .to_string()),
-        circuit.width(),
-        circuit.dim()
-    );
-}
-
-/// Parses the `--backend` CLI switch shared by the table/figure binaries.
-///
-/// # Panics
-///
-/// Panics (with the accepted values) on an unrecognised backend name, so a
-/// typo fails loudly instead of silently running the default engine.
-pub fn backend_from_args(args: &[String], default: BackendKind) -> BackendKind {
-    match parse_flag(args, "--backend") {
-        None => default,
-        Some(v) => BackendKind::from_flag(&v).unwrap_or_else(|| {
-            panic!("unknown backend {v:?}; expected \"trajectory\" or \"density\"")
-        }),
-    }
+/// Returns an error on an invalid spec (e.g. density-infeasible width) or a
+/// failed simulation (unphysical model parameters).
+pub fn figure11_fidelity_on(
+    executor: &Executor,
+    backend: BackendKind,
+    construction: Construction,
+    model: &NoiseModel,
+    n_controls: usize,
+    trials: usize,
+    seed: u64,
+) -> ApiResult<FidelityEstimate> {
+    let job = figure11_job(backend, construction, model, n_controls, trials, seed)?;
+    Ok(*executor.run(&job)?.fidelity()?)
 }
 
 /// The reference fidelity column for the table binaries: the mean fidelity
 /// of the paper's Figure 4-style 2-controlled Toffoli (3 qudits, built at
 /// the model-appropriate dimension) under `model`, on the selected backend.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the simulation fails (unphysical model parameters).
+/// Returns an error if the spec is invalid or the simulation fails
+/// (unphysical model parameters).
 pub fn table_reference_fidelity(
+    executor: &Executor,
     backend: BackendKind,
     model: &NoiseModel,
     dim: usize,
     trials: usize,
     seed: u64,
-) -> FidelityEstimate {
+) -> ApiResult<FidelityEstimate> {
     let construction = if dim == 2 {
         Construction::Qubit
     } else {
         Construction::Qutrit
     };
-    figure11_fidelity_on(backend, construction, model, 2, trials, seed)
+    figure11_fidelity_on(executor, backend, construction, model, 2, trials, seed)
 }
 
 /// Routes the paper's N-controlled-X verification through the selected
 /// backend for every simulable construction, returning an error string on
-/// the first counterexample. The figure binaries call this when `--backend`
-/// is passed, so a backend that drifts from the constructions fails the
-/// regeneration run.
+/// the first counterexample. The figure binaries call this before printing
+/// structural columns, so a backend that drifts from the constructions
+/// fails the regeneration run.
 ///
 /// # Panics
 ///
 /// Panics if a construction cannot be built.
-pub fn verify_constructions_on(backend: BackendKind, n_controls: usize) -> Result<(), String> {
-    let engine = backend.instantiate();
+pub fn verify_constructions_on(
+    executor: &Executor,
+    backend: BackendKind,
+    n_controls: usize,
+) -> Result<(), String> {
     for construction in Construction::benchmarked() {
         let circuit = benchmark_circuit(construction, n_controls);
-        match verify_n_controlled_x_backend(engine.as_ref(), &circuit, n_controls, n_controls) {
+        match verify_n_controlled_x_backend(executor, backend, &circuit, n_controls, n_controls) {
             Ok(None) => {}
             Ok(Some(cex)) => {
                 return Err(format!(
@@ -229,21 +187,6 @@ pub fn percent(f: f64) -> String {
     format!("{:.2}%", 100.0 * f)
 }
 
-/// Parses `--key value` style arguments from a simple argument list.
-pub fn parse_flag(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-/// Parses a `--key value` flag as a number, with a default.
-pub fn parse_flag_or<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
-    parse_flag(args, key)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,80 +204,62 @@ mod tests {
     }
 
     #[test]
-    fn flag_parsing() {
-        let args: Vec<String> = ["--controls", "9", "--trials", "40"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(parse_flag_or(&args, "--controls", 5usize), 9);
-        assert_eq!(parse_flag_or(&args, "--trials", 100usize), 40);
-        assert_eq!(parse_flag_or(&args, "--seed", 7u64), 7);
-    }
-
-    #[test]
     fn percent_formatting() {
         assert_eq!(percent(0.947), "94.70%");
     }
 
     #[test]
     fn small_fidelity_run_is_sane() {
-        let est = figure11_fidelity(
+        let executor = Executor::new();
+        let est = figure11_fidelity_on(
+            &executor,
+            BackendKind::Trajectory,
             Construction::Qutrit,
             &qudit_noise::models::dressed_qutrit(),
             3,
             5,
             1,
-        );
+        )
+        .unwrap();
         assert!(est.mean > 0.8 && est.mean <= 1.0 + 1e-9);
     }
 
     #[test]
-    fn backend_flag_parsing_defaults_and_overrides() {
-        let none: Vec<String> = Vec::new();
-        assert_eq!(
-            backend_from_args(&none, BackendKind::Trajectory),
-            BackendKind::Trajectory
-        );
-        let args: Vec<String> = ["--backend", "density"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(
-            backend_from_args(&args, BackendKind::Trajectory),
-            BackendKind::DensityMatrix
-        );
-    }
-
-    #[test]
     fn both_backends_verify_the_small_constructions() {
+        let executor = Executor::new();
         for backend in [BackendKind::Trajectory, BackendKind::DensityMatrix] {
-            verify_constructions_on(backend, 3).unwrap();
+            verify_constructions_on(&executor, backend, 3).unwrap();
         }
     }
 
     #[test]
-    #[should_panic(expected = "density-matrix backend would need")]
-    fn density_backend_refuses_infeasible_widths() {
-        // 8 qutrits → 3^16 ≈ 43M entries (~690 MB per ρ): refuse loudly.
-        figure11_fidelity_on(
+    fn density_backend_refuses_infeasible_widths_with_a_typed_error() {
+        // 8 qutrits → 3^16 ≈ 43M entries (~690 MB per ρ): the job builder
+        // refuses (formerly a panic in this crate).
+        let err = figure11_job(
             BackendKind::DensityMatrix,
             Construction::Qutrit,
             &qudit_noise::models::sc(),
             7,
             1,
             1,
-        );
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("density-matrix"), "{err}");
     }
 
     #[test]
     fn table_reference_fidelity_is_exact_on_the_density_backend() {
+        let executor = Executor::new();
         let est = table_reference_fidelity(
+            &executor,
             BackendKind::DensityMatrix,
             &qudit_noise::models::sc(),
             3,
             3,
             2019,
-        );
+        )
+        .unwrap();
         assert!(est.mean > 0.9 && est.mean < 1.0);
         // Three exact per-input fidelities, deterministic for the seed.
         assert_eq!(est.trials, 3);

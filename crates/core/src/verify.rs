@@ -2,14 +2,14 @@
 //!
 //! The constructions are verified two ways, as in the paper: exhaustively on
 //! every classical input with the linear-space classical simulator, and (for
-//! small widths or non-classical circuits) against the full state-vector
-//! simulator.
+//! small widths or non-classical circuits) against the quantum simulators —
+//! routed through the `qudit-api` façade, so verification sweeps exercise
+//! exactly the compile-once job path production callers use.
 
+use qudit_api::{BackendKind, Executor, JobSpec, PassLevel};
 use qudit_circuit::classical::{all_binary_basis_states, simulate_classical};
 use qudit_circuit::{Circuit, CircuitResult};
 use qudit_core::{Complex, StateVector};
-use qudit_noise::Backend;
-use qudit_sim::Simulator;
 
 /// A verification failure: the circuit mapped `input` to `actual` instead of
 /// `expected`.
@@ -52,13 +52,15 @@ pub fn verify_n_controlled_x_classical(
     Ok(None)
 }
 
-/// Verifies with the state-vector simulator that `circuit` implements an
+/// Verifies with the state-vector engine that `circuit` implements an
 /// N-controlled-X exactly (amplitude 1 on the expected output, so no stray
 /// relative phases), on every binary basis input.
 ///
 /// Use for circuits containing non-classical gates (e.g. the qubit-only
 /// baseline with controlled roots of X). Exponential in the width — keep the
-/// width at or below ~12.
+/// width at or below ~12. The circuit compiles once through the façade
+/// ([`Executor::compile_statevector`]); the `2^width` basis sweep only
+/// replays the compiled kernels.
 ///
 /// # Errors
 ///
@@ -68,16 +70,13 @@ pub fn verify_n_controlled_x_statevector(
     n_controls: usize,
     target: usize,
 ) -> Result<Option<Counterexample>, Box<dyn std::error::Error>> {
-    // Compile (pass pipeline + plans) once; the 2^width basis sweep only
-    // replays the compiled kernels.
-    let (compiled, _ir) =
-        Simulator::new().compile_optimized(circuit, qudit_circuit::PassLevel::Ideal);
+    let compiled = Executor::new().compile_statevector(circuit, PassLevel::Ideal);
     for input in all_binary_basis_states(circuit.width()) {
         let mut expected = input.clone();
         if input[..n_controls].iter().all(|&b| b == 1) {
             expected[target] = 1 - expected[target];
         }
-        let out = compiled.run(StateVector::from_basis_state(circuit.dim(), &input)?);
+        let out = compiled.run(StateVector::from_basis_state(circuit.dim(), &input)?)?;
         let amp = out.amplitude(&expected)?;
         if !amp.approx_eq(Complex::ONE, 1e-6) {
             return Ok(Some(Counterexample {
@@ -90,69 +89,64 @@ pub fn verify_n_controlled_x_statevector(
     Ok(None)
 }
 
-/// Verifies through an arbitrary simulation [`Backend`] that `circuit`
-/// implements an N-controlled-X up to phases: on every binary basis input,
-/// all the output probability must sit on the expected basis state.
+/// Verifies through a façade [`Executor`] that `circuit` implements an
+/// N-controlled-X up to phases: on every binary basis input, all the output
+/// probability must sit on the expected basis state.
 ///
 /// This is the backend-agnostic routing of the verification scripts: the
 /// same check runs on the state-vector engine and the exact density-matrix
-/// engine (the bench binaries expose the choice as `--backend`). Probability
-/// rather than amplitude is compared because a density matrix carries no
-/// global phase; use [`verify_n_controlled_x_statevector`] when the phase
-/// itself must be pinned down.
+/// engine (the bench binaries expose the choice as `--backend`). The sweep
+/// is submitted as noise-free [`JobSpec`]s with explicit basis sweeps, in
+/// chunks of `VERIFY_SWEEP_CHUNK` inputs: the circuit compiles once (the
+/// executor's structure-keyed cache serves every chunk) while memory stays
+/// bounded — a job's result holds all its output states, so one giant sweep
+/// would keep `2^width` full state vectors resident — and a broken circuit
+/// stops at the first failing chunk instead of paying the whole exponential
+/// sweep. Probability rather than amplitude is compared because a density
+/// matrix carries no global phase; use
+/// [`verify_n_controlled_x_statevector`] when the phase itself must be
+/// pinned down.
 ///
 /// # Errors
 ///
-/// Propagates state-construction and read-out errors.
+/// Propagates job-validation and execution errors.
 pub fn verify_n_controlled_x_backend(
-    backend: &dyn Backend,
+    executor: &Executor,
+    backend: BackendKind,
     circuit: &Circuit,
     n_controls: usize,
     target: usize,
 ) -> Result<Option<Counterexample>, Box<dyn std::error::Error>> {
     let inputs: Vec<Vec<usize>> = all_binary_basis_states(circuit.width()).collect();
-    let mut result: Result<Option<Counterexample>, Box<dyn std::error::Error>> = Ok(None);
-    // run_each compiles the circuit once and sweeps every input through the
-    // shared plans; the observer stops the sweep at the first failure.
-    backend.run_each(
-        circuit,
-        &mut inputs.iter().map(|input| {
-            StateVector::from_basis_state(circuit.dim(), input).expect("binary digits are valid")
-        }),
-        &mut |i, out| {
-            let input = &inputs[i];
+    for chunk in inputs.chunks(VERIFY_SWEEP_CHUNK) {
+        let spec = JobSpec::builder(circuit.clone())
+            .backend(backend)
+            .sweep(chunk.to_vec())
+            .build()?;
+        let result = executor.run(&spec)?;
+        for (input, out) in chunk.iter().zip(result.states()?) {
             let mut expected = input.clone();
             if input[..n_controls].iter().all(|&b| b == 1) {
                 expected[target] = 1 - expected[target];
             }
-            match out.probability(&expected) {
-                Err(e) => {
-                    result = Err(e.into());
-                    false
-                }
-                Ok(p) if (p - 1.0).abs() > 1e-6 => {
-                    let probs = out.probabilities();
-                    let best = probs
-                        .iter()
-                        .enumerate()
-                        .max_by(|(_, a), (_, b)| {
-                            a.partial_cmp(b).expect("probabilities are not NaN")
-                        })
-                        .map(|(i, _)| i)
-                        .unwrap_or(0);
-                    result = Ok(Some(Counterexample {
-                        input: input.clone(),
-                        expected,
-                        actual: StateVector::decode_index(circuit.dim(), circuit.width(), best),
-                    }));
-                    false
-                }
-                Ok(_) => true,
+            let p = out.probability(&expected)?;
+            if (p - 1.0).abs() > 1e-6 {
+                return Ok(Some(Counterexample {
+                    input: input.clone(),
+                    expected,
+                    actual: out.most_likely_state(),
+                }));
             }
-        },
-    );
-    result
+        }
+    }
+    Ok(None)
 }
+
+/// Basis inputs per verification job: bounds how many output states one
+/// sweep's [`ExecutionResult`](qudit_api::ExecutionResult) holds resident
+/// at a time (32 states of a 12-qutrit register ≈ 0.25 GB is the worst
+/// case the verifiers' documented ~12-qudit width limit allows).
+const VERIFY_SWEEP_CHUNK: usize = 32;
 
 /// Exhaustively verifies that `circuit` implements +1 mod 2^N on a binary
 /// register (qudit 0 = least significant bit).
@@ -210,15 +204,12 @@ mod tests {
 
     #[test]
     fn qutrit_tree_passes_verification_on_both_backends() {
-        use qudit_noise::{DensityMatrixBackend, TrajectoryBackend};
         let n = 3;
         let c = n_controlled_x(n).unwrap();
-        for backend in [
-            &TrajectoryBackend as &dyn Backend,
-            &DensityMatrixBackend as &dyn Backend,
-        ] {
+        let executor = Executor::new();
+        for backend in [BackendKind::Trajectory, BackendKind::DensityMatrix] {
             assert_eq!(
-                verify_n_controlled_x_backend(backend, &c, n, n).unwrap(),
+                verify_n_controlled_x_backend(&executor, backend, &c, n, n).unwrap(),
                 None,
                 "failed on the {} backend",
                 backend.name()
@@ -228,12 +219,12 @@ mod tests {
 
     #[test]
     fn backend_verification_catches_a_broken_circuit() {
-        use qudit_noise::DensityMatrixBackend;
         let mut c = qudit_circuit::Circuit::new(3, 3);
         c.push_gate(qudit_circuit::Gate::x(3), &[2]).unwrap();
-        let cex = verify_n_controlled_x_backend(&DensityMatrixBackend, &c, 2, 2)
-            .unwrap()
-            .expect("a bare X is not a CCX");
+        let cex =
+            verify_n_controlled_x_backend(&Executor::new(), BackendKind::DensityMatrix, &c, 2, 2)
+                .unwrap()
+                .expect("a bare X is not a CCX");
         assert_ne!(cex.expected, cex.actual);
     }
 

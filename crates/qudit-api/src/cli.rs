@@ -1,0 +1,173 @@
+//! Shared `--key value` CLI parsing for the bench binaries and examples —
+//! the one implementation replacing the per-binary `parse_flag` /
+//! `parse_flag_or` / `backend_from_args` copies that used to live in the
+//! bench crate.
+
+use crate::error::{ApiError, ApiResult};
+use qudit_circuit::PassLevel;
+use qudit_noise::BackendKind;
+
+/// A parsed argument list with typed `--key value` accessors.
+#[derive(Clone, Debug, Default)]
+pub struct CliArgs {
+    args: Vec<String>,
+}
+
+impl CliArgs {
+    /// Captures the process arguments (skipping the program name).
+    pub fn from_env() -> Self {
+        CliArgs {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Wraps an explicit argument list.
+    pub fn new(args: Vec<String>) -> Self {
+        CliArgs { args }
+    }
+
+    /// The raw value following `--key`, if present.
+    pub fn flag(&self, key: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Whether the bare switch `key` is present.
+    pub fn has(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+
+    /// The value following `--key`: `Ok(None)` when the flag is absent, an
+    /// error when the flag is present but its value is missing (a trailing
+    /// `--key` must not silently run the default).
+    fn value_of(&self, key: &str) -> ApiResult<Option<&str>> {
+        match self.flag(key) {
+            Some(raw) => Ok(Some(raw)),
+            None if self.has(key) => {
+                Err(ApiError::spec(format!("flag {key} is missing its value")))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Parses `--key value` as a `T`, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Spec`] when the flag is present but its value is
+    /// missing or does not parse — a typo fails loudly instead of silently
+    /// running the default.
+    pub fn flag_or<T: std::str::FromStr>(&self, key: &str, default: T) -> ApiResult<T> {
+        match self.value_of(key)? {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ApiError::spec(format!("flag {key} has invalid value {raw:?}"))),
+        }
+    }
+
+    /// Parses the shared `--backend` switch, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Spec`] (listing the accepted values) on an
+    /// unrecognised backend name or a missing value.
+    pub fn backend_or(&self, default: BackendKind) -> ApiResult<BackendKind> {
+        match self.value_of("--backend")? {
+            None => Ok(default),
+            Some(raw) => BackendKind::from_flag(raw).ok_or_else(|| {
+                ApiError::spec(format!(
+                    "unknown backend {raw:?}; expected \"trajectory\" or \"density\""
+                ))
+            }),
+        }
+    }
+
+    /// Parses the shared `--level` switch: `Ok(None)` when absent, so
+    /// callers keep their own default. The single parse point —
+    /// [`JobSpecBuilder::cli`](crate::JobSpecBuilder::cli) and
+    /// [`CliArgs::level_or`] both route through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Spec`] on an unrecognised level name.
+    pub fn level(&self) -> ApiResult<Option<PassLevel>> {
+        match self.value_of("--level")? {
+            None => Ok(None),
+            Some(raw) => PassLevel::from_flag(raw).map(Some).ok_or_else(|| {
+                ApiError::spec(format!(
+                    "unknown pass level {raw:?}; expected \"physical\", \"logical\", \
+                     \"ideal\" or \"physical-ideal\""
+                ))
+            }),
+        }
+    }
+
+    /// Parses the shared `--level` switch, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Spec`] on an unrecognised level name.
+    pub fn level_or(&self, default: PassLevel) -> ApiResult<PassLevel> {
+        Ok(self.level()?.unwrap_or(default))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> CliArgs {
+        CliArgs::new(list.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn flags_parse_with_defaults() {
+        let a = args(&["--controls", "9", "--trials", "40"]);
+        assert_eq!(a.flag_or("--controls", 5usize).unwrap(), 9);
+        assert_eq!(a.flag_or("--trials", 100usize).unwrap(), 40);
+        assert_eq!(a.flag_or("--seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn invalid_values_fail_loudly() {
+        let a = args(&["--trials", "many"]);
+        assert!(a.flag_or("--trials", 100usize).is_err());
+        let a = args(&["--backend", "qft"]);
+        assert!(a.backend_or(BackendKind::Trajectory).is_err());
+        let a = args(&["--level", "turbo"]);
+        assert!(a.level_or(PassLevel::Physical).is_err());
+    }
+
+    #[test]
+    fn trailing_flag_without_value_fails_instead_of_defaulting() {
+        for a in [args(&["--trials"]), args(&["--controls", "5", "--trials"])] {
+            assert!(a.flag_or("--trials", 100usize).is_err());
+        }
+        assert!(args(&["--backend"])
+            .backend_or(BackendKind::Trajectory)
+            .is_err());
+        assert!(args(&["--level"]).level_or(PassLevel::Physical).is_err());
+    }
+
+    #[test]
+    fn backend_and_level_parse() {
+        let a = args(&["--backend", "density", "--level", "logical"]);
+        assert_eq!(
+            a.backend_or(BackendKind::Trajectory).unwrap(),
+            BackendKind::DensityMatrix
+        );
+        assert_eq!(
+            a.level_or(PassLevel::Physical).unwrap(),
+            PassLevel::NoisePreserving
+        );
+        let none = args(&[]);
+        assert_eq!(
+            none.backend_or(BackendKind::Trajectory).unwrap(),
+            BackendKind::Trajectory
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! The unified error type of the façade.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience result alias for façade operations.
+pub type ApiResult<T> = Result<T, ApiError>;
+
+/// Everything that can go wrong between describing a job and reading its
+/// result — the typed replacement for the panic paths the façade redesign
+/// removed (shape-mismatch panics, ad-hoc `expect`s in the bench bins).
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ApiError {
+    /// The job description itself is invalid (bad flag value, noise at an
+    /// optimizing pass level, an infeasible backend request, ...). Caught
+    /// at [`JobSpec`](crate::JobSpec) build time.
+    Spec {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A circuit-layer failure (invalid indices, gate shapes, ...).
+    Circuit(qudit_circuit::CircuitError),
+    /// A noise-layer failure (unphysical model, unsupported level, state
+    /// shape mismatch, ...).
+    Noise(qudit_noise::NoiseError),
+    /// A core math failure (invalid dimension, digits out of range, ...).
+    Core(qudit_core::CoreError),
+    /// The requested result kind does not match what the job produced
+    /// (e.g. asking a noise-free run for a fidelity).
+    WrongOutcome {
+        /// What the caller asked for.
+        requested: &'static str,
+        /// What the job produced.
+        actual: &'static str,
+    },
+    /// A wire-format (JSON) failure: malformed text or a tree that does not
+    /// describe a valid value.
+    Wire {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl ApiError {
+    /// Builds a [`ApiError::Spec`] from anything displayable.
+    pub fn spec(reason: impl fmt::Display) -> Self {
+        ApiError::Spec {
+            reason: reason.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::Spec { reason } => write!(f, "invalid job spec: {reason}"),
+            ApiError::Circuit(e) => write!(f, "circuit error: {e}"),
+            ApiError::Noise(e) => write!(f, "noise error: {e}"),
+            ApiError::Core(e) => write!(f, "core error: {e}"),
+            ApiError::WrongOutcome { requested, actual } => {
+                write!(f, "job produced {actual}, but {requested} was requested")
+            }
+            ApiError::Wire { reason } => write!(f, "wire format error: {reason}"),
+        }
+    }
+}
+
+impl Error for ApiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ApiError::Circuit(e) => Some(e),
+            ApiError::Noise(e) => Some(e),
+            ApiError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qudit_circuit::CircuitError> for ApiError {
+    fn from(e: qudit_circuit::CircuitError) -> Self {
+        ApiError::Circuit(e)
+    }
+}
+
+impl From<qudit_noise::NoiseError> for ApiError {
+    fn from(e: qudit_noise::NoiseError) -> Self {
+        ApiError::Noise(e)
+    }
+}
+
+impl From<qudit_core::CoreError> for ApiError {
+    fn from(e: qudit_core::CoreError) -> Self {
+        ApiError::Core(e)
+    }
+}
+
+impl From<serde::Error> for ApiError {
+    fn from(e: serde::Error) -> Self {
+        ApiError::Wire {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ApiError::spec("trials must be at least 1");
+        assert!(e.to_string().contains("trials"));
+        let e = ApiError::WrongOutcome {
+            requested: "a fidelity estimate",
+            actual: "output states",
+        };
+        assert!(e.to_string().contains("fidelity"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ApiError>();
+    }
+}

@@ -1,0 +1,499 @@
+//! The executor: compile-once job running with batch fan-out.
+
+use crate::error::{ApiError, ApiResult};
+use crate::result::{ExecutionResult, Outcome, OutputState};
+use crate::spec::JobSpec;
+use qudit_circuit::passes::{self, CompiledIr, PassLevel};
+use qudit_circuit::Circuit;
+use qudit_core::{random_qubit_subspace_state, StateVector};
+use qudit_noise::{
+    BackendKind, CrossValidation, DensityNoiseSimulator, InputState, TrajectoryConfig,
+    TrajectorySimulator,
+};
+use qudit_sim::{CompiledCircuit, CompiledDensityCircuit, DensityMatrix, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Structural fingerprint of a circuit: dimension, width, and per operation
+/// the gate matrix's bit patterns plus its controls and targets. Two
+/// circuits built by independent constructor calls share a key iff they are
+/// structurally identical — the same idea as the simulator's plan cache,
+/// lifted to job level (negative zero normalised for the same reason).
+/// One operation's structural fingerprint: matrix bits, controls, targets.
+type OpKey = (Vec<u64>, Vec<(usize, usize)>, Vec<usize>);
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct CircuitKey {
+    dim: usize,
+    width: usize,
+    ops: Vec<OpKey>,
+}
+
+impl CircuitKey {
+    fn of(circuit: &Circuit) -> CircuitKey {
+        let bit = |x: f64| if x == 0.0 { 0 } else { x.to_bits() };
+        CircuitKey {
+            dim: circuit.dim(),
+            width: circuit.width(),
+            ops: circuit
+                .iter()
+                .map(|op| {
+                    (
+                        op.gate()
+                            .matrix()
+                            .as_slice()
+                            .iter()
+                            .flat_map(|z| [bit(z.re), bit(z.im)])
+                            .collect(),
+                        op.control_pairs(),
+                        op.targets().to_vec(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Everything cached for one structurally distinct (circuit, level) pair:
+/// the pass-pipeline output (the expensive part — for `Physical` levels it
+/// includes the Di & Wei eigendecompositions) plus lazily built kernel
+/// plans per backend. Every field is a `OnceLock` so the work happens
+/// *outside* the executor's cache mutex: the map lock is only held for the
+/// cheap get-or-insert of the (empty) entry, and concurrent jobs needing
+/// the same entry block on its `OnceLock`, not on the whole cache.
+#[derive(Default)]
+struct CacheEntry {
+    ir: OnceLock<Arc<CompiledIr>>,
+    statevector: OnceLock<Arc<CompiledCircuit>>,
+    density: OnceLock<Arc<CompiledDensityCircuit>>,
+}
+
+impl CacheEntry {
+    fn ir(&self, circuit: &Circuit, level: PassLevel) -> Arc<CompiledIr> {
+        Arc::clone(
+            self.ir
+                .get_or_init(|| Arc::new(passes::compile(circuit, level))),
+        )
+    }
+
+    fn statevector(&self, ir: &CompiledIr) -> Arc<CompiledCircuit> {
+        Arc::clone(
+            self.statevector
+                .get_or_init(|| Arc::new(CompiledCircuit::compile_ir(ir))),
+        )
+    }
+
+    fn density(&self, ir: &CompiledIr) -> Arc<CompiledDensityCircuit> {
+        Arc::clone(
+            self.density
+                .get_or_init(|| Arc::new(CompiledDensityCircuit::compile_ir(ir))),
+        )
+    }
+}
+
+/// The single runtime entry point: runs [`JobSpec`]s, compiling each
+/// structurally distinct (circuit, pass level) pair exactly once.
+///
+/// The cache keys on circuit *structure* (gate matrix bits + controls +
+/// targets), so jobs built from independent constructor calls — the normal
+/// shape of a parameter sweep, where every job rebuilds "the" fig4 Toffoli
+/// — share one compilation: the pass pipeline per (circuit, level), the
+/// noise-free kernel plan sets per entry, and the per-gate state-vector
+/// plans of noisy jobs through one shared [`Simulator`] plan cache.
+/// Model-shaped artifacts (channel branch plans, superoperator plans, the
+/// density engine's U/U† pairs) still build per run — they depend on the
+/// job's noise model.
+///
+/// [`Executor::run_batch`] fans jobs out across rayon workers. Every job is
+/// deterministic given its spec (all randomness is seeded from
+/// [`JobSpec::seed`]), so batch results are **bit-identical** to running
+/// the same specs sequentially — the batch determinism test pins this.
+#[derive(Default)]
+pub struct Executor {
+    cache: Mutex<HashMap<(PassLevel, CircuitKey), Arc<CacheEntry>>>,
+    /// Shared per-gate plan cache for the simulators noisy jobs construct.
+    planner: Simulator,
+}
+
+/// Job-cache capacity: distinct (circuit, level) pairs held at once. A
+/// batch sweep over the paper's constructions needs a few dozen; the cap
+/// bounds growth when a long-lived executor sees an unbounded stream of
+/// distinct circuits. Eviction is a wholesale clear — entries are
+/// rebuildable and the common case re-warms in one compile each.
+const JOB_CACHE_CAP: usize = 256;
+
+impl Executor {
+    /// Creates an executor with an empty compilation cache.
+    pub fn new() -> Self {
+        Executor::default()
+    }
+
+    /// The number of distinct (circuit, level) compilations currently
+    /// cached.
+    pub fn cached_compilations(&self) -> usize {
+        self.cache.lock().expect("job cache poisoned").len()
+    }
+
+    /// Get-or-inserts the cache entry and ensures its IR is compiled. Only
+    /// the map lookup holds the cache mutex; the pass pipeline itself runs
+    /// under the entry's own `OnceLock`, so distinct circuits compile
+    /// concurrently and cache readers never wait on a compile.
+    fn entry(&self, circuit: &Circuit, level: PassLevel) -> (Arc<CacheEntry>, Arc<CompiledIr>) {
+        let key = (level, CircuitKey::of(circuit));
+        let entry = {
+            let mut cache = self.cache.lock().expect("job cache poisoned");
+            if let Some(entry) = cache.get(&key) {
+                Arc::clone(entry)
+            } else {
+                if cache.len() >= JOB_CACHE_CAP {
+                    cache.clear();
+                }
+                let entry = Arc::new(CacheEntry::default());
+                cache.insert(key, Arc::clone(&entry));
+                entry
+            }
+        };
+        let ir = entry.ir(circuit, level);
+        (entry, ir)
+    }
+
+    /// Runs one job.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ApiError`] if the circuit cannot be lowered for a
+    /// noisy job, the noise model is unphysical for the circuit's
+    /// dimension, or an input is invalid — never a panic.
+    pub fn run(&self, spec: &JobSpec) -> ApiResult<ExecutionResult> {
+        let (entry, ir) = self.entry(spec.circuit(), spec.level());
+        let resources = ir.report().post;
+        let outcome = match spec.noise() {
+            Some(model) => {
+                let config = TrajectoryConfig {
+                    trials: spec.trials(),
+                    seed: spec.seed(),
+                    level: spec.level(),
+                    input: spec.input().clone(),
+                };
+                let estimate = match spec.backend() {
+                    BackendKind::Trajectory => {
+                        TrajectorySimulator::from_compiled_with(&ir, model, &self.planner)?
+                            .run(&config)
+                            .map_err(qudit_noise::NoiseError::from)?
+                    }
+                    BackendKind::DensityMatrix => {
+                        DensityNoiseSimulator::from_compiled_with(&ir, model, &self.planner)?
+                            .run(&config)
+                            .map_err(qudit_noise::NoiseError::from)?
+                    }
+                };
+                Outcome::Fidelity(estimate)
+            }
+            None => {
+                let inputs = self.job_inputs(spec)?;
+                let outputs: Vec<OutputState> = match spec.backend() {
+                    BackendKind::Trajectory => {
+                        let compiled = entry.statevector(&ir);
+                        inputs
+                            .into_iter()
+                            .map(|input| OutputState::Pure(compiled.run(input)))
+                            .collect()
+                    }
+                    BackendKind::DensityMatrix => {
+                        let compiled = entry.density(&ir);
+                        inputs
+                            .into_iter()
+                            .map(|input| {
+                                OutputState::from_sim_output(qudit_noise::SimOutput::Mixed(
+                                    compiled.run(DensityMatrix::from_pure(&input)),
+                                ))
+                            })
+                            .collect()
+                    }
+                };
+                Outcome::States(outputs)
+            }
+        };
+        Ok(ExecutionResult {
+            backend: spec.backend(),
+            resources,
+            outcome,
+        })
+    }
+
+    /// Runs a batch of jobs, fanning out across rayon workers.
+    ///
+    /// Jobs sharing a structurally identical circuit and level compile
+    /// once — each entry's `OnceLock` makes the first worker to need it
+    /// compile while the rest wait on that entry only, so *distinct*
+    /// circuits compile concurrently. Results are returned in spec order
+    /// and are bit-identical to calling [`Executor::run`] on each spec in
+    /// sequence (compile order cannot affect a job's output; everything is
+    /// seeded from the spec).
+    pub fn run_batch(&self, specs: &[JobSpec]) -> Vec<ApiResult<ExecutionResult>> {
+        (0..specs.len())
+            .into_par_iter()
+            .map(|i| self.run(&specs[i]))
+            .collect()
+    }
+
+    /// Cross-validates a noisy job: runs it on the exact density-matrix
+    /// backend and on the trajectory backend (same circuit compilation,
+    /// same seeded inputs) and wraps both in the standard confidence bound
+    /// — the 3σ gate CI runs on a fixed seed set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Spec`] for noise-free specs or when the exact
+    /// leg would be density-infeasible, and any error either leg produces.
+    pub fn cross_validate(&self, spec: &JobSpec, sigmas: f64) -> ApiResult<CrossValidation> {
+        if spec.noise().is_none() {
+            return Err(ApiError::spec(
+                "cross-validation needs a noisy job (attach a noise model)",
+            ));
+        }
+        let exact_spec = JobSpec::builder(spec.circuit().clone())
+            .level(spec.level())
+            .backend(BackendKind::DensityMatrix)
+            .noise(spec.noise().expect("checked above").clone())
+            .trials(spec.trials())
+            .seed(spec.seed())
+            .input(spec.input().clone())
+            .build()?;
+        let trajectory_spec = JobSpec::builder(spec.circuit().clone())
+            .level(spec.level())
+            .backend(BackendKind::Trajectory)
+            .noise(spec.noise().expect("checked above").clone())
+            .trials(spec.trials())
+            .seed(spec.seed())
+            .input(spec.input().clone())
+            .build()?;
+        let exact = *self.run(&exact_spec)?.fidelity()?;
+        let estimate = *self.run(&trajectory_spec)?.fidelity()?;
+        Ok(CrossValidation::from_runs(exact, estimate, sigmas))
+    }
+
+    /// Compiles a circuit for repeated noise-free state-vector replay — the
+    /// façade's handle for perf harnesses and amplitude-level verification,
+    /// which need to drive the compiled kernels directly without
+    /// constructing simulator types themselves.
+    pub fn compile_statevector(&self, circuit: &Circuit, level: PassLevel) -> CompiledStateJob {
+        let (entry, ir) = self.entry(circuit, level);
+        CompiledStateJob {
+            compiled: entry.statevector(&ir),
+            ir,
+        }
+    }
+
+    /// The inputs of a noise-free job: the explicit sweep's basis states,
+    /// or the single configured input (seeded for the random distribution).
+    fn job_inputs(&self, spec: &JobSpec) -> ApiResult<Vec<StateVector>> {
+        let dim = spec.circuit().dim();
+        let width = spec.circuit().width();
+        if !spec.sweep().is_empty() {
+            return spec
+                .sweep()
+                .iter()
+                .map(|digits| StateVector::from_basis_state(dim, digits).map_err(ApiError::from))
+                .collect();
+        }
+        let input = match spec.input() {
+            InputState::RandomQubitSubspace => {
+                let mut rng = StdRng::seed_from_u64(spec.seed());
+                random_qubit_subspace_state(dim, width, &mut rng)?
+            }
+            InputState::AllOnes => StateVector::from_basis_state(dim, &vec![1usize; width])?,
+            InputState::Basis(digits) => StateVector::from_basis_state(dim, digits)?,
+        };
+        Ok(vec![input])
+    }
+}
+
+/// A circuit compiled for noise-free state-vector replay through the
+/// façade — see [`Executor::compile_statevector`].
+pub struct CompiledStateJob {
+    compiled: Arc<CompiledCircuit>,
+    ir: Arc<CompiledIr>,
+}
+
+impl CompiledStateJob {
+    /// Evolves `input` through the compiled circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Noise`] (a state-shape mismatch) if the input's
+    /// dimension or width does not match the circuit.
+    pub fn run(&self, input: StateVector) -> ApiResult<StateVector> {
+        if input.dim() != self.compiled.dim() || input.num_qudits() != self.compiled.width() {
+            return Err(ApiError::Noise(
+                qudit_noise::NoiseError::StateShapeMismatch {
+                    expected_dim: self.compiled.dim(),
+                    expected_width: self.compiled.width(),
+                    actual_dim: input.dim(),
+                    actual_width: input.num_qudits(),
+                },
+            ));
+        }
+        Ok(self.compiled.run(input))
+    }
+
+    /// The number of kernel invocations one replay performs (the post-pass
+    /// operation count).
+    pub fn op_count(&self) -> usize {
+        self.ir.circuit().len()
+    }
+
+    /// Resources of the compiled (post-pass) circuit.
+    pub fn resources(&self) -> qudit_circuit::ResourceReport {
+        self.ir.report().post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_circuit::{Control, Gate};
+    use qudit_noise::models;
+
+    fn toffoli_fig4() -> Circuit {
+        let mut c = Circuit::new(3, 3);
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+            .unwrap();
+        c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn noise_free_jobs_agree_across_backends() {
+        let executor = Executor::new();
+        for backend in [BackendKind::Trajectory, BackendKind::DensityMatrix] {
+            let spec = JobSpec::builder(toffoli_fig4())
+                .backend(backend)
+                .input(InputState::Basis(vec![1, 1, 0]))
+                .build()
+                .unwrap();
+            let result = executor.run(&spec).unwrap();
+            let out = &result.states().unwrap()[0];
+            assert!((out.probability(&[1, 1, 1]).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn structurally_equal_circuits_compile_once() {
+        let executor = Executor::new();
+        for seed in 0..5u64 {
+            // Each iteration rebuilds "the" Toffoli from scratch.
+            let spec = JobSpec::builder(toffoli_fig4())
+                .noise(models::sc())
+                .trials(2)
+                .seed(seed)
+                .build()
+                .unwrap();
+            executor.run(&spec).unwrap();
+        }
+        assert_eq!(executor.cached_compilations(), 1);
+    }
+
+    #[test]
+    fn noisy_job_produces_a_fidelity_with_error_bars() {
+        let executor = Executor::new();
+        let spec = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc_t1_gates())
+            .backend(BackendKind::DensityMatrix)
+            .input(InputState::AllOnes)
+            .build()
+            .unwrap();
+        let result = executor.run(&spec).unwrap();
+        let est = result.fidelity().unwrap();
+        assert!(est.mean > 0.9 && est.mean < 1.0);
+        assert!(est.binomial_sigma() >= 0.0);
+        // The resource report describes the lowered circuit.
+        assert_eq!(result.resources.two_qudit_gates(), 3);
+    }
+
+    #[test]
+    fn logical_ablation_routes_through_the_level_knob() {
+        // A genuine 3-qutrit op: the logical level must be more optimistic.
+        let mut c = Circuit::new(3, 3);
+        for _ in 0..4 {
+            c.push_controlled(
+                Gate::increment(3),
+                &[Control::on_one(0), Control::on_two(1)],
+                &[2],
+            )
+            .unwrap();
+        }
+        let executor = Executor::new();
+        let base = JobSpec::builder(c.clone())
+            .noise(models::sc())
+            .backend(BackendKind::DensityMatrix)
+            .input(InputState::AllOnes)
+            .build()
+            .unwrap();
+        let logical = JobSpec::builder(c)
+            .noise(models::sc())
+            .backend(BackendKind::DensityMatrix)
+            .level(PassLevel::NoisePreserving)
+            .input(InputState::AllOnes)
+            .build()
+            .unwrap();
+        let physical = executor.run(&base).unwrap().fidelity().unwrap().mean;
+        let optimistic = executor.run(&logical).unwrap().fidelity().unwrap().mean;
+        assert!(
+            optimistic > physical,
+            "logical {optimistic} must beat physical {physical}"
+        );
+    }
+
+    #[test]
+    fn sweep_returns_one_output_per_input() {
+        let executor = Executor::new();
+        let sweep = vec![vec![0, 0, 0], vec![1, 1, 0], vec![1, 1, 1]];
+        let spec = JobSpec::builder(toffoli_fig4())
+            .sweep(sweep.clone())
+            .build()
+            .unwrap();
+        let result = executor.run(&spec).unwrap();
+        let states = result.states().unwrap();
+        assert_eq!(states.len(), 3);
+        assert!((states[1].probability(&[1, 1, 1]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((states[2].probability(&[1, 1, 0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_validation_passes_on_the_fig4_toffoli() {
+        let executor = Executor::new();
+        let spec = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc_t1_gates())
+            .trials(200)
+            .input(InputState::AllOnes)
+            .build()
+            .unwrap();
+        let cv = executor.cross_validate(&spec, 3.0).unwrap();
+        assert!(
+            cv.within_bounds(),
+            "trajectory {} vs exact {} exceeds bound {}",
+            cv.estimate.mean,
+            cv.exact,
+            cv.tolerance
+        );
+    }
+
+    #[test]
+    fn compiled_state_job_rejects_bad_shapes() {
+        let executor = Executor::new();
+        let job = executor.compile_statevector(&toffoli_fig4(), PassLevel::Ideal);
+        assert!(job.op_count() >= 1);
+        let bad = StateVector::from_basis_state(3, &[1, 1]).unwrap();
+        assert!(job.run(bad).is_err());
+        let good = StateVector::from_basis_state(3, &[1, 1, 0]).unwrap();
+        let out = job.run(good).unwrap();
+        assert!((out.probability(&[1, 1, 1]).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

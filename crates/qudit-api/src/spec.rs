@@ -1,0 +1,488 @@
+//! The validated job description and its JSON wire format.
+
+use crate::cli::CliArgs;
+use crate::error::{ApiError, ApiResult};
+use qudit_circuit::{Circuit, PassLevel};
+use qudit_noise::{BackendKind, InputState, NoiseModel};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+/// The largest density matrix a job may allocate per run: `3^14` entries
+/// (7 qutrits, ~76 MB). Beyond this, random-input averaging fans one ρ out
+/// per rayon worker and a laptop run degrades into swapping or an OOM kill,
+/// so [`JobSpec::builder`] rejects the spec with a typed error instead.
+pub const DENSITY_MAX_ENTRIES: u128 = 4_782_969; // 3^14
+
+/// One validated description of a simulation job.
+///
+/// A spec is either **noisy** (a [`NoiseModel`] is attached: the job
+/// estimates the mean fidelity over `trials` seeded runs of the configured
+/// input distribution) or **noise-free** (no model: the job evolves the
+/// configured input — or each basis state of an explicit `sweep` — and
+/// returns the output states).
+///
+/// Construct through [`JobSpec::builder`] (or [`JobSpec::from_cli_args`] /
+/// [`JobSpec::from_json`], which funnel into the same validation), so every
+/// spec that exists is runnable: bad level/noise combinations, out-of-range
+/// basis digits and infeasible density-matrix widths are rejected with a
+/// typed [`ApiError`] instead of panicking mid-run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    circuit: Circuit,
+    level: PassLevel,
+    backend: BackendKind,
+    noise: Option<NoiseModel>,
+    trials: usize,
+    seed: u64,
+    input: InputState,
+    sweep: Vec<Vec<usize>>,
+}
+
+impl JobSpec {
+    /// Starts building a spec for `circuit` with the defaults: trajectory
+    /// backend, 100 trials, seed 2019, random-qubit-subspace inputs, no
+    /// noise, and a pass level resolved at build time (`Physical` for noisy
+    /// jobs, `Ideal` for noise-free ones).
+    pub fn builder(circuit: Circuit) -> JobSpecBuilder {
+        JobSpecBuilder {
+            circuit,
+            level: None,
+            backend: BackendKind::Trajectory,
+            noise: None,
+            trials: 100,
+            seed: 2019,
+            input: InputState::RandomQubitSubspace,
+            sweep: Vec::new(),
+        }
+    }
+
+    /// Builds a spec from `circuit`, an optional noise model, and the
+    /// shared CLI surface: `--backend`, `--level`, `--trials <n>` and
+    /// `--seed <n>` — the one helper every bench binary parses its job
+    /// through (replacing the per-binary flag-parsing copies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Spec`] on an unparsable flag or an invalid
+    /// resulting spec.
+    pub fn from_cli_args(
+        circuit: Circuit,
+        noise: Option<NoiseModel>,
+        args: &CliArgs,
+    ) -> ApiResult<JobSpec> {
+        let mut builder = JobSpec::builder(circuit);
+        if let Some(model) = noise {
+            builder = builder.noise(model);
+        }
+        builder.cli(args)?.build()
+    }
+
+    /// The circuit to run.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The compiler pass level the job compiles at.
+    pub fn level(&self) -> PassLevel {
+        self.level
+    }
+
+    /// The simulation backend.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// The noise model, if this is a fidelity job.
+    pub fn noise(&self) -> Option<&NoiseModel> {
+        self.noise.as_ref()
+    }
+
+    /// Number of Monte Carlo trials (noisy jobs).
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Base RNG seed; trial `i` uses `seed + i`.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The input-state distribution.
+    pub fn input(&self) -> &InputState {
+        &self.input
+    }
+
+    /// The explicit basis-state sweep (noise-free jobs); empty when the
+    /// single configured input runs instead.
+    pub fn sweep(&self) -> &[Vec<usize>] {
+        &self.sweep
+    }
+
+    /// Serializes the spec to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// Serializes the spec to human-readable JSON (deterministic output —
+    /// suitable for golden files).
+    pub fn to_json_pretty(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a spec from JSON, running the full builder validation — a
+    /// deserialized spec satisfies exactly the invariants a
+    /// programmatically built one does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Wire`] on malformed JSON or a payload of the
+    /// wrong shape, and [`ApiError::Spec`] on a well-formed but invalid
+    /// job description (so a server front end can distinguish a malformed
+    /// request from a fixable one).
+    pub fn from_json(text: &str) -> ApiResult<JobSpec> {
+        let value = serde::json::parse(text).map_err(ApiError::from)?;
+        JobSpec::from_wire_value(&value)
+    }
+
+    /// Rebuilds a spec from a parsed wire value: field/shape failures are
+    /// [`ApiError::Wire`], builder validation failures keep their own typed
+    /// variant.
+    fn from_wire_value(value: &Value) -> ApiResult<JobSpec> {
+        let circuit = Circuit::from_value(value.field("circuit")?)?;
+        let mut builder = JobSpec::builder(circuit)
+            .level(PassLevel::from_value(value.field("level")?)?)
+            .backend(BackendKind::from_value(value.field("backend")?)?)
+            .trials(value.field("trials")?.as_usize()?)
+            .seed(value.field("seed")?.as_u64()?)
+            .input(InputState::from_value(value.field("input")?)?)
+            .sweep(Vec::<Vec<usize>>::from_value(value.field("sweep")?)?);
+        if let Some(model) = Option::<NoiseModel>::from_value(value.field("noise")?)? {
+            builder = builder.noise(model);
+        }
+        builder.build()
+    }
+}
+
+/// Builder for [`JobSpec`] — see [`JobSpec::builder`].
+#[derive(Clone, Debug)]
+pub struct JobSpecBuilder {
+    circuit: Circuit,
+    level: Option<PassLevel>,
+    backend: BackendKind,
+    noise: Option<NoiseModel>,
+    trials: usize,
+    seed: u64,
+    input: InputState,
+    sweep: Vec<Vec<usize>>,
+}
+
+impl JobSpecBuilder {
+    /// Sets the compiler pass level. When not set, noisy jobs default to
+    /// [`PassLevel::Physical`] and noise-free jobs to [`PassLevel::Ideal`].
+    pub fn level(mut self, level: PassLevel) -> Self {
+        self.level = Some(level);
+        self
+    }
+
+    /// Selects the simulation backend.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Attaches a noise model, turning the job into a fidelity estimate.
+    pub fn noise(mut self, model: NoiseModel) -> Self {
+        self.noise = Some(model);
+        self
+    }
+
+    /// Sets the Monte Carlo trial count.
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the input-state distribution.
+    pub fn input(mut self, input: InputState) -> Self {
+        self.input = input;
+        self
+    }
+
+    /// Sets an explicit basis-state sweep: the job evolves every listed
+    /// basis state through one circuit compilation (noise-free jobs only —
+    /// this is what exhaustive verification runs on).
+    pub fn sweep(mut self, states: Vec<Vec<usize>>) -> Self {
+        self.sweep = states;
+        self
+    }
+
+    /// Applies the shared CLI overrides (`--backend`, `--level`,
+    /// `--trials`, `--seed`) on top of whatever the builder holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Spec`] on an unparsable flag value.
+    pub fn cli(mut self, args: &CliArgs) -> ApiResult<Self> {
+        self.backend = args.backend_or(self.backend)?;
+        if let Some(level) = args.level()? {
+            self.level = Some(level);
+        }
+        self.trials = args.flag_or("--trials", self.trials)?;
+        self.seed = args.flag_or("--seed", self.seed)?;
+        Ok(self)
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApiError::Spec`] when:
+    ///
+    /// * a noise model is attached at an optimizing pass level (`Ideal` /
+    ///   `PhysicalIdeal` change which errors would be charged);
+    /// * `trials` is zero;
+    /// * a basis input or sweep entry has the wrong width or digits `>=
+    ///   dim`;
+    /// * a sweep is combined with a noise model;
+    /// * the density-matrix backend would need more than
+    ///   [`DENSITY_MAX_ENTRIES`] entries for this circuit.
+    pub fn build(self) -> ApiResult<JobSpec> {
+        let level = self.level.unwrap_or(if self.noise.is_some() {
+            PassLevel::Physical
+        } else {
+            PassLevel::Ideal
+        });
+        if self.noise.is_some() && !level.supports_noise() {
+            return Err(ApiError::spec(format!(
+                "pass level {:?} optimizes across error sites; noisy jobs support \
+                 \"physical\" and \"noise-preserving\" (logical) only",
+                level.name()
+            )));
+        }
+        if self.trials == 0 {
+            return Err(ApiError::spec("trials must be at least 1"));
+        }
+        if self.noise.is_some() && !self.sweep.is_empty() {
+            return Err(ApiError::spec(
+                "an explicit basis sweep applies to noise-free jobs only; noisy jobs \
+                 draw inputs from the configured distribution",
+            ));
+        }
+        let dim = self.circuit.dim();
+        let width = self.circuit.width();
+        let check_digits = |what: &str, digits: &[usize]| -> ApiResult<()> {
+            if digits.len() != width {
+                return Err(ApiError::spec(format!(
+                    "{what} has {} digit(s), but the circuit has width {width}",
+                    digits.len()
+                )));
+            }
+            if let Some(&bad) = digits.iter().find(|&&d| d >= dim) {
+                return Err(ApiError::spec(format!(
+                    "{what} contains digit {bad}, which exceeds dimension {dim}"
+                )));
+            }
+            Ok(())
+        };
+        if let InputState::Basis(digits) = &self.input {
+            check_digits("the basis input", digits)?;
+        }
+        for digits in &self.sweep {
+            check_digits("a sweep entry", digits)?;
+        }
+        if self.backend == BackendKind::DensityMatrix {
+            // checked_pow: an overflowing width is by definition infeasible,
+            // and wrapping must not let it sneak past the threshold.
+            let entries = (dim as u128).checked_pow(2 * width as u32);
+            if entries.is_none_or(|e| e > DENSITY_MAX_ENTRIES) {
+                return Err(ApiError::spec(format!(
+                    "the density-matrix backend would need {} entries (~{} MB) for this \
+                     {width}-qudit d={dim} circuit; reduce the width (≤ 7 qutrits is \
+                     feasible) or use the trajectory backend",
+                    entries.map_or("> u128::MAX".to_string(), |e| e.to_string()),
+                    entries.map_or("huge".to_string(), |e| (e.saturating_mul(16)
+                        / (1024 * 1024))
+                        .to_string()),
+                )));
+            }
+        }
+        Ok(JobSpec {
+            circuit: self.circuit,
+            level,
+            backend: self.backend,
+            noise: self.noise,
+            trials: self.trials,
+            seed: self.seed,
+            input: self.input,
+            sweep: self.sweep,
+        })
+    }
+}
+
+impl Serialize for JobSpec {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("circuit", self.circuit.to_value()),
+            ("level", self.level.to_value()),
+            ("backend", self.backend.to_value()),
+            ("noise", self.noise.to_value()),
+            ("trials", self.trials.to_value()),
+            ("seed", self.seed.to_value()),
+            ("input", self.input.to_value()),
+            ("sweep", self.sweep.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for JobSpec {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        JobSpec::from_wire_value(value).map_err(|e| SerdeError::custom(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_circuit::{Control, Gate};
+    use qudit_noise::models;
+
+    fn toffoli_fig4() -> Circuit {
+        let mut c = Circuit::new(3, 3);
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+            .unwrap();
+        c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn defaults_resolve_by_noise_presence() {
+        let noisefree = JobSpec::builder(toffoli_fig4()).build().unwrap();
+        assert_eq!(noisefree.level(), PassLevel::Ideal);
+        let noisy = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc())
+            .build()
+            .unwrap();
+        assert_eq!(noisy.level(), PassLevel::Physical);
+    }
+
+    #[test]
+    fn noisy_jobs_reject_optimizing_levels() {
+        for level in [PassLevel::Ideal, PassLevel::PhysicalIdeal] {
+            let err = JobSpec::builder(toffoli_fig4())
+                .noise(models::sc())
+                .level(level)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, ApiError::Spec { .. }), "{err}");
+        }
+        // The logical ablation level is allowed.
+        JobSpec::builder(toffoli_fig4())
+            .noise(models::sc())
+            .level(PassLevel::NoisePreserving)
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(JobSpec::builder(toffoli_fig4()).trials(0).build().is_err());
+        assert!(JobSpec::builder(toffoli_fig4())
+            .input(InputState::Basis(vec![1, 1]))
+            .build()
+            .is_err());
+        assert!(JobSpec::builder(toffoli_fig4())
+            .input(InputState::Basis(vec![1, 1, 3]))
+            .build()
+            .is_err());
+        assert!(JobSpec::builder(toffoli_fig4())
+            .sweep(vec![vec![0, 0, 0], vec![0, 3, 0]])
+            .build()
+            .is_err());
+        assert!(JobSpec::builder(toffoli_fig4())
+            .noise(models::sc())
+            .sweep(vec![vec![0, 0, 0]])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn density_backend_rejects_infeasible_widths() {
+        // 8 qutrits → 3^16 ≈ 43M entries (~690 MB per ρ): refuse loudly.
+        let circuit = Circuit::new(3, 8);
+        let err = JobSpec::builder(circuit)
+            .backend(BackendKind::DensityMatrix)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("density-matrix"), "{err}");
+        // 7 qutrits is within the documented bound.
+        JobSpec::builder(Circuit::new(3, 7))
+            .backend(BackendKind::DensityMatrix)
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn cli_overrides_apply() {
+        let args = CliArgs::new(
+            [
+                "--backend",
+                "density",
+                "--trials",
+                "7",
+                "--seed",
+                "42",
+                "--level",
+                "logical",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        );
+        let spec = JobSpec::from_cli_args(toffoli_fig4(), Some(models::sc()), &args).unwrap();
+        assert_eq!(spec.backend(), BackendKind::DensityMatrix);
+        assert_eq!(spec.trials(), 7);
+        assert_eq!(spec.seed(), 42);
+        assert_eq!(spec.level(), PassLevel::NoisePreserving);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_spec() {
+        let spec = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc_t1_gates())
+            .trials(40)
+            .seed(7)
+            .input(InputState::AllOnes)
+            .build()
+            .unwrap();
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        let back = JobSpec::from_json(&spec.to_json_pretty()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn json_deserialization_revalidates_with_typed_errors() {
+        // A wire-level spec with zero trials must be rejected even though
+        // the JSON itself is well-formed — and as a *spec* error, so a
+        // server can tell it apart from a malformed payload.
+        let spec = JobSpec::builder(toffoli_fig4()).build().unwrap();
+        let tampered = spec.to_json().replace("\"trials\":100", "\"trials\":0");
+        assert!(matches!(
+            JobSpec::from_json(&tampered).unwrap_err(),
+            ApiError::Spec { .. }
+        ));
+        // Whereas truncated JSON is a wire error.
+        assert!(matches!(
+            JobSpec::from_json("{\"circuit\":").unwrap_err(),
+            ApiError::Wire { .. }
+        ));
+    }
+}

@@ -25,7 +25,7 @@ pub struct CostWeights {
 
 impl CostWeights {
     /// The paper's accounting: each three-qutrit gate is decomposed into
-    /// 6 two-qutrit and 7 single-qutrit gates (Di & Wei [15]); we charge the
+    /// 6 two-qutrit and 7 single-qutrit gates (Di & Wei \[15\]); we charge the
     /// decomposition a depth of 6 two-qudit layers (the single-qudit gates
     /// interleave with them).
     pub fn di_wei() -> Self {

@@ -36,6 +36,8 @@ mod gate;
 mod operation;
 pub mod passes;
 mod schedule;
+#[cfg(feature = "serde")]
+mod serde_impls;
 
 pub use circuit::Circuit;
 pub use cost::{analyze, analyze_default, CircuitCosts, CostWeights};

@@ -94,7 +94,7 @@ impl KernelClass {
 }
 
 /// How aggressively the pipeline may transform the circuit.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PassLevel {
     /// Leave the operation list and schedule exactly as-is; only
     /// within-moment fusion (a provable no-op under the moment invariant)
@@ -134,6 +134,28 @@ impl PassLevel {
             PassLevel::PhysicalIdeal => "physical-ideal",
             PassLevel::Ideal => "ideal",
         }
+    }
+
+    /// Parses a CLI flag or wire-format value. Accepts the stable names
+    /// from [`PassLevel::name`] plus `logical` as an alias for
+    /// `noise-preserving` (the ablation knob the noise backends map it to).
+    pub fn from_flag(flag: &str) -> Option<PassLevel> {
+        match flag.to_ascii_lowercase().as_str() {
+            "noise-preserving" | "noisepreserving" | "logical" => Some(PassLevel::NoisePreserving),
+            "physical" => Some(PassLevel::Physical),
+            "physical-ideal" | "physicalideal" => Some(PassLevel::PhysicalIdeal),
+            "ideal" => Some(PassLevel::Ideal),
+            _ => None,
+        }
+    }
+
+    /// Whether a noisy simulation can run at this level: only levels that
+    /// preserve the error-site structure qualify (`Physical` — the lowered
+    /// accounting — and `NoisePreserving` — the logical-granularity
+    /// ablation). The optimizing levels change which errors would be
+    /// charged, so they are noise-free only.
+    pub fn supports_noise(self) -> bool {
+        matches!(self, PassLevel::Physical | PassLevel::NoisePreserving)
     }
 }
 

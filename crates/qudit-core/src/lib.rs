@@ -35,6 +35,8 @@ mod error;
 pub mod gates;
 mod matrix;
 mod random;
+#[cfg(feature = "serde")]
+mod serde_impls;
 mod statevec;
 
 pub use complex::Complex;

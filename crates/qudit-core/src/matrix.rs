@@ -23,7 +23,6 @@ use std::ops::{Add, Mul, Sub};
 /// assert_eq!(x.clone() * x, CMatrix::identity(2));
 /// ```
 #[derive(Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CMatrix {
     rows: usize,
     cols: usize,

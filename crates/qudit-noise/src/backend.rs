@@ -15,7 +15,7 @@
 //! [`cross_validate`] pits them against each other: the trajectory estimate
 //! must land within the computed confidence bound of the exact value.
 
-use crate::error::NoiseResult;
+use crate::error::{NoiseError, NoiseResult};
 use crate::exact::DensityNoiseSimulator;
 use crate::models::NoiseModel;
 use crate::trajectory::{FidelityEstimate, TrajectoryConfig, TrajectorySimulator};
@@ -23,6 +23,20 @@ use qudit_circuit::passes::{self, PassLevel};
 use qudit_circuit::Circuit;
 use qudit_core::{CoreResult, StateVector};
 use qudit_sim::{CompiledCircuit, CompiledDensityCircuit, DensityMatrix};
+
+/// Validates an input state's shape against a circuit, turning the former
+/// panic path of [`Backend::run_each`] into a typed error.
+fn check_state_shape(circuit: &Circuit, state: &StateVector) -> NoiseResult<()> {
+    if state.dim() != circuit.dim() || state.num_qudits() != circuit.width() {
+        return Err(NoiseError::StateShapeMismatch {
+            expected_dim: circuit.dim(),
+            expected_width: circuit.width(),
+            actual_dim: state.dim(),
+            actual_width: state.num_qudits(),
+        });
+    }
+    Ok(())
+}
 
 /// The output of a noise-free backend run: a pure state for state-vector
 /// engines, a density matrix for exact engines. Common read-out queries are
@@ -87,22 +101,25 @@ pub trait Backend: Send + Sync {
     /// inputs (e.g. exhaustive verification over all basis states) — it
     /// avoids re-planning every operation per input.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an input's shape does not match the circuit.
+    /// Returns [`NoiseError::StateShapeMismatch`] if an input's dimension
+    /// or width does not match the circuit; inputs before the offending one
+    /// have already been observed.
     fn run_each(
         &self,
         circuit: &Circuit,
         inputs: &mut dyn Iterator<Item = StateVector>,
         observer: &mut dyn FnMut(usize, SimOutput) -> bool,
-    );
+    ) -> NoiseResult<()>;
 
     /// Noise-free evolution of `initial` through `circuit`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the state shape does not match the circuit.
-    fn run(&self, circuit: &Circuit, initial: &StateVector) -> SimOutput {
+    /// Returns [`NoiseError::StateShapeMismatch`] if the state's shape does
+    /// not match the circuit.
+    fn run(&self, circuit: &Circuit, initial: &StateVector) -> NoiseResult<SimOutput> {
         let mut out = None;
         self.run_each(
             circuit,
@@ -111,19 +128,22 @@ pub trait Backend: Send + Sync {
                 out = Some(o);
                 false
             },
-        );
-        out.expect("run_each yields one output for one input")
+        )?;
+        Ok(out.expect("run_each yields one output for one input"))
     }
 
     /// Mean fidelity of `circuit` under `model` for the configured input
     /// distribution. Trajectory backends sample `config.trials`
     /// trajectories; the exact backend returns ground truth (averaging only
-    /// over inputs when the input distribution is random).
+    /// over inputs when the input distribution is random). The accounting
+    /// follows `config.level` (physical lowering by default, the logical
+    /// ablation at [`PassLevel::NoisePreserving`]).
     ///
     /// # Errors
     ///
     /// Returns an error if the model is unphysical for the circuit's
-    /// dimension or the input specification is invalid.
+    /// dimension, the level does not support noise, or the input
+    /// specification is invalid.
     fn fidelity(
         &self,
         circuit: &Circuit,
@@ -146,14 +166,16 @@ impl Backend for TrajectoryBackend {
         circuit: &Circuit,
         inputs: &mut dyn Iterator<Item = StateVector>,
         observer: &mut dyn FnMut(usize, SimOutput) -> bool,
-    ) {
+    ) -> NoiseResult<()> {
         // Noise-free: the full Ideal pass pipeline may fuse and cancel.
         let compiled = CompiledCircuit::compile_ir(&passes::compile(circuit, PassLevel::Ideal));
         for (i, input) in inputs.enumerate() {
+            check_state_shape(circuit, &input)?;
             if !observer(i, SimOutput::Pure(compiled.run(input))) {
-                return;
+                return Ok(());
             }
         }
+        Ok(())
     }
 
     fn fidelity(
@@ -162,8 +184,8 @@ impl Backend for TrajectoryBackend {
         model: &NoiseModel,
         config: &TrajectoryConfig,
     ) -> NoiseResult<FidelityEstimate> {
-        let sim = TrajectorySimulator::for_expansion(circuit, model, config.expansion)?;
-        sim.run(config).map_err(crate::error::NoiseError::from)
+        let sim = TrajectorySimulator::with_level(circuit, model, config.level)?;
+        sim.run(config).map_err(NoiseError::from)
     }
 }
 
@@ -181,16 +203,18 @@ impl Backend for DensityMatrixBackend {
         circuit: &Circuit,
         inputs: &mut dyn Iterator<Item = StateVector>,
         observer: &mut dyn FnMut(usize, SimOutput) -> bool,
-    ) {
+    ) -> NoiseResult<()> {
         // Noise-free: the full Ideal pass pipeline may fuse and cancel.
         let compiled =
             CompiledDensityCircuit::compile_ir(&passes::compile(circuit, PassLevel::Ideal));
         for (i, input) in inputs.enumerate() {
+            check_state_shape(circuit, &input)?;
             let out = compiled.run(DensityMatrix::from_pure(&input));
             if !observer(i, SimOutput::Mixed(out)) {
-                return;
+                return Ok(());
             }
         }
+        Ok(())
     }
 
     fn fidelity(
@@ -199,8 +223,8 @@ impl Backend for DensityMatrixBackend {
         model: &NoiseModel,
         config: &TrajectoryConfig,
     ) -> NoiseResult<FidelityEstimate> {
-        let sim = DensityNoiseSimulator::for_expansion(circuit, model, config.expansion)?;
-        sim.run(config).map_err(crate::error::NoiseError::from)
+        let sim = DensityNoiseSimulator::with_level(circuit, model, config.level)?;
+        sim.run(config).map_err(NoiseError::from)
     }
 }
 
@@ -331,12 +355,32 @@ mod tests {
     fn both_backends_agree_on_noise_free_runs() {
         let c = toffoli_fig4();
         let input = StateVector::from_basis_state(3, &[1, 1, 0]).unwrap();
-        let pure = TrajectoryBackend.run(&c, &input);
-        let mixed = DensityMatrixBackend.run(&c, &input);
+        let pure = TrajectoryBackend.run(&c, &input).unwrap();
+        let mixed = DensityMatrixBackend.run(&c, &input).unwrap();
         for (a, b) in pure.probabilities().iter().zip(mixed.probabilities()) {
             assert!((a - b).abs() < 1e-12);
         }
         assert!((mixed.probability(&[1, 1, 1]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error_not_a_panic() {
+        let c = toffoli_fig4();
+        let wrong_width = StateVector::from_basis_state(3, &[1, 1]).unwrap();
+        let wrong_dim = StateVector::from_basis_state(2, &[1, 1, 0]).unwrap();
+        for backend in [
+            &TrajectoryBackend as &dyn Backend,
+            &DensityMatrixBackend as &dyn Backend,
+        ] {
+            for bad in [&wrong_width, &wrong_dim] {
+                let err = backend.run(&c, bad).unwrap_err();
+                assert!(
+                    matches!(err, NoiseError::StateShapeMismatch { .. }),
+                    "{} gave {err}",
+                    backend.name()
+                );
+            }
+        }
     }
 
     #[test]

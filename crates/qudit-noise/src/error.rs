@@ -42,6 +42,24 @@ pub enum NoiseError {
         /// Human-readable description.
         reason: String,
     },
+    /// A noisy simulation was requested at a compiler pass level that does
+    /// not preserve error sites (the optimizing `Ideal` / `PhysicalIdeal`
+    /// levels).
+    UnsupportedLevel {
+        /// The rejected level's stable name.
+        level: &'static str,
+    },
+    /// An input state's shape did not match the circuit it was run through.
+    StateShapeMismatch {
+        /// Qudit dimension expected by the circuit.
+        expected_dim: usize,
+        /// Register width expected by the circuit.
+        expected_width: usize,
+        /// Qudit dimension of the offending state.
+        actual_dim: usize,
+        /// Register width of the offending state.
+        actual_width: usize,
+    },
 }
 
 impl From<qudit_core::CoreError> for NoiseError {
@@ -75,6 +93,25 @@ impl fmt::Display for NoiseError {
             }
             NoiseError::InvalidModel { reason } => write!(f, "invalid noise model: {reason}"),
             NoiseError::Simulation { reason } => write!(f, "simulation failed: {reason}"),
+            NoiseError::UnsupportedLevel { level } => {
+                write!(
+                    f,
+                    "pass level {level:?} optimizes across error sites; noisy runs support \
+                     \"physical\" and \"noise-preserving\" only"
+                )
+            }
+            NoiseError::StateShapeMismatch {
+                expected_dim,
+                expected_width,
+                actual_dim,
+                actual_width,
+            } => {
+                write!(
+                    f,
+                    "input state has dimension {actual_dim} and width {actual_width}, but the \
+                     circuit needs dimension {expected_dim} and width {expected_width}"
+                )
+            }
         }
     }
 }

@@ -8,18 +8,19 @@
 //! `⟨ψ_ideal|ρ|ψ_ideal⟩` is the ground-truth value the trajectory estimates
 //! converge to; the cross-validation harness ([`crate::cross_validate`])
 //! asserts exactly that, and the `decomposition_diff` suite asserts the
-//! physically lowered program agrees with the legacy virtual accounting to
-//! ≤ 1e-9.
+//! physically lowered program agrees with an independent virtual-accounting
+//! oracle to ≤ 1e-9.
 //!
 //! Cost: `d^2n` entries instead of `d^n` amplitudes, so this is the small-n
 //! oracle (≲ 6–7 qutrits) while trajectories remain the scalable engine.
 
-use crate::error::NoiseResult;
+use crate::error::{NoiseError, NoiseResult};
 use crate::models::NoiseModel;
 use crate::trajectory::{
-    build_noise_sites, estimate_from_samples, FidelityEstimate, GateExpansion, InputState,
-    NoiseProgram, NoiseSites, TrajectoryConfig,
+    build_noise_sites, estimate_from_samples, FidelityEstimate, InputState, NoiseProgram,
+    NoiseSites, TrajectoryConfig,
 };
+use qudit_circuit::passes::{CompiledIr, PassLevel};
 use qudit_core::{random_qubit_subspace_state, CoreError, StateVector};
 use qudit_sim::{
     superoperator_targets, ApplyPlan, CompiledCircuit, CompiledDensityCircuit, DensityMatrix,
@@ -32,7 +33,7 @@ use rayon::prelude::*;
 /// An exact density-matrix noise simulator bound to a circuit and a noise
 /// model.
 ///
-/// Construction compiles a [`NoiseProgram`] (physically lowered by
+/// Construction compiles a `NoiseProgram` (physically lowered by
 /// default) and compiles the program circuit twice — a state-vector
 /// [`CompiledCircuit`] for the ideal reference output and a
 /// [`CompiledDensityCircuit`] for the noisy `U·ρ·U†` evolution — plus one
@@ -61,43 +62,79 @@ impl<'a> DensityNoiseSimulator<'a> {
         Self::from_program(NoiseProgram::physical(circuit)?, model)
     }
 
-    /// Builds the simulator on the **deprecated** virtual-expansion
-    /// accounting (synthetic per-arity error sites, no lowering).
+    /// Builds the simulator on the logical-granularity ablation accounting
+    /// (one error per unlowered operation; the optimistic baseline).
     ///
     /// # Errors
     ///
     /// Returns an error if the model parameters are unphysical for the
     /// circuit's qudit dimension.
-    pub fn with_virtual_expansion(
-        circuit: &qudit_circuit::Circuit,
-        model: &'a NoiseModel,
-        expansion: GateExpansion,
-    ) -> NoiseResult<Self> {
-        Self::from_program(NoiseProgram::virtual_expansion(circuit, expansion), model)
+    pub fn logical(circuit: &qudit_circuit::Circuit, model: &'a NoiseModel) -> NoiseResult<Self> {
+        Self::from_program(NoiseProgram::logical(circuit), model)
     }
 
-    /// Builds the simulator a config's `expansion` selects: `DiWei` → the
-    /// physical lowering, `Logical` → the deprecated virtual baseline. The
-    /// single dispatch point behind [`exact_fidelity`] and the
-    /// [`Backend`](crate::Backend) trait.
+    /// Builds the simulator a pass level selects: [`PassLevel::Physical`]
+    /// → the lowered accounting, [`PassLevel::NoisePreserving`] → the
+    /// logical ablation. The single dispatch point behind
+    /// [`exact_fidelity`] and the [`Backend`](crate::Backend) trait.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`DensityNoiseSimulator::new`].
-    pub fn for_expansion(
+    /// Returns [`NoiseError::UnsupportedLevel`] for the optimizing levels;
+    /// otherwise the same conditions as [`DensityNoiseSimulator::new`].
+    pub fn with_level(
         circuit: &qudit_circuit::Circuit,
         model: &'a NoiseModel,
-        expansion: GateExpansion,
+        level: PassLevel,
     ) -> NoiseResult<Self> {
-        match expansion {
-            GateExpansion::DiWei => Self::new(circuit, model),
-            GateExpansion::Logical => {
-                Self::with_virtual_expansion(circuit, model, GateExpansion::Logical)
-            }
+        match level {
+            PassLevel::Physical => Self::new(circuit, model),
+            PassLevel::NoisePreserving => Self::logical(circuit, model),
+            level => Err(NoiseError::UnsupportedLevel {
+                level: level.name(),
+            }),
         }
     }
 
+    /// Builds the simulator from an already-compiled IR, skipping the pass
+    /// pipeline: the accounting follows the level the IR was compiled at.
+    /// The compile-once entry point the `qudit-api` executor uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError::UnsupportedLevel`] if the IR was compiled at
+    /// an optimizing level, or an error if the model parameters are
+    /// unphysical for the circuit's qudit dimension.
+    pub fn from_compiled(ir: &CompiledIr, model: &'a NoiseModel) -> NoiseResult<Self> {
+        Self::from_program(NoiseProgram::from_ir(ir)?, model)
+    }
+
+    /// Like [`DensityNoiseSimulator::from_compiled`], but the ideal
+    /// reference's gate plans compile through the caller's [`Simulator`]
+    /// plan cache, shared across simulators over the same circuit. (The
+    /// superoperator pair plans and channel plans are model-shaped and
+    /// still build per construction.)
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DensityNoiseSimulator::from_compiled`].
+    pub fn from_compiled_with(
+        ir: &CompiledIr,
+        model: &'a NoiseModel,
+        planner: &Simulator,
+    ) -> NoiseResult<Self> {
+        Self::from_program_with(NoiseProgram::from_ir(ir)?, model, planner)
+    }
+
     fn from_program(program: NoiseProgram, model: &'a NoiseModel) -> NoiseResult<Self> {
+        Self::from_program_with(program, model, &Simulator::new())
+    }
+
+    fn from_program_with(
+        program: NoiseProgram,
+        model: &'a NoiseModel,
+        planner: &Simulator,
+    ) -> NoiseResult<Self> {
         let d = program.circuit.dim();
         let n = program.circuit.width();
         let sites = build_noise_sites(&program, model, |c, qudits| {
@@ -109,7 +146,7 @@ impl<'a> DensityNoiseSimulator<'a> {
             )
         })?;
         Ok(DensityNoiseSimulator {
-            ideal: Simulator::new().compile(&program.circuit),
+            ideal: planner.compile(&program.circuit),
             noisy: CompiledDensityCircuit::compile(&program.circuit),
             program,
             model,
@@ -216,20 +253,20 @@ impl<'a> DensityNoiseSimulator<'a> {
 }
 
 /// Convenience entry point: exact fidelity of `circuit` under `model`.
-/// `config.expansion` selects the accounting: `DiWei` (default) simulates
-/// the physically lowered circuit, `Logical` the deprecated optimistic
-/// baseline.
+/// `config.level` selects the accounting: [`PassLevel::Physical`] (default)
+/// simulates the physically lowered circuit, [`PassLevel::NoisePreserving`]
+/// the logical ablation baseline.
 ///
 /// # Errors
 ///
-/// Returns an error if the model is unphysical for the circuit dimension or
-/// the input specification is invalid.
+/// Returns an error if the model is unphysical for the circuit dimension,
+/// the level does not support noise, or the input specification is invalid.
 pub fn exact_fidelity(
     circuit: &qudit_circuit::Circuit,
     model: &NoiseModel,
     config: &TrajectoryConfig,
 ) -> Result<FidelityEstimate, Box<dyn std::error::Error + Send + Sync>> {
-    let sim = DensityNoiseSimulator::for_expansion(circuit, model, config.expansion)?;
+    let sim = DensityNoiseSimulator::with_level(circuit, model, config.level)?;
     Ok(sim.run(config)?)
 }
 

@@ -44,6 +44,8 @@ mod error;
 mod exact;
 mod kraus;
 pub mod models;
+#[cfg(feature = "serde")]
+mod serde_impls;
 mod trajectory;
 
 pub use backend::{
@@ -60,6 +62,5 @@ pub use exact::{exact_fidelity, DensityNoiseSimulator};
 pub use kraus::{Channel, CompiledChannel};
 pub use models::NoiseModel;
 pub use trajectory::{
-    simulate_fidelity, FidelityEstimate, GateExpansion, InputState, TrajectoryConfig,
-    TrajectorySimulator,
+    simulate_fidelity, FidelityEstimate, InputState, TrajectoryConfig, TrajectorySimulator,
 };

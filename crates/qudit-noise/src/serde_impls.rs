@@ -1,0 +1,144 @@
+//! Hand-written `serde` implementations for the noise layer of the JSON
+//! wire format: noise models, backend selectors, input-state
+//! distributions, and fidelity estimates.
+
+use crate::backend::BackendKind;
+use crate::models::NoiseModel;
+use crate::trajectory::{FidelityEstimate, InputState};
+use serde::{Deserialize, Error, Serialize, Value};
+
+impl Serialize for NoiseModel {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("name", self.name.to_value()),
+            ("p1", self.p1.to_value()),
+            ("p2", self.p2.to_value()),
+            ("t1", self.t1.to_value()),
+            ("gate_time_1q", self.gate_time_1q.to_value()),
+            ("gate_time_2q", self.gate_time_2q.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for NoiseModel {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(NoiseModel {
+            name: String::from_value(value.field("name")?)?,
+            p1: value.field("p1")?.as_f64()?,
+            p2: value.field("p2")?.as_f64()?,
+            t1: Option::<f64>::from_value(value.field("t1")?)?,
+            gate_time_1q: value.field("gate_time_1q")?.as_f64()?,
+            gate_time_2q: value.field("gate_time_2q")?.as_f64()?,
+        })
+    }
+}
+
+impl Serialize for BackendKind {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for BackendKind {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let name = value.as_str()?;
+        BackendKind::from_flag(name)
+            .ok_or_else(|| Error::custom(format!("unknown backend {name:?}")))
+    }
+}
+
+impl Serialize for InputState {
+    fn to_value(&self) -> Value {
+        match self {
+            InputState::RandomQubitSubspace => {
+                Value::object(vec![("kind", "random-qubit-subspace".to_value())])
+            }
+            InputState::AllOnes => Value::object(vec![("kind", "all-ones".to_value())]),
+            InputState::Basis(digits) => Value::object(vec![
+                ("kind", "basis".to_value()),
+                ("digits", digits.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for InputState {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.field("kind")?.as_str()? {
+            "random-qubit-subspace" => Ok(InputState::RandomQubitSubspace),
+            "all-ones" => Ok(InputState::AllOnes),
+            "basis" => Ok(InputState::Basis(Vec::<usize>::from_value(
+                value.field("digits")?,
+            )?)),
+            other => Err(Error::custom(format!("unknown input state kind {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for FidelityEstimate {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("mean", self.mean.to_value()),
+            ("std_error", self.std_error.to_value()),
+            ("trials", self.trials.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FidelityEstimate {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(FidelityEstimate {
+            mean: value.field("mean")?.as_f64()?,
+            std_error: value.field("std_error")?.as_f64()?,
+            trials: value.field("trials")?.as_usize()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use serde::json;
+
+    #[test]
+    fn every_paper_model_round_trips() {
+        for model in models::all_models() {
+            let back: NoiseModel = json::from_str(&json::to_string(&model)).unwrap();
+            assert_eq!(back, model);
+        }
+    }
+
+    #[test]
+    fn backend_kind_round_trips() {
+        for kind in [BackendKind::Trajectory, BackendKind::DensityMatrix] {
+            let back: BackendKind = json::from_str(&json::to_string(&kind)).unwrap();
+            assert_eq!(back, kind);
+        }
+    }
+
+    #[test]
+    fn input_state_round_trips() {
+        for input in [
+            InputState::RandomQubitSubspace,
+            InputState::AllOnes,
+            InputState::Basis(vec![1, 0, 2]),
+        ] {
+            let back: InputState = json::from_str(&json::to_string(&input)).unwrap();
+            assert_eq!(back, input);
+        }
+    }
+
+    #[test]
+    fn fidelity_estimate_round_trips_bit_exact() {
+        let est = FidelityEstimate {
+            mean: 0.903_712_345_678_9,
+            std_error: 1.25e-3,
+            trials: 400,
+        };
+        let back: FidelityEstimate = json::from_str(&json::to_string(&est)).unwrap();
+        assert_eq!(back.mean.to_bits(), est.mean.to_bits());
+        assert_eq!(back.std_error.to_bits(), est.std_error.to_bits());
+        assert_eq!(back.trials, est.trials);
+    }
+}

@@ -28,23 +28,32 @@
 //! "replace the targeted qudits with the maximally mixed state with
 //! probability `d²p`"), all gate errors of a frame commute with one
 //! another, and charging them at the end of the frame is *exactly* equal
-//! to the legacy virtual accounting the paper publishes — the
+//! to the virtual per-arity accounting the paper publishes — the
 //! `decomposition_diff` differential suite pins that equality at ≤ 1e-9
-//! across every noise model.
+//! against an independent oracle across every noise model.
 //!
-//! ## Deprecated: virtual expansion
+//! ## The pass-level knob
 //!
-//! [`GateExpansion`] and [`NoiseProgram::virtual_expansion`] preserve the
-//! pre-lowering accounting, which charged 6 two-qudit + 7 single-qudit
-//! synthetic error sites per ≥3-qudit operation without simulating the
-//! lowered gates. They are kept for one release as a compatibility shim —
-//! the differential tests compare the two paths — and as the `Logical`
-//! ablation baseline. New code should use the physical constructors.
+//! Which accounting a simulation uses is selected by the compiler's
+//! [`PassLevel`], threaded through [`TrajectoryConfig::level`] (and, one
+//! layer up, through the `qudit-api` job façade):
+//!
+//! * [`PassLevel::Physical`] (default) — the lowered accounting above.
+//! * [`PassLevel::NoisePreserving`] — the *logical* ablation: the circuit
+//!   is left unlowered and every operation charges a single error on its
+//!   own qudits (one two-qudit error on the first two qudits for ≥2-qudit
+//!   operations), with idle durations from the unexpanded schedule. This is
+//!   the optimistic baseline the paper's ablation compares against.
+//! * The optimizing levels (`Ideal`, `PhysicalIdeal`) change which errors
+//!   would be charged, so noisy runs reject them with a typed error.
+//!
+//! PR 4's deprecated `GateExpansion` virtual-accounting shim is gone; the
+//! differential suite now carries its own oracle.
 
 use crate::error::{NoiseError, NoiseResult};
 use crate::kraus::{Channel, CompiledChannel};
 use crate::models::NoiseModel;
-use qudit_circuit::passes::{self, PassLevel};
+use qudit_circuit::passes::{self, CompiledIr, PassLevel};
 use qudit_circuit::{Circuit, FrameDuration, FrameSchedule, Operation};
 use qudit_core::{random_qubit_subspace_state, CoreError, StateVector};
 use qudit_sim::{CompiledCircuit, Simulator};
@@ -52,29 +61,6 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::collections::HashMap;
-
-/// How gate errors are charged to operations touching three or more qudits
-/// by the **deprecated** virtual-expansion accounting
-/// ([`NoiseProgram::virtual_expansion`]).
-///
-/// The physical path does not consult this type: since the Di & Wei
-/// lowering landed in the compiler ([`PassLevel::Physical`]), errors attach
-/// to the real lowered gates. `DiWei` survives as the name of the default
-/// accounting in [`TrajectoryConfig`] (routed to the physical path) and
-/// `Logical` as the optimistic ablation baseline.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum GateExpansion {
-    /// Charge one two-qudit gate error to the operation's first two qudits.
-    /// (Useful as an optimistic ablation baseline.)
-    Logical,
-    /// The paper's Di & Wei decomposition: 6 two-qudit gate errors and
-    /// 7 single-qudit gate errors per ≥3-qudit operation, and 6
-    /// two-qudit-length idle periods. Through the config this now selects
-    /// the *physical* path (the decomposition simulated in the IR); through
-    /// [`NoiseProgram::virtual_expansion`] it reproduces the legacy
-    /// synthetic-site accounting.
-    DiWei,
-}
 
 /// The input-state distribution for each trial.
 #[derive(Clone, Debug, PartialEq)]
@@ -96,10 +82,11 @@ pub struct TrajectoryConfig {
     pub trials: usize,
     /// Base RNG seed; trial `i` uses `seed + i`.
     pub seed: u64,
-    /// Gate-error accounting for ≥3-qudit operations: `DiWei` (default)
-    /// simulates the physically lowered circuit; `Logical` is the
-    /// deprecated optimistic baseline.
-    pub expansion: GateExpansion,
+    /// The compiler pass level selecting the noise accounting:
+    /// [`PassLevel::Physical`] (default) simulates the Di & Wei-lowered
+    /// circuit; [`PassLevel::NoisePreserving`] is the logical-granularity
+    /// ablation. Optimizing levels are rejected for noisy runs.
+    pub level: PassLevel,
     /// Input-state distribution.
     pub input: InputState,
 }
@@ -109,7 +96,7 @@ impl Default for TrajectoryConfig {
         TrajectoryConfig {
             trials: 100,
             seed: 2019,
-            expansion: GateExpansion::DiWei,
+            level: PassLevel::Physical,
             input: InputState::RandomQubitSubspace,
         }
     }
@@ -130,6 +117,15 @@ impl FidelityEstimate {
     /// The paper reports `2σ` error bars; this is `2 × std_error`.
     pub fn two_sigma(&self) -> f64 {
         2.0 * self.std_error
+    }
+
+    /// The binomial error bar `√(F(1−F)/trials)`: since per-trial
+    /// fidelities lie in `[0, 1]`, this bounds the standard error of the
+    /// mean regardless of the per-trial distribution. It is the bound the
+    /// cross-validation gate and the API's execution results report.
+    pub fn binomial_sigma(&self) -> f64 {
+        let f = self.mean.clamp(0.0, 1.0);
+        (f * (1.0 - f) / self.trials.max(1) as f64).sqrt()
     }
 }
 
@@ -177,43 +173,63 @@ impl NoiseProgram {
     /// ≥3-qudit operation the decomposition cannot lower (multi-target
     /// high-arity operations).
     pub(crate) fn physical(circuit: &Circuit) -> NoiseResult<NoiseProgram> {
-        let ir = passes::compile(circuit, PassLevel::Physical);
-        let frames = ir
-            .frames()
-            .expect("the Physical pipeline always records frames")
-            .clone();
-        let circuit = ir.circuit().clone();
-        if let Some(op) = circuit.iter().find(|op| op.arity() >= 3) {
-            return Err(NoiseError::Simulation {
-                reason: format!("operation {op} could not be lowered to arity ≤ 2"),
-            });
-        }
-        let sites = circuit.iter().map(uniform_sites).collect();
-        Ok(NoiseProgram {
-            circuit,
-            frames: program_frames(&frames),
-            sites,
-        })
+        Self::from_ir(&passes::compile(circuit, PassLevel::Physical))
     }
 
-    /// The **deprecated** virtual-expansion program: the circuit compiled
+    /// The logical-granularity ablation program: the circuit compiled
     /// through the (identity) [`PassLevel::NoisePreserving`] pipeline, with
-    /// synthetic per-operation error sites from the legacy arity dispatch
-    /// and idle durations from the per-arity constants. Kept for one
-    /// release as the differential-test baseline and the `Logical`
-    /// ablation.
-    pub(crate) fn virtual_expansion(circuit: &Circuit, expansion: GateExpansion) -> NoiseProgram {
+    /// one error per operation on its own qudits (the first two qudits for
+    /// ≥2-qudit operations) and idle durations from the unexpanded
+    /// schedule. This is the optimistic baseline the paper's accounting
+    /// ablation compares against.
+    pub(crate) fn logical(circuit: &Circuit) -> NoiseProgram {
         let ir = passes::compile(circuit, PassLevel::NoisePreserving);
-        let frames = FrameSchedule::from_moments(ir.schedule(), expansion == GateExpansion::DiWei);
+        Self::logical_from_ir(&ir)
+    }
+
+    /// Builds the program from an already-compiled IR, dispatching on the
+    /// level the IR was compiled at: [`PassLevel::Physical`] yields the
+    /// lowered accounting, [`PassLevel::NoisePreserving`] the logical
+    /// ablation. This is the compile-once entry point the `qudit-api`
+    /// executor's job cache uses — the expensive pass pipeline (including
+    /// the Di & Wei eigendecompositions) runs once per structurally
+    /// distinct circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError::UnsupportedLevel`] for the optimizing levels
+    /// and [`NoiseError::Simulation`] if a ≥3-qudit operation could not be
+    /// lowered.
+    pub(crate) fn from_ir(ir: &CompiledIr) -> NoiseResult<NoiseProgram> {
+        match ir.report().level {
+            PassLevel::NoisePreserving => Ok(Self::logical_from_ir(ir)),
+            PassLevel::Physical => {
+                let frames = ir
+                    .frames()
+                    .expect("the Physical pipeline always records frames");
+                let circuit = ir.circuit().clone();
+                if let Some(op) = circuit.iter().find(|op| op.arity() >= 3) {
+                    return Err(NoiseError::Simulation {
+                        reason: format!("operation {op} could not be lowered to arity ≤ 2"),
+                    });
+                }
+                let sites = circuit.iter().map(uniform_sites).collect();
+                Ok(NoiseProgram {
+                    circuit,
+                    frames: program_frames(frames),
+                    sites,
+                })
+            }
+            level => Err(NoiseError::UnsupportedLevel {
+                level: level.name(),
+            }),
+        }
+    }
+
+    fn logical_from_ir(ir: &CompiledIr) -> NoiseProgram {
+        let frames = FrameSchedule::from_moments(ir.schedule(), false);
         let circuit = ir.circuit().clone();
-        let sites = circuit
-            .iter()
-            .map(|op| {
-                let mut v = Vec::new();
-                for_each_gate_error_site(op, expansion, |site| v.push(site));
-                v
-            })
-            .collect();
+        let sites = circuit.iter().map(logical_sites).collect();
         NoiseProgram {
             circuit,
             frames: program_frames(&frames),
@@ -260,6 +276,18 @@ fn uniform_sites(op: &Operation) -> Vec<ErrorSite> {
         1 => vec![ErrorSite::Single(qudits[0])],
         2 => vec![ErrorSite::Pair([qudits[0], qudits[1]])],
         _ => unreachable!("physical programs are lowered to arity ≤ 2"),
+    }
+}
+
+/// The logical-ablation site rule: one error per operation regardless of
+/// arity — single-qudit channel for 1-qudit ops, one two-qudit channel on
+/// the first two qudits otherwise.
+fn logical_sites(op: &Operation) -> Vec<ErrorSite> {
+    let qudits = op.qudits();
+    match qudits.len() {
+        0 => Vec::new(),
+        1 => vec![ErrorSite::Single(qudits[0])],
+        _ => vec![ErrorSite::Pair([qudits[0], qudits[1]])],
     }
 }
 
@@ -360,40 +388,12 @@ pub(crate) fn build_noise_sites<T>(
     })
 }
 
-/// **Deprecated shim**: invokes `f` with every synthetic gate-error charge
-/// of `op` under the virtual `expansion`, in application order. This is the
-/// legacy arity dispatch the physical lowering replaced; it feeds
-/// [`NoiseProgram::virtual_expansion`] only.
-pub(crate) fn for_each_gate_error_site<F: FnMut(ErrorSite)>(
-    op: &Operation,
-    expansion: GateExpansion,
-    mut f: F,
-) {
-    let qudits = op.qudits();
-    match (op.arity(), expansion) {
-        (0, _) => {}
-        (1, _) => f(ErrorSite::Single(qudits[0])),
-        (2, _) | (_, GateExpansion::Logical) => f(ErrorSite::Pair([qudits[0], qudits[1]])),
-        (_, GateExpansion::DiWei) => {
-            // 6 two-qudit errors over the operation's qudit pairs and
-            // 7 single-qudit errors over its qudits, cycling.
-            let pairs: Vec<[usize; 2]> = pair_cycle(&qudits);
-            for i in 0..6 {
-                f(ErrorSite::Pair(pairs[i % pairs.len()]));
-            }
-            for i in 0..7 {
-                f(ErrorSite::Single(qudits[i % qudits.len()]));
-            }
-        }
-    }
-}
-
 /// A trajectory noise simulator bound to a circuit and a noise model.
 ///
-/// Construction compiles a [`NoiseProgram`] (physically lowered by
+/// Construction compiles a `NoiseProgram` (physically lowered by
 /// default), compiles the program circuit into per-operation apply plans
 /// ([`CompiledCircuit`]) *and* precompiles every noise channel per
-/// application site ([`NoiseSites`]); both are shared by every trial, so a
+/// application site (`NoiseSites`); both are shared by every trial, so a
 /// Monte Carlo run does zero plan building inside its trial loop. Trials
 /// already run one per core, so gate application inside a trial is
 /// deliberately sequential — nested fan-out would oversubscribe the
@@ -417,43 +417,84 @@ impl<'a> TrajectorySimulator<'a> {
         Self::from_program(NoiseProgram::physical(circuit)?, model)
     }
 
-    /// Builds a trajectory simulator on the **deprecated** virtual
-    /// expansion accounting (synthetic per-arity error sites, no lowering).
+    /// Builds a trajectory simulator on the logical-granularity ablation
+    /// accounting (one error per unlowered operation; the optimistic
+    /// baseline).
     ///
     /// # Errors
     ///
     /// Returns an error if the model parameters are unphysical for the
     /// circuit's qudit dimension.
-    pub fn with_virtual_expansion(
-        circuit: &Circuit,
-        model: &'a NoiseModel,
-        expansion: GateExpansion,
-    ) -> NoiseResult<Self> {
-        Self::from_program(NoiseProgram::virtual_expansion(circuit, expansion), model)
+    pub fn logical(circuit: &Circuit, model: &'a NoiseModel) -> NoiseResult<Self> {
+        Self::from_program(NoiseProgram::logical(circuit), model)
     }
 
-    /// Builds the simulator a config's `expansion` selects: `DiWei` → the
-    /// physical lowering, `Logical` → the deprecated virtual baseline. The
-    /// single dispatch point behind [`simulate_fidelity`] and the
-    /// [`Backend`](crate::Backend) trait.
+    /// Builds the simulator a pass level selects: [`PassLevel::Physical`]
+    /// → the lowered accounting, [`PassLevel::NoisePreserving`] → the
+    /// logical ablation. The single dispatch point behind
+    /// [`simulate_fidelity`] and the [`Backend`](crate::Backend) trait.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`TrajectorySimulator::new`].
-    pub fn for_expansion(
+    /// Returns [`NoiseError::UnsupportedLevel`] for the optimizing levels
+    /// (`Ideal`, `PhysicalIdeal`), which change which errors would be
+    /// charged; otherwise the same conditions as
+    /// [`TrajectorySimulator::new`].
+    pub fn with_level(
         circuit: &Circuit,
         model: &'a NoiseModel,
-        expansion: GateExpansion,
+        level: PassLevel,
     ) -> NoiseResult<Self> {
-        match expansion {
-            GateExpansion::DiWei => Self::new(circuit, model),
-            GateExpansion::Logical => {
-                Self::with_virtual_expansion(circuit, model, GateExpansion::Logical)
-            }
+        match level {
+            PassLevel::Physical => Self::new(circuit, model),
+            PassLevel::NoisePreserving => Self::logical(circuit, model),
+            level => Err(NoiseError::UnsupportedLevel {
+                level: level.name(),
+            }),
         }
     }
 
+    /// Builds the simulator from an already-compiled IR (see
+    /// [`qudit_circuit::passes::compile`]), skipping the pass pipeline: the
+    /// accounting follows the level the IR was compiled at. This is the
+    /// entry point the `qudit-api` executor's structure-keyed job cache
+    /// uses to compile each distinct circuit once per batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError::UnsupportedLevel`] if the IR was compiled at
+    /// an optimizing level, or an error if the model parameters are
+    /// unphysical for the circuit's qudit dimension.
+    pub fn from_compiled(ir: &CompiledIr, model: &'a NoiseModel) -> NoiseResult<Self> {
+        Self::from_program(NoiseProgram::from_ir(ir)?, model)
+    }
+
+    /// Like [`TrajectorySimulator::from_compiled`], but gate plans compile
+    /// through the caller's [`Simulator`] plan cache, so repeated
+    /// constructions over the same circuit (a batch of jobs differing only
+    /// in noise model or seed) share one plan set instead of each building
+    /// their own.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TrajectorySimulator::from_compiled`].
+    pub fn from_compiled_with(
+        ir: &CompiledIr,
+        model: &'a NoiseModel,
+        planner: &Simulator,
+    ) -> NoiseResult<Self> {
+        Self::from_program_with(NoiseProgram::from_ir(ir)?, model, planner)
+    }
+
     fn from_program(program: NoiseProgram, model: &'a NoiseModel) -> NoiseResult<Self> {
+        Self::from_program_with(program, model, &Simulator::new())
+    }
+
+    fn from_program_with(
+        program: NoiseProgram,
+        model: &'a NoiseModel,
+        planner: &Simulator,
+    ) -> NoiseResult<Self> {
         let d = program.circuit.dim();
         let n = program.circuit.width();
         let channels = build_noise_sites(&program, model, |c, qudits| c.compile(d, n, qudits))?;
@@ -461,8 +502,8 @@ impl<'a> TrajectorySimulator<'a> {
             // Compile through a Simulator so structurally equal gates (the
             // mirrored compute/uncompute halves, the repeated Di & Wei
             // block gates) share one plan instead of each building their
-            // own.
-            compiled: Simulator::new().compile(&program.circuit),
+            // own — and, with a caller-held planner, across simulators.
+            compiled: planner.compile(&program.circuit),
             program,
             model,
             channels,
@@ -545,20 +586,20 @@ impl<'a> TrajectorySimulator<'a> {
 }
 
 /// Convenience entry point: simulate `circuit` under `model` with the given
-/// configuration. `config.expansion` selects the accounting: `DiWei`
-/// (default) simulates the physically lowered circuit, `Logical` the
-/// deprecated optimistic baseline.
+/// configuration. `config.level` selects the accounting:
+/// [`PassLevel::Physical`] (default) simulates the physically lowered
+/// circuit, [`PassLevel::NoisePreserving`] the logical ablation baseline.
 ///
 /// # Errors
 ///
-/// Returns an error if the model is unphysical for the circuit dimension or
-/// the input specification is invalid.
+/// Returns an error if the model is unphysical for the circuit dimension,
+/// the level does not support noise, or the input specification is invalid.
 pub fn simulate_fidelity(
     circuit: &Circuit,
     model: &NoiseModel,
     config: &TrajectoryConfig,
 ) -> Result<FidelityEstimate, Box<dyn std::error::Error + Send + Sync>> {
-    let sim = TrajectorySimulator::for_expansion(circuit, model, config.expansion)?;
+    let sim = TrajectorySimulator::with_level(circuit, model, config.level)?;
     Ok(sim.run(config)?)
 }
 
@@ -575,21 +616,6 @@ pub(crate) fn estimate_from_samples(samples: &[f64]) -> FidelityEstimate {
         std_error: (var / n).sqrt(),
         trials: samples.len(),
     }
-}
-
-/// All unordered pairs of the given qudits, cycled in a deterministic order
-/// (part of the deprecated virtual-expansion shim).
-pub(crate) fn pair_cycle(qudits: &[usize]) -> Vec<[usize; 2]> {
-    let mut pairs = Vec::new();
-    for i in 0..qudits.len() {
-        for j in (i + 1)..qudits.len() {
-            pairs.push([qudits[i], qudits[j]]);
-        }
-    }
-    if pairs.is_empty() {
-        pairs.push([qudits[0], qudits[0]]);
-    }
-    pairs
 }
 
 #[cfg(test)]
@@ -705,7 +731,7 @@ mod tests {
     }
 
     #[test]
-    fn diwei_expansion_is_noisier_than_logical_for_three_qudit_ops() {
+    fn physical_accounting_is_noisier_than_the_logical_ablation() {
         // Build a circuit with a genuine 3-qutrit operation.
         let mut c = Circuit::new(3, 3);
         for _ in 0..4 {
@@ -727,25 +753,38 @@ mod tests {
         let config_base = TrajectoryConfig {
             trials: 60,
             seed: 5,
-            expansion: GateExpansion::Logical,
+            level: PassLevel::NoisePreserving,
             input: InputState::AllOnes,
         };
         let logical = simulate_fidelity(&c, &model, &config_base).unwrap();
-        let diwei = simulate_fidelity(
+        let physical = simulate_fidelity(
             &c,
             &model,
             &TrajectoryConfig {
-                expansion: GateExpansion::DiWei,
+                level: PassLevel::Physical,
                 ..config_base
             },
         )
         .unwrap();
         assert!(
-            diwei.mean < logical.mean,
-            "diwei {} should be below logical {}",
-            diwei.mean,
+            physical.mean < logical.mean,
+            "physical {} should be below logical {}",
+            physical.mean,
             logical.mean
         );
+    }
+
+    #[test]
+    fn optimizing_levels_are_rejected_for_noisy_runs() {
+        let c = toffoli_fig4();
+        let model = sc();
+        for level in [PassLevel::Ideal, PassLevel::PhysicalIdeal] {
+            match TrajectorySimulator::with_level(&c, &model, level) {
+                Err(NoiseError::UnsupportedLevel { .. }) => {}
+                Err(other) => panic!("wrong error: {other}"),
+                Ok(_) => panic!("{} must be rejected for noisy runs", level.name()),
+            }
+        }
     }
 
     #[test]
@@ -778,7 +817,7 @@ mod tests {
     }
 
     #[test]
-    fn virtual_program_reproduces_the_legacy_site_multiset() {
+    fn logical_program_charges_one_site_per_operation() {
         let mut c = Circuit::new(3, 3);
         c.push_controlled(
             Gate::increment(3),
@@ -786,15 +825,13 @@ mod tests {
             &[2],
         )
         .unwrap();
-        let legacy = NoiseProgram::virtual_expansion(&c, GateExpansion::DiWei);
-        let physical = NoiseProgram::physical(&c).unwrap();
-        let multiset = |p: &NoiseProgram| {
-            let mut v: Vec<String> = p.sites.iter().flatten().map(|s| format!("{s:?}")).collect();
-            v.sort();
-            v
-        };
-        assert_eq!(multiset(&legacy), multiset(&physical));
-        assert_eq!(legacy.frames[0].duration, physical.frames[0].duration);
+        c.push_gate(Gate::h(3), &[0]).unwrap();
+        let program = NoiseProgram::logical(&c);
+        assert_eq!(program.circuit.len(), 2, "no lowering at the logical level");
+        assert_eq!(program.sites[0], vec![ErrorSite::Pair([0, 1])]);
+        assert_eq!(program.sites[1], vec![ErrorSite::Single(0)]);
+        // The ≥3-qudit moment lasts one two-qudit layer (no expansion).
+        assert_eq!(program.frames[0].duration, FrameDuration::TwoQuditLayers(1));
     }
 
     #[test]
@@ -807,8 +844,13 @@ mod tests {
     }
 
     #[test]
-    fn pair_cycle_enumerates_pairs() {
-        assert_eq!(pair_cycle(&[1, 2, 3]).len(), 3);
-        assert_eq!(pair_cycle(&[4, 5]).len(), 1);
+    fn binomial_sigma_matches_the_closed_form() {
+        let est = FidelityEstimate {
+            mean: 0.75,
+            std_error: 0.01,
+            trials: 100,
+        };
+        let expected = (0.75f64 * 0.25 / 100.0).sqrt();
+        assert!((est.binomial_sigma() - expected).abs() < 1e-15);
     }
 }

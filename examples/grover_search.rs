@@ -1,11 +1,12 @@
 //! Grover search using the ancilla-free qutrit multiply-controlled Z
-//! (Section 5.2 of the paper).
+//! (Section 5.2 of the paper), simulated through the `qudit-api` façade:
+//! one noise-free `JobSpec` per iteration count, submitted as a single
+//! `run_batch` (the executor compiles each distinct circuit once).
 //!
 //! Run with: `cargo run --release --example grover_search`
 
-use qutrits::toffoli::grover::{
-    grover_circuit, grover_output_distribution, grover_success_probability, optimal_iterations,
-};
+use qutrits::api::{Executor, InputState, JobSpec};
+use qutrits::toffoli::grover::{grover_circuit, optimal_iterations};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_qubits = 4; // search over M = 16 items
@@ -23,26 +24,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.len()
     );
 
-    let p = grover_success_probability(n_qubits, marked, iterations)?;
+    // One job per iteration count (0..=iterations+2), all from the zero
+    // input the algorithm starts in, run as one batch.
+    let jobs: Vec<JobSpec> = (0..=iterations + 2)
+        .map(|k| {
+            JobSpec::builder(grover_circuit(n_qubits, marked, k)?)
+                .input(InputState::Basis(vec![0; n_qubits]))
+                .build()
+                .map_err(Into::into)
+        })
+        .collect::<Result<_, Box<dyn std::error::Error>>>()?;
+    let executor = Executor::new();
+    let results = executor.run_batch(&jobs);
+
+    // The marked item is a binary pattern; qubit i is bit i of the pattern.
+    let marked_digits: Vec<usize> = (0..n_qubits).map(|i| (marked >> i) & 1).collect();
+    let mut success = Vec::new();
+    for result in results {
+        let result = result?;
+        success.push(result.states()?[0].probability(&marked_digits)?);
+    }
+
     println!(
         "success probability after {iterations} iterations: {:.2}%",
-        100.0 * p
+        100.0 * success[iterations]
     );
 
     println!();
     println!("success probability vs iteration count:");
-    for k in 0..=iterations + 2 {
-        let p = grover_success_probability(n_qubits, marked, k)?;
+    for (k, p) in success.iter().enumerate() {
         let bar: String = "#".repeat((60.0 * p) as usize);
         println!("  {k:>2} iterations: {:>6.2}% {bar}", 100.0 * p);
     }
 
     println!();
     println!("final output distribution (top 4 items):");
-    let mut dist: Vec<(usize, f64)> = grover_output_distribution(n_qubits, marked, iterations)?
-        .into_iter()
-        .enumerate()
-        .collect();
+    let optimal = executor.run(&jobs[iterations])?;
+    let out = &optimal.states()?[0];
+    let mut dist: Vec<(usize, f64)> = (0..(1usize << n_qubits))
+        .map(|item| {
+            let digits: Vec<usize> = (0..n_qubits).map(|i| (item >> i) & 1).collect();
+            Ok((item, out.probability(&digits)?))
+        })
+        .collect::<Result<_, Box<dyn std::error::Error>>>()?;
     dist.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("probabilities are not NaN"));
     for (item, p) in dist.into_iter().take(4) {
         println!("  item {item:>2}: {:>6.2}%", 100.0 * p);

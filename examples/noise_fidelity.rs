@@ -1,31 +1,51 @@
 //! A miniature Figure 11: compare the fidelity of the QUTRIT, QUBIT and
 //! QUBIT+ANCILLA constructions under the paper's superconducting and
-//! trapped-ion noise models, using the quantum-trajectory simulator.
+//! trapped-ion noise models.
+//!
+//! All (model × construction) bars are described as `JobSpec`s and run in
+//! one `Executor::run_batch` call — the batch fans out across rayon workers
+//! and is bit-identical to sequential execution.
 //!
 //! Run with: `cargo run --release --example noise_fidelity`
 //! (The full 13-control experiment is available via
 //! `cargo run --release -p bench --bin fig11 -- --controls 13 --trials 1000`.)
 
-use qutrits::noise::{
-    cross_validate, models, simulate_fidelity, GateExpansion, InputState, TrajectoryConfig,
-};
+use qutrits::api::{Executor, InputState, JobSpec};
+use qutrits::noise::models;
 use qutrits::toffoli::baselines::{qubit_no_ancilla, qubit_one_dirty_ancilla};
 use qutrits::toffoli::gen_toffoli::n_controlled_x;
 
-fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_controls = 6;
     let trials = 30;
 
-    let qutrit = n_controlled_x(n_controls).expect("qutrit circuit");
-    let qubit = qubit_no_ancilla(n_controls, 2).expect("qubit circuit");
-    let qubit_ancilla = qubit_one_dirty_ancilla(n_controls, 2).expect("qubit+ancilla circuit");
+    let circuits = [
+        n_controlled_x(n_controls)?,
+        qubit_no_ancilla(n_controls, 2)?,
+        qubit_one_dirty_ancilla(n_controls, 2)?,
+    ];
 
-    let config = TrajectoryConfig {
-        trials,
-        seed: 2019,
-        expansion: GateExpansion::DiWei,
-        input: InputState::RandomQubitSubspace,
-    };
+    let mut chosen_models = models::superconducting_models();
+    chosen_models.push(models::ti_qubit());
+    chosen_models.push(models::dressed_qutrit());
+
+    // One JobSpec per (model, construction) bar, all submitted as a batch.
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    for model in &chosen_models {
+        for circuit in &circuits {
+            jobs.push(
+                JobSpec::builder(circuit.clone())
+                    .noise(model.clone())
+                    .trials(trials)
+                    .seed(2019)
+                    .input(InputState::RandomQubitSubspace)
+                    .build()?,
+            );
+        }
+    }
+
+    let executor = Executor::new();
+    let results = executor.run_batch(&jobs);
 
     println!(
         "mean fidelity of the {}-input Generalized Toffoli ({} trajectory trials per pair)",
@@ -36,19 +56,22 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         "{:<16} {:>10} {:>10} {:>14}",
         "noise model", "QUTRIT", "QUBIT", "QUBIT+ANCILLA"
     );
-    let mut chosen_models = models::superconducting_models();
-    chosen_models.push(models::ti_qubit());
-    chosen_models.push(models::dressed_qutrit());
-    for model in chosen_models {
-        let f_qutrit = simulate_fidelity(&qutrit, &model, &config)?.mean;
-        let f_qubit = simulate_fidelity(&qubit, &model, &config)?.mean;
-        let f_ancilla = simulate_fidelity(&qubit_ancilla, &model, &config)?.mean;
+    let mut results = results.into_iter();
+    for model in &chosen_models {
+        let mut bars = [0.0f64; 3];
+        for bar in bars.iter_mut() {
+            *bar = results
+                .next()
+                .expect("one result per job")?
+                .fidelity()?
+                .mean;
+        }
         println!(
             "{:<16} {:>9.1}% {:>9.1}% {:>13.1}%",
             model.name,
-            100.0 * f_qutrit,
-            100.0 * f_qubit,
-            100.0 * f_ancilla
+            100.0 * bars[0],
+            100.0 * bars[1],
+            100.0 * bars[2]
         );
     }
     println!();
@@ -57,18 +80,13 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     // Sanity-check the sampling against ground truth: on a small instance
     // the exact density-matrix backend gives the true fidelity, and the
     // trajectory estimate must land within the statistical bound of it.
-    let small = n_controlled_x(3).expect("qutrit circuit");
-    let cv = cross_validate(
-        &small,
-        &models::sc(),
-        &TrajectoryConfig {
-            trials: 200,
-            seed: 2019,
-            expansion: GateExpansion::DiWei,
-            input: InputState::AllOnes,
-        },
-        3.0,
-    )?;
+    let small_job = JobSpec::builder(n_controlled_x(3)?)
+        .noise(models::sc())
+        .trials(200)
+        .seed(2019)
+        .input(InputState::AllOnes)
+        .build()?;
+    let cv = executor.cross_validate(&small_job, 3.0)?;
     println!(
         "cross-check (3-control, SC): exact {:.4} vs trajectory {:.4} (|diff| {:.1e} ≤ bound {:.1e}: {})",
         cv.exact,

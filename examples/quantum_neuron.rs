@@ -1,17 +1,20 @@
 //! The artificial quantum neuron (Section 5.1 of the paper): a perceptron
 //! whose activation is computed by a Generalized Toffoli, here built with the
-//! ancilla-free qutrit tree.
+//! ancilla-free qutrit tree and simulated through the `qudit-api` façade
+//! (one noise-free job per candidate input, run as a batch).
 //!
 //! Run with: `cargo run --release --example quantum_neuron`
 
-use qutrits::toffoli::neuron::{neuron_activation_probability, neuron_circuit, SignVector};
+use qutrits::api::{Executor, InputState, JobSpec};
+use qutrits::sim::marginal_distribution;
+use qutrits::toffoli::neuron::{neuron_circuit, SignVector};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 3; // 2^3 = 8-element input and weight vectors
 
     // A weight vector and a few candidate inputs (true = +1, false = −1).
     let weights = SignVector::new(n, vec![true, false, true, true, false, true, false, false])?;
-    let inputs = vec![
+    let inputs = [
         ("identical to weights", weights.clone()),
         (
             "one sign flipped",
@@ -31,14 +34,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.len(),
         circuit.width()
     );
+
+    // One façade job per candidate input, all submitted as a batch: the
+    // neuron circuit starts from |0...0⟩, so each job is a noise-free
+    // basis-input run whose output the activation read-out marginalises.
+    let jobs: Vec<JobSpec> = inputs
+        .iter()
+        .map(|(_, input)| {
+            JobSpec::builder(neuron_circuit(&weights, input)?)
+                .input(InputState::Basis(vec![0; n + 1]))
+                .build()
+                .map_err(Into::into)
+        })
+        .collect::<Result<_, Box<dyn std::error::Error>>>()?;
+    let results = Executor::new().run_batch(&jobs);
+
     println!();
     println!(
         "{:<24} {:>18} {:>22}",
         "input", "<w,i>/2^N", "activation P(|1>)"
     );
-    for (label, input) in inputs {
-        let overlap = weights.normalized_inner_product(&input);
-        let p = neuron_activation_probability(&weights, &input)?;
+    for ((label, input), result) in inputs.iter().zip(results) {
+        let result = result?;
+        let out = result.states()?[0]
+            .pure()
+            .expect("trajectory backend returns pure states");
+        let p = marginal_distribution(out, n)[1];
+        let overlap = weights.normalized_inner_product(input);
         println!("{label:<24} {overlap:>18.3} {:>21.1}%", 100.0 * p);
     }
     println!();

@@ -3,17 +3,23 @@
 //! A Rust reproduction of *"Asymptotic Improvements to Quantum Circuits via
 //! Qutrits"* (Gokhale, Baker, Duckering, Brown, Brown, Chong — ISCA 2019).
 //!
-//! This facade crate re-exports the workspace's five crates:
+//! **Start at [`api`]** (`qudit-api`): the workspace's public entry point.
+//! It provides the builder-validated [`api::JobSpec`], the compile-caching
+//! [`api::Executor`] with batch execution, and the JSON wire format; every
+//! example and bench binary runs its simulations through it.
+//!
+//! The lower layers are re-exported for circuit construction and direct
+//! engine work:
 //!
 //! * [`qcore`] (`qudit-core`) — complex math, dense matrices, state vectors,
 //!   gate matrices, random states.
 //! * [`circuit`] (`qudit-circuit`) — the qudit circuit IR: gates, operations
 //!   with per-control activation levels, moment scheduling, cost analysis,
-//!   linear-space classical verification.
+//!   linear-space classical verification, and the pass-based compiler.
 //! * [`sim`] (`qudit-sim`) — the dense state-vector simulator.
 //! * [`noise`] (`qudit-noise`) — depolarizing and amplitude-damping channels,
 //!   the paper's superconducting and trapped-ion noise models, and the
-//!   quantum-trajectory fidelity simulator.
+//!   quantum-trajectory / exact density-matrix fidelity simulators.
 //! * [`toffoli`] (`qutrit-toffoli`) — the paper's contribution: the
 //!   ancilla-free log-depth Generalized Toffoli via qutrits, its baselines,
 //!   and the derived circuits (incrementer, Grover, quantum neuron).
@@ -21,17 +27,24 @@
 //! ## Example
 //!
 //! ```
-//! use qutrits::circuit::Schedule;
+//! use qutrits::api::{Executor, JobSpec};
+//! use qutrits::noise::models;
 //! use qutrits::toffoli::gen_toffoli::n_controlled_x;
 //!
-//! let circuit = n_controlled_x(15)?;
-//! assert_eq!(circuit.width(), 16);          // no ancilla
-//! assert_eq!(Schedule::asap(&circuit).depth(), 7); // logarithmic depth
-//! # Ok::<(), qutrits::circuit::CircuitError>(())
+//! // Fidelity of the 3-control Generalized Toffoli under the SC model,
+//! // through the façade: describe the job, run it, read the estimate.
+//! let job = JobSpec::builder(n_controlled_x(3)?)
+//!     .noise(models::sc())
+//!     .trials(10)
+//!     .build()?;
+//! let estimate = Executor::new().run(&job)?.fidelity()?.clone();
+//! assert!(estimate.mean > 0.9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
 
+pub use qudit_api as api;
 pub use qudit_circuit as circuit;
 pub use qudit_core as qcore;
 pub use qudit_noise as noise;

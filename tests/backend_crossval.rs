@@ -9,8 +9,8 @@
 
 use qudit_circuit::Circuit;
 use qudit_noise::{
-    cross_validate, models, Backend, DensityMatrixBackend, GateExpansion, InputState,
-    TrajectoryBackend, TrajectoryConfig,
+    cross_validate, models, Backend, DensityMatrixBackend, InputState, TrajectoryBackend,
+    TrajectoryConfig,
 };
 use qutrit_toffoli::baselines::qubit_no_ancilla;
 use qutrit_toffoli::gen_toffoli::n_controlled_x;
@@ -23,8 +23,8 @@ fn fixed_input_config(trials: usize, seed: u64) -> TrajectoryConfig {
     TrajectoryConfig {
         trials,
         seed,
-        expansion: GateExpansion::DiWei,
         input: InputState::AllOnes,
+        ..TrajectoryConfig::default()
     }
 }
 
@@ -98,8 +98,8 @@ fn random_input_cross_validation_shares_input_draws() {
     let config = TrajectoryConfig {
         trials: 200,
         seed: 5,
-        expansion: GateExpansion::DiWei,
         input: InputState::RandomQubitSubspace,
+        ..TrajectoryConfig::default()
     };
     let cv = cross_validate(&circuit, &models::sc(), &config, 3.0).unwrap();
     assert!(

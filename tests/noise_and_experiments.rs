@@ -10,8 +10,8 @@
 //! changes.)
 
 use qudit_noise::{
-    exact_fidelity, lambda_m, models, qutrit_two_qudit_reliability_ratio, GateExpansion,
-    InputState, TrajectoryConfig,
+    exact_fidelity, lambda_m, models, qutrit_two_qudit_reliability_ratio, InputState,
+    TrajectoryConfig,
 };
 use qutrit_toffoli::baselines::{qubit_no_ancilla, qubit_one_dirty_ancilla};
 use qutrit_toffoli::cost::{paper_depth_model, paper_two_qudit_gate_model, Construction};
@@ -65,8 +65,8 @@ fn figure11_ordering_holds_exactly_at_reduced_size() {
     let config = TrajectoryConfig {
         trials: 1,
         seed: 7,
-        expansion: GateExpansion::DiWei,
         input: InputState::AllOnes,
+        ..TrajectoryConfig::default()
     };
     let model = models::sc();
 
@@ -99,8 +99,8 @@ fn trapped_ion_qutrit_models_favour_the_dressed_qutrit_exactly() {
     let config = TrajectoryConfig {
         trials: 1,
         seed: 3,
-        expansion: GateExpansion::DiWei,
         input: InputState::AllOnes,
+        ..TrajectoryConfig::default()
     };
     let circuit = n_controlled_x(n).unwrap();
     let bare = exact_fidelity(&circuit, &models::bare_qutrit(), &config)

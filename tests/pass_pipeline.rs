@@ -20,7 +20,7 @@ use proptest::prelude::*;
 use qudit_circuit::passes::{compile, PassLevel};
 use qudit_circuit::{Circuit, Control, Gate, Schedule};
 use qudit_core::{complex_gaussian, random_state, CMatrix, Complex};
-use qudit_noise::{exact_fidelity, models, GateExpansion, InputState, TrajectoryConfig};
+use qudit_noise::{exact_fidelity, models, InputState, TrajectoryConfig};
 use qudit_sim::{reference, ApplyPlan, CompiledCircuit};
 use qutrit_toffoli::grover::{grover_circuit, optimal_iterations};
 use qutrit_toffoli::incrementer::incrementer;
@@ -156,8 +156,8 @@ proptest! {
         let config = TrajectoryConfig {
             trials: 1,
             seed,
-            expansion: GateExpansion::DiWei,
             input: InputState::AllOnes,
+            ..TrajectoryConfig::default()
         };
         let raw = exact_fidelity(&circuit, &models::sc(), &config).unwrap().mean;
         let passed = exact_fidelity(ir.circuit(), &models::sc(), &config).unwrap().mean;
