@@ -1,0 +1,291 @@
+//! Fault-injection client for the qudit service.
+//!
+//! Fires every fault class from the failure taxonomy at a server —
+//! protocol abuse, malformed payloads, invalid specs, expiring
+//! deadlines, mid-response disconnects, a deliberate in-job panic, and
+//! an overload burst — and after **every** fault posts a clean
+//! Figure-4 job and checks the exact answer. A fault that takes the
+//! server down, wedges a worker, or corrupts state shows up as a failed
+//! probe.
+//!
+//! Usage:
+//!
+//! ```text
+//! chaos [--addr HOST:PORT]
+//! ```
+//!
+//! With `--addr` it targets an externally spawned `serve` process (the
+//! CI job spawns one with `--workers 1 --queue-depth 2 --chaos-hooks`);
+//! without it, it self-hosts an in-process server with the same shape.
+//! Exits 0 only if every fault produced its expected typed error and
+//! every probe passed.
+
+use bench::serve_support::{clean_job_json, clean_probe, error_kind, heavy_job_json, Target};
+use qudit_server::ServerConfig;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+use tiny_http::client;
+
+struct Outcome {
+    name: &'static str,
+    passed: bool,
+    detail: String,
+}
+
+fn main() {
+    let target = Target::from_args(ServerConfig {
+        workers: 1,
+        queue_depth: 2,
+        chaos_hooks: true,
+        read_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    });
+    let addr = target.addr();
+    let clean = clean_job_json();
+    let heavy = heavy_job_json();
+    let timeout = Duration::from_secs(30);
+    let mut outcomes: Vec<Outcome> = Vec::new();
+
+    let mut record = |name: &'static str, result: Result<String, String>| {
+        let (passed, detail) = match result {
+            Ok(detail) => (true, detail),
+            Err(detail) => (false, detail),
+        };
+        // The PR's core invariant: the server must answer correctly
+        // after every single fault.
+        let (probe_ok, probe_detail) = match clean_probe(addr) {
+            Ok(()) => (true, String::new()),
+            Err(e) => (false, format!("; post-fault probe FAILED: {e}")),
+        };
+        println!(
+            "{} {name}: {detail}{probe_detail}",
+            if passed && probe_ok { "PASS" } else { "FAIL" }
+        );
+        outcomes.push(Outcome {
+            name,
+            passed: passed && probe_ok,
+            detail,
+        });
+    };
+
+    let expect = |status: u16,
+                  kind: &str,
+                  resp: std::io::Result<client::ClientResponse>|
+     -> Result<String, String> {
+        let resp = resp.map_err(|e| format!("transport: {e}"))?;
+        let body = String::from_utf8_lossy(&resp.body).into_owned();
+        if resp.status != status {
+            return Err(format!("expected {status}, got {}: {body}", resp.status));
+        }
+        if !kind.is_empty() && error_kind(&body) != kind {
+            return Err(format!("expected kind {kind:?}, got body {body}"));
+        }
+        Ok(format!("{status} {kind}"))
+    };
+
+    // --- Payload faults ------------------------------------------------
+    record(
+        "malformed JSON",
+        expect(
+            400,
+            "bad_request",
+            client::post(addr, "/v1/jobs", b"{\"circuit\": [oops", &[], timeout),
+        ),
+    );
+    record(
+        "truncated JSON",
+        expect(
+            400,
+            "bad_request",
+            client::post(
+                addr,
+                "/v1/jobs",
+                b"{\"circuit\":{\"dim\":3,\"width\":3,\"operations\":[",
+                &[],
+                timeout,
+            ),
+        ),
+    );
+    let invalid = clean.replace("\"trials\":100", "\"trials\":0");
+    record(
+        "invalid spec (zero trials)",
+        expect(
+            422,
+            "invalid_spec",
+            client::post(addr, "/v1/jobs", invalid.as_bytes(), &[], timeout),
+        ),
+    );
+
+    // --- Protocol faults ----------------------------------------------
+    record(
+        "slow-loris (unfinished head)",
+        expect(
+            408,
+            "",
+            client::send_raw(addr, b"POST /v1/jobs HTT", timeout),
+        ),
+    );
+    let oversized = format!(
+        "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\nx",
+        64 * 1024 * 1024
+    );
+    record(
+        "oversized declared body",
+        expect(
+            413,
+            "",
+            client::send_raw(addr, oversized.as_bytes(), timeout),
+        ),
+    );
+    record(
+        "missing Content-Length",
+        expect(
+            411,
+            "",
+            client::send_raw(
+                addr,
+                b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+                timeout,
+            ),
+        ),
+    );
+    record("truncated body (half-close)", {
+        TcpStream::connect(addr)
+            .and_then(|mut stream| {
+                stream.write_all(
+                    b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\n{\"ci",
+                )?;
+                stream.shutdown(std::net::Shutdown::Write)?;
+                client::read_from(&mut stream)
+            })
+            .map_err(|e| format!("transport: {e}"))
+            .and_then(|resp| {
+                if resp.status == 400 {
+                    Ok("400".to_string())
+                } else {
+                    Err(format!("expected 400, got {}", resp.status))
+                }
+            })
+    });
+
+    // --- Routing faults -------------------------------------------------
+    record(
+        "unknown path",
+        expect(404, "not_found", client::get(addr, "/v2/jobs", timeout)),
+    );
+    record(
+        "wrong method",
+        expect(
+            405,
+            "method_not_allowed",
+            client::get(addr, "/v1/jobs", timeout),
+        ),
+    );
+
+    // --- Deadline and panic faults --------------------------------------
+    record(
+        "deadline expires mid-simulation",
+        expect(
+            504,
+            "deadline_exceeded",
+            client::post(
+                addr,
+                "/v1/jobs",
+                heavy.as_bytes(),
+                &[("X-Deadline-Ms", "300")],
+                timeout,
+            ),
+        ),
+    );
+    record("panicking job (chaos hook)", {
+        match client::post(
+            addr,
+            "/v1/jobs",
+            clean.as_bytes(),
+            &[("X-Chaos", "panic")],
+            timeout,
+        ) {
+            Err(e) => Err(format!("transport: {e}")),
+            Ok(resp) if resp.status == 500 => Ok("500 internal_panic".to_string()),
+            // A production server (hooks disabled) must treat the header
+            // as inert and answer normally.
+            Ok(resp) if resp.status == 200 => Ok("200 (hooks disabled, header inert)".to_string()),
+            Ok(resp) => Err(format!(
+                "expected 500 (hooks on) or 200 (hooks off), got {}",
+                resp.status
+            )),
+        }
+    });
+
+    // --- Connection faults ----------------------------------------------
+    record("mid-response disconnect", {
+        let request = format!(
+            "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{clean}",
+            clean.len()
+        );
+        client::send_and_abandon(addr, request.as_bytes(), timeout)
+            .map(|()| {
+                std::thread::sleep(Duration::from_millis(300));
+                "connection dropped before response".to_string()
+            })
+            .map_err(|e| format!("transport: {e}"))
+    });
+
+    // --- Overload burst ---------------------------------------------------
+    record("overload burst", {
+        let handles: Vec<_> = (0..24)
+            .map(|_| {
+                let heavy = heavy.clone();
+                std::thread::spawn(move || {
+                    client::post(
+                        addr,
+                        "/v1/jobs",
+                        heavy.as_bytes(),
+                        &[("X-Deadline-Ms", "1000")],
+                        Duration::from_secs(30),
+                    )
+                    .map(|r| r.status)
+                    .unwrap_or(0)
+                })
+            })
+            .collect();
+        let mut rejected = 0usize;
+        let mut other = Vec::new();
+        for handle in handles {
+            match handle.join().expect("burst thread") {
+                429 => rejected += 1,
+                504 | 200 => {}
+                status => other.push(status),
+            }
+        }
+        // Let the workers drain deadline-expired stragglers from the
+        // queue before the post-fault probe needs a slot.
+        std::thread::sleep(Duration::from_millis(500));
+        if !other.is_empty() {
+            Err(format!("unexpected statuses in burst: {other:?}"))
+        } else if rejected == 0 {
+            Err("no request saw 429 backpressure (queue too deep for this burst?)".to_string())
+        } else {
+            Ok(format!(
+                "{rejected}/24 shed with 429, rest served or deadlined"
+            ))
+        }
+    });
+
+    target.finish();
+
+    let failed: Vec<&Outcome> = outcomes.iter().filter(|o| !o.passed).collect();
+    println!(
+        "\nchaos: {}/{} fault classes handled cleanly",
+        outcomes.len() - failed.len(),
+        outcomes.len()
+    );
+    if !failed.is_empty() {
+        for outcome in &failed {
+            eprintln!("chaos: FAILED {}: {}", outcome.name, outcome.detail);
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Load generator for the qudit service.
+//!
+//! Hammers `POST /v1/jobs` with the clean Figure-4 job from several
+//! client threads, verifies every response, and writes throughput and
+//! latency percentiles to `BENCH_serve.json` (also echoed to stdout)
+//! so future PRs can track the service's perf trajectory:
+//!
+//! ```json
+//! {
+//!   "bench": "serve",
+//!   "workload": "POST /v1/jobs fig4 ideal trajectory",
+//!   "threads": 4, "requests": 200, "errors": 0,
+//!   "rps": 123.4,
+//!   "latency_ms": {"p50": 1.2, "p99": 3.4, "max": 5.6}
+//! }
+//! ```
+//!
+//! Usage: `loadgen [--addr HOST:PORT] [--threads N] [--requests N] [--out PATH]`
+//! (`--requests` is per thread; without `--addr` an in-process server with
+//! the default production shape is self-hosted).
+
+use bench::serve_support::{clean_job_json, Target};
+use qudit_server::ServerConfig;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use tiny_http::client;
+
+fn main() {
+    let mut threads = 4usize;
+    let mut requests = 50usize;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut addr = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--threads" => threads = value("--threads").parse().expect("--threads"),
+            "--requests" => requests = value("--requests").parse().expect("--requests"),
+            "--out" => out = value("--out"),
+            "--addr" => addr = Some(value("--addr").parse().expect("--addr must be HOST:PORT")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let target = Target::resolve(addr, ServerConfig::default());
+    let addr = target.addr();
+    let body = clean_job_json();
+
+    // Warm the compile cache so steady-state throughput is measured, not
+    // the one-time circuit compilation.
+    let warm = client::post(
+        addr,
+        "/v1/jobs",
+        body.as_bytes(),
+        &[],
+        Duration::from_secs(60),
+    )
+    .expect("warm-up request");
+    assert_eq!(warm.status, 200, "warm-up failed");
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let body = body.clone();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(requests);
+                let mut errors = 0usize;
+                for _ in 0..requests {
+                    let sent = Instant::now();
+                    match client::post(
+                        addr,
+                        "/v1/jobs",
+                        body.as_bytes(),
+                        &[],
+                        Duration::from_secs(60),
+                    ) {
+                        Ok(resp) if resp.status == 200 => latencies.push(sent.elapsed()),
+                        Ok(_) | Err(_) => errors += 1,
+                    }
+                }
+                (latencies, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(threads * requests);
+    let mut errors = 0usize;
+    for handle in handles {
+        let (thread_latencies, thread_errors) = handle.join().expect("client thread");
+        latencies.extend(thread_latencies);
+        errors += thread_errors;
+    }
+    let wall = start.elapsed();
+    target.finish();
+
+    latencies.sort();
+    let total = threads * requests;
+    let rps = latencies.len() as f64 / wall.as_secs_f64();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let percentile = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).saturating_sub(1);
+        ms(latencies[idx.min(latencies.len() - 1)])
+    };
+
+    let mut json = String::new();
+    write!(
+        json,
+        "{{\n  \"bench\": \"serve\",\n  \"workload\": \"POST /v1/jobs fig4 ideal trajectory\",\n  \
+         \"threads\": {threads},\n  \"requests\": {total},\n  \"errors\": {errors},\n  \
+         \"rps\": {rps:.1},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}\n}}\n",
+        percentile(0.50),
+        percentile(0.99),
+        latencies.last().map_or(f64::NAN, |&d| ms(d)),
+    )
+    .expect("format");
+    print!("{json}");
+    std::fs::write(&out, &json).expect("write BENCH_serve.json");
+
+    assert_eq!(errors, 0, "load run saw {errors} failed request(s)");
+}

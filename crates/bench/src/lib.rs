@@ -22,6 +22,8 @@
 //! The Criterion benches in `benches/` time the underlying engines and
 //! constructions and exercise the same code paths at reduced sizes.
 
+pub mod serve_support;
+
 use qudit_api::{ApiResult, BackendKind, Executor, FidelityEstimate, InputState, JobSpec};
 use qudit_circuit::Circuit;
 use qudit_noise::NoiseModel;

@@ -1,0 +1,167 @@
+//! Shared plumbing for the service harness binaries (`chaos`, `loadgen`):
+//! job payload construction and target resolution (an external server via
+//! `--addr`, or a self-hosted in-process one).
+
+use qudit_api::{BackendKind, InputState, JobSpec, NoiseModel};
+use qudit_circuit::{Circuit, Control, Gate};
+use qudit_server::{Server, ServerConfig};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// A noise-free Figure-4 Toffoli job whose answer is exactly known:
+/// input |1,1,0⟩ must come out |1,1,1⟩ with probability 1.
+pub fn clean_job_json() -> String {
+    let mut c = Circuit::new(3, 3);
+    c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+        .expect("fig4 op");
+    c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+        .expect("fig4 op");
+    c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+        .expect("fig4 op");
+    JobSpec::builder(c)
+        .input(InputState::Basis(vec![1, 1, 0]))
+        .build()
+        .expect("fig4 spec")
+        .to_json()
+}
+
+/// A noisy trajectory job heavy enough to outlive any short deadline.
+pub fn heavy_job_json() -> String {
+    let mut c = Circuit::new(3, 3);
+    for _ in 0..20 {
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .expect("heavy op");
+        c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+            .expect("heavy op");
+        c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+            .expect("heavy op");
+    }
+    JobSpec::builder(c)
+        .noise(NoiseModel {
+            name: "BENCH".to_string(),
+            p1: 1e-4,
+            p2: 1e-4,
+            t1: Some(1e-3),
+            gate_time_1q: 100e-9,
+            gate_time_2q: 300e-9,
+        })
+        .backend(BackendKind::Trajectory)
+        .trials(500_000)
+        .input(InputState::AllOnes)
+        .build()
+        .expect("heavy spec")
+        .to_json()
+}
+
+/// The server a harness binary talks to: an externally spawned process
+/// (`--addr`) or an in-process instance that is drained on `finish`.
+pub enum Target {
+    /// An already-running server, e.g. spawned by the CI job.
+    External(SocketAddr),
+    /// A self-hosted server owned by this process.
+    InProcess(Server),
+}
+
+impl Target {
+    /// Resolves `--addr HOST:PORT` if present; otherwise self-hosts with
+    /// the given config (its `addr` is forced to an ephemeral port).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unparseable flags or a failed in-process start.
+    pub fn from_args(config: ServerConfig) -> Target {
+        let mut addr = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--addr" => {
+                    let raw = args.next().expect("--addr needs a value");
+                    addr = Some(raw.parse().expect("--addr must be HOST:PORT"));
+                }
+                other => panic!("unknown flag {other} (only --addr is supported)"),
+            }
+        }
+        Target::resolve(addr, config)
+    }
+
+    /// External target if `addr` is given, otherwise a self-hosted server
+    /// on an ephemeral port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the in-process server fails to start.
+    pub fn resolve(addr: Option<SocketAddr>, mut config: ServerConfig) -> Target {
+        match addr {
+            Some(addr) => Target::External(addr),
+            None => {
+                config.addr = "127.0.0.1:0".to_string();
+                Target::InProcess(Server::start(config).expect("in-process server"))
+            }
+        }
+    }
+
+    /// The address requests should go to.
+    pub fn addr(&self) -> SocketAddr {
+        match self {
+            Target::External(addr) => *addr,
+            Target::InProcess(server) => server.addr(),
+        }
+    }
+
+    /// Drains a self-hosted server; a no-op for external targets.
+    pub fn finish(self) {
+        if let Target::InProcess(server) = self {
+            server.shutdown();
+        }
+    }
+}
+
+/// The error kind from a `{"error":{"kind":...}}` body, or `""`.
+pub fn error_kind(body: &str) -> String {
+    serde::json::parse(body)
+        .ok()
+        .and_then(|v| {
+            v.get("error")?
+                .get("kind")?
+                .as_str()
+                .ok()
+                .map(str::to_string)
+        })
+        .unwrap_or_default()
+}
+
+/// Posts the clean job and checks the exact answer came back.
+///
+/// # Errors
+///
+/// Returns a description of whatever went wrong (transport, status, or a
+/// wrong probability).
+pub fn clean_probe(addr: SocketAddr) -> Result<(), String> {
+    let body = clean_job_json();
+    let resp = tiny_http::client::post(
+        addr,
+        "/v1/jobs",
+        body.as_bytes(),
+        &[],
+        Duration::from_secs(60),
+    )
+    .map_err(|e| format!("transport: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "status {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    let text = String::from_utf8_lossy(&resp.body);
+    let result =
+        qudit_api::ExecutionResult::from_json(&text).map_err(|e| format!("result JSON: {e}"))?;
+    let states = result.states().map_err(|e| format!("states: {e}"))?;
+    let p = states[0]
+        .probability(&[1, 1, 1])
+        .map_err(|e| format!("probability: {e}"))?;
+    if (p - 1.0).abs() > 1e-12 {
+        return Err(format!("wrong answer: p(111) = {p}"));
+    }
+    Ok(())
+}

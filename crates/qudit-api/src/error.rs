@@ -40,6 +40,10 @@ pub enum ApiError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// The job's deadline expired (or it was cancelled) before the
+    /// simulation finished; the cooperative [`CancelToken`](crate::CancelToken)
+    /// stopped the work mid-run.
+    DeadlineExceeded,
 }
 
 impl ApiError {
@@ -62,6 +66,9 @@ impl fmt::Display for ApiError {
                 write!(f, "job produced {actual}, but {requested} was requested")
             }
             ApiError::Wire { reason } => write!(f, "wire format error: {reason}"),
+            ApiError::DeadlineExceeded => {
+                write!(f, "job deadline exceeded before the simulation finished")
+            }
         }
     }
 }
@@ -85,7 +92,13 @@ impl From<qudit_circuit::CircuitError> for ApiError {
 
 impl From<qudit_noise::NoiseError> for ApiError {
     fn from(e: qudit_noise::NoiseError) -> Self {
-        ApiError::Noise(e)
+        // A tripped CancelToken surfaces from the simulation loops as
+        // NoiseError::Cancelled; at the façade it is a deadline outcome,
+        // not a noise problem.
+        match e {
+            qudit_noise::NoiseError::Cancelled => ApiError::DeadlineExceeded,
+            e => ApiError::Noise(e),
+        }
     }
 }
 

@@ -7,7 +7,7 @@ use qudit_circuit::passes::{self, CompiledIr, PassLevel};
 use qudit_circuit::Circuit;
 use qudit_core::{random_qubit_subspace_state, StateVector};
 use qudit_noise::{
-    BackendKind, CrossValidation, DensityNoiseSimulator, InputState, TrajectoryConfig,
+    BackendKind, CancelToken, CrossValidation, DensityNoiseSimulator, InputState, TrajectoryConfig,
     TrajectorySimulator,
 };
 use qudit_sim::{CompiledCircuit, CompiledDensityCircuit, DensityMatrix, Simulator};
@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Structural fingerprint of a circuit: dimension, width, and per operation
@@ -116,6 +117,10 @@ pub struct Executor {
     cache: Mutex<HashMap<(PassLevel, CircuitKey), Arc<CacheEntry>>>,
     /// Shared per-gate plan cache for the simulators noisy jobs construct.
     planner: Simulator,
+    /// Jobs actually simulated (batch dedup shares results, so this can be
+    /// smaller than the number of specs submitted) — observability for the
+    /// dedup tests and the server's metrics.
+    simulated: AtomicUsize,
 }
 
 /// Job-cache capacity: distinct (circuit, level) pairs held at once. A
@@ -134,7 +139,17 @@ impl Executor {
     /// The number of distinct (circuit, level) compilations currently
     /// cached.
     pub fn cached_compilations(&self) -> usize {
-        self.cache.lock().expect("job cache poisoned").len()
+        // Recover from poisoning: the cache holds only immutable
+        // Arc<CacheEntry> values (each populated under its own OnceLock),
+        // so a panic while the lock was held cannot leave a torn state.
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// The number of jobs this executor has actually simulated. Batch
+    /// dedup shares one simulation across structurally identical specs, so
+    /// this counts real work, not submissions.
+    pub fn jobs_simulated(&self) -> usize {
+        self.simulated.load(Ordering::Relaxed)
     }
 
     /// Get-or-inserts the cache entry and ensures its IR is compiled. Only
@@ -144,7 +159,7 @@ impl Executor {
     fn entry(&self, circuit: &Circuit, level: PassLevel) -> (Arc<CacheEntry>, Arc<CompiledIr>) {
         let key = (level, CircuitKey::of(circuit));
         let entry = {
-            let mut cache = self.cache.lock().expect("job cache poisoned");
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(entry) = cache.get(&key) {
                 Arc::clone(entry)
             } else {
@@ -168,8 +183,23 @@ impl Executor {
     /// noisy job, the noise model is unphysical for the circuit's
     /// dimension, or an input is invalid — never a panic.
     pub fn run(&self, spec: &JobSpec) -> ApiResult<ExecutionResult> {
+        self.run_with(spec, &CancelToken::never())
+    }
+
+    /// Runs one job under a [`CancelToken`]: the simulation loops check the
+    /// token between trials/frames, so an expired deadline (or a server
+    /// shutdown) stops the job mid-run with [`ApiError::DeadlineExceeded`]
+    /// instead of burning cores on a result nobody will read.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::DeadlineExceeded`] once the token trips; otherwise the
+    /// same conditions as [`Executor::run`].
+    pub fn run_with(&self, spec: &JobSpec, cancel: &CancelToken) -> ApiResult<ExecutionResult> {
+        cancel.check().map_err(ApiError::from)?;
         let (entry, ir) = self.entry(spec.circuit(), spec.level());
         let resources = ir.report().post;
+        self.simulated.fetch_add(1, Ordering::Relaxed);
         let outcome = match spec.noise() {
             Some(model) => {
                 let config = TrajectoryConfig {
@@ -181,13 +211,11 @@ impl Executor {
                 let estimate = match spec.backend() {
                     BackendKind::Trajectory => {
                         TrajectorySimulator::from_compiled_with(&ir, model, &self.planner)?
-                            .run(&config)
-                            .map_err(qudit_noise::NoiseError::from)?
+                            .run_cancellable(&config, cancel)?
                     }
                     BackendKind::DensityMatrix => {
                         DensityNoiseSimulator::from_compiled_with(&ir, model, &self.planner)?
-                            .run(&config)
-                            .map_err(qudit_noise::NoiseError::from)?
+                            .run_cancellable(&config, cancel)?
                     }
                 };
                 Outcome::Fidelity(estimate)
@@ -229,15 +257,45 @@ impl Executor {
     /// Jobs sharing a structurally identical circuit and level compile
     /// once — each entry's `OnceLock` makes the first worker to need it
     /// compile while the rest wait on that entry only, so *distinct*
-    /// circuits compile concurrently. Results are returned in spec order
-    /// and are bit-identical to calling [`Executor::run`] on each spec in
-    /// sequence (compile order cannot affect a job's output; everything is
-    /// seeded from the spec).
+    /// circuits compile concurrently. Going further, **structurally
+    /// identical specs share one simulation**: every job is deterministic
+    /// given its spec (all randomness is seeded from [`JobSpec::seed`]), so
+    /// duplicate specs — the normal shape of repeated service traffic —
+    /// are simulated once and the result cloned into each duplicate's slot.
+    /// Results are returned in spec order and are bit-identical to calling
+    /// [`Executor::run`] on each spec in sequence — the batch determinism
+    /// and dedup tests pin this.
     pub fn run_batch(&self, specs: &[JobSpec]) -> Vec<ApiResult<ExecutionResult>> {
-        (0..specs.len())
+        self.run_batch_with(specs, &CancelToken::never())
+    }
+
+    /// [`Executor::run_batch`] under a shared [`CancelToken`] — one expired
+    /// deadline cancels the whole batch's remaining work.
+    pub fn run_batch_with(
+        &self,
+        specs: &[JobSpec],
+        cancel: &CancelToken,
+    ) -> Vec<ApiResult<ExecutionResult>> {
+        // Canonical dedup key: the deterministic wire serialization covers
+        // everything that can influence a result (circuit structure, level,
+        // backend, model, trials, seed, input, sweep).
+        let mut first_of: HashMap<String, usize> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::new();
+        let canonical: Vec<usize> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                *first_of.entry(spec.to_json()).or_insert_with(|| {
+                    unique.push(i);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+        let results: Vec<ApiResult<ExecutionResult>> = (0..unique.len())
             .into_par_iter()
-            .map(|i| self.run(&specs[i]))
-            .collect()
+            .map(|u| self.run_with(&specs[unique[u]], cancel))
+            .collect();
+        canonical.into_iter().map(|u| results[u].clone()).collect()
     }
 
     /// Cross-validates a noisy job: runs it on the exact density-matrix
@@ -482,6 +540,79 @@ mod tests {
             cv.estimate.mean,
             cv.exact,
             cv.tolerance
+        );
+    }
+
+    #[test]
+    fn a_caught_panic_does_not_disable_the_executor() {
+        // Regression: the job cache used `.lock().expect("job cache
+        // poisoned")`, so one panicking job while holding the lock bricked
+        // the shared Executor for every later caller. Poison the mutex the
+        // hard way and verify the executor keeps serving.
+        let executor = Executor::new();
+        let spec = JobSpec::builder(toffoli_fig4())
+            .input(InputState::Basis(vec![1, 1, 0]))
+            .build()
+            .unwrap();
+        executor.run(&spec).unwrap();
+
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = executor.cache.lock().unwrap();
+            panic!("job panicked while holding the cache lock");
+        }));
+        assert!(poison.is_err());
+        assert!(executor.cache.is_poisoned(), "test must actually poison");
+
+        // Both the metric and the run path must recover.
+        assert_eq!(executor.cached_compilations(), 1);
+        let result = executor.run(&spec).unwrap();
+        let out = &result.states().unwrap()[0];
+        assert!((out.probability(&[1, 1, 1]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_dedup_simulates_identical_specs_once() {
+        let executor = Executor::new();
+        let make = |seed: u64| {
+            JobSpec::builder(toffoli_fig4())
+                .noise(models::sc())
+                .trials(4)
+                .seed(seed)
+                .input(InputState::AllOnes)
+                .build()
+                .unwrap()
+        };
+        // Six submissions, three structurally distinct specs.
+        let specs = vec![make(1), make(2), make(1), make(3), make(2), make(1)];
+        let before = executor.jobs_simulated();
+        let deduped = executor.run_batch(&specs);
+        assert_eq!(executor.jobs_simulated() - before, 3);
+
+        // Bit-identical to the non-deduped path (fresh executor, one run
+        // per spec, in order).
+        let plain = Executor::new();
+        for (spec, got) in specs.iter().zip(&deduped) {
+            let expected = plain.run(spec).unwrap();
+            assert_eq!(got.as_ref().unwrap(), &expected);
+        }
+        // Duplicates really share: slots 0, 2 and 5 are the same spec.
+        assert_eq!(deduped[0], deduped[2]);
+        assert_eq!(deduped[0], deduped[5]);
+    }
+
+    #[test]
+    fn expired_deadline_maps_to_deadline_exceeded() {
+        let executor = Executor::new();
+        let spec = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc())
+            .trials(50_000)
+            .build()
+            .unwrap();
+        let token = qudit_noise::CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            executor.run_with(&spec, &token),
+            Err(ApiError::DeadlineExceeded)
         );
     }
 

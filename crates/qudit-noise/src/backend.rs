@@ -185,7 +185,7 @@ impl Backend for TrajectoryBackend {
         config: &TrajectoryConfig,
     ) -> NoiseResult<FidelityEstimate> {
         let sim = TrajectorySimulator::with_level(circuit, model, config.level)?;
-        sim.run(config).map_err(NoiseError::from)
+        sim.run(config)
     }
 }
 
@@ -224,7 +224,7 @@ impl Backend for DensityMatrixBackend {
         config: &TrajectoryConfig,
     ) -> NoiseResult<FidelityEstimate> {
         let sim = DensityNoiseSimulator::with_level(circuit, model, config.level)?;
-        sim.run(config).map_err(NoiseError::from)
+        sim.run(config)
     }
 }
 

@@ -1,0 +1,134 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is checked at natural checkpoints inside the
+//! trajectory-trial and density-sweep loops, so an expired or abandoned job
+//! stops burning cores mid-simulation instead of running to completion and
+//! having its result discarded. Tokens combine an explicit flag (set by
+//! [`CancelToken::cancel`], e.g. on server shutdown) with an optional
+//! deadline; either one trips the token.
+//!
+//! The default token ([`CancelToken::never`]) carries no allocation and
+//! every check is a single `Option` test, so non-server callers pay
+//! essentially nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cheaply clonable handle that signals "stop working" to simulation
+/// loops. Cloned tokens share state: cancelling one cancels all.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    // None = the never-cancelled token; checks short-circuit immediately.
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels (free to check; the default).
+    pub fn never() -> CancelToken {
+        CancelToken { inner: None }
+    }
+
+    /// A token with no deadline that cancels only via [`cancel`](Self::cancel).
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A token that trips once `deadline` passes (or on explicit cancel).
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            })),
+        }
+    }
+
+    /// Convenience: a deadline `timeout` from now.
+    pub fn after(timeout: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Trips the token (idempotent). No-op on [`never`](Self::never).
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the token has tripped (explicitly or by deadline).
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.cancelled.load(Ordering::Relaxed)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// The token's deadline, if it has one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|inner| inner.deadline)
+    }
+
+    /// Checkpoint helper: `Err(NoiseError::Cancelled)` once tripped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NoiseError::Cancelled`] if the token has tripped.
+    pub fn check(&self) -> crate::NoiseResult<()> {
+        if self.is_cancelled() {
+            Err(crate::NoiseError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_never_cancels() {
+        let token = CancelToken::never();
+        token.cancel();
+        assert!(!token.is_cancelled());
+        assert!(token.check().is_ok());
+    }
+
+    #[test]
+    fn explicit_cancel_trips_all_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.check(), Err(crate::NoiseError::Cancelled));
+    }
+
+    #[test]
+    fn deadline_trips_the_token() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(token.is_cancelled());
+        let token = CancelToken::after(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn default_is_never() {
+        assert!(!CancelToken::default().is_cancelled());
+    }
+}

@@ -49,6 +49,9 @@ pub enum NoiseError {
         /// The rejected level's stable name.
         level: &'static str,
     },
+    /// The run's [`CancelToken`](crate::CancelToken) tripped (deadline
+    /// expired or cancellation requested) before the simulation finished.
+    Cancelled,
     /// An input state's shape did not match the circuit it was run through.
     StateShapeMismatch {
         /// Qudit dimension expected by the circuit.
@@ -98,6 +101,12 @@ impl fmt::Display for NoiseError {
                     f,
                     "pass level {level:?} optimizes across error sites; noisy runs support \
                      \"physical\" and \"noise-preserving\" only"
+                )
+            }
+            NoiseError::Cancelled => {
+                write!(
+                    f,
+                    "simulation cancelled before completion (deadline or shutdown)"
                 )
             }
             NoiseError::StateShapeMismatch {

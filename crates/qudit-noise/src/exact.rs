@@ -14,6 +14,7 @@
 //! Cost: `d^2n` entries instead of `d^n` amplitudes, so this is the small-n
 //! oracle (≲ 6–7 qutrits) while trajectories remain the scalable engine.
 
+use crate::cancel::CancelToken;
 use crate::error::{NoiseError, NoiseResult};
 use crate::models::NoiseModel;
 use crate::trajectory::{
@@ -166,8 +167,32 @@ impl<'a> DensityNoiseSimulator<'a> {
     ///
     /// Panics if the state shape does not match the circuit.
     pub fn evolve(&self, initial: &StateVector) -> DensityMatrix {
+        match self.evolve_cancellable(initial, &CancelToken::never()) {
+            Ok(rho) => rho,
+            Err(_) => unreachable!("the never token cannot cancel an evolution"),
+        }
+    }
+
+    /// Like [`DensityNoiseSimulator::evolve`], but checks `cancel` between
+    /// frames — density frames are the expensive unit of work here
+    /// (`d^2n`-entry superoperator applies), so per-frame granularity bounds
+    /// the overrun after a deadline expires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError::Cancelled`] once the token trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state shape does not match the circuit.
+    pub fn evolve_cancellable(
+        &self,
+        initial: &StateVector,
+        cancel: &CancelToken,
+    ) -> NoiseResult<DensityMatrix> {
         let mut rho = DensityMatrix::from_pure(initial);
         for frame in &self.program.frames {
+            cancel.check()?;
             for &op_idx in &frame.ops {
                 self.noisy.pair(op_idx).apply(&mut rho);
             }
@@ -184,7 +209,7 @@ impl<'a> DensityNoiseSimulator<'a> {
         // The evolution is CPTP, so this only corrects the accumulated
         // floating-point drift of the trace.
         rho.renormalize();
-        rho
+        Ok(rho)
     }
 
     /// The exact fidelity `⟨ψ_ideal|ρ_noisy|ψ_ideal⟩` for one initial state.
@@ -227,23 +252,46 @@ impl<'a> DensityNoiseSimulator<'a> {
     ///
     /// Returns an error if the input specification is invalid for the
     /// circuit.
-    pub fn run(&self, config: &TrajectoryConfig) -> Result<FidelityEstimate, CoreError> {
+    pub fn run(&self, config: &TrajectoryConfig) -> NoiseResult<FidelityEstimate> {
+        self.run_cancellable(config, &CancelToken::never())
+    }
+
+    /// Like [`DensityNoiseSimulator::run`], but every input's evolution
+    /// checks `cancel` between frames; the sweep over input draws
+    /// short-circuits on the first [`NoiseError::Cancelled`].
+    ///
+    /// # Errors
+    ///
+    /// [`NoiseError::Cancelled`] once the token trips; otherwise the same
+    /// conditions as [`DensityNoiseSimulator::run`].
+    pub fn run_cancellable(
+        &self,
+        config: &TrajectoryConfig,
+        cancel: &CancelToken,
+    ) -> NoiseResult<FidelityEstimate> {
         match &config.input {
             InputState::RandomQubitSubspace => {
-                let fidelities: Result<Vec<f64>, CoreError> = (0..config.trials)
+                let fidelities: NoiseResult<Vec<f64>> = (0..config.trials)
                     .into_par_iter()
                     .map(|i| {
+                        cancel.check()?;
                         let input =
                             self.draw_input(&config.input, config.seed.wrapping_add(i as u64))?;
-                        Ok(self.exact_fidelity(&input))
+                        let ideal = self.ideal.run_sequential(input.clone());
+                        Ok(self
+                            .evolve_cancellable(&input, cancel)?
+                            .fidelity_with_pure(&ideal))
                     })
                     .collect();
                 Ok(estimate_from_samples(&fidelities?))
             }
             input => {
                 let initial = self.draw_input(input, config.seed)?;
+                let ideal = self.ideal.run_sequential(initial.clone());
                 Ok(FidelityEstimate {
-                    mean: self.exact_fidelity(&initial),
+                    mean: self
+                        .evolve_cancellable(&initial, cancel)?
+                        .fidelity_with_pure(&ideal),
                     std_error: 0.0,
                     trials: 1,
                 })
@@ -349,6 +397,25 @@ mod tests {
         assert!((rho.trace().re - 1.0).abs() < 1e-9);
         assert!(rho.hermiticity_error() < 1e-10);
         assert!(rho.min_population() > -1e-12);
+    }
+
+    #[test]
+    fn a_tripped_token_cancels_the_exact_sweep() {
+        let c = toffoli_fig4();
+        let model = sc();
+        let sim = DensityNoiseSimulator::new(&c, &model).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let config = TrajectoryConfig::default();
+        assert_eq!(
+            sim.run_cancellable(&config, &token),
+            Err(NoiseError::Cancelled)
+        );
+        // And the cancellable path agrees with the plain one when never
+        // cancelled.
+        let plain = sim.run(&config).unwrap();
+        let never = sim.run_cancellable(&config, &CancelToken::never()).unwrap();
+        assert_eq!(plain.mean, never.mean);
     }
 
     #[test]

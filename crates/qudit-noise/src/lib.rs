@@ -38,6 +38,7 @@
 #![warn(rust_2018_idioms)]
 
 mod backend;
+mod cancel;
 mod damping;
 mod depolarizing;
 mod error;
@@ -52,6 +53,7 @@ pub use backend::{
     cross_validate, Backend, BackendKind, CrossValidation, DensityMatrixBackend, SimOutput,
     TrajectoryBackend,
 };
+pub use cancel::CancelToken;
 pub use damping::{idle_damping_channel, lambda_m, qubit_damping, qutrit_damping};
 pub use depolarizing::{
     qutrit_two_qudit_reliability_ratio, single_qudit_depolarizing,

@@ -50,6 +50,7 @@
 //! PR 4's deprecated `GateExpansion` virtual-accounting shim is gone; the
 //! differential suite now carries its own oracle.
 
+use crate::cancel::CancelToken;
 use crate::error::{NoiseError, NoiseResult};
 use crate::kraus::{Channel, CompiledChannel};
 use crate::models::NoiseModel;
@@ -540,7 +541,41 @@ impl<'a> TrajectorySimulator<'a> {
     pub fn run_trial(&self, input: &InputState, seed: u64) -> Result<f64, CoreError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let initial = self.draw_input(input, &mut rng)?;
+        match self.trial_from(initial, &mut rng, &CancelToken::never()) {
+            Ok(fidelity) => Ok(fidelity),
+            Err(_) => unreachable!("the never token cannot cancel a trial"),
+        }
+    }
 
+    /// Like [`TrajectorySimulator::run_trial`], but checks `cancel` before
+    /// the trial and between frames, so an expired deadline stops the
+    /// simulation mid-circuit instead of after it.
+    ///
+    /// # Errors
+    ///
+    /// [`NoiseError::Cancelled`] once the token trips; otherwise the same
+    /// conditions as [`TrajectorySimulator::run_trial`].
+    pub fn run_trial_cancellable(
+        &self,
+        input: &InputState,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> NoiseResult<f64> {
+        cancel.check()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initial = self.draw_input(input, &mut rng)?;
+        self.trial_from(initial, &mut rng, cancel)
+    }
+
+    /// The trial body shared by the cancellable and infallible entry points:
+    /// ideal + noisy evolution from a drawn initial state. Only possible
+    /// error is [`NoiseError::Cancelled`].
+    fn trial_from(
+        &self,
+        initial: StateVector,
+        rng: &mut StdRng,
+        cancel: &CancelToken,
+    ) -> NoiseResult<f64> {
         // Ideal (noise-free) evolution, through the shared compiled plans.
         let ideal = self.compiled.run_sequential(initial.clone());
 
@@ -548,18 +583,19 @@ impl<'a> TrajectorySimulator<'a> {
         // gate errors, then the idle error for the frame's duration.
         let mut noisy = initial;
         for frame in &self.program.frames {
+            cancel.check()?;
             for &op_idx in &frame.ops {
                 self.compiled.plan(op_idx).apply_sequential(&mut noisy);
             }
             for &op_idx in &frame.ops {
                 self.channels
                     .for_op_sites(&self.program.sites[op_idx], |site| {
-                        site.apply_trajectory(&mut noisy, &mut rng);
+                        site.apply_trajectory(&mut noisy, rng);
                     });
             }
             if let Some(sites) = self.channels.idle.get(&frame.duration) {
                 for site in sites {
-                    site.apply_trajectory(&mut noisy, &mut rng);
+                    site.apply_trajectory(&mut noisy, rng);
                 }
             }
             noisy.renormalize();
@@ -575,10 +611,32 @@ impl<'a> TrajectorySimulator<'a> {
     ///
     /// Returns an error if the input specification is invalid for the
     /// circuit.
-    pub fn run(&self, config: &TrajectoryConfig) -> Result<FidelityEstimate, CoreError> {
-        let fidelities: Result<Vec<f64>, CoreError> = (0..config.trials)
+    pub fn run(&self, config: &TrajectoryConfig) -> NoiseResult<FidelityEstimate> {
+        self.run_cancellable(config, &CancelToken::never())
+    }
+
+    /// Like [`TrajectorySimulator::run`], but every trial checks `cancel`
+    /// between frames; parallel workers short-circuit on the first
+    /// [`NoiseError::Cancelled`].
+    ///
+    /// # Errors
+    ///
+    /// [`NoiseError::Cancelled`] once the token trips; otherwise the same
+    /// conditions as [`TrajectorySimulator::run`].
+    pub fn run_cancellable(
+        &self,
+        config: &TrajectoryConfig,
+        cancel: &CancelToken,
+    ) -> NoiseResult<FidelityEstimate> {
+        let fidelities: NoiseResult<Vec<f64>> = (0..config.trials)
             .into_par_iter()
-            .map(|i| self.run_trial(&config.input, config.seed.wrapping_add(i as u64)))
+            .map(|i| {
+                self.run_trial_cancellable(
+                    &config.input,
+                    config.seed.wrapping_add(i as u64),
+                    cancel,
+                )
+            })
             .collect();
         let fidelities = fidelities?;
         Ok(estimate_from_samples(&fidelities))
@@ -728,6 +786,27 @@ mod tests {
         let f1 = sim.run_trial(&InputState::AllOnes, 99).unwrap();
         let f2 = sim.run_trial(&InputState::AllOnes, 99).unwrap();
         assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn a_tripped_token_cancels_the_run() {
+        let c = toffoli_fig4();
+        let model = sc();
+        let sim = TrajectorySimulator::new(&c, &model).unwrap();
+        let config = TrajectoryConfig {
+            trials: 64,
+            ..TrajectoryConfig::default()
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            sim.run_cancellable(&config, &token),
+            Err(NoiseError::Cancelled)
+        );
+        // The never token leaves results identical to the plain entry point.
+        let plain = sim.run(&config).unwrap();
+        let never = sim.run_cancellable(&config, &CancelToken::never()).unwrap();
+        assert_eq!(plain.mean, never.mean);
     }
 
     #[test]

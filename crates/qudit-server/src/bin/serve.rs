@@ -1,0 +1,96 @@
+//! The service entry point.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--http-threads N]
+//!       [--queue-depth N] [--deadline-ms MS] [--max-deadline-ms MS]
+//!       [--drain-ms MS] [--chaos-hooks]
+//! ```
+//!
+//! Prints `listening on <addr>` once ready, then serves until stdin
+//! reaches EOF or a line `shutdown` arrives — the SIGTERM stand-in
+//! (`std` has no signal handling; process supervisors and the CI job close
+//! the child's stdin to request a graceful drain). Exits 0 after a clean
+//! drain.
+
+use qudit_server::{Server, ServerConfig};
+use std::io::BufRead;
+use std::time::Duration;
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8473".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse(&value("--workers"), "--workers"),
+            "--http-threads" => {
+                config.http_threads = parse(&value("--http-threads"), "--http-threads");
+            }
+            "--queue-depth" => {
+                config.queue_depth = parse(&value("--queue-depth"), "--queue-depth");
+            }
+            "--deadline-ms" => {
+                config.default_deadline =
+                    Duration::from_millis(parse(&value("--deadline-ms"), "--deadline-ms"));
+            }
+            "--max-deadline-ms" => {
+                config.max_deadline =
+                    Duration::from_millis(parse(&value("--max-deadline-ms"), "--max-deadline-ms"));
+            }
+            "--drain-ms" => {
+                config.drain_deadline =
+                    Duration::from_millis(parse(&value("--drain-ms"), "--drain-ms"));
+            }
+            "--chaos-hooks" => config.chaos_hooks = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve [--addr HOST:PORT] [--workers N] [--http-threads N] \
+                     [--queue-depth N] [--deadline-ms MS] [--max-deadline-ms MS] \
+                     [--drain-ms MS] [--chaos-hooks]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => die(&format!("failed to start: {e}")),
+    };
+    println!("listening on {}", server.addr());
+
+    // Serve until the supervisor closes stdin (or sends `shutdown`).
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(text) if text.trim() == "shutdown" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+
+    eprintln!("draining...");
+    let report = server.shutdown();
+    eprintln!(
+        "shutdown: drained={} completed={} panicked={}",
+        report.drained, report.jobs_completed, report.jobs_panicked
+    );
+}
+
+fn parse<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
+    raw.parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: cannot parse {raw:?}")))
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("serve: {message}");
+    std::process::exit(2);
+}

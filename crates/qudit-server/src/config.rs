@@ -1,0 +1,51 @@
+//! Server tuning knobs.
+
+use std::time::Duration;
+
+/// Configuration for [`Server::start`](crate::Server::start). Every limit
+/// has a production-shaped default; tests shrink them to provoke the edges.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    pub addr: String,
+    /// Connection-handling threads (each serves one request at a time).
+    pub http_threads: usize,
+    /// Simulation worker threads consuming the job queue.
+    pub workers: usize,
+    /// Bounded job-queue capacity: submissions beyond this are refused
+    /// immediately with a typed `overloaded` error (load-shedding).
+    pub queue_depth: usize,
+    /// Deadline applied to jobs that do not send an `X-Deadline-Ms` header.
+    pub default_deadline: Duration,
+    /// Upper clamp for client-requested deadlines.
+    pub max_deadline: Duration,
+    /// Largest accepted request body (bytes); beyond it the connection is
+    /// answered `413` without buffering the payload.
+    pub max_body_bytes: usize,
+    /// Socket read timeout (slow-loris guard, per read).
+    pub read_timeout: Duration,
+    /// How long [`Server::shutdown`](crate::Server::shutdown) waits for
+    /// queued + running jobs to finish before cancelling them.
+    pub drain_deadline: Duration,
+    /// Enables test-only fault hooks (the `X-Chaos: panic` header). Never
+    /// enable in production configs; the chaos harness and tests use it to
+    /// prove panic isolation.
+    pub chaos_hooks: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            http_threads: 4,
+            workers: 2,
+            queue_depth: 64,
+            default_deadline: Duration::from_secs(30),
+            max_deadline: Duration::from_secs(120),
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+            drain_deadline: Duration::from_secs(5),
+            chaos_hooks: false,
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The service failure taxonomy: every way a request can fail, each with a
+//! stable kind string and an HTTP status code.
+//!
+//! | variant | status | meaning |
+//! |---|---|---|
+//! | `BadRequest` | 400 | unreadable request (malformed JSON, bad header) |
+//! | `InvalidSpec` | 422 | well-formed JSON describing an invalid job |
+//! | `Overloaded` | 429 | bounded queue full — backpressure, retry later |
+//! | `NotFound` | 404 | unknown path |
+//! | `MethodNotAllowed` | 405 | known path, wrong method |
+//! | `InternalPanic` | 500 | a job panicked; isolated, server still up |
+//! | `Draining` | 503 | shutting down, not accepting new jobs |
+//! | `DeadlineExceeded` | 504 | job cancelled mid-simulation at its deadline |
+
+use qudit_api::ApiError;
+use serde::Value;
+use std::fmt;
+
+/// A typed request failure; see the module table for the full taxonomy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerError {
+    /// The request could not be read: malformed JSON, a bad header value.
+    BadRequest {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The JSON parsed but describes an invalid job (bad trials count,
+    /// noise at an optimizing level, infeasible density width, ...).
+    InvalidSpec {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The bounded job queue is full; the request was shed immediately.
+    Overloaded {
+        /// Queue depth at refusal time.
+        depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// Unknown path.
+    NotFound,
+    /// Known path, unsupported method.
+    MethodNotAllowed,
+    /// The job panicked. The panic was isolated to the job; the worker
+    /// pool and caches keep serving.
+    InternalPanic {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The server is draining for shutdown and accepts no new jobs.
+    Draining,
+    /// The job's deadline expired; cooperative cancellation stopped the
+    /// simulation mid-run.
+    DeadlineExceeded,
+}
+
+impl ServerError {
+    /// The HTTP status code this failure maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServerError::BadRequest { .. } => 400,
+            ServerError::InvalidSpec { .. } => 422,
+            ServerError::Overloaded { .. } => 429,
+            ServerError::NotFound => 404,
+            ServerError::MethodNotAllowed => 405,
+            ServerError::InternalPanic { .. } => 500,
+            ServerError::Draining => 503,
+            ServerError::DeadlineExceeded => 504,
+        }
+    }
+
+    /// The stable machine-readable kind string used in error bodies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServerError::BadRequest { .. } => "bad_request",
+            ServerError::InvalidSpec { .. } => "invalid_spec",
+            ServerError::Overloaded { .. } => "overloaded",
+            ServerError::NotFound => "not_found",
+            ServerError::MethodNotAllowed => "method_not_allowed",
+            ServerError::InternalPanic { .. } => "internal_panic",
+            ServerError::Draining => "draining",
+            ServerError::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+
+    /// The JSON error body: `{"error":{"kind":...,"message":...}}`.
+    pub fn to_json(&self) -> String {
+        let body = Value::object(vec![(
+            "error",
+            Value::object(vec![
+                ("kind", Value::Str(self.kind().to_string())),
+                ("message", Value::Str(self.to_string())),
+            ]),
+        )]);
+        serde::json::to_string(&body)
+    }
+
+    /// The full HTTP response for this failure.
+    pub fn to_response(&self) -> tiny_http::Response {
+        tiny_http::Response::from_string(self.to_json())
+            .with_status_code(self.status())
+            .with_header("Content-Type", "application/json")
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServerError::InvalidSpec { reason } => write!(f, "invalid job spec: {reason}"),
+            ServerError::Overloaded { depth, capacity } => {
+                write!(f, "job queue full ({depth}/{capacity}); retry later")
+            }
+            ServerError::NotFound => write!(f, "no such endpoint"),
+            ServerError::MethodNotAllowed => write!(f, "method not allowed on this endpoint"),
+            ServerError::InternalPanic { message } => {
+                write!(f, "job panicked (isolated): {message}")
+            }
+            ServerError::Draining => write!(f, "server is draining for shutdown"),
+            ServerError::DeadlineExceeded => {
+                write!(f, "deadline exceeded; simulation cancelled mid-run")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<ApiError> for ServerError {
+    fn from(e: ApiError) -> Self {
+        match e {
+            ApiError::Wire { reason } => ServerError::BadRequest { reason },
+            ApiError::DeadlineExceeded => ServerError::DeadlineExceeded,
+            other => ServerError::InvalidSpec {
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_has_a_distinct_kind_and_sane_status() {
+        let all = [
+            ServerError::BadRequest { reason: "x".into() },
+            ServerError::InvalidSpec { reason: "x".into() },
+            ServerError::Overloaded {
+                depth: 8,
+                capacity: 8,
+            },
+            ServerError::NotFound,
+            ServerError::MethodNotAllowed,
+            ServerError::InternalPanic {
+                message: "x".into(),
+            },
+            ServerError::Draining,
+            ServerError::DeadlineExceeded,
+        ];
+        let mut kinds: Vec<&str> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len(), "kinds must be unique");
+        for e in &all {
+            assert!((400..=599).contains(&e.status()), "{e:?}");
+            let body = e.to_json();
+            assert!(body.contains(e.kind()), "{body}");
+        }
+    }
+
+    #[test]
+    fn wire_errors_map_to_400_and_spec_errors_to_422() {
+        let wire = ApiError::Wire {
+            reason: "bad json".into(),
+        };
+        assert_eq!(ServerError::from(wire).status(), 400);
+        let spec = ApiError::Spec {
+            reason: "trials".into(),
+        };
+        assert_eq!(ServerError::from(spec).status(), 422);
+        assert_eq!(ServerError::from(ApiError::DeadlineExceeded).status(), 504);
+    }
+
+    #[test]
+    fn error_body_escapes_hostile_messages() {
+        let e = ServerError::BadRequest {
+            reason: "quote \" backslash \\ newline \n".into(),
+        };
+        let body = e.to_json();
+        // Must stay parseable JSON no matter what the reason contains.
+        assert!(serde::json::parse(&body).is_ok(), "{body}");
+    }
+}

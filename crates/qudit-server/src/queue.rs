@@ -1,0 +1,133 @@
+//! The bounded job queue: the server's backpressure point.
+//!
+//! Submissions beyond the configured capacity are refused *immediately* —
+//! the queue never grows without bound, so overload degrades into fast
+//! typed `429` responses instead of ballooning latency and memory
+//! (load-shedding, not collapse).
+
+use futures::channel::oneshot;
+use qudit_api::{ApiResult, ExecutionResult, JobSpec};
+use qudit_noise::CancelToken;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// One queued unit of work.
+pub struct Job {
+    /// The validated job description.
+    pub spec: JobSpec,
+    /// Cooperative cancellation handle (deadline and shutdown).
+    pub cancel: CancelToken,
+    /// Test-only hook: the worker panics instead of simulating. Only
+    /// settable when [`ServerConfig::chaos_hooks`](crate::ServerConfig::chaos_hooks)
+    /// is on.
+    pub chaos_panic: bool,
+    /// Completion channel back to the waiting connection handler.
+    pub reply: oneshot::Sender<JobOutcome>,
+}
+
+/// What a worker reports back for one job.
+pub enum JobOutcome {
+    /// The job ran to an API-level result (success or typed error).
+    Done(ApiResult<ExecutionResult>),
+    /// The job panicked; the panic was caught and isolated.
+    Panicked(String),
+}
+
+/// Why a submission was refused.
+pub enum SubmitError {
+    /// The queue is at capacity; the job is handed back.
+    Full(Box<Job>),
+    /// The queue is closed (server shutting down); the job is handed back.
+    Closed(Box<Job>),
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue: handlers submit, workers pop, shutdown closes.
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// An empty queue refusing submissions beyond `capacity`.
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current depth.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues a job, or refuses it without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] at capacity (backpressure),
+    /// [`SubmitError::Closed`] once [`close`](JobQueue::close) was called —
+    /// both return the job so the caller can answer its reply channel.
+    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(SubmitError::Closed(Box::new(job)));
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(SubmitError::Full(Box::new(job)));
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job. `None` once the queue is closed *and*
+    /// drained — workers finish all accepted work before exiting (their
+    /// cancel tokens make cancelled leftovers return quickly).
+    pub fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cond.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: further submissions are refused, blocked `pop`s
+    /// return once the backlog drains.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        drop(state);
+        self.cond.notify_all();
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared helpers for the server integration suites.
+// Each test binary uses a different subset of these helpers.
+#![allow(dead_code)]
+
+use qudit_api::{BackendKind, ExecutionResult, InputState, JobSpec};
+use qudit_circuit::{Circuit, Control, Gate};
+use std::net::SocketAddr;
+use std::time::Duration;
+use tiny_http::client;
+
+/// The paper's Figure 4 Toffoli-via-qutrits — the well-formed job every
+/// fault is followed by.
+pub fn fig4_circuit() -> Circuit {
+    let mut c = Circuit::new(3, 3);
+    c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+        .unwrap();
+    c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+        .unwrap();
+    c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+        .unwrap();
+    c
+}
+
+/// A noise-free fig4 job with a known exact answer: input |1,1,0⟩ must
+/// come out |1,1,1⟩ with probability 1.
+pub fn clean_job_json() -> String {
+    JobSpec::builder(fig4_circuit())
+        .input(InputState::Basis(vec![1, 1, 0]))
+        .build()
+        .unwrap()
+        .to_json()
+}
+
+/// A noisy job heavy enough to still be running when a short deadline
+/// expires: fig4 repeated many times, many trials.
+pub fn heavy_job_json() -> String {
+    let mut c = Circuit::new(3, 3);
+    for _ in 0..20 {
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+            .unwrap();
+        c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+    }
+    JobSpec::builder(c)
+        .noise(qudit_api::NoiseModel {
+            name: "TEST".to_string(),
+            p1: 1e-4,
+            p2: 1e-4,
+            t1: Some(1e-3),
+            gate_time_1q: 100e-9,
+            gate_time_2q: 300e-9,
+        })
+        .backend(BackendKind::Trajectory)
+        .trials(500_000)
+        .input(InputState::AllOnes)
+        .build()
+        .unwrap()
+        .to_json()
+}
+
+/// POSTs a job, returning (status, body-as-text).
+pub fn post_job(addr: SocketAddr, body: &str, headers: &[(&str, &str)]) -> (u16, String) {
+    let resp = client::post(
+        addr,
+        "/v1/jobs",
+        body.as_bytes(),
+        headers,
+        Duration::from_secs(60),
+    )
+    .expect("post /v1/jobs");
+    (
+        resp.status,
+        String::from_utf8_lossy(&resp.body).into_owned(),
+    )
+}
+
+/// The error kind string from an error body, or "" for non-error bodies.
+pub fn error_kind(body: &str) -> String {
+    serde::json::parse(body)
+        .ok()
+        .and_then(|v| {
+            v.get("error")?
+                .get("kind")?
+                .as_str()
+                .ok()
+                .map(str::to_string)
+        })
+        .unwrap_or_default()
+}
+
+/// The post-fault invariant: the same server must answer a clean fig4 job
+/// with the exactly correct result.
+pub fn assert_clean_request_works(addr: SocketAddr) {
+    let (status, body) = post_job(addr, &clean_job_json(), &[]);
+    assert_eq!(status, 200, "clean request failed: {body}");
+    let result = ExecutionResult::from_json(&body).expect("result JSON");
+    let states = result.states().expect("noise-free outcome");
+    let p = states[0].probability(&[1, 1, 1]).expect("probability");
+    assert!((p - 1.0).abs() < 1e-12, "wrong answer after fault: p={p}");
+}
+
+/// GETs a path, returning (status, body).
+pub fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let resp = client::get(addr, path, Duration::from_secs(10)).expect("get");
+    (
+        resp.status,
+        String::from_utf8_lossy(&resp.body).into_owned(),
+    )
+}

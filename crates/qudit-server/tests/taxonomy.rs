@@ -1,0 +1,216 @@
+//! Table-driven failure taxonomy: every fault class maps to an exact
+//! HTTP status and a typed `error.kind`, and after every fault the same
+//! server instance answers a clean Figure-4 job with the exactly correct
+//! result.
+
+mod common;
+
+use common::{assert_clean_request_works, clean_job_json, error_kind, heavy_job_json, post_job};
+use qudit_server::{Server, ServerConfig};
+use std::time::Duration;
+use tiny_http::client;
+
+/// One fault class: a request to fire at the server and the exact
+/// (status, kind) the taxonomy promises for it.
+struct FaultCase {
+    name: &'static str,
+    /// (method, path, body, extra headers) — `None` body means GET.
+    request: Request,
+    expect_status: u16,
+    expect_kind: &'static str,
+}
+
+enum Request {
+    Get(&'static str),
+    Post {
+        path: &'static str,
+        body: Body,
+        headers: &'static [(&'static str, &'static str)],
+    },
+}
+
+enum Body {
+    /// A literal byte payload.
+    Literal(&'static str),
+    /// A valid clean job, mutated by string replacement on the wire form.
+    MutatedCleanJob(&'static str, &'static str),
+    /// The heavy job (deadline fodder), unmodified.
+    HeavyJob,
+    /// The clean job, unmodified (used with fault-inducing headers).
+    CleanJob,
+}
+
+fn cases() -> Vec<FaultCase> {
+    vec![
+        FaultCase {
+            name: "malformed JSON body",
+            request: Request::Post {
+                path: "/v1/jobs",
+                body: Body::Literal("{\"circuit\": [unterminated"),
+                headers: &[],
+            },
+            expect_status: 400,
+            expect_kind: "bad_request",
+        },
+        FaultCase {
+            name: "truncated JSON body (valid prefix of a real spec)",
+            request: Request::Post {
+                path: "/v1/jobs",
+                body: Body::Literal("{\"circuit\":{\"dim\":3,\"width\":3,\"operations\":["),
+                headers: &[],
+            },
+            expect_status: 400,
+            expect_kind: "bad_request",
+        },
+        FaultCase {
+            name: "non-JSON body",
+            request: Request::Post {
+                path: "/v1/jobs",
+                body: Body::Literal("GET / HTTP/1.0"),
+                headers: &[],
+            },
+            expect_status: 400,
+            expect_kind: "bad_request",
+        },
+        FaultCase {
+            name: "well-formed JSON, invalid spec (zero trials)",
+            request: Request::Post {
+                path: "/v1/jobs",
+                body: Body::MutatedCleanJob("\"trials\":100", "\"trials\":0"),
+                headers: &[],
+            },
+            expect_status: 422,
+            expect_kind: "invalid_spec",
+        },
+        FaultCase {
+            name: "well-formed JSON, unknown backend",
+            request: Request::Post {
+                path: "/v1/jobs",
+                body: Body::MutatedCleanJob("\"backend\":\"trajectory\"", "\"backend\":\"abacus\""),
+                headers: &[],
+            },
+            expect_status: 400,
+            expect_kind: "bad_request",
+        },
+        FaultCase {
+            name: "deadline expires mid-simulation",
+            request: Request::Post {
+                path: "/v1/jobs",
+                body: Body::HeavyJob,
+                headers: &[("X-Deadline-Ms", "200")],
+            },
+            expect_status: 504,
+            expect_kind: "deadline_exceeded",
+        },
+        FaultCase {
+            name: "unparseable deadline header",
+            request: Request::Post {
+                path: "/v1/jobs",
+                body: Body::CleanJob,
+                headers: &[("X-Deadline-Ms", "soon")],
+            },
+            expect_status: 400,
+            expect_kind: "bad_request",
+        },
+        FaultCase {
+            name: "job panics inside the worker (chaos hook)",
+            request: Request::Post {
+                path: "/v1/jobs",
+                body: Body::CleanJob,
+                headers: &[("X-Chaos", "panic")],
+            },
+            expect_status: 500,
+            expect_kind: "internal_panic",
+        },
+        FaultCase {
+            name: "unknown path",
+            request: Request::Get("/v2/jobs"),
+            expect_status: 404,
+            expect_kind: "not_found",
+        },
+        FaultCase {
+            name: "wrong method on a known path",
+            request: Request::Get("/v1/jobs"),
+            expect_status: 405,
+            expect_kind: "method_not_allowed",
+        },
+    ]
+}
+
+#[test]
+fn every_fault_class_maps_to_its_typed_error_and_leaves_the_server_healthy() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        chaos_hooks: true,
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = server.addr();
+    let clean = clean_job_json();
+    let heavy = heavy_job_json();
+
+    for case in cases() {
+        let (status, body) = match &case.request {
+            Request::Get(path) => {
+                let resp = client::get(addr, path, Duration::from_secs(10)).expect("get");
+                (
+                    resp.status,
+                    String::from_utf8_lossy(&resp.body).into_owned(),
+                )
+            }
+            Request::Post {
+                path,
+                body,
+                headers,
+            } => {
+                assert_eq!(*path, "/v1/jobs");
+                let payload = match body {
+                    Body::Literal(text) => (*text).to_string(),
+                    Body::MutatedCleanJob(from, to) => {
+                        assert!(
+                            clean.contains(from),
+                            "{}: mutation anchor missing",
+                            case.name
+                        );
+                        clean.replace(from, to)
+                    }
+                    Body::HeavyJob => heavy.clone(),
+                    Body::CleanJob => clean.clone(),
+                };
+                post_job(addr, &payload, headers)
+            }
+        };
+        assert_eq!(
+            status, case.expect_status,
+            "{}: wrong status, body={body}",
+            case.name
+        );
+        assert_eq!(
+            error_kind(&body),
+            case.expect_kind,
+            "{}: wrong error kind, body={body}",
+            case.name
+        );
+
+        // The invariant the whole PR is about: the fault must not have
+        // taken the service down or corrupted it.
+        assert_clean_request_works(addr);
+    }
+
+    assert_eq!(server.jobs_panicked(), 1, "exactly the chaos case panicked");
+    server.shutdown();
+}
+
+#[test]
+fn chaos_header_is_inert_unless_hooks_are_enabled() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        chaos_hooks: false,
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let (status, _) = post_job(server.addr(), &clean_job_json(), &[("X-Chaos", "panic")]);
+    assert_eq!(status, 200, "X-Chaos must be ignored in production config");
+    assert_eq!(server.jobs_panicked(), 0);
+    server.shutdown();
+}

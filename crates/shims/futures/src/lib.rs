@@ -1,0 +1,301 @@
+//! Offline API-subset shim of the `futures` crate.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! minimal async-executor surface the server front end uses under the crate
+//! name the ecosystem expects:
+//!
+//! * [`executor::block_on`] — drive a future to completion on the current
+//!   thread, parking between polls (a correct waker-based executor, not a
+//!   spin loop);
+//! * [`executor::block_on_deadline`] — the same, but giving up at a
+//!   deadline (a small extension over the real crate, which delegates
+//!   timeouts to a runtime; the server uses it to bound waits on job
+//!   results so a wedged worker cannot hang a connection forever);
+//! * [`channel::oneshot`] — a single-value channel whose receiver is a
+//!   future, completing with `Err(Canceled)` if the sender is dropped.
+//!
+//! Everything is built on `std::task` and a `Mutex`/`Condvar` parker; there
+//! is no reactor and no IO integration — blocking IO stays on dedicated
+//! threads, and futures are used for completion signalling, which is the
+//! only async the workspace needs.
+
+#![warn(missing_docs)]
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::Wake;
+use std::time::Instant;
+
+/// Thread parking primitive behind the executor's waker: `wake` sets the
+/// notified flag and signals the condvar; `park` consumes one notification.
+#[derive(Default)]
+struct Parker {
+    notified: Mutex<bool>,
+    cvar: Condvar,
+}
+
+impl Parker {
+    /// Blocks until notified (consumes the notification).
+    fn park(&self) {
+        let mut notified = self.notified.lock().unwrap_or_else(|e| e.into_inner());
+        while !*notified {
+            notified = self.cvar.wait(notified).unwrap_or_else(|e| e.into_inner());
+        }
+        *notified = false;
+    }
+
+    /// Blocks until notified or the deadline passes. Returns `true` if a
+    /// notification was consumed, `false` on timeout.
+    fn park_until(&self, deadline: Instant) -> bool {
+        let mut notified = self.notified.lock().unwrap_or_else(|e| e.into_inner());
+        while !*notified {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _timeout) = self
+                .cvar
+                .wait_timeout(notified, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            notified = guard;
+        }
+        *notified = false;
+        true
+    }
+}
+
+impl Wake for Parker {
+    fn wake(self: Arc<Self>) {
+        let mut notified = self.notified.lock().unwrap_or_else(|e| e.into_inner());
+        *notified = true;
+        self.cvar.notify_one();
+    }
+}
+
+/// Executors that drive futures to completion (`futures::executor`).
+pub mod executor {
+    use super::Parker;
+    use std::future::Future;
+    use std::pin::pin;
+    use std::sync::Arc;
+    use std::task::{Context, Poll, Waker};
+    use std::time::Instant;
+
+    /// Runs a future to completion on the current thread, parking between
+    /// polls until the future's waker fires.
+    pub fn block_on<F: Future>(fut: F) -> F::Output {
+        let parker = Arc::new(Parker::default());
+        let waker = Waker::from(Arc::clone(&parker));
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = pin!(fut);
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(value) => return value,
+                Poll::Pending => parker.park(),
+            }
+        }
+    }
+
+    /// Runs a future to completion like [`block_on`], but gives up (dropping
+    /// the future) once `deadline` passes, returning `None`.
+    ///
+    /// This is the bounded-wait primitive the server front end uses so that
+    /// a lost completion can never hang a connection thread forever. (A
+    /// small extension over the real `futures` API, which leaves timeouts to
+    /// async runtimes the workspace cannot vendor.)
+    pub fn block_on_deadline<F: Future>(fut: F, deadline: Instant) -> Option<F::Output> {
+        let parker = Arc::new(Parker::default());
+        let waker = Waker::from(Arc::clone(&parker));
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = pin!(fut);
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(value) => return Some(value),
+                Poll::Pending => {
+                    if !parker.park_until(deadline) {
+                        // One last poll so a wake racing the timeout wins.
+                        return match fut.as_mut().poll(&mut cx) {
+                            Poll::Ready(value) => Some(value),
+                            Poll::Pending => None,
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Channel types (`futures::channel`).
+pub mod channel {
+    /// A one-shot, single-producer single-consumer channel whose receiving
+    /// half is a future (`futures::channel::oneshot`).
+    pub mod oneshot {
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::sync::{Arc, Mutex};
+        use std::task::{Context, Poll, Waker};
+
+        /// The error returned when the sender was dropped without sending.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        pub struct Canceled;
+
+        impl std::fmt::Display for Canceled {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "oneshot canceled")
+            }
+        }
+
+        impl std::error::Error for Canceled {}
+
+        struct Shared<T> {
+            value: Option<T>,
+            waker: Option<Waker>,
+            sender_alive: bool,
+            receiver_alive: bool,
+        }
+
+        /// The sending half; consumes itself on send.
+        pub struct Sender<T> {
+            shared: Arc<Mutex<Shared<T>>>,
+        }
+
+        /// The receiving half: a future resolving to the sent value, or
+        /// `Err(Canceled)` if the sender was dropped first.
+        pub struct Receiver<T> {
+            shared: Arc<Mutex<Shared<T>>>,
+        }
+
+        /// Creates a connected sender/receiver pair.
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            let shared = Arc::new(Mutex::new(Shared {
+                value: None,
+                waker: None,
+                sender_alive: true,
+                receiver_alive: true,
+            }));
+            (
+                Sender {
+                    shared: Arc::clone(&shared),
+                },
+                Receiver { shared },
+            )
+        }
+
+        impl<T> Sender<T> {
+            /// Sends the value, waking the receiver.
+            ///
+            /// # Errors
+            ///
+            /// Returns the value back if the receiver was already dropped.
+            pub fn send(self, value: T) -> Result<(), T> {
+                let waker = {
+                    let mut shared = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+                    if !shared.receiver_alive {
+                        return Err(value);
+                    }
+                    shared.value = Some(value);
+                    shared.waker.take()
+                };
+                if let Some(waker) = waker {
+                    waker.wake();
+                }
+                Ok(())
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                let waker = {
+                    let mut shared = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+                    shared.sender_alive = false;
+                    shared.waker.take()
+                };
+                if let Some(waker) = waker {
+                    waker.wake();
+                }
+            }
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                let mut shared = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+                shared.receiver_alive = false;
+            }
+        }
+
+        impl<T> Future for Receiver<T> {
+            type Output = Result<T, Canceled>;
+
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let mut shared = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(value) = shared.value.take() {
+                    return Poll::Ready(Ok(value));
+                }
+                if !shared.sender_alive {
+                    return Poll::Ready(Err(Canceled));
+                }
+                shared.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::oneshot;
+    use super::executor::{block_on, block_on_deadline};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn block_on_ready_future() {
+        assert_eq!(block_on(std::future::ready(42)), 42);
+    }
+
+    #[test]
+    fn oneshot_delivers_across_threads() {
+        let (tx, rx) = oneshot::channel();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send("payload").unwrap();
+        });
+        assert_eq!(block_on(rx), Ok("payload"));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_the_sender_cancels() {
+        let (tx, rx) = oneshot::channel::<u32>();
+        drop(tx);
+        assert_eq!(block_on(rx), Err(oneshot::Canceled));
+    }
+
+    #[test]
+    fn sending_to_a_dropped_receiver_returns_the_value() {
+        let (tx, rx) = oneshot::channel();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(7));
+    }
+
+    #[test]
+    fn deadline_expires_on_a_silent_channel() {
+        let (_tx, rx) = oneshot::channel::<u32>();
+        let start = Instant::now();
+        let out = block_on_deadline(rx, Instant::now() + Duration::from_millis(50));
+        assert!(out.is_none());
+        assert!(start.elapsed() >= Duration::from_millis(50));
+        assert!(start.elapsed() < Duration::from_secs(5), "did not hang");
+    }
+
+    #[test]
+    fn deadline_returns_early_when_the_value_arrives() {
+        let (tx, rx) = oneshot::channel();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            let _ = tx.send(1u32);
+        });
+        let start = Instant::now();
+        let out = block_on_deadline(rx, Instant::now() + Duration::from_secs(30));
+        assert_eq!(out, Some(Ok(1)));
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+}

@@ -202,6 +202,14 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
+// A Value tree is its own serialization (as in real serde_json), so
+// hand-assembled trees render through `json::to_string` directly.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 /// Conversion out of the [`Value`] data model.
 pub trait Deserialize: Sized {
     /// Rebuilds `Self` from a value tree, validating along the way.

@@ -1,0 +1,754 @@
+//! Offline API-subset shim of the `tiny_http` crate.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! minimal HTTP/1.1 server surface `qudit-server` needs under the crate name
+//! the ecosystem expects. The model is the same as real tiny_http: a
+//! blocking [`Server`] whose `recv` can be called from many threads at once
+//! (thread-per-connection), one request per connection.
+//!
+//! Robustness is built in at the protocol layer, because a service front end
+//! must survive adversarial bytes before application code ever sees them:
+//!
+//! * per-connection **read/write timeouts** — a slow-loris client that
+//!   trickles half a request head gets a `408 Request Timeout` and its
+//!   socket closed, never a parked server thread;
+//! * **head and body size limits** — oversized heads answer `431`, bodies
+//!   larger than the configured cap answer `413` without buffering the
+//!   payload;
+//! * **malformed requests** answer `400`, bodies without a length answer
+//!   `411` (chunked uploads are out of scope for the service wire format).
+//!
+//! Protocol faults are answered inside the shim and the connection closed;
+//! `recv` only ever hands application code a well-formed [`Request`].
+//!
+//! Documented deviations from real tiny_http: `recv` returns
+//! `io::Result<Option<Request>>` with `Ok(None)` meaning "server closed"
+//! (the real crate returns an error after `unblock`), headers are plain
+//! string pairs, and a small [`client`] module is included because the
+//! fault-injection harness needs byte-level control over what goes on the
+//! wire.
+
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Protocol-level limits applied to every connection before application
+/// code sees the request.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Max time a single read from the socket may block (slow-loris guard).
+    pub read_timeout: Duration,
+    /// Max time a single write to the socket may block.
+    pub write_timeout: Duration,
+    /// Max bytes of request line + headers before answering `431`.
+    pub max_head_bytes: usize,
+    /// Max bytes of declared body before answering `413`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// HTTP request methods the service surface uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Method {
+    Get,
+    Post,
+    Put,
+    Delete,
+    Head,
+    Options,
+    Patch,
+}
+
+impl Method {
+    fn parse(token: &str) -> Option<Method> {
+        Some(match token {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            "PUT" => Method::Put,
+            "DELETE" => Method::Delete,
+            "HEAD" => Method::Head,
+            "OPTIONS" => Method::Options,
+            "PATCH" => Method::Patch,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Head => "HEAD",
+            Method::Options => "OPTIONS",
+            Method::Patch => "PATCH",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A fully read, well-formed HTTP request. Protocol faults never reach
+/// this type — the shim answers them itself.
+pub struct Request {
+    method: Method,
+    url: String,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+    remote_addr: Option<SocketAddr>,
+    stream: TcpStream,
+}
+
+impl Request {
+    /// The request method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The request target as sent (path + optional query).
+    pub fn url(&self) -> &str {
+        &self.url
+    }
+
+    /// The request body (already read in full, within the body limit).
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// The peer address, if known.
+    pub fn remote_addr(&self) -> Option<SocketAddr> {
+        self.remote_addr
+    }
+
+    /// Case-insensitive single-header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Writes the response and closes the connection (`Connection: close`;
+    /// one request per connection, as the service protocol specifies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors — typically a mid-response client
+    /// disconnect, which callers are expected to tolerate.
+    pub fn respond(mut self, response: Response) -> io::Result<()> {
+        write_response(&mut self.stream, &response)?;
+        let _ = self.stream.shutdown(Shutdown::Both);
+        Ok(())
+    }
+}
+
+/// An HTTP response: status code, extra headers, body.
+pub struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` response with a string body.
+    pub fn from_string(body: impl Into<String>) -> Response {
+        Response::from_data(body.into().into_bytes())
+    }
+
+    /// A `200 OK` response with a byte body.
+    pub fn from_data(body: Vec<u8>) -> Response {
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Sets the status code.
+    #[must_use]
+    pub fn with_status_code(mut self, status: u16) -> Response {
+        self.status = status;
+        self
+    }
+
+    /// Appends a header.
+    #[must_use]
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// The status code.
+    pub fn status_code(&self) -> u16 {
+        self.status
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        100 => "Continue",
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason_phrase(response.status),
+        response.body.len()
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// Answers a protocol fault and closes the connection; errors are ignored
+/// (the peer may already be gone).
+fn respond_fault(mut stream: TcpStream, status: u16, message: &str) {
+    let response = Response::from_string(message)
+        .with_status_code(status)
+        .with_header("Content-Type", "text/plain");
+    let _ = write_response(&mut stream, &response);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Whether an IO error is a read-timeout expiry (platform-dependent kind).
+fn is_timeout(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// A blocking HTTP/1.1 server. `recv` may be called concurrently from many
+/// threads; each call accepts one connection and reads one request.
+pub struct Server {
+    listener: TcpListener,
+    limits: Limits,
+    closed: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds with default [`Limits`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn http(addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Server::http_with_limits(addr, Limits::default())
+    }
+
+    /// Binds with explicit [`Limits`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn http_with_limits(addr: impl ToSocketAddrs, limits: Limits) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            limits,
+            closed: AtomicBool::new(false),
+            local_addr,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn server_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The limits this server enforces.
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+
+    /// Marks the server closed and wakes one thread blocked in
+    /// [`recv`](Server::recv)
+    /// (call once per receiving thread, like real tiny_http's `unblock`).
+    pub fn unblock(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        // Any accept() entered after this returns WouldBlock instead of
+        // parking forever, closing the race with threads that re-enter
+        // recv() between the flag store and the wake connection below.
+        let _ = self.listener.set_nonblocking(true);
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+    }
+
+    /// Accepts one connection and reads one well-formed request.
+    ///
+    /// Returns `Ok(None)` once [`unblock`](Server::unblock) has been called.
+    /// Protocol faults (malformed head, timeout, oversized head/body,
+    /// missing length) are answered in-shim with 400/408/431/413/411 and do
+    /// NOT surface here — the loop continues to the next connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-level IO errors other than shutdown wakes.
+    pub fn recv(&self) -> io::Result<Option<Request>> {
+        loop {
+            if self.closed.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            let (stream, peer) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if is_timeout(&e) => {
+                    if self.closed.load(Ordering::SeqCst) {
+                        return Ok(None);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            };
+            if self.closed.load(Ordering::SeqCst) {
+                // The wake connection from unblock(), or a late client
+                // hitting a draining server; either way we are done.
+                drop(stream);
+                return Ok(None);
+            }
+            match self.read_request(stream, peer) {
+                Some(request) => return Ok(Some(request)),
+                None => continue, // fault answered in-shim; next connection
+            }
+        }
+    }
+
+    /// Reads one request from a fresh connection, enforcing all limits.
+    /// Returns `None` if the connection was a protocol fault (already
+    /// answered) or the peer vanished.
+    fn read_request(&self, stream: TcpStream, peer: SocketAddr) -> Option<Request> {
+        let _ = stream.set_read_timeout(Some(self.limits.read_timeout));
+        let _ = stream.set_write_timeout(Some(self.limits.write_timeout));
+        let mut stream = stream;
+
+        // --- request head: read until CRLFCRLF, bounded in size and time.
+        let mut buf: Vec<u8> = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 1024];
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&buf) {
+                break pos;
+            }
+            if buf.len() > self.limits.max_head_bytes {
+                respond_fault(stream, 431, "request head too large");
+                return None;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    if !buf.is_empty() {
+                        respond_fault(stream, 400, "truncated request head");
+                    }
+                    return None; // bare connect-then-close: not a fault
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if is_timeout(&e) => {
+                    respond_fault(stream, 408, "timed out reading request head");
+                    return None;
+                }
+                Err(_) => return None,
+            }
+        };
+
+        // --- parse the head.
+        let head = match std::str::from_utf8(&buf[..head_end]) {
+            Ok(head) => head,
+            Err(_) => {
+                respond_fault(stream, 400, "request head is not valid UTF-8");
+                return None;
+            }
+        };
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split(' ');
+        let (method, url, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            (Some(m), Some(u), Some(v), None) => (m, u, v),
+            _ => {
+                respond_fault(stream, 400, "malformed request line");
+                return None;
+            }
+        };
+        let Some(method) = Method::parse(method) else {
+            respond_fault(stream, 400, "unsupported method");
+            return None;
+        };
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            respond_fault(stream, 400, "unsupported HTTP version");
+            return None;
+        }
+        let mut headers: Vec<(String, String)> = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                respond_fault(stream, 400, "malformed header line");
+                return None;
+            };
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+        let url = url.to_string();
+        let header = |name: &str| {
+            headers
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case(name))
+                .map(|(_, v)| v.as_str())
+        };
+
+        // --- request body, bounded by Content-Length and the body limit.
+        let content_length = match header("Content-Length") {
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    respond_fault(stream, 400, "malformed Content-Length");
+                    return None;
+                }
+            },
+            None if header("Transfer-Encoding").is_some() => {
+                respond_fault(stream, 411, "chunked bodies are not supported");
+                return None;
+            }
+            None if matches!(method, Method::Post | Method::Put | Method::Patch) => {
+                respond_fault(stream, 411, "Content-Length required");
+                return None;
+            }
+            None => 0,
+        };
+        if content_length > self.limits.max_body_bytes {
+            respond_fault(stream, 413, "request body too large");
+            return None;
+        }
+        if header("Expect").is_some_and(|v| v.eq_ignore_ascii_case("100-continue")) {
+            let _ = stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+        }
+        let mut body = buf.split_off(head_end + 4);
+        while body.len() < content_length {
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    respond_fault(stream, 400, "truncated request body");
+                    return None;
+                }
+                Ok(n) => {
+                    body.extend_from_slice(&chunk[..n]);
+                    if body.len() > content_length {
+                        respond_fault(stream, 400, "body longer than Content-Length");
+                        return None;
+                    }
+                }
+                Err(e) if is_timeout(&e) => {
+                    respond_fault(stream, 408, "timed out reading request body");
+                    return None;
+                }
+                Err(_) => return None,
+            }
+        }
+        body.truncate(content_length);
+
+        Some(Request {
+            method,
+            url,
+            headers,
+            body,
+            remote_addr: Some(peer),
+            stream,
+        })
+    }
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A minimal blocking HTTP client (shim extension).
+///
+/// Real tiny_http is server-only; the fault-injection harness and load
+/// generator need a client with byte-level wire control, so it lives here
+/// next to the protocol code.
+pub mod client {
+    use std::io::{self, Read, Write};
+    use std::net::{Shutdown, SocketAddr, TcpStream};
+    use std::time::Duration;
+
+    /// A parsed HTTP response: status code and body bytes.
+    #[derive(Clone, Debug)]
+    pub struct ClientResponse {
+        /// The HTTP status code.
+        pub status: u16,
+        /// The response body.
+        pub body: Vec<u8>,
+    }
+
+    /// Sends raw bytes to `addr` and reads the full response (until EOF —
+    /// the server closes after each response).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/read/write errors and malformed status lines.
+    pub fn send_raw(
+        addr: SocketAddr,
+        bytes: &[u8],
+        timeout: Duration,
+    ) -> io::Result<ClientResponse> {
+        let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.write_all(bytes)?;
+        read_response(&mut stream)
+    }
+
+    /// Sends raw bytes, then half-closes the write side and disconnects
+    /// without reading the response (mid-response disconnect injection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/write errors.
+    pub fn send_and_abandon(addr: SocketAddr, bytes: &[u8], timeout: Duration) -> io::Result<()> {
+        let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.write_all(bytes)?;
+        let _ = stream.shutdown(Shutdown::Both);
+        Ok(())
+    }
+
+    /// Reads a full response from an already-connected stream — for fault
+    /// injections that manage the connection themselves (e.g. half-closing
+    /// the write side after a truncated body).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors and malformed status lines.
+    pub fn read_from(stream: &mut TcpStream) -> io::Result<ClientResponse> {
+        read_response(stream)
+    }
+
+    /// `GET path` with no body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<ClientResponse> {
+        let head = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+        send_raw(addr, head.as_bytes(), timeout)
+    }
+
+    /// `POST path` with a JSON body and optional extra headers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn post(
+        addr: SocketAddr,
+        path: &str,
+        body: &[u8],
+        extra_headers: &[(&str, &str)],
+        timeout: Duration,
+    ) -> io::Result<ClientResponse> {
+        let mut head = format!(
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            body.len()
+        );
+        for (name, value) in extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let mut bytes = head.into_bytes();
+        bytes.extend_from_slice(body);
+        send_raw(addr, &bytes, timeout)
+    }
+
+    /// Reads status line, headers, and body (to EOF) from `stream`.
+    fn read_response(stream: &mut TcpStream) -> io::Result<ClientResponse> {
+        let mut raw = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(e),
+            }
+        }
+        let head_end = super::find_head_end(&raw)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no response head"))?;
+        let head = std::str::from_utf8(&raw[..head_end])
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+        let status_line = head.lines().next().unwrap_or("");
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+        Ok(ClientResponse {
+            status,
+            body: raw[head_end + 4..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn spawn_echo_server(limits: Limits) -> (std::sync::Arc<Server>, std::thread::JoinHandle<()>) {
+        let server =
+            std::sync::Arc::new(Server::http_with_limits("127.0.0.1:0", limits).expect("bind"));
+        let s = std::sync::Arc::clone(&server);
+        let handle = std::thread::spawn(move || {
+            while let Ok(Some(request)) = s.recv() {
+                let body = format!("{} {}", request.method(), request.url());
+                let _ = request.respond(Response::from_string(body));
+            }
+        });
+        (server, handle)
+    }
+
+    fn short_limits() -> Limits {
+        Limits {
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_millis(200),
+            max_head_bytes: 1024,
+            max_body_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn serves_a_well_formed_request() {
+        let (server, handle) = spawn_echo_server(short_limits());
+        let addr = server.server_addr();
+        let resp = client::get(addr, "/ping", Duration::from_secs(2)).expect("get");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"GET /ping");
+        server.unblock();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_request_line_gets_400_and_server_survives() {
+        let (server, handle) = spawn_echo_server(short_limits());
+        let addr = server.server_addr();
+        let resp =
+            client::send_raw(addr, b"NOT A REQUEST\r\n\r\n", Duration::from_secs(2)).expect("send");
+        assert_eq!(resp.status, 400);
+        let resp = client::get(addr, "/after", Duration::from_secs(2)).expect("get");
+        assert_eq!(resp.status, 200);
+        server.unblock();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn slow_loris_partial_head_gets_408() {
+        let (server, handle) = spawn_echo_server(short_limits());
+        let addr = server.server_addr();
+        // Send half a request head, then stall past the read timeout.
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        std::io::Write::write_all(&mut stream, b"GET /slow HTTP/1.1\r\nHost:").expect("write");
+        let mut raw = Vec::new();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let _ = std::io::Read::read_to_end(&mut stream, &mut raw);
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("HTTP/1.1 408"), "got: {text}");
+        let resp = client::get(addr, "/after", Duration::from_secs(2)).expect("get");
+        assert_eq!(resp.status, 200);
+        server.unblock();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_body_gets_413_without_reading_it() {
+        let (server, handle) = spawn_echo_server(short_limits());
+        let addr = server.server_addr();
+        let head = format!(
+            "POST /big HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+            1 << 30
+        );
+        let resp = client::send_raw(addr, head.as_bytes(), Duration::from_secs(2)).expect("send");
+        assert_eq!(resp.status, 413);
+        server.unblock();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_head_gets_431() {
+        let (server, handle) = spawn_echo_server(short_limits());
+        let addr = server.server_addr();
+        let mut head = String::from("GET /x HTTP/1.1\r\n");
+        head.push_str(&"X-Filler: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n".repeat(64));
+        head.push_str("\r\n");
+        let resp = client::send_raw(addr, head.as_bytes(), Duration::from_secs(2)).expect("send");
+        assert_eq!(resp.status, 431);
+        server.unblock();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn post_without_content_length_gets_411() {
+        let (server, handle) = spawn_echo_server(short_limits());
+        let addr = server.server_addr();
+        let resp = client::send_raw(
+            addr,
+            b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\n\r\n",
+            Duration::from_secs(2),
+        )
+        .expect("send");
+        assert_eq!(resp.status, 411);
+        server.unblock();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn unblock_wakes_a_blocked_recv() {
+        let server =
+            std::sync::Arc::new(Server::http_with_limits("127.0.0.1:0", short_limits()).unwrap());
+        let s = std::sync::Arc::clone(&server);
+        let handle = std::thread::spawn(move || s.recv());
+        std::thread::sleep(Duration::from_millis(50));
+        server.unblock();
+        let out = handle.join().unwrap().expect("recv io");
+        assert!(out.is_none(), "recv must report closure, not a request");
+    }
+}

@@ -180,3 +180,40 @@ fn batch_surfaces_per_job_errors_without_poisoning_the_rest() {
     assert!(results[0].is_ok());
     assert!(results[1].is_err());
 }
+
+#[test]
+fn batch_deduplicates_identical_specs_and_stays_bit_identical() {
+    // Three distinct specs, each submitted more than once and out of
+    // order. The batch must simulate each distinct spec exactly once,
+    // fan the shared result out to every duplicate slot, and stay
+    // bit-identical to a non-deduplicating sequential run.
+    let distinct: Vec<JobSpec> = [models::sc(), models::sc_t1(), models::bare_qutrit()]
+        .into_iter()
+        .map(|model| {
+            JobSpec::builder(fig4_toffoli())
+                .noise(model)
+                .trials(8)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let specs: Vec<JobSpec> = [0usize, 1, 0, 2, 1, 0]
+        .into_iter()
+        .map(|i| distinct[i].clone())
+        .collect();
+
+    let executor = Executor::new();
+    let before = executor.jobs_simulated();
+    let batch = executor.run_batch(&specs);
+    assert_eq!(
+        executor.jobs_simulated() - before,
+        3,
+        "6 submitted, 3 distinct: dedup must simulate each spec once"
+    );
+
+    let fresh = Executor::new();
+    for (spec, result) in specs.iter().zip(&batch) {
+        let sequential = fresh.run(spec).unwrap();
+        assert_bit_identical(&result.as_ref().unwrap().outcome, &sequential.outcome);
+    }
+}

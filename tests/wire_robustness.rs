@@ -1,0 +1,89 @@
+//! Fuzz-style robustness properties for the wire layer: whatever bytes
+//! arrive, `JobSpec::from_json` must return `Err` — never panic, never
+//! overflow the stack on pathological nesting. This is the offline
+//! stand-in for a `cargo fuzz` target: the server feeds request bodies
+//! straight into this function, so "parse errors are values, not
+//! crashes" is a load-bearing service invariant.
+
+use proptest::prelude::*;
+use qudit_api::{InputState, JobSpec};
+use qudit_circuit::{Circuit, Control, Gate};
+
+fn valid_spec_json() -> String {
+    let mut c = Circuit::new(3, 3);
+    c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+        .unwrap();
+    c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+        .unwrap();
+    c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+        .unwrap();
+    JobSpec::builder(c)
+        .input(InputState::Basis(vec![1, 1, 0]))
+        .build()
+        .unwrap()
+        .to_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes: decode what we can and parse. The call may
+    /// succeed only for the astronomically unlikely valid spec; it must
+    /// never panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in proptest::collection::vec(0usize..256, 0..512)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = JobSpec::from_json(&text);
+    }
+
+    /// Every strict prefix of a valid spec is an incomplete JSON
+    /// document: a typed error, not a panic.
+    #[test]
+    fn truncated_specs_are_typed_errors(fraction in 0usize..10_000) {
+        let full = valid_spec_json();
+        let cut = fraction * full.len() / 10_000;
+        // Stay on a char boundary (the wire form is ASCII, but don't
+        // let that assumption panic the slicing if it ever changes).
+        let cut = (0..=cut).rev().find(|&i| full.is_char_boundary(i)).unwrap_or(0);
+        if cut < full.len() {
+            prop_assert!(JobSpec::from_json(&full[..cut]).is_err());
+        }
+    }
+
+    /// Single-byte corruption of a valid spec: parse may still succeed
+    /// (e.g. a digit flipped to another digit) but must never panic.
+    #[test]
+    fn mutated_specs_never_panic(
+        position in 0usize..10_000,
+        replacement in 0usize..128,
+    ) {
+        let full = valid_spec_json();
+        let index = position * full.len() / 10_000;
+        let mut bytes = full.into_bytes();
+        bytes[index] = replacement as u8;
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = JobSpec::from_json(&text);
+    }
+}
+
+/// Deep array nesting must hit the parser's recursion guard, not the
+/// stack guard page.
+#[test]
+fn pathological_nesting_is_rejected_without_overflow() {
+    for bracket in ["[", "{\"a\":"] {
+        let bomb = bracket.repeat(20_000);
+        assert!(
+            JobSpec::from_json(&bomb).is_err(),
+            "nesting bomb {bracket:?} must be a typed error"
+        );
+    }
+}
+
+/// The fuzz target's sanity anchor: the valid spec itself still parses.
+#[test]
+fn the_valid_spec_round_trips() {
+    let full = valid_spec_json();
+    let spec = JobSpec::from_json(&full).expect("valid spec parses");
+    assert_eq!(spec.to_json(), full);
+}
