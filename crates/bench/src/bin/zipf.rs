@@ -1,0 +1,211 @@
+//! Zipf-mix cache benchmark: adaptive precision + result cache vs. the
+//! uncached fixed-trials baseline.
+//!
+//! Service traffic is rarely uniform — a few hot job specs dominate while
+//! a long tail trickles. This bin models that with a Zipf-distributed
+//! request stream over ~50 distinct noisy specs (the paper's Figure-4
+//! Toffoli under every published noise model, across seeds) and measures
+//! *effective throughput* (requests answered per second) two ways in the
+//! same process:
+//!
+//! * **baseline** — result cache disabled, every spec running its fixed
+//!   trial budget: every repeat re-simulates from scratch.
+//! * **cached** — the executor's result cache on and every spec under
+//!   adaptive precision (`TargetSigma`, `max_trials` = the fixed budget):
+//!   repeats are answered from the cache and the one real run per spec
+//!   early-stops at the target error bar.
+//!
+//! Writes `BENCH_zipf.json` (echoed to stdout) so future PRs can track
+//! the speedup, and asserts the ROADMAP target of ≥ 10× in full mode.
+//!
+//! Usage: `zipf [--requests N] [--specs N] [--trials N] [--sigma S]
+//! [--seed N] [--out PATH] [--smoke]`. `--smoke` shrinks the workload for
+//! CI and relaxes the 10× gate to sanity checks (hit-rate > 0, adaptive
+//! trials ≤ the fixed budget) — short runs are too noisy to gate on a
+//! wall-clock ratio.
+
+use qudit_api::{Executor, InputState, JobSpec, Precision};
+use qudit_circuit::{Circuit, Control, Gate};
+use qudit_noise::models;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The paper's Figure-4 Toffoli-via-qutrits.
+fn fig4_circuit() -> Circuit {
+    let mut c = Circuit::new(3, 3);
+    c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+        .unwrap();
+    c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+        .unwrap();
+    c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+        .unwrap();
+    c
+}
+
+/// The distinct job shapes the stream draws from: every paper noise model
+/// crossed with seeds until `count` specs exist. `precision` is `None`
+/// for the fixed-trials baseline legs.
+fn build_specs(count: usize, trials: usize, precision: Option<Precision>) -> Vec<JobSpec> {
+    let noise_models = models::all_models();
+    (0..count)
+        .map(|i| {
+            let model = noise_models[i % noise_models.len()].clone();
+            let mut builder = JobSpec::builder(fig4_circuit())
+                .noise(model)
+                .trials(trials)
+                .seed(2019 + (i / noise_models.len()) as u64)
+                .input(InputState::AllOnes);
+            if let Some(p) = precision {
+                builder = builder.precision(p);
+            }
+            builder.build().expect("bench spec")
+        })
+        .collect()
+}
+
+/// Samples a Zipf(s = 1.1) rank stream over `n` specs: rank `r` is drawn
+/// with weight `1/r^1.1`, so the head of the catalogue dominates the way
+/// hot service traffic does.
+fn zipf_stream(n: usize, requests: usize, seed: u64) -> Vec<usize> {
+    let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(1.1)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..requests)
+        .map(|_| {
+            let mut point = rng.next_f64() * total;
+            for (idx, w) in weights.iter().enumerate() {
+                point -= w;
+                if point <= 0.0 {
+                    return idx;
+                }
+            }
+            n - 1
+        })
+        .collect()
+}
+
+/// Runs the request stream against one executor, returning (wall seconds,
+/// total trials simulated).
+fn drive(executor: &Executor, specs: &[JobSpec], stream: &[usize]) -> (f64, usize) {
+    let start = Instant::now();
+    let mut trials = 0usize;
+    let mut seen = vec![false; specs.len()];
+    for &idx in stream {
+        let result = executor.run(&specs[idx]).expect("bench job");
+        // Count simulated trials once per distinct spec — repeats are
+        // either cache hits (cached leg) or identical re-runs (baseline,
+        // where every repeat costs the same trials again).
+        if !seen[idx] {
+            seen[idx] = true;
+            trials += result.trials_run().unwrap_or(0);
+        }
+    }
+    (start.elapsed().as_secs_f64(), trials)
+}
+
+fn main() {
+    // Defaults chosen so both levers engage: at 512 trials the σ floor
+    // 3/n reaches 0.02 by ~150 trials, so adaptive runs early-stop well
+    // under the fixed budget, and 600 requests over 50 specs give the
+    // Zipf head enough repeats for the cache to dominate.
+    let mut requests = 600usize;
+    let mut spec_count = 50usize;
+    let mut trials = 512usize;
+    let mut sigma = 0.02f64;
+    let mut seed = 7u64;
+    let mut out = "BENCH_zipf.json".to_string();
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--requests" => requests = value("--requests").parse().expect("--requests"),
+            "--specs" => spec_count = value("--specs").parse().expect("--specs"),
+            "--trials" => trials = value("--trials").parse().expect("--trials"),
+            "--sigma" => sigma = value("--sigma").parse().expect("--sigma"),
+            "--seed" => seed = value("--seed").parse().expect("--seed"),
+            "--out" => out = value("--out"),
+            "--smoke" => smoke = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if smoke {
+        requests = requests.min(100);
+        trials = trials.min(64);
+        sigma = sigma.max(0.02);
+    }
+
+    let stream = zipf_stream(spec_count, requests, seed);
+    let fixed_specs = build_specs(spec_count, trials, None);
+    let adaptive_specs = build_specs(
+        spec_count,
+        trials,
+        Some(Precision::TargetSigma {
+            sigma,
+            min_trials: 8,
+            max_trials: trials,
+        }),
+    );
+
+    // Warm the shared compile path on a throwaway executor shape so both
+    // legs measure steady-state simulation, not the one-time compile.
+    // Each leg still compiles once itself; with hundreds of requests the
+    // compile is noise, and both legs pay it equally.
+    let baseline_exec = Executor::with_result_cache(0);
+    let (baseline_secs, baseline_unique_trials) = drive(&baseline_exec, &fixed_specs, &stream);
+    // The baseline re-simulates every repeat: its total simulated trials
+    // are per-request, not per-spec.
+    let baseline_total_trials = requests * trials;
+
+    let cached_exec = Executor::new();
+    let (cached_secs, adaptive_trials) = drive(&cached_exec, &adaptive_specs, &stream);
+    let stats = cached_exec.result_cache_stats();
+
+    let baseline_rps = requests as f64 / baseline_secs;
+    let cached_rps = requests as f64 / cached_secs;
+    let speedup = cached_rps / baseline_rps;
+    let hit_rate = stats.hits as f64 / requests as f64;
+
+    let mut json = String::new();
+    write!(
+        json,
+        "{{\n  \"bench\": \"zipf\",\n  \
+         \"workload\": \"Zipf(1.1) over {spec_count} noisy fig4 specs, {requests} requests\",\n  \
+         \"smoke\": {smoke},\n  \"fixed_trials\": {trials},\n  \"target_sigma\": {sigma},\n  \
+         \"baseline\": {{\"rps\": {baseline_rps:.2}, \"secs\": {baseline_secs:.3}, \
+         \"trials_simulated\": {baseline_total_trials}}},\n  \
+         \"cached\": {{\"rps\": {cached_rps:.2}, \"secs\": {cached_secs:.3}, \
+         \"trials_simulated\": {adaptive_trials}, \"cache_hits\": {}, \"cache_misses\": {}, \
+         \"trials_saved\": {}, \"hit_rate\": {hit_rate:.3}}},\n  \
+         \"speedup\": {speedup:.1}\n}}\n",
+        stats.hits, stats.misses, stats.trials_saved,
+    )
+    .expect("format");
+    print!("{json}");
+    std::fs::write(&out, &json).expect("write BENCH_zipf.json");
+
+    // The one real run per spec must never exceed its fixed budget, and
+    // the Zipf head guarantees repeats, so the cache must have hits.
+    assert!(stats.hits > 0, "no cache hits on a Zipf stream");
+    assert!(
+        adaptive_trials <= baseline_unique_trials.max(spec_count * trials),
+        "adaptive simulated {adaptive_trials} trials, over the fixed budget"
+    );
+    for (idx, spec) in adaptive_specs.iter().enumerate() {
+        if let Some(result) = cached_exec.cached_result(spec) {
+            let ran = result.trials_run().unwrap_or(0);
+            assert!(ran <= trials, "spec {idx} ran {ran} > budget {trials}");
+        }
+    }
+    if !smoke {
+        assert!(
+            speedup >= 10.0,
+            "effective throughput speedup {speedup:.1}x is below the 10x target"
+        );
+    }
+}

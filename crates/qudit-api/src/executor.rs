@@ -112,15 +112,31 @@ impl CacheEntry {
 /// deterministic given its spec (all randomness is seeded from
 /// [`JobSpec::seed`]), so batch results are **bit-identical** to running
 /// the same specs sequentially — the batch determinism test pins this.
-#[derive(Default)]
+///
+/// On top of the compilation cache sits a bounded LRU **result cache**
+/// keyed on the spec's canonical wire form (the same key batch dedup
+/// uses): repeated service traffic — the Zipf-shaped request mix the
+/// `zipf` bench models — skips the whole simulation, not just the
+/// compile. Determinism makes this sound: a cache hit is bit-identical to
+/// re-running the spec, which the cache tests pin.
 pub struct Executor {
     cache: Mutex<HashMap<(PassLevel, CircuitKey), Arc<CacheEntry>>>,
     /// Shared per-gate plan cache for the simulators noisy jobs construct.
     planner: Simulator,
-    /// Jobs actually simulated (batch dedup shares results, so this can be
-    /// smaller than the number of specs submitted) — observability for the
-    /// dedup tests and the server's metrics.
+    /// Jobs actually simulated (batch dedup and the result cache share
+    /// results, so this can be smaller than the number of specs submitted)
+    /// — observability for the dedup tests and the server's metrics.
     simulated: AtomicUsize,
+    /// Finished results keyed on the canonical wire form; `result_capacity`
+    /// bounds it (0 disables caching entirely).
+    results: Mutex<ResultCache>,
+    result_capacity: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::with_result_cache(RESULT_CACHE_CAP)
+    }
 }
 
 /// Job-cache capacity: distinct (circuit, level) pairs held at once. A
@@ -130,10 +146,58 @@ pub struct Executor {
 /// rebuildable and the common case re-warms in one compile each.
 const JOB_CACHE_CAP: usize = 256;
 
+/// Default result-cache capacity: finished results held at once. Sized for
+/// a service working set (the Zipf bench's hot set is ~50 specs) while
+/// bounding memory — fidelity results are tiny, but noise-free state
+/// payloads can reach `16 B × 3^width` each.
+const RESULT_CACHE_CAP: usize = 512;
+
+/// The result cache's interior: wire-keyed results stamped for LRU
+/// eviction, plus the counters [`ResultCacheStats`] reports.
+#[derive(Default)]
+struct ResultCache {
+    map: HashMap<String, (u64, ExecutionResult)>,
+    stamp: u64,
+    hits: usize,
+    misses: usize,
+    trials_saved: usize,
+}
+
+/// A snapshot of the executor's result-cache counters — the service
+/// metrics `/healthz` surfaces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that fell through to a simulation.
+    pub misses: usize,
+    /// Monte Carlo trials the hits avoided re-running (the dominant cost
+    /// a hit saves; noise-free hits save a replay but add nothing here).
+    pub trials_saved: usize,
+    /// Results currently held.
+    pub entries: usize,
+    /// The configured bound.
+    pub capacity: usize,
+}
+
 impl Executor {
-    /// Creates an executor with an empty compilation cache.
+    /// Creates an executor with an empty compilation cache and the default
+    /// result-cache capacity.
     pub fn new() -> Self {
         Executor::default()
+    }
+
+    /// Creates an executor whose result cache holds at most `capacity`
+    /// finished results (0 disables result caching; compilation caching is
+    /// unaffected).
+    pub fn with_result_cache(capacity: usize) -> Self {
+        Executor {
+            cache: Mutex::default(),
+            planner: Simulator::default(),
+            simulated: AtomicUsize::new(0),
+            results: Mutex::default(),
+            result_capacity: capacity,
+        }
     }
 
     /// The number of distinct (circuit, level) compilations currently
@@ -146,10 +210,82 @@ impl Executor {
     }
 
     /// The number of jobs this executor has actually simulated. Batch
-    /// dedup shares one simulation across structurally identical specs, so
-    /// this counts real work, not submissions.
+    /// dedup and the result cache share one simulation across structurally
+    /// identical specs, so this counts real work, not submissions.
     pub fn jobs_simulated(&self) -> usize {
         self.simulated.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the result-cache counters.
+    pub fn result_cache_stats(&self) -> ResultCacheStats {
+        let cache = self.results.lock().unwrap_or_else(|e| e.into_inner());
+        ResultCacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            trials_saved: cache.trials_saved,
+            entries: cache.map.len(),
+            capacity: self.result_capacity,
+        }
+    }
+
+    /// Probes the result cache for a finished run of `spec` without
+    /// simulating anything. A hit counts toward the hit/trials-saved
+    /// metrics (the caller is serving it); a miss counts nothing — the
+    /// miss is charged when the actual run happens, so a front end that
+    /// probes first and queues on miss does not double-count.
+    pub fn cached_result(&self, spec: &JobSpec) -> Option<ExecutionResult> {
+        if self.result_capacity == 0 {
+            return None;
+        }
+        self.lookup_result(&spec.to_json(), false)
+    }
+
+    /// Cache lookup by canonical wire key; refreshes the LRU stamp and the
+    /// hit counters on a hit. `count_miss` charges the miss counter (the
+    /// run path does; the public probe does not).
+    fn lookup_result(&self, key: &str, count_miss: bool) -> Option<ExecutionResult> {
+        let mut cache = self.results.lock().unwrap_or_else(|e| e.into_inner());
+        cache.stamp += 1;
+        let stamp = cache.stamp;
+        let found = cache.map.get_mut(key).map(|entry| {
+            entry.0 = stamp;
+            entry.1.clone()
+        });
+        match found {
+            Some(result) => {
+                cache.hits += 1;
+                if let Some(trials) = result.trials_run() {
+                    cache.trials_saved += trials;
+                }
+                Some(result)
+            }
+            None => {
+                if count_miss {
+                    cache.misses += 1;
+                }
+                None
+            }
+        }
+    }
+
+    /// Stores a finished result, evicting the least-recently-used entry at
+    /// capacity. Linear-scan eviction: at the default capacity one scan is
+    /// noise next to the simulation the insert just paid for.
+    fn store_result(&self, key: String, result: &ExecutionResult) {
+        let mut cache = self.results.lock().unwrap_or_else(|e| e.into_inner());
+        if cache.map.len() >= self.result_capacity && !cache.map.contains_key(&key) {
+            if let Some(oldest) = cache
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                cache.map.remove(&oldest);
+            }
+        }
+        cache.stamp += 1;
+        let stamp = cache.stamp;
+        cache.map.insert(key, (stamp, result.clone()));
     }
 
     /// Get-or-inserts the cache entry and ensures its IR is compiled. Only
@@ -197,6 +333,21 @@ impl Executor {
     /// same conditions as [`Executor::run`].
     pub fn run_with(&self, spec: &JobSpec, cancel: &CancelToken) -> ApiResult<ExecutionResult> {
         cancel.check().map_err(ApiError::from)?;
+        if self.result_capacity > 0 {
+            let key = spec.to_json();
+            if let Some(result) = self.lookup_result(&key, true) {
+                return Ok(result);
+            }
+            let result = self.run_uncached(spec, cancel)?;
+            self.store_result(key, &result);
+            return Ok(result);
+        }
+        self.run_uncached(spec, cancel)
+    }
+
+    /// The simulation path behind [`Executor::run_with`], bypassing the
+    /// result cache (the compilation cache still applies).
+    fn run_uncached(&self, spec: &JobSpec, cancel: &CancelToken) -> ApiResult<ExecutionResult> {
         let (entry, ir) = self.entry(spec.circuit(), spec.level());
         let resources = ir.report().post;
         self.simulated.fetch_add(1, Ordering::Relaxed);
@@ -211,11 +362,11 @@ impl Executor {
                 let estimate = match spec.backend() {
                     BackendKind::Trajectory => {
                         TrajectorySimulator::from_compiled_with(&ir, model, &self.planner)?
-                            .run_cancellable(&config, cancel)?
+                            .run_with_precision(&config, spec.precision(), cancel)?
                     }
                     BackendKind::DensityMatrix => {
                         DensityNoiseSimulator::from_compiled_with(&ir, model, &self.planner)?
-                            .run_cancellable(&config, cancel)?
+                            .run_with_precision(&config, spec.precision(), cancel)?
                     }
                 };
                 Outcome::Fidelity(estimate)
@@ -598,6 +749,122 @@ mod tests {
         // Duplicates really share: slots 0, 2 and 5 are the same spec.
         assert_eq!(deduped[0], deduped[2]);
         assert_eq!(deduped[0], deduped[5]);
+    }
+
+    #[test]
+    fn result_cache_hit_is_bit_identical_and_skips_simulation() {
+        let executor = Executor::new();
+        let spec = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc())
+            .trials(8)
+            .build()
+            .unwrap();
+        let miss = executor.run(&spec).unwrap();
+        let after_miss = executor.jobs_simulated();
+        let hit = executor.run(&spec).unwrap();
+        // No new simulation, and the payload is bit-identical (PartialEq
+        // on f64 fields is exact equality).
+        assert_eq!(executor.jobs_simulated(), after_miss);
+        assert_eq!(hit, miss);
+        assert_eq!(
+            hit.fidelity().unwrap().mean.to_bits(),
+            miss.fidelity().unwrap().mean.to_bits()
+        );
+        let stats = executor.result_cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.trials_saved, 8);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn cached_result_probe_counts_hits_but_not_misses() {
+        let executor = Executor::new();
+        let spec = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc())
+            .trials(4)
+            .build()
+            .unwrap();
+        assert!(executor.cached_result(&spec).is_none());
+        // A probe miss charges nothing — the queued run pays the miss.
+        assert_eq!(executor.result_cache_stats().misses, 0);
+        let ran = executor.run(&spec).unwrap();
+        let probed = executor.cached_result(&spec).unwrap();
+        assert_eq!(probed, ran);
+        let stats = executor.result_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_result_cache() {
+        let executor = Executor::with_result_cache(0);
+        let spec = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc())
+            .trials(4)
+            .build()
+            .unwrap();
+        executor.run(&spec).unwrap();
+        executor.run(&spec).unwrap();
+        assert_eq!(executor.jobs_simulated(), 2);
+        assert_eq!(
+            executor.result_cache_stats(),
+            ResultCacheStats {
+                capacity: 0,
+                ..ResultCacheStats::default()
+            }
+        );
+        assert!(executor.cached_result(&spec).is_none());
+    }
+
+    #[test]
+    fn result_cache_evicts_least_recently_used_at_capacity() {
+        let executor = Executor::with_result_cache(2);
+        let make = |seed: u64| {
+            JobSpec::builder(toffoli_fig4())
+                .noise(models::sc())
+                .trials(2)
+                .seed(seed)
+                .input(InputState::AllOnes)
+                .build()
+                .unwrap()
+        };
+        executor.run(&make(1)).unwrap();
+        executor.run(&make(2)).unwrap();
+        // Touch seed 1 so seed 2 is the LRU victim when seed 3 arrives.
+        executor.run(&make(1)).unwrap();
+        executor.run(&make(3)).unwrap();
+        assert_eq!(executor.result_cache_stats().entries, 2);
+        assert!(executor.cached_result(&make(1)).is_some());
+        assert!(executor.cached_result(&make(2)).is_none());
+        assert!(executor.cached_result(&make(3)).is_some());
+    }
+
+    #[test]
+    fn adaptive_precision_runs_fewer_trials_than_the_fixed_budget() {
+        let executor = Executor::new();
+        let base = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc())
+            .trials(2048)
+            .build()
+            .unwrap();
+        let adaptive = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc())
+            .trials(2048)
+            .precision(qudit_noise::Precision::TargetSigma {
+                sigma: 0.02,
+                min_trials: 8,
+                max_trials: 2048,
+            })
+            .build()
+            .unwrap();
+        let fixed = executor.run(&base).unwrap();
+        let early = executor.run(&adaptive).unwrap();
+        let trials = early.trials_run().unwrap();
+        assert!(trials < 2048, "adaptive ran the whole budget ({trials})");
+        assert!(early.fidelity().unwrap().conservative_sigma() <= 0.02);
+        assert_eq!(fixed.trials_run(), Some(2048));
+        // Distinct wire keys: the two specs must not collide in the cache.
+        assert_ne!(fixed, early);
     }
 
     #[test]

@@ -63,7 +63,7 @@ mod spec;
 
 pub use cli::CliArgs;
 pub use error::{ApiError, ApiResult};
-pub use executor::{CompiledStateJob, Executor};
+pub use executor::{CompiledStateJob, Executor, ResultCacheStats};
 pub use result::{ExecutionResult, Outcome, OutputState};
 pub use spec::{JobSpec, JobSpecBuilder, DENSITY_MAX_ENTRIES};
 
@@ -71,5 +71,5 @@ pub use spec::{JobSpec, JobSpecBuilder, DENSITY_MAX_ENTRIES};
 // depend on `qudit-api` alone.
 pub use qudit_circuit::{Circuit, PassLevel, ResourceReport};
 pub use qudit_noise::{
-    BackendKind, CancelToken, CrossValidation, FidelityEstimate, InputState, NoiseModel,
+    BackendKind, CancelToken, CrossValidation, FidelityEstimate, InputState, NoiseModel, Precision,
 };

@@ -50,6 +50,17 @@ impl ExecutionResult {
         }
     }
 
+    /// The number of Monte Carlo trials the job actually ran — `None` for
+    /// noise-free jobs (nothing is sampled). Under an adaptive
+    /// [`Precision`](crate::Precision) this is where the early stopper
+    /// landed, which can be well below the fixed-trials budget.
+    pub fn trials_run(&self) -> Option<usize> {
+        match &self.outcome {
+            Outcome::Fidelity(estimate) => Some(estimate.trials),
+            Outcome::States(_) => None,
+        }
+    }
+
     /// Serializes the result to compact JSON.
     pub fn to_json(&self) -> String {
         serde::json::to_string(self)

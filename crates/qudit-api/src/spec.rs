@@ -3,7 +3,7 @@
 use crate::cli::CliArgs;
 use crate::error::{ApiError, ApiResult};
 use qudit_circuit::{Circuit, PassLevel};
-use qudit_noise::{BackendKind, InputState, NoiseModel};
+use qudit_noise::{BackendKind, InputState, NoiseModel, Precision};
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// The largest density matrix a job may allocate per run: `3^14` entries
@@ -35,6 +35,7 @@ pub struct JobSpec {
     seed: u64,
     input: InputState,
     sweep: Vec<Vec<usize>>,
+    precision: Precision,
 }
 
 impl JobSpec {
@@ -52,6 +53,7 @@ impl JobSpec {
             seed: 2019,
             input: InputState::RandomQubitSubspace,
             sweep: Vec::new(),
+            precision: Precision::FixedTrials,
         }
     }
 
@@ -117,6 +119,13 @@ impl JobSpec {
         &self.sweep
     }
 
+    /// How many trials a noisy run executes: the fixed [`JobSpec::trials`]
+    /// count (the default), or adaptive early stopping toward a target
+    /// error bar.
+    pub fn precision(&self) -> &Precision {
+        &self.precision
+    }
+
     /// Serializes the spec to compact JSON.
     pub fn to_json(&self) -> String {
         serde::json::to_string(self)
@@ -158,6 +167,11 @@ impl JobSpec {
         if let Some(model) = Option::<NoiseModel>::from_value(value.field("noise")?)? {
             builder = builder.noise(model);
         }
+        // Absent on pre-precision payloads: those parse as FixedTrials and
+        // run bit-identically to what they always did.
+        if let Some(precision) = value.get("precision") {
+            builder = builder.precision(Precision::from_value(precision)?);
+        }
         builder.build()
     }
 }
@@ -173,6 +187,7 @@ pub struct JobSpecBuilder {
     seed: u64,
     input: InputState,
     sweep: Vec<Vec<usize>>,
+    precision: Precision,
 }
 
 impl JobSpecBuilder {
@@ -221,6 +236,15 @@ impl JobSpecBuilder {
         self
     }
 
+    /// Selects how many trials a noisy run executes: the fixed
+    /// [`JobSpecBuilder::trials`] count (the default) or adaptive early
+    /// stopping toward a target error bar, with [`JobSpec::trials`] ignored
+    /// in favour of the precision's own bounds.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// Applies the shared CLI overrides (`--backend`, `--level`,
     /// `--trials`, `--seed`) on top of whatever the builder holds.
     ///
@@ -249,6 +273,10 @@ impl JobSpecBuilder {
     /// * a basis input or sweep entry has the wrong width or digits `>=
     ///   dim`;
     /// * a sweep is combined with a noise model;
+    /// * an adaptive [`Precision::TargetSigma`] has a non-finite or
+    ///   non-positive `sigma`, `min_trials` of zero, `min_trials >
+    ///   max_trials`, or is attached to a noise-free job (nothing is
+    ///   sampled, so there is no error bar to drive);
     /// * the density-matrix backend would need more than
     ///   [`DENSITY_MAX_ENTRIES`] entries for this circuit.
     pub fn build(self) -> ApiResult<JobSpec> {
@@ -272,6 +300,32 @@ impl JobSpecBuilder {
                 "an explicit basis sweep applies to noise-free jobs only; noisy jobs \
                  draw inputs from the configured distribution",
             ));
+        }
+        if let Precision::TargetSigma {
+            sigma,
+            min_trials,
+            max_trials,
+        } = self.precision
+        {
+            if self.noise.is_none() {
+                return Err(ApiError::spec(
+                    "adaptive precision applies to noisy jobs only; a noise-free job \
+                     evolves states exactly and has no error bar to drive",
+                ));
+            }
+            if !sigma.is_finite() || sigma <= 0.0 {
+                return Err(ApiError::spec(format!(
+                    "target sigma must be a finite positive number, got {sigma}"
+                )));
+            }
+            if min_trials == 0 {
+                return Err(ApiError::spec("min_trials must be at least 1"));
+            }
+            if min_trials > max_trials {
+                return Err(ApiError::spec(format!(
+                    "min_trials {min_trials} exceeds max_trials {max_trials}"
+                )));
+            }
         }
         let dim = self.circuit.dim();
         let width = self.circuit.width();
@@ -320,6 +374,7 @@ impl JobSpecBuilder {
             seed: self.seed,
             input: self.input,
             sweep: self.sweep,
+            precision: self.precision,
         })
     }
 }
@@ -335,6 +390,7 @@ impl Serialize for JobSpec {
             ("seed", self.seed.to_value()),
             ("input", self.input.to_value()),
             ("sweep", self.sweep.to_value()),
+            ("precision", self.precision.to_value()),
         ])
     }
 }
@@ -454,12 +510,70 @@ mod tests {
     }
 
     #[test]
+    fn target_sigma_is_validated() {
+        let adaptive = |sigma, min_trials, max_trials| Precision::TargetSigma {
+            sigma,
+            min_trials,
+            max_trials,
+        };
+        // Valid on a noisy job.
+        let spec = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc())
+            .precision(adaptive(5e-3, 16, 4096))
+            .build()
+            .unwrap();
+        assert_eq!(*spec.precision(), adaptive(5e-3, 16, 4096));
+        // Rejected on a noise-free job and on malformed bounds.
+        for builder in [
+            JobSpec::builder(toffoli_fig4()).precision(adaptive(5e-3, 16, 4096)),
+            JobSpec::builder(toffoli_fig4())
+                .noise(models::sc())
+                .precision(adaptive(0.0, 16, 4096)),
+            JobSpec::builder(toffoli_fig4())
+                .noise(models::sc())
+                .precision(adaptive(f64::NAN, 16, 4096)),
+            JobSpec::builder(toffoli_fig4())
+                .noise(models::sc())
+                .precision(adaptive(5e-3, 0, 4096)),
+            JobSpec::builder(toffoli_fig4())
+                .noise(models::sc())
+                .precision(adaptive(5e-3, 64, 16)),
+        ] {
+            let err = builder.build().unwrap_err();
+            assert!(matches!(err, ApiError::Spec { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn wire_payload_without_precision_parses_as_fixed_trials() {
+        // A pre-precision payload — exactly what an old client or golden
+        // file sends. Strip the new field from a current serialization.
+        let spec = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc())
+            .trials(24)
+            .build()
+            .unwrap();
+        let json = spec
+            .to_json()
+            .replace(",\"precision\":{\"kind\":\"fixed\"}", "");
+        assert!(!json.contains("precision"), "field not stripped: {json}");
+        let back = JobSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(*back.precision(), Precision::FixedTrials);
+    }
+
+    #[test]
     fn json_round_trip_preserves_the_spec() {
         let spec = JobSpec::builder(toffoli_fig4())
             .noise(models::sc_t1_gates())
             .trials(40)
             .seed(7)
             .input(InputState::AllOnes)
+            .precision(Precision::TargetSigma {
+                sigma: 5e-3,
+                min_trials: 8,
+                max_trials: 512,
+            })
             .build()
             .unwrap();
         let back = JobSpec::from_json(&spec.to_json()).unwrap();

@@ -19,7 +19,7 @@ use crate::error::{NoiseError, NoiseResult};
 use crate::models::NoiseModel;
 use crate::trajectory::{
     build_noise_sites, estimate_from_samples, FidelityEstimate, InputState, NoiseProgram,
-    NoiseSites, TrajectoryConfig,
+    NoiseSites, Precision, TrajectoryConfig, Welford,
 };
 use qudit_circuit::passes::{CompiledIr, PassLevel};
 use qudit_core::{random_qubit_subspace_state, CoreError, StateVector};
@@ -271,23 +271,15 @@ impl<'a> DensityNoiseSimulator<'a> {
     ) -> NoiseResult<FidelityEstimate> {
         match &config.input {
             InputState::RandomQubitSubspace => {
-                let fidelities: NoiseResult<Vec<f64>> = (0..config.trials)
-                    .into_par_iter()
-                    .map(|i| {
-                        cancel.check()?;
-                        let input =
-                            self.draw_input(&config.input, config.seed.wrapping_add(i as u64))?;
-                        let ideal = self.ideal.run_sequential(input.clone());
-                        Ok(self
-                            .evolve_cancellable(&input, cancel)?
-                            .fidelity_with_pure(&ideal))
-                    })
-                    .collect();
-                Ok(estimate_from_samples(&fidelities?))
+                let fidelities = self.input_chunk(config, 0..config.trials, cancel)?;
+                Ok(estimate_from_samples(&fidelities))
             }
             input => {
                 let initial = self.draw_input(input, config.seed)?;
                 let ideal = self.ideal.run_sequential(initial.clone());
+                // Exact evolution of one fixed input: the value is ground
+                // truth with genuinely zero sampling error, so no binomial
+                // floor applies here.
                 Ok(FidelityEstimate {
                     mean: self
                         .evolve_cancellable(&initial, cancel)?
@@ -297,6 +289,82 @@ impl<'a> DensityNoiseSimulator<'a> {
                 })
             }
         }
+    }
+
+    /// Evaluates the exact fidelity for input draws of one index range, in
+    /// index order — draw `i` uses `seed + i`, mirroring the trajectory
+    /// engine's per-trial seeding.
+    fn input_chunk(
+        &self,
+        config: &TrajectoryConfig,
+        range: std::ops::Range<usize>,
+        cancel: &CancelToken,
+    ) -> NoiseResult<Vec<f64>> {
+        range
+            .into_par_iter()
+            .map(|i| {
+                cancel.check()?;
+                let input = self.draw_input(&config.input, config.seed.wrapping_add(i as u64))?;
+                let ideal = self.ideal.run_sequential(input.clone());
+                Ok(self
+                    .evolve_cancellable(&input, cancel)?
+                    .fidelity_with_pure(&ideal))
+            })
+            .collect()
+    }
+
+    /// Runs with the requested [`Precision`], mirroring the trajectory
+    /// engine's adaptive loop where it makes sense:
+    ///
+    /// * [`Precision::FixedTrials`] — exactly
+    ///   [`DensityNoiseSimulator::run_cancellable`].
+    /// * [`Precision::TargetSigma`] with a **deterministic input**
+    ///   ([`InputState::AllOnes`] / [`InputState::Basis`]) — the cheap
+    ///   fixed-cost path: the exact value has no sampling error at all, so
+    ///   one evolution *is* the answer at any requested precision.
+    /// * [`Precision::TargetSigma`] with random inputs — the chunked
+    ///   early-stopper over input draws (the only stochastic axis the
+    ///   exact backend has), Welford-merged like the trajectory loop.
+    ///
+    /// # Errors
+    ///
+    /// [`NoiseError::Cancelled`] once the token trips; otherwise the same
+    /// conditions as [`DensityNoiseSimulator::run`].
+    pub fn run_with_precision(
+        &self,
+        config: &TrajectoryConfig,
+        precision: &Precision,
+        cancel: &CancelToken,
+    ) -> NoiseResult<FidelityEstimate> {
+        let (sigma, min_trials, max_trials) = match *precision {
+            Precision::FixedTrials => return self.run_cancellable(config, cancel),
+            Precision::TargetSigma {
+                sigma,
+                min_trials,
+                max_trials,
+            } => (sigma, min_trials.max(1), max_trials.max(min_trials.max(1))),
+        };
+        if !matches!(config.input, InputState::RandomQubitSubspace) {
+            return self.run_cancellable(config, cancel);
+        }
+        let mut agg = Welford::new();
+        let mut done = 0usize;
+        let mut next = min_trials.min(max_trials);
+        while done < max_trials {
+            let end = (done + next).min(max_trials);
+            let samples = self.input_chunk(config, done..end, cancel)?;
+            let mut chunk = Welford::new();
+            for &f in &samples {
+                chunk.push(f);
+            }
+            agg.merge(&chunk);
+            done = end;
+            if done >= min_trials && agg.estimate().conservative_sigma() <= sigma {
+                break;
+            }
+            next = done;
+        }
+        Ok(agg.estimate())
     }
 }
 

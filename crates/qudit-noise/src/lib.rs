@@ -64,5 +64,6 @@ pub use exact::{exact_fidelity, DensityNoiseSimulator};
 pub use kraus::{Channel, CompiledChannel};
 pub use models::NoiseModel;
 pub use trajectory::{
-    simulate_fidelity, FidelityEstimate, InputState, TrajectoryConfig, TrajectorySimulator,
+    simulate_fidelity, FidelityEstimate, InputState, Precision, TrajectoryConfig,
+    TrajectorySimulator, Welford,
 };

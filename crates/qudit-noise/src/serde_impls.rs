@@ -4,7 +4,7 @@
 
 use crate::backend::BackendKind;
 use crate::models::NoiseModel;
-use crate::trajectory::{FidelityEstimate, InputState};
+use crate::trajectory::{FidelityEstimate, InputState, Precision};
 use serde::{Deserialize, Error, Serialize, Value};
 
 impl Serialize for NoiseModel {
@@ -75,6 +75,38 @@ impl Deserialize for InputState {
     }
 }
 
+impl Serialize for Precision {
+    fn to_value(&self) -> Value {
+        match self {
+            Precision::FixedTrials => Value::object(vec![("kind", "fixed".to_value())]),
+            Precision::TargetSigma {
+                sigma,
+                min_trials,
+                max_trials,
+            } => Value::object(vec![
+                ("kind", "target-sigma".to_value()),
+                ("sigma", sigma.to_value()),
+                ("min_trials", min_trials.to_value()),
+                ("max_trials", max_trials.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Precision {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.field("kind")?.as_str()? {
+            "fixed" => Ok(Precision::FixedTrials),
+            "target-sigma" => Ok(Precision::TargetSigma {
+                sigma: value.field("sigma")?.as_f64()?,
+                min_trials: value.field("min_trials")?.as_usize()?,
+                max_trials: value.field("max_trials")?.as_usize()?,
+            }),
+            other => Err(Error::custom(format!("unknown precision kind {other:?}"))),
+        }
+    }
+}
+
 impl Serialize for FidelityEstimate {
     fn to_value(&self) -> Value {
         Value::object(vec![
@@ -126,6 +158,21 @@ mod tests {
         ] {
             let back: InputState = json::from_str(&json::to_string(&input)).unwrap();
             assert_eq!(back, input);
+        }
+    }
+
+    #[test]
+    fn precision_round_trips() {
+        for precision in [
+            Precision::FixedTrials,
+            Precision::TargetSigma {
+                sigma: 5e-3,
+                min_trials: 32,
+                max_trials: 4096,
+            },
+        ] {
+            let back: Precision = json::from_str(&json::to_string(&precision)).unwrap();
+            assert_eq!(back, precision);
         }
     }
 

@@ -120,13 +120,126 @@ impl FidelityEstimate {
         2.0 * self.std_error
     }
 
-    /// The binomial error bar `√(F(1−F)/trials)`: since per-trial
-    /// fidelities lie in `[0, 1]`, this bounds the standard error of the
-    /// mean regardless of the per-trial distribution. It is the bound the
-    /// cross-validation gate and the API's execution results report.
+    /// The binomial error bar `√(F(1−F)/trials)`, floored by the
+    /// rule-of-three bound `3/trials`: since per-trial fidelities lie in
+    /// `[0, 1]`, the closed form bounds the standard error of the mean
+    /// regardless of the per-trial distribution — but it collapses to
+    /// exactly 0 at `F ∈ {0, 1}` (all-success or all-failure samples),
+    /// claiming perfect certainty at any finite trial count. `3/n` is the
+    /// 95% confidence bound on a probability after `n` trials with zero
+    /// observed failures (or successes), so the floor keeps the bar honest
+    /// in the near-deterministic regime; it is what the adaptive stopping
+    /// rule and the cross-validation gate rely on never being zero.
     pub fn binomial_sigma(&self) -> f64 {
+        let n = self.trials.max(1) as f64;
         let f = self.mean.clamp(0.0, 1.0);
-        (f * (1.0 - f) / self.trials.max(1) as f64).sqrt()
+        (f * (1.0 - f) / n).sqrt().max((3.0 / n).min(1.0))
+    }
+
+    /// The conservative error bar adaptive early-stopping compares against
+    /// its target: the larger of the sample standard error and the floored
+    /// binomial bound. Never zero at a finite trial count, so a sequential
+    /// stopper cannot quit with false certainty after a lucky first chunk.
+    pub fn conservative_sigma(&self) -> f64 {
+        self.std_error.max(self.binomial_sigma())
+    }
+}
+
+/// How many Monte Carlo trials a noisy run executes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Precision {
+    /// Run exactly the configured trial count ([`TrajectoryConfig::trials`])
+    /// — the pre-adaptive behaviour, bit-identical to it.
+    FixedTrials,
+    /// Sequential early stopping: run trials in chunks, accumulate the
+    /// estimate via Welford merge, and stop as soon as the conservative
+    /// error bar ([`FidelityEstimate::conservative_sigma`]) drops to
+    /// `sigma` — with at least `min_trials` and at most `max_trials`
+    /// trials. Trial `i` still uses `seed + i`, so the per-trial fidelity
+    /// stream is bit-identical to the prefix of a fixed-count run.
+    TargetSigma {
+        /// The target standard error of the mean.
+        sigma: f64,
+        /// Never stop before this many trials (≥ 1).
+        min_trials: usize,
+        /// The trial budget: stop here even if the target is unmet.
+        max_trials: usize,
+    },
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm) with the
+/// Chan et al. parallel merge — the aggregation behind adaptive
+/// early-stopping. Merging per-chunk accumulators agrees with the
+/// single-pass estimate over the concatenated samples to ≤ 1e-12 (pinned
+/// by test).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    count: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Folds one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator in (Chan et al. pairwise update).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let total = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+
+    /// Samples accumulated so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The running mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The accumulated estimate, with the same degenerate-count rule as
+    /// [`estimate_from_samples`]: at ≤ 1 sample the spread is unknown, so
+    /// the standard error reports the floored binomial bound rather than a
+    /// confident 0.
+    pub fn estimate(&self) -> FidelityEstimate {
+        let n = self.count.max(1) as f64;
+        let base = FidelityEstimate {
+            mean: self.mean,
+            std_error: 0.0,
+            trials: self.count,
+        };
+        let std_error = if self.count > 1 {
+            // m2 is a sum of non-negative increments; max(0) only guards
+            // against rounding driving a ~0 value epsilon-negative.
+            (self.m2.max(0.0) / (n - 1.0) / n).sqrt()
+        } else {
+            base.binomial_sigma()
+        };
+        FidelityEstimate { std_error, ..base }
     }
 }
 
@@ -628,7 +741,20 @@ impl<'a> TrajectorySimulator<'a> {
         config: &TrajectoryConfig,
         cancel: &CancelToken,
     ) -> NoiseResult<FidelityEstimate> {
-        let fidelities: NoiseResult<Vec<f64>> = (0..config.trials)
+        let fidelities = self.trial_chunk(config, 0..config.trials, cancel)?;
+        Ok(estimate_from_samples(&fidelities))
+    }
+
+    /// Runs the trials of one index range in parallel, in index order:
+    /// trial `i` uses `seed + i`, so any range's fidelities are exactly the
+    /// corresponding slice of a full run's per-trial stream.
+    fn trial_chunk(
+        &self,
+        config: &TrajectoryConfig,
+        range: std::ops::Range<usize>,
+        cancel: &CancelToken,
+    ) -> NoiseResult<Vec<f64>> {
+        range
             .into_par_iter()
             .map(|i| {
                 self.run_trial_cancellable(
@@ -637,11 +763,101 @@ impl<'a> TrajectorySimulator<'a> {
                     cancel,
                 )
             })
-            .collect();
-        let fidelities = fidelities?;
-        Ok(estimate_from_samples(&fidelities))
+            .collect()
+    }
+
+    /// Runs with the requested [`Precision`]: [`Precision::FixedTrials`]
+    /// is exactly [`TrajectorySimulator::run_cancellable`] (bit-identical
+    /// aggregation included); [`Precision::TargetSigma`] runs the chunked
+    /// sequential early-stopper — see [`run_traced`](Self::run_traced) for
+    /// the loop's contract.
+    ///
+    /// # Errors
+    ///
+    /// [`NoiseError::Cancelled`] once the token trips; otherwise the same
+    /// conditions as [`TrajectorySimulator::run`].
+    pub fn run_with_precision(
+        &self,
+        config: &TrajectoryConfig,
+        precision: &Precision,
+        cancel: &CancelToken,
+    ) -> NoiseResult<FidelityEstimate> {
+        self.run_precision_impl(config, precision, cancel, None)
+    }
+
+    /// Like [`TrajectorySimulator::run_with_precision`], but also returns
+    /// the per-trial fidelity stream the run actually consumed, in trial
+    /// order — the diagnostic surface the prefix-determinism tests compare
+    /// bit-for-bit: an early-stopped run's stream is exactly the first
+    /// `trials` entries of a fixed-count run's stream for the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TrajectorySimulator::run_with_precision`].
+    pub fn run_traced(
+        &self,
+        config: &TrajectoryConfig,
+        precision: &Precision,
+        cancel: &CancelToken,
+    ) -> NoiseResult<(FidelityEstimate, Vec<f64>)> {
+        let mut trace = Vec::new();
+        let estimate = self.run_precision_impl(config, precision, cancel, Some(&mut trace))?;
+        Ok((estimate, trace))
+    }
+
+    fn run_precision_impl(
+        &self,
+        config: &TrajectoryConfig,
+        precision: &Precision,
+        cancel: &CancelToken,
+        mut trace: Option<&mut Vec<f64>>,
+    ) -> NoiseResult<FidelityEstimate> {
+        let (sigma, min_trials, max_trials) = match *precision {
+            Precision::FixedTrials => {
+                let samples = self.trial_chunk(config, 0..config.trials, cancel)?;
+                let estimate = estimate_from_samples(&samples);
+                if let Some(trace) = trace {
+                    *trace = samples;
+                }
+                return Ok(estimate);
+            }
+            Precision::TargetSigma {
+                sigma,
+                min_trials,
+                max_trials,
+            } => (sigma, min_trials.max(1), max_trials.max(min_trials.max(1))),
+        };
+        let mut agg = Welford::new();
+        let mut done = 0usize;
+        // First chunk covers min_trials; afterwards the total doubles per
+        // round (bounding overshoot past the optimal stopping point to
+        // 2×), capped so one round stays a responsive unit of work.
+        let mut next = min_trials.min(max_trials);
+        while done < max_trials {
+            let end = (done + next).min(max_trials);
+            let samples = self.trial_chunk(config, done..end, cancel)?;
+            let mut chunk = Welford::new();
+            for &f in &samples {
+                chunk.push(f);
+            }
+            agg.merge(&chunk);
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.extend_from_slice(&samples);
+            }
+            done = end;
+            if done >= min_trials && agg.estimate().conservative_sigma() <= sigma {
+                break;
+            }
+            next = done.min(MAX_ADAPTIVE_CHUNK);
+        }
+        Ok(agg.estimate())
     }
 }
+
+/// The largest trial chunk one adaptive round schedules at once: big enough
+/// to saturate the worker pool, small enough that the stopping rule gets a
+/// look-in at a bounded cadence even when the target needs many trials.
+const MAX_ADAPTIVE_CHUNK: usize = 4096;
 
 /// Convenience entry point: simulate `circuit` under `model` with the given
 /// configuration. `config.level` selects the accounting:
@@ -664,11 +880,21 @@ pub fn simulate_fidelity(
 pub(crate) fn estimate_from_samples(samples: &[f64]) -> FidelityEstimate {
     let n = samples.len().max(1) as f64;
     let mean = samples.iter().sum::<f64>() / n;
-    let var = if samples.len() > 1 {
-        samples.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / (n - 1.0)
-    } else {
-        0.0
-    };
+    if samples.len() <= 1 {
+        // One sample says nothing about spread: report the floored
+        // binomial bound ("unknown, bounded by rule-of-three") instead of
+        // a confidently-zero error bar.
+        let base = FidelityEstimate {
+            mean,
+            std_error: 0.0,
+            trials: samples.len(),
+        };
+        return FidelityEstimate {
+            std_error: base.binomial_sigma(),
+            ..base
+        };
+    }
+    let var = samples.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / (n - 1.0);
     FidelityEstimate {
         mean,
         std_error: (var / n).sqrt(),
@@ -931,5 +1157,182 @@ mod tests {
         };
         let expected = (0.75f64 * 0.25 / 100.0).sqrt();
         assert!((est.binomial_sigma() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn binomial_sigma_is_floored_at_degenerate_means() {
+        // Regression: successes ∈ {0, trials} used to report σ = 0 —
+        // perfect certainty at any finite trial count. The rule-of-three
+        // floor keeps the bar honest.
+        for mean in [0.0, 1.0] {
+            for trials in [1usize, 10, 100, 10_000] {
+                let est = FidelityEstimate {
+                    mean,
+                    std_error: 0.0,
+                    trials,
+                };
+                let expected = (3.0 / trials as f64).min(1.0);
+                assert!(
+                    (est.binomial_sigma() - expected).abs() < 1e-15,
+                    "mean {mean} trials {trials}: {}",
+                    est.binomial_sigma()
+                );
+            }
+        }
+        // The floor only ever loosens: once the closed form exceeds 3/n, a
+        // non-degenerate mean keeps its closed-form value.
+        let est = FidelityEstimate {
+            mean: 0.5,
+            std_error: 0.0,
+            trials: 100,
+        };
+        assert!((est.binomial_sigma() - 0.05).abs() < 1e-15);
+    }
+
+    #[test]
+    fn single_sample_std_error_reports_the_binomial_floor_not_zero() {
+        let est = estimate_from_samples(&[0.97]);
+        assert_eq!(est.trials, 1);
+        assert!((est.mean - 0.97).abs() < 1e-15);
+        // One sample says nothing about the spread; the old code reported
+        // std_error = 0 here.
+        assert!(est.std_error > 0.0);
+        assert!((est.std_error - est.binomial_sigma()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn welford_merge_matches_single_pass_to_1e12() {
+        let samples: Vec<f64> = (0..257)
+            .map(|i| 0.5 + 0.4 * ((i as f64) * 0.7).sin())
+            .collect();
+        let single = estimate_from_samples(&samples);
+        // Merge in uneven chunks, as the adaptive loop does.
+        let mut agg = Welford::new();
+        for chunk in samples.chunks(37) {
+            let mut w = Welford::new();
+            for &x in chunk {
+                w.push(x);
+            }
+            agg.merge(&w);
+        }
+        let merged = agg.estimate();
+        assert_eq!(merged.trials, single.trials);
+        assert!((merged.mean - single.mean).abs() <= 1e-12);
+        assert!((merged.std_error - single.std_error).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn fixed_trials_precision_is_bit_identical_to_run_cancellable() {
+        let c = toffoli_fig4();
+        let model = sc();
+        let sim = TrajectorySimulator::new(&c, &model).unwrap();
+        let config = TrajectoryConfig {
+            trials: 24,
+            seed: 3,
+            ..TrajectoryConfig::default()
+        };
+        let token = CancelToken::never();
+        let fixed = sim.run_cancellable(&config, &token).unwrap();
+        let via_precision = sim
+            .run_with_precision(&config, &Precision::FixedTrials, &token)
+            .unwrap();
+        assert_eq!(fixed.mean.to_bits(), via_precision.mean.to_bits());
+        assert_eq!(fixed.std_error.to_bits(), via_precision.std_error.to_bits());
+        assert_eq!(fixed.trials, via_precision.trials);
+    }
+
+    #[test]
+    fn adaptive_run_does_not_stop_early_on_a_noiseless_circuit() {
+        // Every trial returns fidelity 1, so the sample variance is 0 —
+        // exactly the false-certainty trap the binomial floor exists for.
+        // At σ = 0.05 the rule-of-three floor 3/n forces n ≥ 60 trials.
+        let c = toffoli_fig4();
+        let model = noiseless_model();
+        let sim = TrajectorySimulator::new(&c, &model).unwrap();
+        let config = TrajectoryConfig {
+            trials: 10_000,
+            ..TrajectoryConfig::default()
+        };
+        let precision = Precision::TargetSigma {
+            sigma: 0.05,
+            min_trials: 8,
+            max_trials: 4096,
+        };
+        let est = sim
+            .run_with_precision(&config, &precision, &CancelToken::never())
+            .unwrap();
+        assert!(est.trials >= 60, "stopped at {} trials", est.trials);
+        assert!(est.conservative_sigma() <= 0.05);
+        assert!((est.mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_run_respects_the_trial_bounds() {
+        let c = toffoli_fig4();
+        let model = sc();
+        let sim = TrajectorySimulator::new(&c, &model).unwrap();
+        let config = TrajectoryConfig {
+            trials: 10_000,
+            seed: 13,
+            ..TrajectoryConfig::default()
+        };
+        // An unreachable target pins the run to max_trials.
+        let capped = sim
+            .run_with_precision(
+                &config,
+                &Precision::TargetSigma {
+                    sigma: 1e-9,
+                    min_trials: 4,
+                    max_trials: 40,
+                },
+                &CancelToken::never(),
+            )
+            .unwrap();
+        assert_eq!(capped.trials, 40);
+        // A trivially loose target still honours min_trials.
+        let floored = sim
+            .run_with_precision(
+                &config,
+                &Precision::TargetSigma {
+                    sigma: 0.9,
+                    min_trials: 16,
+                    max_trials: 4096,
+                },
+                &CancelToken::never(),
+            )
+            .unwrap();
+        assert!(floored.trials >= 16, "ran {} trials", floored.trials);
+    }
+
+    #[test]
+    fn traced_adaptive_stream_is_a_prefix_of_the_fixed_run() {
+        let c = toffoli_fig4();
+        let model = sc();
+        let sim = TrajectorySimulator::new(&c, &model).unwrap();
+        let config = TrajectoryConfig {
+            trials: 512,
+            seed: 21,
+            ..TrajectoryConfig::default()
+        };
+        let token = CancelToken::never();
+        let (_, fixed_stream) = sim
+            .run_traced(&config, &Precision::FixedTrials, &token)
+            .unwrap();
+        let (est, adaptive_stream) = sim
+            .run_traced(
+                &config,
+                &Precision::TargetSigma {
+                    sigma: 0.02,
+                    min_trials: 8,
+                    max_trials: 512,
+                },
+                &token,
+            )
+            .unwrap();
+        assert_eq!(est.trials, adaptive_stream.len());
+        assert!(adaptive_stream.len() <= fixed_stream.len());
+        for (i, (a, f)) in adaptive_stream.iter().zip(&fixed_stream).enumerate() {
+            assert_eq!(a.to_bits(), f.to_bits(), "trial {i} diverged");
+        }
     }
 }

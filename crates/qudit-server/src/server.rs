@@ -298,6 +298,19 @@ fn handle_job(state: &ServerState, request: tiny_http::Request) {
     let chaos_panic =
         state.config.chaos_hooks && request.header("X-Chaos").is_some_and(|v| v == "panic");
 
+    // A cached result answers right here: no queue slot, no worker, no
+    // simulation cost — determinism makes the cached payload bit-identical
+    // to re-running the spec. The executor's probe counts the hit; a miss
+    // charges nothing (the queued run pays it). Chaos jobs always take the
+    // queue path — their point is to panic a worker.
+    if !chaos_panic {
+        if let Some(result) = state.executor.cached_result(&spec) {
+            state.completed.fetch_add(1, Ordering::Relaxed);
+            let _ = request.respond(json_response(200, &result.to_json()));
+            return;
+        }
+    }
+
     let expires = Instant::now() + deadline;
     let cancel = CancelToken::with_deadline(expires);
     let job_id = state.register(&cancel);
@@ -387,6 +400,16 @@ fn health_body(state: &ServerState, status: &str) -> String {
                 ),
             ]),
         ),
+        ("result_cache", {
+            let stats = state.executor.result_cache_stats();
+            Value::object(vec![
+                ("hits", Value::UInt(stats.hits as u64)),
+                ("misses", Value::UInt(stats.misses as u64)),
+                ("trials_saved", Value::UInt(stats.trials_saved as u64)),
+                ("entries", Value::UInt(stats.entries as u64)),
+                ("capacity", Value::UInt(stats.capacity as u64)),
+            ])
+        }),
     ]);
     serde::json::to_string(&body)
 }

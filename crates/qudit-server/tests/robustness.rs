@@ -262,6 +262,9 @@ fn health_endpoints_report_queue_and_job_counters() {
         queue.get("capacity").unwrap().as_usize().unwrap(),
         server.queue_capacity()
     );
+    let cache = health.get("result_cache").expect("result_cache block");
+    assert_eq!(cache.get("hits").unwrap().as_usize().unwrap(), 0);
+    assert!(cache.get("capacity").unwrap().as_usize().unwrap() > 0);
 
     let (status, body) = get(addr, "/readyz");
     assert_eq!(status, 200, "readyz when idle: {body}");
@@ -272,5 +275,38 @@ fn health_endpoints_report_queue_and_job_counters() {
     let health = serde::json::parse(&body).expect("healthz JSON");
     let jobs = health.get("jobs").expect("jobs block");
     assert!(jobs.get("completed").unwrap().as_usize().unwrap() >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn repeated_jobs_are_answered_from_the_result_cache() {
+    let server = quick_server();
+    let addr = server.addr();
+    let job = clean_job_json();
+
+    // First submission simulates; the repeat must answer from the cache —
+    // bit-identical body, a hit on the counter, and no new simulation.
+    let (status, first) = post_job(addr, &job, &[]);
+    assert_eq!(status, 200, "first submission: {first}");
+    let (status, second) = post_job(addr, &job, &[]);
+    assert_eq!(status, 200, "cached submission: {second}");
+    assert_eq!(first, second, "a cache hit must be bit-identical");
+
+    let (_, body) = get(addr, "/healthz");
+    let health = serde::json::parse(&body).expect("healthz JSON");
+    let cache = health.get("result_cache").expect("result_cache block");
+    assert!(
+        cache.get("hits").unwrap().as_usize().unwrap() >= 1,
+        "{body}"
+    );
+    assert_eq!(cache.get("entries").unwrap().as_usize().unwrap(), 1);
+    let jobs = health.get("jobs").expect("jobs block");
+    // Only the first submission entered the queue; the hit skipped it.
+    assert_eq!(jobs.get("accepted").unwrap().as_usize().unwrap(), 1);
+    assert_eq!(jobs.get("completed").unwrap().as_usize().unwrap(), 2);
+    assert_eq!(
+        jobs.get("deduped_simulations").unwrap().as_usize().unwrap(),
+        1
+    );
     server.shutdown();
 }
