@@ -1,0 +1,167 @@
+//! Per-kernel microbenchmark: where does a gate-apply actually spend time?
+//!
+//! Two sections, both on the 12-qutrit register the headline
+//! `perf_snapshot` workload uses:
+//!
+//! 1. **Workload breakdown** — every operation of the 11-control Toffoli
+//!    circuit timed individually (op index, kernel class, run shape,
+//!    ns/apply), so regressions can be pinned to a specific plan shape
+//!    rather than the aggregate.
+//! 2. **Kernel classes** — synthetic plans exercising each kernel path
+//!    (permutation blocked/strided, diagonal, dense k=1/k=2 at several
+//!    target positions) with the SIMD level both auto-detected and forced
+//!    off, so the split-lane + AVX2 win is measured directly.
+//!
+//! Usage: `cargo run --release -p bench --bin kernels [-- --qutrits N]`
+
+use qudit_api::Executor;
+use qudit_circuit::passes::PassLevel;
+use qudit_circuit::Gate;
+use qudit_core::{gates, StateVector};
+use qudit_sim::kernel::{simd_level, ApplyPlan, SimdLevel};
+use qutrit_toffoli::gen_toffoli::n_controlled_x;
+use std::time::Instant;
+
+/// Measures mean ns per `f()` call with a time-budgeted rep count.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let warmup = Instant::now();
+    let mut warm = 0usize;
+    while warmup.elapsed().as_millis() < 30 || warm == 0 {
+        f();
+        warm += 1;
+    }
+    let est = warmup.elapsed().as_secs_f64() / warm as f64;
+    let reps = ((0.15 / est) as usize).clamp(3, 100_000);
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / reps as f64
+}
+
+fn main() {
+    let mut qutrits = 12usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--qutrits" {
+            qutrits = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--qutrits N");
+        }
+    }
+    let dim = 3usize;
+
+    println!("SIMD level: {:?}", simd_level());
+
+    // Section 1: the headline workload, op by op (plans built directly —
+    // this bin is *the* kernel microbench, so per-op plan shapes are its
+    // subject; whole-circuit replay still goes through the façade below).
+    let circuit = n_controlled_x(qutrits - 1).expect("construction");
+    let plans: Vec<ApplyPlan> = circuit
+        .iter()
+        .map(|op| ApplyPlan::for_operation(circuit.width(), op))
+        .collect();
+    let mut state = StateVector::zero_state(dim, qutrits).expect("state");
+    println!(
+        "\nworkload: n_controlled_x({}) on {} qutrits, {} ops",
+        qutrits - 1,
+        qutrits,
+        plans.len()
+    );
+    println!(
+        "{:>3} {:>12} {:>8} {:>10} {:>12}",
+        "op", "class", "groups", "run", "ns/apply"
+    );
+    let mut total = 0.0f64;
+    for (i, plan) in plans.iter().enumerate() {
+        let ns = time_ns(|| {
+            plan.apply(&mut state);
+            std::hint::black_box(&state);
+        });
+        total += ns;
+        println!(
+            "{:>3} {:>12} {:>8} {:>10} {:>12.0}",
+            i,
+            format!("{:?}", plan.kernel_class()),
+            plan.groups(),
+            format!("{}x{}", plan.run_shape().0, plan.run_shape().1),
+            ns
+        );
+    }
+    println!(
+        "sum over ops: {:.0} ns ({:.0} ns/gate-apply mean)",
+        total,
+        total / plans.len() as f64
+    );
+
+    // Whole-circuit replay through the façade: cache-blocked segments (and
+    // permutation folding, when the run is all-classical) vs the per-op sum.
+    let executor = Executor::new();
+    let job = executor.compile_statevector(&circuit, PassLevel::Ideal);
+    println!(
+        "replay segments (ops, chunk amps): {:?}",
+        job.replay_segments()
+    );
+    let replay = time_ns(|| {
+        let input = StateVector::zero_state(dim, qutrits).expect("state");
+        let out = job.run(input).expect("replay");
+        std::hint::black_box(&out);
+    });
+    println!(
+        "segmented replay: {:.0} ns total ({:.0} ns/gate-apply incl. input alloc)",
+        replay,
+        replay / job.op_count() as f64
+    );
+
+    // Section 2: synthetic kernel classes, auto SIMD vs forced scalar.
+    println!("\nkernel classes on {} qutrits (sequential):", qutrits);
+    println!("{:>28} {:>12} {:>12}", "plan", "auto ns", "scalar ns");
+    let h = gates::qutrit::h3();
+    let swap = Gate::swap(3);
+    let clock = Gate::clock(3);
+    let inc = Gate::increment(3);
+    let mid = qutrits / 2;
+    let cases: Vec<(String, ApplyPlan)> = vec![
+        (
+            "perm inc@0 (blocked)".into(),
+            ApplyPlan::for_matrix(dim, qutrits, inc.matrix(), &[0]),
+        ),
+        (
+            format!("perm inc@{} (strided)", qutrits - 1),
+            ApplyPlan::for_matrix(dim, qutrits, inc.matrix(), &[qutrits - 1]),
+        ),
+        (
+            "diag clock@0".into(),
+            ApplyPlan::for_matrix(dim, qutrits, clock.matrix(), &[0]),
+        ),
+        (
+            "dense k1 h@0".into(),
+            ApplyPlan::for_matrix(dim, qutrits, &h, &[0]),
+        ),
+        (
+            format!("dense k1 h@{mid}"),
+            ApplyPlan::for_matrix(dim, qutrits, &h, &[mid]),
+        ),
+        (
+            format!("dense k1 h@{}", qutrits - 1),
+            ApplyPlan::for_matrix(dim, qutrits, &h, &[qutrits - 1]),
+        ),
+        (
+            format!("dense k2 swap@0,{mid}"),
+            ApplyPlan::for_matrix(dim, qutrits, swap.matrix(), &[0, mid]),
+        ),
+    ];
+    for (name, plan) in &cases {
+        let mut s = StateVector::zero_state(dim, qutrits).expect("state");
+        let auto = time_ns(|| {
+            plan.apply_forced_simd(&mut s, false, simd_level());
+            std::hint::black_box(&s);
+        });
+        let scalar = time_ns(|| {
+            plan.apply_forced_simd(&mut s, false, SimdLevel::Scalar);
+            std::hint::black_box(&s);
+        });
+        println!("{name:>28} {auto:>12.0} {scalar:>12.0}");
+    }
+}

@@ -2,21 +2,33 @@
 //!
 //! Runs the generalized-Toffoli statevector workload at 8, 10 and 12 qutrits
 //! through the compiled plan kernels, measures mean wall time per gate
-//! application, and writes `BENCH_sim.json` to the current directory (also
-//! echoed to stdout) so future PRs can track the perf trajectory:
+//! application on both the sequential and the (possibly rayon-parallel)
+//! default replay path, and writes `BENCH_sim.json` to the current directory
+//! (also echoed to stdout) so future PRs can track the perf trajectory:
 //!
 //! ```json
 //! {
 //!   "bench": "gate_apply",
 //!   "workload": "n_controlled_x statevector replay",
+//!   "threads": 1,
 //!   "points": [
-//!     {"qutrits": 8, "amps": 6561, "ops": 13, "reps": 64, "ns_per_gate_apply": 12345.6},
+//!     {"qutrits": 8, "amps": 6561, "ops": 13, "reps": 64,
+//!      "ns_per_gate_apply": 12345.6,
+//!      "ns_per_gate_apply_seq": 12345.6, "ns_per_gate_apply_par": 12345.6},
 //!     ...
 //!   ]
 //! }
 //! ```
 //!
-//! Usage: `cargo run --release -p bench --bin perf_snapshot`
+//! `ns_per_gate_apply` is the headline column (the default `run` path, which
+//! parallelizes only when a plan's work estimate clears the threshold — on a
+//! single-core host it equals the sequential column); the `_seq`/`_par`
+//! columns pin both dispatch paths explicitly.
+//!
+//! Usage: `cargo run --release -p bench --bin perf_snapshot [-- --smoke]`
+//!
+//! `--smoke` shrinks the measurement budget ~10× for CI: same workload, same
+//! JSON shape, noisier numbers — a liveness check, not a tracking datum.
 
 use qudit_api::{Executor, PassLevel};
 use qudit_core::StateVector;
@@ -24,15 +36,42 @@ use qutrit_toffoli::gen_toffoli::n_controlled_x;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+struct Budget {
+    warmup_ms: u128,
+    measure_secs: f64,
+    max_reps: usize,
+}
+
 struct Point {
     qutrits: usize,
     amps: usize,
     ops: usize,
     reps: usize,
     ns_per_gate_apply: f64,
+    ns_seq: f64,
+    ns_par: f64,
 }
 
-fn measure(executor: &Executor, qutrits: usize) -> Point {
+/// Times `run_once` with a budget-scaled rep count; returns (ns/gate, reps).
+fn time_path(budget: &Budget, ops: usize, mut run_once: impl FnMut()) -> (f64, usize) {
+    let warmup = Instant::now();
+    let mut warm_reps = 0usize;
+    while warmup.elapsed().as_millis() < budget.warmup_ms || warm_reps == 0 {
+        run_once();
+        warm_reps += 1;
+    }
+    let est_per_rep = warmup.elapsed().as_secs_f64() / warm_reps as f64;
+    let reps = ((budget.measure_secs / est_per_rep) as usize).clamp(4, budget.max_reps);
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        run_once();
+    }
+    let elapsed = start.elapsed();
+    (elapsed.as_nanos() as f64 / (reps * ops) as f64, reps)
+}
+
+fn measure(executor: &Executor, qutrits: usize, budget: &Budget) -> Point {
     let circuit = n_controlled_x(qutrits - 1).expect("construction");
     // The production compile path: the façade's Ideal-level compile
     // (pass pipeline, then plan kernels). `ops` is the post-pass
@@ -44,56 +83,60 @@ fn measure(executor: &Executor, qutrits: usize) -> Point {
     let ops = compiled.op_count();
     let amps = dim.pow(qutrits as u32);
 
-    let run_once = || {
+    let (ns_par, reps) = time_path(budget, ops, || {
         let state = StateVector::zero_state(dim, qutrits).expect("state");
-        compiled.run(state).expect("shape matches by construction")
-    };
-
-    // Warm-up, then scale the repetition count to the register size so every
-    // point gets a comparable measurement budget (~0.5 s).
-    let warmup = Instant::now();
-    let mut warm_reps = 0usize;
-    while warmup.elapsed().as_millis() < 100 || warm_reps == 0 {
-        std::hint::black_box(run_once());
-        warm_reps += 1;
-    }
-    let est_per_rep = warmup.elapsed().as_secs_f64() / warm_reps as f64;
-    let reps = ((0.5 / est_per_rep) as usize).clamp(4, 10_000);
-
-    let start = Instant::now();
-    for _ in 0..reps {
-        std::hint::black_box(run_once());
-    }
-    let elapsed = start.elapsed();
-    let ns_per_gate_apply = elapsed.as_nanos() as f64 / (reps * ops) as f64;
+        std::hint::black_box(compiled.run(state).expect("shape matches"));
+    });
+    let (ns_seq, _) = time_path(budget, ops, || {
+        let state = StateVector::zero_state(dim, qutrits).expect("state");
+        std::hint::black_box(compiled.run_sequential(state).expect("shape matches"));
+    });
 
     Point {
         qutrits,
         amps,
         ops,
         reps,
-        ns_per_gate_apply,
+        ns_per_gate_apply: ns_par,
+        ns_seq,
+        ns_par,
     }
 }
 
 fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let budget = if smoke {
+        Budget {
+            warmup_ms: 10,
+            measure_secs: 0.05,
+            max_reps: 1_000,
+        }
+    } else {
+        Budget {
+            warmup_ms: 100,
+            measure_secs: 0.5,
+            max_reps: 10_000,
+        }
+    };
+
     let executor = Executor::new();
     let points: Vec<Point> = [8usize, 10, 12]
         .iter()
-        .map(|&n| measure(&executor, n))
+        .map(|&n| measure(&executor, n, &budget))
         .collect();
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"gate_apply\",\n");
     json.push_str("  \"workload\": \"n_controlled_x statevector replay\",\n");
+    writeln!(json, "  \"threads\": {},", rayon::current_num_threads()).expect("string write");
     json.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };
         writeln!(
             json,
-            "    {{\"qutrits\": {}, \"amps\": {}, \"ops\": {}, \"reps\": {}, \"ns_per_gate_apply\": {:.1}}}{}",
-            p.qutrits, p.amps, p.ops, p.reps, p.ns_per_gate_apply, comma
+            "    {{\"qutrits\": {}, \"amps\": {}, \"ops\": {}, \"reps\": {}, \"ns_per_gate_apply\": {:.1}, \"ns_per_gate_apply_seq\": {:.1}, \"ns_per_gate_apply_par\": {:.1}}}{}",
+            p.qutrits, p.amps, p.ops, p.reps, p.ns_per_gate_apply, p.ns_seq, p.ns_par, comma
         )
         .expect("string write");
     }
@@ -101,6 +144,10 @@ fn main() {
     json.push_str("}\n");
 
     print!("{json}");
-    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
-    eprintln!("wrote BENCH_sim.json");
+    if smoke {
+        eprintln!("smoke run: not overwriting BENCH_sim.json");
+    } else {
+        std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+        eprintln!("wrote BENCH_sim.json");
+    }
 }

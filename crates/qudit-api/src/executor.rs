@@ -7,8 +7,8 @@ use qudit_circuit::passes::{self, CompiledIr, PassLevel};
 use qudit_circuit::Circuit;
 use qudit_core::{random_qubit_subspace_state, StateVector};
 use qudit_noise::{
-    BackendKind, CancelToken, CrossValidation, DensityNoiseSimulator, InputState, TrajectoryConfig,
-    TrajectorySimulator,
+    BackendKind, CancelToken, CrossValidation, DensityNoiseSimulator, InputState,
+    NoiseArtifactStats, SharedNoiseArtifacts, TrajectoryConfig, TrajectorySimulator,
 };
 use qudit_sim::{CompiledCircuit, CompiledDensityCircuit, DensityMatrix, Simulator};
 use rand::rngs::StdRng;
@@ -70,6 +70,9 @@ struct CacheEntry {
     ir: OnceLock<Arc<CompiledIr>>,
     statevector: OnceLock<Arc<CompiledCircuit>>,
     density: OnceLock<Arc<CompiledDensityCircuit>>,
+    /// Model-independent noise artifacts (program + replay circuits) with
+    /// model-keyed site caches inside — see [`SharedNoiseArtifacts`].
+    noise: OnceLock<Arc<SharedNoiseArtifacts>>,
 }
 
 impl CacheEntry {
@@ -93,6 +96,18 @@ impl CacheEntry {
                 .get_or_init(|| Arc::new(CompiledDensityCircuit::compile_ir(ir))),
         )
     }
+
+    /// The entry's shared noise artifacts, building them on first use.
+    /// Fallible construction doesn't fit `get_or_init` directly, so build
+    /// outside and let the first successful build win — a concurrent
+    /// duplicate is benign (same inputs, and the loser's work is dropped).
+    fn noise(&self, ir: &CompiledIr) -> ApiResult<Arc<SharedNoiseArtifacts>> {
+        if let Some(artifacts) = self.noise.get() {
+            return Ok(Arc::clone(artifacts));
+        }
+        let built = Arc::new(SharedNoiseArtifacts::from_ir(ir)?);
+        Ok(Arc::clone(self.noise.get_or_init(|| built)))
+    }
 }
 
 /// The single runtime entry point: runs [`JobSpec`]s, compiling each
@@ -104,9 +119,13 @@ impl CacheEntry {
 /// — share one compilation: the pass pipeline per (circuit, level), the
 /// noise-free kernel plan sets per entry, and the per-gate state-vector
 /// plans of noisy jobs through one shared [`Simulator`] plan cache.
-/// Model-shaped artifacts (channel branch plans, superoperator plans, the
-/// density engine's U/U† pairs) still build per run — they depend on the
-/// job's noise model.
+/// Model-shaped artifacts are memoized too: each entry carries a
+/// [`SharedNoiseArtifacts`] holding the noise program and compiled replay
+/// circuits (model-independent, built once) plus the per-site channel and
+/// superoperator plan sets keyed by the model's physics parameters — a
+/// sweep over seeds or trial counts under one model compiles its channels
+/// once. [`Executor::noise_artifact_stats`] reports the build/share
+/// counters.
 ///
 /// [`Executor::run_batch`] fans jobs out across rayon workers. Every job is
 /// deterministic given its spec (all randomness is seeded from
@@ -214,6 +233,20 @@ impl Executor {
     /// identical specs, so this counts real work, not submissions.
     pub fn jobs_simulated(&self) -> usize {
         self.simulated.load(Ordering::Relaxed)
+    }
+
+    /// Aggregated noise-artifact counters over every cached entry: how many
+    /// per-site channel/superoperator sets were compiled versus answered
+    /// from the model-keyed cache. A seed sweep under one model should show
+    /// `sites_shared` growing while `sites_built` stays put.
+    pub fn noise_artifact_stats(&self) -> NoiseArtifactStats {
+        let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache
+            .values()
+            .filter_map(|entry| entry.noise.get())
+            .fold(NoiseArtifactStats::default(), |acc, artifacts| {
+                acc.merge(artifacts.stats())
+            })
     }
 
     /// A snapshot of the result-cache counters.
@@ -359,15 +392,18 @@ impl Executor {
                     level: spec.level(),
                     input: spec.input().clone(),
                 };
+                let artifacts = entry.noise(&ir)?;
                 let estimate = match spec.backend() {
                     BackendKind::Trajectory => {
-                        TrajectorySimulator::from_compiled_with(&ir, model, &self.planner)?
+                        TrajectorySimulator::from_artifacts_with(&artifacts, model, &self.planner)?
                             .run_with_precision(&config, spec.precision(), cancel)?
                     }
-                    BackendKind::DensityMatrix => {
-                        DensityNoiseSimulator::from_compiled_with(&ir, model, &self.planner)?
-                            .run_with_precision(&config, spec.precision(), cancel)?
-                    }
+                    BackendKind::DensityMatrix => DensityNoiseSimulator::from_artifacts_with(
+                        &artifacts,
+                        model,
+                        &self.planner,
+                    )?
+                    .run_with_precision(&config, spec.precision(), cancel)?,
                 };
                 Outcome::Fidelity(estimate)
             }
@@ -529,13 +565,31 @@ pub struct CompiledStateJob {
 }
 
 impl CompiledStateJob {
-    /// Evolves `input` through the compiled circuit.
+    /// Evolves `input` through the compiled circuit, parallelizing across
+    /// rayon workers when a plan's work estimate clears the threshold.
     ///
     /// # Errors
     ///
     /// Returns [`ApiError::Noise`] (a state-shape mismatch) if the input's
     /// dimension or width does not match the circuit.
     pub fn run(&self, input: StateVector) -> ApiResult<StateVector> {
+        self.check_shape(&input)?;
+        Ok(self.compiled.run(input))
+    }
+
+    /// Evolves `input` strictly on the calling thread — the baseline the
+    /// perf snapshot's sequential column measures, and the right choice
+    /// when the caller already saturates the cores (one job per worker).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledStateJob::run`].
+    pub fn run_sequential(&self, input: StateVector) -> ApiResult<StateVector> {
+        self.check_shape(&input)?;
+        Ok(self.compiled.run_sequential(input))
+    }
+
+    fn check_shape(&self, input: &StateVector) -> ApiResult<()> {
         if input.dim() != self.compiled.dim() || input.num_qudits() != self.compiled.width() {
             return Err(ApiError::Noise(
                 qudit_noise::NoiseError::StateShapeMismatch {
@@ -546,7 +600,7 @@ impl CompiledStateJob {
                 },
             ));
         }
-        Ok(self.compiled.run(input))
+        Ok(())
     }
 
     /// The number of kernel invocations one replay performs (the post-pass
@@ -558,6 +612,14 @@ impl CompiledStateJob {
     /// Resources of the compiled (post-pass) circuit.
     pub fn resources(&self) -> qudit_circuit::ResourceReport {
         self.ir.report().post
+    }
+
+    /// The cache-blocked replay segmentation as `(op count, chunk amps)`
+    /// pairs — chunk = 0 for op-at-a-time stretches. Diagnostic, surfaced
+    /// for the kernel microbench so it can report blocking without
+    /// reaching below the façade.
+    pub fn replay_segments(&self) -> Vec<(usize, usize)> {
+        self.compiled.replay_segments()
     }
 }
 
@@ -749,6 +811,38 @@ mod tests {
         // Duplicates really share: slots 0, 2 and 5 are the same spec.
         assert_eq!(deduped[0], deduped[2]);
         assert_eq!(deduped[0], deduped[5]);
+    }
+
+    #[test]
+    fn seed_sweep_shares_noise_artifacts_across_runs() {
+        // Result caching off so every spec really simulates; each run still
+        // finds the entry's channel compilations already built.
+        let executor = Executor::with_result_cache(0);
+        let make = |seed: u64| {
+            JobSpec::builder(toffoli_fig4())
+                .noise(models::sc())
+                .trials(2)
+                .seed(seed)
+                .build()
+                .unwrap()
+        };
+        for seed in 0..4 {
+            executor.run(&make(seed)).unwrap();
+        }
+        let stats = executor.noise_artifact_stats();
+        assert_eq!(stats.sites_built, 1, "one model, one site compilation");
+        assert_eq!(stats.sites_shared, 3, "later seeds reuse it");
+
+        // A different model on the same entry builds its own set once.
+        let spec = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc_t1_gates())
+            .trials(2)
+            .build()
+            .unwrap();
+        executor.run(&spec).unwrap();
+        executor.run(&spec).unwrap();
+        let stats = executor.noise_artifact_stats();
+        assert_eq!((stats.sites_built, stats.sites_shared), (2, 4));
     }
 
     #[test]

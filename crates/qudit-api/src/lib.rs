@@ -71,5 +71,6 @@ pub use spec::{JobSpec, JobSpecBuilder, DENSITY_MAX_ENTRIES};
 // depend on `qudit-api` alone.
 pub use qudit_circuit::{Circuit, PassLevel, ResourceReport};
 pub use qudit_noise::{
-    BackendKind, CancelToken, CrossValidation, FidelityEstimate, InputState, NoiseModel, Precision,
+    BackendKind, CancelToken, CrossValidation, FidelityEstimate, InputState, NoiseArtifactStats,
+    NoiseModel, Precision,
 };

@@ -10,9 +10,11 @@
 //! * [`CancellationPass`] removes adjacent inverse pairs (`U` then `U†` with
 //!   no intervening operation on the same qudits, e.g. an increment
 //!   immediately undone by a decrement) and outright identity operations;
-//! * [`FusionPass`] composes runs of adjacent single-qudit gates on the same
-//!   qudit into one gate (`H` then `X` becomes the single matrix `X·H`), and
-//!   drops the pair entirely when the product is the identity;
+//! * [`FusionPass`] composes runs of adjacent same-support gates — identical
+//!   targets and control conditions, one or two targets — into one gate
+//!   (`H` then `X` becomes the single matrix `X·H`; a pair of controlled
+//!   two-qudit gates becomes one controlled product), and drops the run
+//!   entirely when the product is the identity;
 //! * [`RepackPass`] re-derives the as-early-as-possible [`Schedule`] after
 //!   removals, so the depth the analyzer reports is the depth of the
 //!   *transformed* circuit;
@@ -472,9 +474,18 @@ fn measure_frame_duration(
 // Fusion
 // ---------------------------------------------------------------------------
 
-/// Fuses runs of adjacent single-qudit gates on the same qudit into one
-/// composed gate, dropping the run entirely when the product is the
-/// identity (`H` then `H`).
+/// Fuses runs of adjacent same-support gates into one composed gate,
+/// dropping the run entirely when the product is the identity (`H` then
+/// `H`, or a gate followed by its inverse).
+///
+/// Two consecutive ops have the *same support* when their target lists and
+/// control conditions are identical (same qudits, same order, same
+/// activation levels) and no other op touches any of those wires in
+/// between. Then `C(U₂)·C(U₁) = C(U₂·U₁)`, so the run collapses to one op
+/// whose matrix is pre-multiplied at compile time — each fused matrix is
+/// applied once per trial instead of k times, which pays off thousands of
+/// times under Monte Carlo replay. Fusion covers one- and two-target gates
+/// (`d²×d²` products at most); wider gates pass through untouched.
 ///
 /// With `across_moments = false` the pass only fuses gates that share a
 /// schedule moment. A moment touches every qudit at most once, so nothing
@@ -530,31 +541,47 @@ impl Pass for FusionPass {
             } else {
                 moment_of[op_idx]
             };
-            let single = op.controls().is_empty() && op.targets().len() == 1;
-            let target = if single { Some(op.targets()[0]) } else { None };
-            let prev_slot = target.and_then(|t| last_touch[t]).filter(|&j| {
-                out[j].as_ref().is_some_and(|prev| {
-                    prev.controls().is_empty()
-                        && prev.targets().len() == 1
-                        && (self.across_moments || out_moment[j] == moment)
+            // Candidate ops: one or two targets (composed matrices stay at
+            // most d²×d²). Every wire — targets and controls alike — must
+            // have been last touched by the same held slot, and that slot's
+            // op must have the identical support (targets in the same
+            // order, identical control conditions), so the pair composes in
+            // the same local basis.
+            let wires = op.qudits();
+            let prev_slot = (op.targets().len() <= 2)
+                .then(|| {
+                    let first = last_touch[wires[0]]?;
+                    wires[1..]
+                        .iter()
+                        .all(|&w| last_touch[w] == Some(first))
+                        .then_some(first)
                 })
-            });
+                .flatten()
+                .filter(|&j| {
+                    out[j].as_ref().is_some_and(|prev| {
+                        prev.targets() == op.targets()
+                            && prev.controls() == op.controls()
+                            && (self.across_moments || out_moment[j] == moment)
+                    })
+                });
 
-            if let (Some(t), Some(j)) = (target, prev_slot) {
+            if let Some(j) = prev_slot {
                 let prev = out[j].as_ref().expect("filtered above");
                 // `prev` runs first, so the composed matrix is op · prev.
                 let composed = op.gate().matrix() * prev.gate().matrix();
                 if composed.is_identity(KERNEL_CLASS_TOL) {
                     out[j] = None;
-                    last_touch[t] = None;
+                    for &w in &wires {
+                        last_touch[w] = None;
+                    }
                     dropped += 1;
                 } else {
                     let name = fused_name(prev.gate(), op.gate());
-                    let gate = Gate::new(name, dim, 1, composed)
-                        .expect("product of dim x dim matrices has the gate's shape");
+                    let gate = Gate::new(name, dim, op.targets().len(), composed)
+                        .expect("product of same-shape matrices keeps the gate's shape");
                     out[j] = Some(
-                        Operation::uncontrolled(gate, vec![t])
-                            .expect("single valid target cannot fail validation"),
+                        Operation::new(gate, op.controls().to_vec(), op.targets().to_vec())
+                            .expect("support validated when the original ops were built"),
                     );
                     out_moment[j] = moment;
                     fused += 1;
@@ -1171,6 +1198,71 @@ mod tests {
             .gate()
             .matrix()
             .approx_eq(Gate::h(3).matrix(), 1e-10));
+    }
+
+    #[test]
+    fn fusion_composes_same_support_controlled_pairs() {
+        // Two controlled gates with identical control condition and target:
+        // C(X)·C(inc) = C(X·inc), one op.
+        let mut c = Circuit::new(3, 2);
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        let ir = compile(&c, PassLevel::Ideal);
+        assert_eq!(ir.circuit().len(), 1, "same-support controlled pair fuses");
+        let fused = &ir.circuit().operations()[0];
+        assert_eq!(fused.targets(), &[1]);
+        assert_eq!(fused.controls(), c.operations()[0].controls());
+        let expected = Gate::x(3).matrix() * Gate::increment(3).matrix();
+        assert!(fused.gate().matrix().approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn fusion_drops_controlled_inverse_pairs() {
+        let mut c = Circuit::new(3, 2);
+        c.push_controlled(Gate::increment(3), &[Control::on_two(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::decrement(3), &[Control::on_two(0)], &[1])
+            .unwrap();
+        let ir = compile(&c, PassLevel::Ideal);
+        assert_eq!(ir.circuit().len(), 0, "C(inc)·C(dec) = I must vanish");
+    }
+
+    #[test]
+    fn fusion_requires_identical_control_conditions() {
+        // Same wires, different activation level: C₁(U₂)·C₂(U₁) is NOT
+        // C(U₂·U₁) — the pair must survive unfused (and uncancelled).
+        let mut c = Circuit::new(3, 2);
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::decrement(3), &[Control::on_two(0)], &[1])
+            .unwrap();
+        let ir = compile(&c, PassLevel::Ideal);
+        assert_eq!(ir.circuit().len(), 2);
+
+        // Swapped roles (control↔target) must not fuse either.
+        let mut c = Circuit::new(3, 2);
+        c.push_controlled(Gate::x(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_one(1)], &[0])
+            .unwrap();
+        let ir = compile(&c, PassLevel::Ideal);
+        assert_eq!(ir.circuit().len(), 2);
+    }
+
+    #[test]
+    fn fusion_requires_no_intervening_touch_on_control_wires() {
+        // A gate on the *control* qudit between two same-support controlled
+        // ops changes what the control sees — no fusion allowed.
+        let mut c = Circuit::new(3, 2);
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_gate(Gate::x(3), &[0]).unwrap();
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        let ir = compile(&c, PassLevel::Ideal);
+        assert_eq!(ir.circuit().len(), 3);
     }
 
     #[test]

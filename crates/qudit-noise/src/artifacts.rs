@@ -1,0 +1,270 @@
+//! Shared, memoized noise-compilation artifacts.
+//!
+//! The executor's job cache shares the *pass pipeline* per structurally
+//! distinct circuit, but noise-shaped artifacts — the [`NoiseProgram`],
+//! the per-site channel compilations, the density engine's `U·ρ·U†` plan
+//! pairs — were still rebuilt on every run. [`SharedNoiseArtifacts`]
+//! closes that gap: one instance rides along with each cached circuit
+//! entry and memoizes
+//!
+//! * the noise program itself (circuit + frames + error sites) — built
+//!   once per entry, model-independent;
+//! * the compiled ideal state-vector replay and noisy density replay of
+//!   the program circuit — built lazily, model-independent;
+//! * the per-site channel artifacts (`NoiseSites`) — keyed by the noise
+//!   model's parameters, so a sweep over seeds/trial counts under one
+//!   model compiles its channels once, while distinct models still get
+//!   their own.
+//!
+//! The hit/build counters are observability for exactly that sharing;
+//! [`NoiseArtifactStats`] is surfaced through `qudit_api::Executor`.
+
+use crate::error::NoiseResult;
+use crate::kraus::CompiledChannel;
+use crate::models::NoiseModel;
+use crate::trajectory::{build_noise_sites, NoiseProgram, NoiseSites};
+use qudit_circuit::passes::CompiledIr;
+use qudit_sim::{
+    superoperator_targets, ApplyPlan, CompiledCircuit, CompiledDensityCircuit, Simulator,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A noise model's physics parameters as an exact (bitwise) hash key. Two
+/// models with the same parameters produce identical channel artifacts
+/// regardless of display name, so the name is deliberately excluded.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct ModelKey {
+    p1: u64,
+    p2: u64,
+    t1: Option<u64>,
+    gate_time_1q: u64,
+    gate_time_2q: u64,
+}
+
+impl ModelKey {
+    fn of(model: &NoiseModel) -> Self {
+        ModelKey {
+            p1: model.p1.to_bits(),
+            p2: model.p2.to_bits(),
+            t1: model.t1.map(f64::to_bits),
+            gate_time_1q: model.gate_time_1q.to_bits(),
+            gate_time_2q: model.gate_time_2q.to_bits(),
+        }
+    }
+}
+
+/// Counters describing how often per-site channel artifacts were rebuilt
+/// versus shared — the observability the memoization satellite asks for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoiseArtifactStats {
+    /// Site sets compiled from scratch (one per distinct model per entry
+    /// per backend).
+    pub sites_built: usize,
+    /// Site-set requests answered from the cache.
+    pub sites_shared: usize,
+}
+
+impl NoiseArtifactStats {
+    /// Element-wise sum, for aggregating over cache entries.
+    pub fn merge(self, other: NoiseArtifactStats) -> NoiseArtifactStats {
+        NoiseArtifactStats {
+            sites_built: self.sites_built + other.sites_built,
+            sites_shared: self.sites_shared + other.sites_shared,
+        }
+    }
+}
+
+/// Memoized noise artifacts for one compiled circuit (see the module doc).
+///
+/// Everything is interior-mutable and `Sync`: the replay circuits sit
+/// behind `OnceLock`s, the model-keyed site maps behind mutexes that are
+/// held only for a map lookup/insert (channel compilation itself happens
+/// outside the lock, so two *distinct* models can compile concurrently —
+/// a duplicated build for the *same* model in that window is benign and
+/// the first insert wins).
+pub struct SharedNoiseArtifacts {
+    program: Arc<NoiseProgram>,
+    ideal: OnceLock<Arc<CompiledCircuit>>,
+    noisy_density: OnceLock<Arc<CompiledDensityCircuit>>,
+    trajectory_sites: Mutex<HashMap<ModelKey, Arc<NoiseSites<CompiledChannel>>>>,
+    density_sites: Mutex<HashMap<ModelKey, Arc<NoiseSites<ApplyPlan>>>>,
+    sites_built: AtomicUsize,
+    sites_shared: AtomicUsize,
+}
+
+impl SharedNoiseArtifacts {
+    /// Builds the artifact set from an already-compiled IR — the noise
+    /// program is constructed eagerly (it defines everything else), the
+    /// rest lazily.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the underlying program construction:
+    /// `UnsupportedLevel` for optimizing pass levels, `Simulation` if a
+    /// ≥3-qudit operation could not be lowered.
+    pub fn from_ir(ir: &CompiledIr) -> NoiseResult<Self> {
+        Ok(SharedNoiseArtifacts {
+            program: Arc::new(NoiseProgram::from_ir(ir)?),
+            ideal: OnceLock::new(),
+            noisy_density: OnceLock::new(),
+            trajectory_sites: Mutex::new(HashMap::new()),
+            density_sites: Mutex::new(HashMap::new()),
+            sites_built: AtomicUsize::new(0),
+            sites_shared: AtomicUsize::new(0),
+        })
+    }
+
+    /// The shared noise program.
+    pub(crate) fn program(&self) -> &Arc<NoiseProgram> {
+        &self.program
+    }
+
+    /// The program circuit compiled for state-vector replay, built through
+    /// `planner`'s plan cache on first use.
+    pub(crate) fn ideal(&self, planner: &Simulator) -> Arc<CompiledCircuit> {
+        Arc::clone(
+            self.ideal
+                .get_or_init(|| Arc::new(planner.compile(&self.program.circuit))),
+        )
+    }
+
+    /// The program circuit compiled for noisy `U·ρ·U†` density replay,
+    /// built on first use.
+    pub(crate) fn noisy_density(&self) -> Arc<CompiledDensityCircuit> {
+        Arc::clone(
+            self.noisy_density
+                .get_or_init(|| Arc::new(CompiledDensityCircuit::compile(&self.program.circuit))),
+        )
+    }
+
+    /// The trajectory engine's per-site channel branch plans under `model`,
+    /// compiled once per distinct model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-validation failures from channel construction.
+    pub(crate) fn trajectory_sites(
+        &self,
+        model: &NoiseModel,
+    ) -> NoiseResult<Arc<NoiseSites<CompiledChannel>>> {
+        let key = ModelKey::of(model);
+        if let Some(sites) = self.trajectory_sites.lock().expect("sites map").get(&key) {
+            self.sites_shared.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(sites));
+        }
+        let d = self.program.circuit.dim();
+        let n = self.program.circuit.width();
+        let built = Arc::new(build_noise_sites(&self.program, model, |c, qudits| {
+            c.compile(d, n, qudits)
+        })?);
+        self.sites_built.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::clone(
+            self.trajectory_sites
+                .lock()
+                .expect("sites map")
+                .entry(key)
+                .or_insert(built),
+        ))
+    }
+
+    /// The density engine's per-site superoperator plans under `model`,
+    /// compiled once per distinct model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-validation failures from channel construction.
+    pub(crate) fn density_sites(
+        &self,
+        model: &NoiseModel,
+    ) -> NoiseResult<Arc<NoiseSites<ApplyPlan>>> {
+        let key = ModelKey::of(model);
+        if let Some(sites) = self.density_sites.lock().expect("sites map").get(&key) {
+            self.sites_shared.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(sites));
+        }
+        let d = self.program.circuit.dim();
+        let n = self.program.circuit.width();
+        let built = Arc::new(build_noise_sites(&self.program, model, |c, qudits| {
+            ApplyPlan::for_matrix(
+                d,
+                2 * n,
+                &c.superoperator(),
+                &superoperator_targets(qudits, n),
+            )
+        })?);
+        self.sites_built.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::clone(
+            self.density_sites
+                .lock()
+                .expect("sites map")
+                .entry(key)
+                .or_insert(built),
+        ))
+    }
+
+    /// A snapshot of the build/share counters.
+    pub fn stats(&self) -> NoiseArtifactStats {
+        NoiseArtifactStats {
+            sites_built: self.sites_built.load(Ordering::Relaxed),
+            sites_shared: self.sites_shared.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use qudit_circuit::passes::{self, PassLevel};
+    use qudit_circuit::{Circuit, Control, Gate};
+
+    fn toffoli() -> Circuit {
+        let mut c = Circuit::new(3, 3);
+        c.push_controlled(Gate::increment(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c.push_controlled(Gate::x(3), &[Control::on_two(1)], &[2])
+            .unwrap();
+        c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn same_model_shares_sites_distinct_models_build() {
+        let ir = passes::compile(&toffoli(), PassLevel::Physical);
+        let artifacts = SharedNoiseArtifacts::from_ir(&ir).unwrap();
+        let sc = models::sc();
+        let a = artifacts.trajectory_sites(&sc).unwrap();
+        let b = artifacts.trajectory_sites(&sc).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same model must share one site set");
+        let _ = artifacts.density_sites(&sc).unwrap();
+        let mut other = models::sc();
+        other.p1 *= 2.0;
+        let c = artifacts.trajectory_sites(&other).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "distinct models must not share");
+        assert_eq!(
+            artifacts.stats(),
+            NoiseArtifactStats {
+                sites_built: 3,
+                sites_shared: 1
+            }
+        );
+    }
+
+    #[test]
+    fn replay_circuits_build_once() {
+        let ir = passes::compile(&toffoli(), PassLevel::Physical);
+        let artifacts = SharedNoiseArtifacts::from_ir(&ir).unwrap();
+        let planner = Simulator::new();
+        assert!(Arc::ptr_eq(
+            &artifacts.ideal(&planner),
+            &artifacts.ideal(&planner)
+        ));
+        assert!(Arc::ptr_eq(
+            &artifacts.noisy_density(),
+            &artifacts.noisy_density()
+        ));
+    }
+}

@@ -30,6 +30,7 @@ use qudit_sim::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// An exact density-matrix noise simulator bound to a circuit and a noise
 /// model.
@@ -41,14 +42,14 @@ use rayon::prelude::*;
 /// superoperator [`ApplyPlan`] per (channel, site). Everything is
 /// immutable and `Sync`, so input averaging fans out across rayon workers.
 pub struct DensityNoiseSimulator<'a> {
-    program: NoiseProgram,
-    ideal: CompiledCircuit,
-    noisy: CompiledDensityCircuit,
+    program: Arc<NoiseProgram>,
+    ideal: Arc<CompiledCircuit>,
+    noisy: Arc<CompiledDensityCircuit>,
     model: &'a NoiseModel,
     /// Per-site superoperator plans over the vectorised `2n`-qudit view of
     /// `ρ` — same site set as the trajectory engine, each site a single
     /// deterministic plan.
-    sites: NoiseSites<ApplyPlan>,
+    sites: Arc<NoiseSites<ApplyPlan>>,
 }
 
 impl<'a> DensityNoiseSimulator<'a> {
@@ -131,6 +132,29 @@ impl<'a> DensityNoiseSimulator<'a> {
         Self::from_program_with(program, model, &Simulator::new())
     }
 
+    /// Builds the simulator on memoized shared artifacts (see
+    /// [`SharedNoiseArtifacts`](crate::SharedNoiseArtifacts)): the noise
+    /// program, both compiled replays and the per-site superoperator plans
+    /// are all shared — repeated constructions over the same cached circuit
+    /// entry build nothing at all.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-validation failures from channel construction.
+    pub fn from_artifacts_with(
+        artifacts: &crate::SharedNoiseArtifacts,
+        model: &'a NoiseModel,
+        planner: &Simulator,
+    ) -> NoiseResult<Self> {
+        Ok(DensityNoiseSimulator {
+            program: Arc::clone(artifacts.program()),
+            ideal: artifacts.ideal(planner),
+            noisy: artifacts.noisy_density(),
+            model,
+            sites: artifacts.density_sites(model)?,
+        })
+    }
+
     fn from_program_with(
         program: NoiseProgram,
         model: &'a NoiseModel,
@@ -147,11 +171,11 @@ impl<'a> DensityNoiseSimulator<'a> {
             )
         })?;
         Ok(DensityNoiseSimulator {
-            ideal: planner.compile(&program.circuit),
-            noisy: CompiledDensityCircuit::compile(&program.circuit),
-            program,
+            ideal: Arc::new(planner.compile(&program.circuit)),
+            noisy: Arc::new(CompiledDensityCircuit::compile(&program.circuit)),
+            program: Arc::new(program),
             model,
-            sites,
+            sites: Arc::new(sites),
         })
     }
 

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod artifacts;
 mod backend;
 mod cancel;
 mod damping;
@@ -49,6 +50,7 @@ pub mod models;
 mod serde_impls;
 mod trajectory;
 
+pub use artifacts::{NoiseArtifactStats, SharedNoiseArtifacts};
 pub use backend::{
     cross_validate, Backend, BackendKind, CrossValidation, DensityMatrixBackend, SimOutput,
     TrajectoryBackend,

@@ -62,6 +62,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The input-state distribution for each trial.
 #[derive(Clone, Debug, PartialEq)]
@@ -513,10 +514,10 @@ pub(crate) fn build_noise_sites<T>(
 /// deliberately sequential — nested fan-out would oversubscribe the
 /// machine.
 pub struct TrajectorySimulator<'a> {
-    program: NoiseProgram,
-    compiled: CompiledCircuit,
+    program: Arc<NoiseProgram>,
+    compiled: Arc<CompiledCircuit>,
     model: &'a NoiseModel,
-    channels: NoiseSites<CompiledChannel>,
+    channels: Arc<NoiseSites<CompiledChannel>>,
 }
 
 impl<'a> TrajectorySimulator<'a> {
@@ -604,6 +605,29 @@ impl<'a> TrajectorySimulator<'a> {
         Self::from_program_with(program, model, &Simulator::new())
     }
 
+    /// Builds the simulator on memoized shared artifacts (see
+    /// [`SharedNoiseArtifacts`](crate::SharedNoiseArtifacts)): the noise
+    /// program, the compiled replay and the per-site channel plans are all
+    /// shared — repeated constructions over the same cached circuit entry
+    /// (a batch of jobs differing only in seed or trial count) build
+    /// nothing at all.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-validation failures from channel construction.
+    pub fn from_artifacts_with(
+        artifacts: &crate::SharedNoiseArtifacts,
+        model: &'a NoiseModel,
+        planner: &Simulator,
+    ) -> NoiseResult<Self> {
+        Ok(TrajectorySimulator {
+            program: Arc::clone(artifacts.program()),
+            compiled: artifacts.ideal(planner),
+            model,
+            channels: artifacts.trajectory_sites(model)?,
+        })
+    }
+
     fn from_program_with(
         program: NoiseProgram,
         model: &'a NoiseModel,
@@ -617,10 +641,10 @@ impl<'a> TrajectorySimulator<'a> {
             // mirrored compute/uncompute halves, the repeated Di & Wei
             // block gates) share one plan instead of each building their
             // own — and, with a caller-held planner, across simulators.
-            compiled: planner.compile(&program.circuit),
-            program,
+            compiled: Arc::new(planner.compile(&program.circuit)),
+            program: Arc::new(program),
             model,
-            channels,
+            channels: Arc::new(channels),
         })
     }
 

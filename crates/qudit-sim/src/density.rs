@@ -12,6 +12,10 @@
 //!   second applies `conj(U)` to the column digits ([`UnitaryPlanPair`]).
 //!   Controls carry over verbatim — a controlled operation's plan already
 //!   restricts itself to the matching control digits on each side.
+//!   Uncontrolled pairs additionally *fuse* the two passes: the row sweep's
+//!   group order visits whole `ρ` rows at a time, so the column-side
+//!   `conj(U)` is applied to each row while it is still cache-resident,
+//!   instead of a second full pass over the `d^2n` buffer.
 //! * **Kraus channels** `ρ → Σᵢ Kᵢ·ρ·Kᵢ†` vectorise to the superoperator
 //!   `Σᵢ Kᵢ ⊗ conj(Kᵢ)` acting on the row *and* column digits of the
 //!   targeted qudits together — a single dense plan applied once, with no
@@ -22,9 +26,9 @@
 //! that the trajectory Monte Carlo estimates converge to, which is what the
 //! deterministic cross-validation tests assert.
 
-use crate::kernel::{ApplyPlan, PAR_MIN_AMPS};
+use crate::kernel::{simd_level, AmpsPtr, ApplyPlan, SimdLevel, PAR_MIN_AMPS};
 use qudit_circuit::passes::CompiledIr;
-use qudit_circuit::{Circuit, Operation};
+use qudit_circuit::{Circuit, KernelClass, Operation};
 use qudit_core::{CMatrix, Complex, CoreError, CoreResult, StateVector};
 use rayon::prelude::*;
 
@@ -365,7 +369,7 @@ impl DensityMatrix {
             2 * self.num_qudits,
             "plan width must be 2×register width"
         );
-        plan.apply_amplitudes(&mut self.elems, plan.auto_parallel());
+        plan.apply_amplitudes(&mut self.elems, plan.should_parallelize());
     }
 }
 
@@ -382,10 +386,37 @@ pub fn superoperator_targets(qudits: &[usize], width: usize) -> Vec<usize> {
 /// A compiled `ρ → V·ρ·V†` for one (controlled) unitary: the row-side plan
 /// for `V` and the column-side plan for `conj(V)`, built once and reusable
 /// across applications (and threads — plans are `Sync`).
+///
+/// Uncontrolled pairs carry an additional *fused* form: because the row
+/// plan's free digits enumerate the column digits last, its group order
+/// visits `ρ` in batches of whole rows — so the pair can apply `U` to a
+/// batch of rows and immediately apply `conj(U)` to each of those rows (an
+/// independent `n`-qudit sweep per row slice) while the rows are still
+/// cache-resident, instead of making two full passes over the `d^2n`
+/// buffer. The interleaving never reorders arithmetic — the column sweep
+/// only mixes entries *within* a row, and it runs only on rows whose
+/// row-side update is complete — so the fused result is identical to the
+/// two-pass result.
 #[derive(Clone, Debug)]
 pub struct UnitaryPlanPair {
     row: ApplyPlan,
     col: ApplyPlan,
+    /// `Some` when the pair is uncontrolled: the `n`-qudit plan of `U` on
+    /// the row view (group enumeration + row offsets only) and the
+    /// `n`-qudit plan of `conj(U)` applied per row slice.
+    fused: Option<FusedPair>,
+}
+
+/// The single-pass (cache-fused) form of an uncontrolled plan pair.
+#[derive(Clone, Debug)]
+struct FusedPair {
+    /// `U` on the targets over the *n*-qudit row space. Used to enumerate
+    /// row-group base rows and the row offsets of each batch; its group
+    /// order matches the 2n-qudit row plan's free-row-digit order by
+    /// construction (both enumerate free digits most-significant first).
+    row_small: ApplyPlan,
+    /// `conj(U)` on the targets over the *n*-qudit column space of one row.
+    col_small: ApplyPlan,
 }
 
 impl UnitaryPlanPair {
@@ -405,9 +436,14 @@ impl UnitaryPlanPair {
         let col_targets: Vec<usize> = targets.iter().map(|&q| q + width).collect();
         let col_controls: Vec<(usize, usize)> =
             controls.iter().map(|&(q, l)| (q + width, l)).collect();
+        let fused = controls.is_empty().then(|| FusedPair {
+            row_small: ApplyPlan::new(dim, width, matrix, targets, &[]),
+            col_small: ApplyPlan::new(dim, width, &matrix.conj(), targets, &[]),
+        });
         UnitaryPlanPair {
             row: ApplyPlan::new(dim, 2 * width, matrix, targets, controls),
             col: ApplyPlan::new(dim, 2 * width, &matrix.conj(), &col_targets, &col_controls),
+            fused,
         }
     }
 
@@ -428,12 +464,97 @@ impl UnitaryPlanPair {
 
     /// Applies `ρ → V·ρ·V†` in place.
     ///
+    /// Uncontrolled pairs take the fused single-pass sweep; controlled
+    /// pairs (whose active groups are not whole-row batches) fall back to
+    /// the two-pass row-then-column application.
+    ///
     /// # Panics
     ///
     /// Panics if the density matrix shape does not match the pair.
     pub fn apply(&self, rho: &mut DensityMatrix) {
+        match &self.fused {
+            Some(f) => self.apply_fused(f, rho),
+            None => {
+                rho.apply_plan(&self.row);
+                rho.apply_plan(&self.col);
+            }
+        }
+    }
+
+    /// Applies the pair two-pass regardless of fusability. Exposed for the
+    /// equivalence tests, which pin the fused sweep against it.
+    #[doc(hidden)]
+    pub fn apply_two_pass(&self, rho: &mut DensityMatrix) {
         rho.apply_plan(&self.row);
         rho.apply_plan(&self.col);
+    }
+
+    /// Fused sweep: for each row-group (a batch of `d^k` rows sharing
+    /// their free row digits), run the 2n-qudit row plan over exactly that
+    /// batch's groups — the row plan's group index factors as
+    /// `rg·size + column_index`, so groups `rg·size..(rg+1)·size` are
+    /// precisely "all columns of row batch `rg`" — then apply the n-qudit
+    /// `conj(U)` plan to each finished row slice.
+    fn apply_fused(&self, f: &FusedPair, rho: &mut DensityMatrix) {
+        assert_eq!(self.row.dim(), rho.dim, "dimension mismatch");
+        assert_eq!(
+            self.row.num_qudits(),
+            2 * rho.num_qudits,
+            "plan width must be 2×register width"
+        );
+        if self.row.kernel_class() == KernelClass::Identity {
+            return;
+        }
+        let size = rho.size;
+        let rg_count = f.row_small.groups();
+        let simd = simd_level();
+        let ptr = AmpsPtr::new(&mut rho.elems);
+        // Work per row-group ≈ the whole pair's work / rg_count; fanning
+        // out over row-groups splits the buffer into disjoint row batches.
+        if rg_count >= 2 && self.row.should_parallelize() {
+            let threads = rayon::current_num_threads().min(rg_count);
+            let chunk = rg_count.div_ceil(threads);
+            (0..threads).into_par_iter().for_each(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(rg_count);
+                if lo < hi {
+                    self.apply_fused_range(f, ptr, size, simd, lo, hi);
+                }
+            });
+        } else {
+            self.apply_fused_range(f, ptr, size, simd, 0, rg_count);
+        }
+    }
+
+    /// Runs the fused sweep for row-groups `lo..hi`. Each row-group touches
+    /// a disjoint set of rows (row batches partition the row space), so
+    /// concurrent ranges never alias.
+    fn apply_fused_range(
+        &self,
+        f: &FusedPair,
+        ptr: AmpsPtr,
+        size: usize,
+        simd: SimdLevel,
+        lo: usize,
+        hi: usize,
+    ) {
+        let mut rg = lo;
+        f.row_small.for_each_run(lo, hi, |row_base, count| {
+            let rs = f.row_small.run_stride();
+            for t in 0..count {
+                let base_row = row_base + t * rs;
+                let g0 = rg * size;
+                self.row.run_groups(ptr, g0, g0 + size, simd);
+                for &off in f.row_small.offsets() {
+                    let r = base_row + off;
+                    // Safe: row r belongs only to this row-group, and the
+                    // row plan above finished writing it.
+                    let row_slice = unsafe { ptr.slice_mut(r * size, size) };
+                    f.col_small.apply_amplitudes_simd(row_slice, false, simd);
+                }
+                rg += 1;
+            }
+        });
     }
 }
 
@@ -693,6 +814,45 @@ mod tests {
             assert!(a.approx_eq(*b, 1e-12));
         }
         assert!((rho.purity() - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_pair_sweep_matches_two_pass_exactly() {
+        // The fused row/column sweep must produce the same entries as the
+        // two-pass application for dense, diagonal and permutation gates,
+        // at every target position, for d ∈ {2, 3}.
+        for dim in [2usize, 3] {
+            let mut rng = StdRng::seed_from_u64(41 + dim as u64);
+            let psi = random_state(dim, 3, &mut rng).unwrap();
+            let gates_under_test: Vec<(CMatrix, Vec<usize>)> = vec![
+                (Gate::fourier(dim).matrix().clone(), vec![0]),
+                (Gate::fourier(dim).matrix().clone(), vec![2]),
+                (Gate::clock(dim).matrix().clone(), vec![1]),
+                (Gate::increment(dim).matrix().clone(), vec![1]),
+                (Gate::swap(dim).matrix().clone(), vec![0, 2]),
+                (Gate::swap(dim).matrix().clone(), vec![2, 1]),
+            ];
+            for (m, targets) in gates_under_test {
+                let pair = UnitaryPlanPair::new(dim, 3, &m, &targets, &[]);
+                assert!(pair.fused.is_some());
+                let mut fused = DensityMatrix::from_pure(&psi);
+                pair.apply(&mut fused);
+                let mut two_pass = DensityMatrix::from_pure(&psi);
+                pair.apply_two_pass(&mut two_pass);
+                for (a, b) in fused.elements().iter().zip(two_pass.elements()) {
+                    assert!(
+                        a.approx_eq(*b, 1e-12),
+                        "dim {dim} targets {targets:?}: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_pairs_fall_back_to_two_pass() {
+        let pair = UnitaryPlanPair::new(3, 2, Gate::h(3).matrix(), &[1], &[(0, 1)]);
+        assert!(pair.fused.is_none());
     }
 
     #[test]

@@ -25,12 +25,15 @@
 //!      branch-free multiply) for the dominant one- and two-target gates;
 //!    * a generic **gather–scatter** fallback for `k ≥ 3`.
 //!
-//!    Above [`kernel::PAR_MIN_AMPS`] amplitudes the groups are chunked
-//!    across rayon workers; groups never share an amplitude, so the workers
-//!    are race-free by construction.
+//!    Above [`kernel::PAR_MIN_WORK`] estimated amplitude-operations the
+//!    groups are chunked across rayon workers; groups never share an
+//!    amplitude, so the workers are race-free by construction.
 //! 3. [`Simulator`] caches plans per distinct (gate, qudits) pair, and
-//!    [`CompiledCircuit`] pins down one plan per operation so replay loops
-//!    (ideal evolution, trajectory trials) do no planning at all.
+//!    [`CompiledCircuit`] pins down one plan per operation — plus a
+//!    cache-blocked segment schedule that replays trailing-support runs
+//!    chunk-by-chunk and folds all-permutation runs into one composed
+//!    index permutation — so replay loops (ideal evolution, trajectory
+//!    trials) do no planning at all.
 //!
 //! The seed's naive full-scan implementation is retained in
 //! `apply::reference` as the oracle for the kernel equivalence test suite.

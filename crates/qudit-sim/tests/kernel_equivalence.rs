@@ -15,9 +15,23 @@
 use proptest::prelude::*;
 use qudit_circuit::{Circuit, Control, Gate, Operation};
 use qudit_core::{complex_gaussian, random_state, CMatrix, Complex, StateVector};
-use qudit_sim::{reference, ApplyPlan, Simulator};
+use qudit_sim::kernel::SimdLevel;
+use qudit_sim::{reference, ApplyPlan, CompiledCircuit, Simulator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Whether the host can actually execute the AVX2+FMA kernels. Gates the
+/// forced-level tests on the CPU, not on `QUDIT_SIMD` — CI forces the env
+/// var both ways and the cross-level check must still run under
+/// `QUDIT_SIMD=scalar` on capable hardware.
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
 
 /// Max |amplitude difference| tolerated between the two engines.
 const TOL: f64 = 1e-10;
@@ -204,6 +218,130 @@ proptest! {
         );
     }
 
+    /// Both forced SIMD levels agree with the reference, and with each
+    /// other: dense kernels within 1e-12 (FMA changes rounding, nothing
+    /// else), permutation and diagonal paths **bit-identically** — those
+    /// kernels never branch on the SIMD level, so the operation order is
+    /// unchanged by construction and the test pins that it stays so.
+    #[test]
+    fn forced_simd_levels_agree(seed in 0u64..1_000_000, dim in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = rng.gen_range(2..6);
+        let state = random_state(dim, width, &mut rng).unwrap();
+
+        // Dense k=1 and k=2 at a random position.
+        for k in 1..=2usize {
+            let targets = random_targets(width, k, &mut rng);
+            let u = random_unitary(dim.pow(k as u32), &mut rng);
+            let plan = ApplyPlan::for_matrix(dim, width, &u, &targets);
+            let mut scalar = state.clone();
+            plan.apply_forced_simd(&mut scalar, false, SimdLevel::Scalar);
+            let mut naive = state.clone();
+            reference::apply_matrix_naive(&mut naive, &u, &targets);
+            assert_states_match(&scalar, &naive, &format!("dense k={k} scalar"));
+            if avx2_available() {
+                let mut vectored = state.clone();
+                plan.apply_forced_simd(&mut vectored, false, SimdLevel::Avx2);
+                for (i, (a, b)) in vectored.amplitudes().iter().zip(scalar.amplitudes()).enumerate() {
+                    assert!(
+                        a.approx_eq(*b, 1e-12),
+                        "dense k={k}: scalar/avx2 amplitude {i} differ beyond 1e-12: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+
+        // Permutation (classical) and diagonal plans: exact across levels.
+        let target = rng.gen_range(0..width);
+        for (gate, what) in [(Gate::increment(dim), "permutation"), (Gate::clock(dim), "diagonal")] {
+            let plan = ApplyPlan::for_matrix(dim, width, gate.matrix(), &[target]);
+            let mut scalar = state.clone();
+            plan.apply_forced_simd(&mut scalar, false, SimdLevel::Scalar);
+            if avx2_available() {
+                let mut vectored = state.clone();
+                plan.apply_forced_simd(&mut vectored, false, SimdLevel::Avx2);
+                for (i, (a, b)) in vectored.amplitudes().iter().zip(scalar.amplitudes()).enumerate() {
+                    assert_eq!(
+                        (a.re.to_bits(), a.im.to_bits()),
+                        (b.re.to_bits(), b.im.to_bits()),
+                        "{what}: amplitude {i} not bit-identical across SIMD levels"
+                    );
+                }
+            }
+            let mut naive = state.clone();
+            reference::apply_matrix_naive(&mut naive, gate.matrix(), &[target]);
+            assert_states_match(&scalar, &naive, what);
+        }
+    }
+
+    /// Cache-blocked segmented replay (including composed-permutation
+    /// folding) vs the naive reference, on circuits built to have a
+    /// chunkable trailing-support run: some prefix on qudit 0, then a run
+    /// of gates confined to the last two qudits — classical-only runs fold
+    /// into one exact chunk permutation, mixed runs replay per-plan.
+    /// Against op-at-a-time plan application a classical-only run must be
+    /// **bit-identical** (permutation folding moves amplitudes without any
+    /// arithmetic); mixed runs must agree within 1e-12 — a span plan's
+    /// shorter runs may select a different dense micro-kernel (tiled
+    /// split-lane vs per-group), which changes rounding order only.
+    #[test]
+    fn segmented_replay_matches_reference(seed in 0u64..1_000_000, dim in 2usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let classical_only = seed % 2 == 0;
+        let width = rng.gen_range(4..7);
+        let mut circuit = Circuit::new(dim, width);
+        circuit.push_gate(Gate::fourier(dim), &[0]).unwrap();
+        for _ in 0..rng.gen_range(2..6) {
+            let target = width - 1 - rng.gen_range(0usize..2);
+            let gate = match (classical_only, rng.gen_range(0..3)) {
+                (true, 0) => Gate::increment(dim),
+                (true, 1) => Gate::x(dim),
+                (true, _) => Gate::decrement(dim),
+                (false, 0) => Gate::fourier(dim),
+                (false, 1) => Gate::increment(dim),
+                (false, _) => Gate::from_matrix("U", dim, random_unitary(dim, &mut rng)).unwrap(),
+            };
+            if rng.gen_bool(0.4) {
+                let other = 2 * width - 3 - target; // the other trailing qudit
+                circuit
+                    .push_controlled(gate, &[Control::new(other, rng.gen_range(0..dim))], &[target])
+                    .unwrap();
+            } else {
+                circuit.push_gate(gate, &[target]).unwrap();
+            }
+        }
+        circuit.push_gate(Gate::fourier(dim), &[0]).unwrap();
+        let state = random_state(dim, width, &mut rng).unwrap();
+
+        let compiled = CompiledCircuit::compile(&circuit);
+        let fast = compiled.run_sequential(state.clone());
+
+        let mut naive = state.clone();
+        for op in circuit.iter() {
+            reference::apply_operation_naive(&mut naive, op);
+        }
+        assert_states_match(&fast, &naive, "segmented replay");
+
+        let mut op_at_a_time = state;
+        for op in circuit.iter() {
+            ApplyPlan::for_operation(width, op).apply_forced(&mut op_at_a_time, false);
+        }
+        for (i, (a, b)) in fast.amplitudes().iter().zip(op_at_a_time.amplitudes()).enumerate() {
+            if classical_only {
+                assert_eq!(
+                    (a.re.to_bits(), a.im.to_bits()),
+                    (b.re.to_bits(), b.im.to_bits()),
+                    "folded permutation replay: amplitude {i} not bit-identical to op-at-a-time"
+                );
+            } else {
+                assert!(
+                    a.approx_eq(*b, 1e-12),
+                    "segmented replay: amplitude {i} drifts beyond 1e-12 from op-at-a-time: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
     /// Whole random circuits through the plan-caching `Simulator` vs the
     /// naive reference, op by op.
     #[test]
@@ -243,9 +381,10 @@ proptest! {
     }
 }
 
-/// One deterministic large case that crosses the real parallel threshold
-/// (9 qutrits = 19 683 amplitudes > `PAR_MIN_AMPS`), so `apply`'s own
-/// dispatch decision is exercised end-to-end on multi-core hosts.
+/// One deterministic large case whose dense plans cross the real parallel
+/// threshold (9-qutrit k = 1/k = 2 work estimates exceed `PAR_MIN_WORK`),
+/// so `apply`'s own dispatch decision is exercised end-to-end on
+/// multi-core hosts.
 #[test]
 fn large_register_auto_dispatch_matches_reference() {
     let mut rng = StdRng::seed_from_u64(2019);

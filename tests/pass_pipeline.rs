@@ -94,6 +94,17 @@ fn random_circuit(dim: usize, width: usize, ops: usize, rng: &mut StdRng) -> Cir
                 circuit
                     .push_controlled(gate.inverse(), &[Control::new(control, level)], &[target])
                     .unwrap();
+            } else if rng.gen_bool(0.4) {
+                // Or a different gate under the same control condition: a
+                // same-support fusion site (C(U₂)·C(U₁) = C(U₂·U₁)).
+                let next = match rng.gen_range(0..3) {
+                    0 => Gate::increment(dim),
+                    1 => Gate::clock(dim),
+                    _ => Gate::h(dim),
+                };
+                circuit
+                    .push_controlled(next, &[Control::new(control, level)], &[target])
+                    .unwrap();
             }
         } else {
             circuit.push_gate(gate.clone(), &[target]).unwrap();
@@ -201,6 +212,14 @@ fn ideal_passes_reduce_kernel_invocations_on_paper_constructions() {
         ir.circuit().len() < incr.len(),
         "incrementer: expected a reduction, got {} -> {}",
         incr.len(),
+        ir.circuit().len()
+    );
+    // Same-support fusion (identical targets + control conditions) is what
+    // pushes this below the 24 ops single-qudit-only fusion reached —
+    // adjacent controlled pairs in the carry chain compose.
+    assert!(
+        ir.circuit().len() <= 18,
+        "incrementer: same-support fusion regressed, got {} ops",
         ir.circuit().len()
     );
     assert!(ir.report().post.depth() < ir.report().pre.depth());
