@@ -1,0 +1,220 @@
+//! Topology-routing sweep: compiles the paper's construction families for
+//! every connectivity family (all-to-all, linear, ring, grid, heavy-hex
+//! where the width fits) and records the routing overhead — inserted
+//! qudit-SWAPs, routed two-qudit count and routed depth versus the
+//! unrouted physical baseline — plus an exact-backend fidelity column
+//! showing what the inserted SWAPs cost under the SC+T1+GATES model.
+//!
+//! Two hard gates run alongside the numbers (nonzero exit on failure):
+//! all-to-all routing must insert zero SWAPs and leave the op list
+//! untouched, and a routed noisy job must still cross-validate
+//! (trajectory vs exact backend) within the standard 3σ bound.
+//!
+//! Writes `BENCH_route.json` (echoed to stdout) so future PRs can track
+//! routing-overhead drift.
+//!
+//! Usage:
+//! `cargo run --release -p bench --bin routing [-- --trials 200 --seed 2019 --out BENCH_route.json --smoke]`
+
+use qudit_api::{BackendKind, CliArgs, Executor, InputState, JobSpec, Topology};
+use qudit_circuit::passes::{compile, compile_with_topology, PassLevel};
+use qudit_circuit::Circuit;
+use qudit_noise::models;
+use qutrit_toffoli::gen_toffoli::n_controlled_x;
+use qutrit_toffoli::incrementer::incrementer;
+use std::fmt::Write as _;
+
+/// Every topology family that fits `width` sites (heavy-hex only at its
+/// lattice sizes 12, 21, ...).
+fn topologies_for(width: usize) -> Vec<Topology> {
+    let mut out = vec![
+        Topology::all_to_all(width).unwrap(),
+        Topology::linear(width).unwrap(),
+        Topology::ring(width).unwrap(),
+    ];
+    for (rows, cols) in [(2usize, 2usize), (2, 3), (3, 2), (2, 4), (3, 3), (2, 5)] {
+        if rows * cols == width {
+            out.push(Topology::grid(rows, cols).unwrap());
+        }
+    }
+    if width >= 12 && (width - 12).is_multiple_of(9) {
+        out.push(Topology::heavy_hex(1 + (width - 12) / 9).unwrap());
+    }
+    out
+}
+
+struct Row {
+    case: String,
+    topology: String,
+    swaps: usize,
+    two_qudit: usize,
+    depth: usize,
+    overhead: f64,
+    fidelity: Option<f64>,
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    let trials: usize = args.flag_or("--trials", 200).expect("--trials");
+    let seed: u64 = args.flag_or("--seed", 2019).expect("--seed");
+    let out = args.flag("--out").unwrap_or("BENCH_route.json").to_string();
+    let smoke = args.has("--smoke");
+
+    // The construction families at widths where the exact backend stays
+    // cheap; the fidelity column runs only up to 5 qutrits.
+    let mut cases: Vec<(String, Circuit)> = vec![
+        ("fig4-toffoli".into(), n_controlled_x(2).unwrap()),
+        ("n-controlled-x(3)".into(), n_controlled_x(3).unwrap()),
+        ("incrementer(4)".into(), incrementer(4).unwrap()),
+        ("incrementer(5)".into(), incrementer(5).unwrap()),
+    ];
+    if !smoke {
+        cases.push(("n-controlled-x(5)".into(), n_controlled_x(5).unwrap()));
+        cases.push(("incrementer(8)".into(), incrementer(8).unwrap()));
+        cases.push(("n-controlled-x(11)".into(), n_controlled_x(11).unwrap()));
+    }
+
+    let executor = Executor::new();
+    let model = models::sc_t1_gates();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failures = 0usize;
+
+    println!(
+        "{:<20} {:<12} {:>6} {:>9} {:>7} {:>9} {:>10}",
+        "case", "topology", "SWAPs", "two-qudit", "depth", "overhead", "fidelity"
+    );
+    for (name, circuit) in &cases {
+        let width = circuit.width();
+        let baseline = compile(circuit, PassLevel::Physical);
+        let base_two_qudit = baseline.report().post.two_qudit_gates();
+        for topology in topologies_for(width) {
+            let routed = compile_with_topology(circuit, PassLevel::Physical, Some(&topology));
+            let costs = routed
+                .report()
+                .post
+                .routed
+                .expect("topology-compiled IR reports routed costs");
+            if topology.is_all_to_all() {
+                // Gate 1: all-to-all routing is an op-list identity.
+                let identity = routed.routing().map(|s| s.is_identity()).unwrap_or(false);
+                if costs.inserted_swaps != 0 || !identity {
+                    eprintln!("{name}: all-to-all routing was not an identity");
+                    failures += 1;
+                }
+            }
+            // The exact-fidelity column: what the inserted SWAPs cost under
+            // SC+T1+GATES. Bounded to widths the density backend handles
+            // in one quick bench run.
+            let fidelity = (width <= 5).then(|| {
+                let spec = JobSpec::builder(circuit.clone())
+                    .backend(BackendKind::DensityMatrix)
+                    .noise(model.clone())
+                    .trials(1)
+                    .seed(seed)
+                    .input(InputState::AllOnes)
+                    .topology(topology.clone())
+                    .build()
+                    .expect("valid routed spec");
+                executor
+                    .run(&spec)
+                    .expect("routed run")
+                    .fidelity()
+                    .expect("fidelity")
+                    .mean
+            });
+            let overhead = costs.routed_two_qudit_gates as f64 / base_two_qudit.max(1) as f64;
+            println!(
+                "{:<20} {:<12} {:>6} {:>9} {:>7} {:>8.2}x {:>10}",
+                name,
+                topology.to_string(),
+                costs.inserted_swaps,
+                costs.routed_two_qudit_gates,
+                costs.routed_depth,
+                overhead,
+                fidelity.map_or("-".into(), |f| format!("{f:.6}")),
+            );
+            rows.push(Row {
+                case: name.clone(),
+                topology: topology.to_string(),
+                swaps: costs.inserted_swaps,
+                two_qudit: costs.routed_two_qudit_gates,
+                depth: costs.routed_depth,
+                overhead,
+                fidelity,
+            });
+        }
+    }
+
+    // Gate 2: a routed noisy job cross-validates within the 3σ bound.
+    let crossval_spec = JobSpec::builder(n_controlled_x(3).unwrap())
+        .noise(model.clone())
+        .trials(trials)
+        .seed(seed)
+        .input(InputState::AllOnes)
+        .topology(Topology::linear(4).unwrap())
+        .build()
+        .expect("valid crossval spec");
+    let cv = executor
+        .cross_validate(&crossval_spec, 3.0)
+        .expect("routed cross-validation");
+    println!(
+        "routed crossval (nCX(3) on linear-4): trajectory {:.6} vs exact {:.6} (bound {:.2e}) {}",
+        cv.estimate.mean,
+        cv.exact,
+        cv.tolerance,
+        if cv.within_bounds() { "ok" } else { "FAIL" }
+    );
+    if !cv.within_bounds() {
+        failures += 1;
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"routing\",").unwrap();
+    writeln!(json, "  \"smoke\": {smoke},").unwrap();
+    writeln!(
+        json,
+        "  \"model\": \"{}\", \"trials\": {trials}, \"seed\": {seed},",
+        model.name
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"crossval\": {{\"exact\": {:.9}, \"estimate\": {:.9}, \"within_bounds\": {}}},",
+        cv.exact,
+        cv.estimate.mean,
+        cv.within_bounds()
+    )
+    .unwrap();
+    writeln!(json, "  \"rows\": [").unwrap();
+    for (i, row) in rows.iter().enumerate() {
+        let fidelity = row
+            .fidelity
+            .map_or("null".to_string(), |f| format!("{f:.9}"));
+        writeln!(
+            json,
+            "    {{\"case\": \"{}\", \"topology\": \"{}\", \"inserted_swaps\": {}, \
+             \"routed_two_qudit\": {}, \"routed_depth\": {}, \"overhead\": {:.3}, \
+             \"fidelity\": {}}}{}",
+            row.case,
+            row.topology,
+            row.swaps,
+            row.two_qudit,
+            row.depth,
+            row.overhead,
+            fidelity,
+            if i + 1 < rows.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    print!("{json}");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+
+    if failures > 0 {
+        eprintln!("{failures} routing gate(s) failed");
+        std::process::exit(1);
+    }
+    println!("routing gates passed ({} rows -> {out})", rows.len());
+}

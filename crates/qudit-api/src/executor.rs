@@ -4,7 +4,7 @@ use crate::error::{ApiError, ApiResult};
 use crate::result::{ExecutionResult, Outcome, OutputState};
 use crate::spec::JobSpec;
 use qudit_circuit::passes::{self, CompiledIr, PassLevel};
-use qudit_circuit::Circuit;
+use qudit_circuit::{Circuit, Gate, Operation, RoutingSummary, Topology};
 use qudit_core::{random_qubit_subspace_state, StateVector};
 use qudit_noise::{
     BackendKind, CancelToken, CrossValidation, DensityNoiseSimulator, InputState,
@@ -76,10 +76,15 @@ struct CacheEntry {
 }
 
 impl CacheEntry {
-    fn ir(&self, circuit: &Circuit, level: PassLevel) -> Arc<CompiledIr> {
+    fn ir(
+        &self,
+        circuit: &Circuit,
+        level: PassLevel,
+        topology: Option<&Topology>,
+    ) -> Arc<CompiledIr> {
         Arc::clone(
             self.ir
-                .get_or_init(|| Arc::new(passes::compile(circuit, level))),
+                .get_or_init(|| Arc::new(passes::compile_with_topology(circuit, level, topology))),
         )
     }
 
@@ -110,6 +115,11 @@ impl CacheEntry {
     }
 }
 
+/// Compilation-cache key: one entry per (pass level, device topology,
+/// structural circuit identity) triple — routed and unrouted compilations
+/// of the same circuit are distinct entries.
+type CompileKey = (PassLevel, Option<Topology>, CircuitKey);
+
 /// The single runtime entry point: runs [`JobSpec`]s, compiling each
 /// structurally distinct (circuit, pass level) pair exactly once.
 ///
@@ -139,7 +149,7 @@ impl CacheEntry {
 /// compile. Determinism makes this sound: a cache hit is bit-identical to
 /// re-running the spec, which the cache tests pin.
 pub struct Executor {
-    cache: Mutex<HashMap<(PassLevel, CircuitKey), Arc<CacheEntry>>>,
+    cache: Mutex<HashMap<CompileKey, Arc<CacheEntry>>>,
     /// Shared per-gate plan cache for the simulators noisy jobs construct.
     planner: Simulator,
     /// Jobs actually simulated (batch dedup and the result cache share
@@ -325,8 +335,13 @@ impl Executor {
     /// the map lookup holds the cache mutex; the pass pipeline itself runs
     /// under the entry's own `OnceLock`, so distinct circuits compile
     /// concurrently and cache readers never wait on a compile.
-    fn entry(&self, circuit: &Circuit, level: PassLevel) -> (Arc<CacheEntry>, Arc<CompiledIr>) {
-        let key = (level, CircuitKey::of(circuit));
+    fn entry(
+        &self,
+        circuit: &Circuit,
+        level: PassLevel,
+        topology: Option<&Topology>,
+    ) -> (Arc<CacheEntry>, Arc<CompiledIr>) {
+        let key = (level, topology.cloned(), CircuitKey::of(circuit));
         let entry = {
             let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(entry) = cache.get(&key) {
@@ -340,7 +355,7 @@ impl Executor {
                 entry
             }
         };
-        let ir = entry.ir(circuit, level);
+        let ir = entry.ir(circuit, level, topology);
         (entry, ir)
     }
 
@@ -381,8 +396,14 @@ impl Executor {
     /// The simulation path behind [`Executor::run_with`], bypassing the
     /// result cache (the compilation cache still applies).
     fn run_uncached(&self, spec: &JobSpec, cancel: &CancelToken) -> ApiResult<ExecutionResult> {
-        let (entry, ir) = self.entry(spec.circuit(), spec.level());
+        let (entry, ir) = self.entry(spec.circuit(), spec.level(), spec.topology());
         let resources = ir.report().post;
+        // A routed job compiles to the *physical* circuit: inputs must be
+        // embedded through the initial placement, and noise-free outputs
+        // un-embedded through the final mapping, so callers keep logical
+        // qudit labels end to end. The identity summary (all-to-all or an
+        // already-routable circuit) skips both.
+        let routing = ir.routing().filter(|summary| !summary.is_identity());
         self.simulated.fetch_add(1, Ordering::Relaxed);
         let outcome = match spec.noise() {
             Some(model) => {
@@ -390,7 +411,7 @@ impl Executor {
                     trials: spec.trials(),
                     seed: spec.seed(),
                     level: spec.level(),
-                    input: spec.input().clone(),
+                    input: routed_input(spec.input(), routing),
                 };
                 let artifacts = entry.noise(&ir)?;
                 let estimate = match spec.backend() {
@@ -408,13 +429,30 @@ impl Executor {
                 Outcome::Fidelity(estimate)
             }
             None => {
-                let inputs = self.job_inputs(spec)?;
+                let mut inputs = self.job_inputs(spec)?;
+                if let Some(summary) = routing {
+                    for input in &mut inputs {
+                        *input = input.permute_qudits(&summary.placement)?;
+                    }
+                }
+                // Undoing the final mapping returns outputs in logical
+                // qudit order, so routed and unrouted runs of the same job
+                // are directly comparable.
+                let unembed = routing.map(|summary| invert(&summary.final_mapping));
                 let outputs: Vec<OutputState> = match spec.backend() {
                     BackendKind::Trajectory => {
                         let compiled = entry.statevector(&ir);
                         inputs
                             .into_iter()
-                            .map(|input| OutputState::Pure(compiled.run(input)))
+                            .map(|input| {
+                                let mut out = compiled.run(input);
+                                if let Some(map) = &unembed {
+                                    out = out
+                                        .permute_qudits(map)
+                                        .expect("a routing mapping is a permutation");
+                                }
+                                OutputState::Pure(out)
+                            })
                             .collect()
                     }
                     BackendKind::DensityMatrix => {
@@ -422,9 +460,11 @@ impl Executor {
                         inputs
                             .into_iter()
                             .map(|input| {
-                                OutputState::from_sim_output(qudit_noise::SimOutput::Mixed(
-                                    compiled.run(DensityMatrix::from_pure(&input)),
-                                ))
+                                let mut rho = compiled.run(DensityMatrix::from_pure(&input));
+                                if let Some(map) = &unembed {
+                                    permute_density(&mut rho, map, spec.circuit().dim());
+                                }
+                                OutputState::from_sim_output(qudit_noise::SimOutput::Mixed(rho))
                             })
                             .collect()
                     }
@@ -500,22 +540,22 @@ impl Executor {
                 "cross-validation needs a noisy job (attach a noise model)",
             ));
         }
-        let exact_spec = JobSpec::builder(spec.circuit().clone())
-            .level(spec.level())
-            .backend(BackendKind::DensityMatrix)
-            .noise(spec.noise().expect("checked above").clone())
-            .trials(spec.trials())
-            .seed(spec.seed())
-            .input(spec.input().clone())
-            .build()?;
-        let trajectory_spec = JobSpec::builder(spec.circuit().clone())
-            .level(spec.level())
-            .backend(BackendKind::Trajectory)
-            .noise(spec.noise().expect("checked above").clone())
-            .trials(spec.trials())
-            .seed(spec.seed())
-            .input(spec.input().clone())
-            .build()?;
+        let leg = |backend: BackendKind| -> ApiResult<JobSpec> {
+            let mut builder = JobSpec::builder(spec.circuit().clone())
+                .level(spec.level())
+                .backend(backend)
+                .noise(spec.noise().expect("checked above").clone())
+                .trials(spec.trials())
+                .seed(spec.seed())
+                .input(spec.input().clone());
+            // Both legs must route identically for the comparison to hold.
+            if let Some(topology) = spec.topology() {
+                builder = builder.topology(topology.clone());
+            }
+            builder.build()
+        };
+        let exact_spec = leg(BackendKind::DensityMatrix)?;
+        let trajectory_spec = leg(BackendKind::Trajectory)?;
         let exact = *self.run(&exact_spec)?.fidelity()?;
         let estimate = *self.run(&trajectory_spec)?.fidelity()?;
         Ok(CrossValidation::from_runs(exact, estimate, sigmas))
@@ -526,7 +566,7 @@ impl Executor {
     /// which need to drive the compiled kernels directly without
     /// constructing simulator types themselves.
     pub fn compile_statevector(&self, circuit: &Circuit, level: PassLevel) -> CompiledStateJob {
-        let (entry, ir) = self.entry(circuit, level);
+        let (entry, ir) = self.entry(circuit, level, None);
         CompiledStateJob {
             compiled: entry.statevector(&ir),
             ir,
@@ -554,6 +594,59 @@ impl Executor {
             InputState::Basis(digits) => StateVector::from_basis_state(dim, digits)?,
         };
         Ok(vec![input])
+    }
+}
+
+/// The input distribution seen by the routed (physical) circuit: an
+/// explicit basis state is relabeled onto the placement's sites, so logical
+/// qudit `q` starts in its requested digit wherever it was placed. The
+/// all-ones and random-qubit-subspace distributions are site-symmetric —
+/// every noisy run compares against the ideal evolution of the *same*
+/// routed circuit on the *same* input, so relabeling them changes nothing.
+fn routed_input(input: &InputState, routing: Option<&RoutingSummary>) -> InputState {
+    match (routing, input) {
+        (Some(summary), InputState::Basis(digits)) => {
+            let mut physical = vec![0usize; digits.len()];
+            for (q, &digit) in digits.iter().enumerate() {
+                physical[summary.placement[q]] = digit;
+            }
+            InputState::Basis(physical)
+        }
+        _ => input.clone(),
+    }
+}
+
+/// The inverse of a permutation given as `map[q] = target position`.
+fn invert(map: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; map.len()];
+    for (q, &site) in map.iter().enumerate() {
+        inv[site] = q;
+    }
+    inv
+}
+
+/// Applies the qudit permutation `map` (qudit `q` moves to position
+/// `map[q]`) to a density matrix by decomposing it into SWAP
+/// transpositions — the density backend has no native relabel, and a
+/// handful of two-qudit SWAPs is noise next to the `O(d^2n)` evolution the
+/// caller just paid for.
+fn permute_density(rho: &mut DensityMatrix, map: &[usize], dim: usize) {
+    let inv = invert(map);
+    let mut location: Vec<usize> = (0..map.len()).collect();
+    let mut holds: Vec<usize> = (0..map.len()).collect();
+    for target in 0..map.len() {
+        let wanted = inv[target];
+        let current = location[wanted];
+        if current != target {
+            let op = Operation::new(Gate::swap(dim), Vec::new(), vec![target, current])
+                .expect("SWAP on two distinct qudits is a valid operation");
+            rho.apply_operation(&op);
+            let displaced = holds[target];
+            holds[target] = wanted;
+            holds[current] = displaced;
+            location[wanted] = target;
+            location[displaced] = current;
+        }
     }
 }
 
@@ -974,6 +1067,104 @@ mod tests {
         assert_eq!(
             executor.run_with(&spec, &token),
             Err(ApiError::DeadlineExceeded)
+        );
+    }
+
+    /// A star-interaction circuit: qudit 0 talks to every other qudit —
+    /// unroutable without SWAPs on any bounded-degree topology.
+    fn star_circuit(width: usize) -> Circuit {
+        let mut c = Circuit::new(3, width);
+        for q in 1..width {
+            c.push_controlled(Gate::x(3), &[Control::on_one(0)], &[q])
+                .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn routed_noise_free_job_matches_the_unrouted_outputs() {
+        // |10000⟩ through the star circuit flips every other qudit to |1⟩;
+        // routed on a line (which needs SWAPs) the un-embedded output must
+        // land on the same logical basis labels, for both backends.
+        let executor = Executor::new();
+        for backend in [BackendKind::Trajectory, BackendKind::DensityMatrix] {
+            let spec = |topology: Option<Topology>| {
+                let mut builder = JobSpec::builder(star_circuit(5))
+                    .backend(backend)
+                    .input(InputState::Basis(vec![1, 0, 0, 0, 0]));
+                if let Some(t) = topology {
+                    builder = builder.topology(t);
+                }
+                builder.build().unwrap()
+            };
+            let base = executor.run(&spec(None)).unwrap();
+            let routed = executor
+                .run(&spec(Some(Topology::linear(5).unwrap())))
+                .unwrap();
+            assert!(routed.resources.routed.unwrap().inserted_swaps > 0);
+            assert!(base.resources.routed.is_none());
+            let want = &base.states().unwrap()[0];
+            let got = &routed.states().unwrap()[0];
+            for digits in [vec![1usize, 1, 1, 1, 1], vec![0usize; 5]] {
+                assert!(
+                    (want.probability(&digits).unwrap() - got.probability(&digits).unwrap()).abs()
+                        < 1e-12,
+                    "{backend:?} disagrees on {digits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routed_and_unrouted_jobs_get_distinct_compilations() {
+        let executor = Executor::new();
+        let base = JobSpec::builder(star_circuit(4)).build().unwrap();
+        let routed = JobSpec::builder(star_circuit(4))
+            .topology(Topology::ring(4).unwrap())
+            .build()
+            .unwrap();
+        executor.run(&base).unwrap();
+        executor.run(&routed).unwrap();
+        assert_eq!(executor.cached_compilations(), 2);
+        // Distinct wire keys keep them apart in the result cache too.
+        assert_ne!(base.to_json(), routed.to_json());
+    }
+
+    #[test]
+    fn routed_noisy_job_runs_and_reports_routed_costs() {
+        let executor = Executor::new();
+        let spec = JobSpec::builder(star_circuit(4))
+            .noise(models::sc())
+            .trials(8)
+            .input(InputState::Basis(vec![1, 1, 0, 0]))
+            .topology(Topology::linear(4).unwrap())
+            .build()
+            .unwrap();
+        let result = executor.run(&spec).unwrap();
+        let est = result.fidelity().unwrap();
+        assert!(est.mean > 0.0 && est.mean <= 1.0);
+        let routed = result.resources.routed.unwrap();
+        assert!(routed.inserted_swaps > 0);
+        assert!(routed.routed_two_qudit_gates > 3);
+    }
+
+    #[test]
+    fn cross_validation_carries_the_topology_into_both_legs() {
+        let executor = Executor::new();
+        let spec = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc_t1_gates())
+            .trials(100)
+            .input(InputState::AllOnes)
+            .topology(Topology::linear(3).unwrap())
+            .build()
+            .unwrap();
+        let cv = executor.cross_validate(&spec, 3.0).unwrap();
+        assert!(
+            cv.within_bounds(),
+            "trajectory {} vs exact {} exceeds bound {}",
+            cv.estimate.mean,
+            cv.exact,
+            cv.tolerance
         );
     }
 

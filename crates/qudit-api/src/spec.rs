@@ -2,7 +2,7 @@
 
 use crate::cli::CliArgs;
 use crate::error::{ApiError, ApiResult};
-use qudit_circuit::{Circuit, PassLevel};
+use qudit_circuit::{Circuit, PassLevel, Topology};
 use qudit_noise::{BackendKind, InputState, NoiseModel, Precision};
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
@@ -36,6 +36,7 @@ pub struct JobSpec {
     input: InputState,
     sweep: Vec<Vec<usize>>,
     precision: Precision,
+    topology: Option<Topology>,
 }
 
 impl JobSpec {
@@ -54,6 +55,7 @@ impl JobSpec {
             input: InputState::RandomQubitSubspace,
             sweep: Vec::new(),
             precision: Precision::FixedTrials,
+            topology: None,
         }
     }
 
@@ -126,6 +128,12 @@ impl JobSpec {
         &self.precision
     }
 
+    /// The hardware connectivity the job is routed for; `None` means
+    /// all-to-all (no routing pass runs).
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
     /// Serializes the spec to compact JSON.
     pub fn to_json(&self) -> String {
         serde::json::to_string(self)
@@ -172,6 +180,11 @@ impl JobSpec {
         if let Some(precision) = value.get("precision") {
             builder = builder.precision(Precision::from_value(precision)?);
         }
+        // Absent on pre-routing payloads (and on every unrouted job): those
+        // compile all-to-all and run bit-identically to what they always did.
+        if let Some(topology) = value.get("topology") {
+            builder = builder.topology(Topology::from_value(topology)?);
+        }
         builder.build()
     }
 }
@@ -188,6 +201,7 @@ pub struct JobSpecBuilder {
     input: InputState,
     sweep: Vec<Vec<usize>>,
     precision: Precision,
+    topology: Option<Topology>,
 }
 
 impl JobSpecBuilder {
@@ -245,6 +259,16 @@ impl JobSpecBuilder {
         self
     }
 
+    /// Routes the job for a hardware connectivity graph: the compiler maps
+    /// the circuit's qudits onto the topology's sites and inserts
+    /// qudit-SWAPs so every two-qudit interaction acts on adjacent sites.
+    /// When not set, the job compiles for all-to-all connectivity and no
+    /// routing pass runs.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
     /// Applies the shared CLI overrides (`--backend`, `--level`,
     /// `--trials`, `--seed`) on top of whatever the builder holds.
     ///
@@ -277,6 +301,7 @@ impl JobSpecBuilder {
     ///   non-positive `sigma`, `min_trials` of zero, `min_trials >
     ///   max_trials`, or is attached to a noise-free job (nothing is
     ///   sampled, so there is no error bar to drive);
+    /// * a topology's site count differs from the circuit's width;
     /// * the density-matrix backend would need more than
     ///   [`DENSITY_MAX_ENTRIES`] entries for this circuit.
     pub fn build(self) -> ApiResult<JobSpec> {
@@ -329,6 +354,14 @@ impl JobSpecBuilder {
         }
         let dim = self.circuit.dim();
         let width = self.circuit.width();
+        if let Some(topology) = &self.topology {
+            if topology.sites() != width {
+                return Err(ApiError::spec(format!(
+                    "topology {topology} has {} site(s), but the circuit has width {width}",
+                    topology.sites()
+                )));
+            }
+        }
         let check_digits = |what: &str, digits: &[usize]| -> ApiResult<()> {
             if digits.len() != width {
                 return Err(ApiError::spec(format!(
@@ -375,13 +408,14 @@ impl JobSpecBuilder {
             input: self.input,
             sweep: self.sweep,
             precision: self.precision,
+            topology: self.topology,
         })
     }
 }
 
 impl Serialize for JobSpec {
     fn to_value(&self) -> Value {
-        Value::object(vec![
+        let mut fields = vec![
             ("circuit", self.circuit.to_value()),
             ("level", self.level.to_value()),
             ("backend", self.backend.to_value()),
@@ -391,7 +425,14 @@ impl Serialize for JobSpec {
             ("input", self.input.to_value()),
             ("sweep", self.sweep.to_value()),
             ("precision", self.precision.to_value()),
-        ])
+        ];
+        // Only-when-Some: unrouted specs keep their pre-routing byte layout,
+        // so golden files, result-cache keys and batch-dedup keys are
+        // untouched by the field's existence.
+        if let Some(topology) = &self.topology {
+            fields.push(("topology", topology.to_value()));
+        }
+        Value::object(fields)
     }
 }
 
@@ -560,6 +601,37 @@ mod tests {
         let back = JobSpec::from_json(&json).unwrap();
         assert_eq!(back, spec);
         assert_eq!(*back.precision(), Precision::FixedTrials);
+    }
+
+    #[test]
+    fn topology_must_match_the_circuit_width() {
+        let err = JobSpec::builder(toffoli_fig4())
+            .topology(Topology::linear(5).unwrap())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ApiError::Spec { .. }), "{err}");
+        let spec = JobSpec::builder(toffoli_fig4())
+            .topology(Topology::ring(3).unwrap())
+            .build()
+            .unwrap();
+        assert_eq!(spec.topology().unwrap().sites(), 3);
+    }
+
+    #[test]
+    fn topology_round_trips_and_unrouted_specs_omit_the_field() {
+        let routed = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc())
+            .topology(Topology::linear(3).unwrap())
+            .build()
+            .unwrap();
+        let back = JobSpec::from_json(&routed.to_json()).unwrap();
+        assert_eq!(back, routed);
+        assert_eq!(back.topology(), Some(&Topology::linear(3).unwrap()));
+        // An unrouted spec's wire form has no topology key at all — the
+        // pre-routing byte layout (golden files, cache keys) is preserved.
+        let unrouted = JobSpec::builder(toffoli_fig4()).build().unwrap();
+        assert!(!unrouted.to_json().contains("topology"));
+        assert_eq!(JobSpec::from_json(&unrouted.to_json()).unwrap(), unrouted);
     }
 
     #[test]

@@ -35,9 +35,11 @@ mod error;
 mod gate;
 mod operation;
 pub mod passes;
+pub mod routing;
 mod schedule;
 #[cfg(feature = "serde")]
 mod serde_impls;
+pub mod topology;
 
 pub use circuit::Circuit;
 pub use cost::{analyze, analyze_default, CircuitCosts, CostWeights};
@@ -45,7 +47,9 @@ pub use decompose::decompose_operation;
 pub use error::{CircuitError, CircuitResult};
 pub use gate::Gate;
 pub use operation::{Control, Operation};
-pub use passes::{DecompositionPass, KernelClass, PassLevel, ResourceReport};
+pub use passes::{DecompositionPass, KernelClass, PassLevel, ResourceReport, RoutedCosts};
+pub use routing::{RoutingPass, RoutingSummary};
 pub use schedule::{
     circuit_depth, Frame, FrameDuration, FrameSchedule, Moment, MomentDuration, Schedule,
 };
+pub use topology::{Topology, TopologyKind};

@@ -11,7 +11,8 @@ use crate::circuit::Circuit;
 use crate::cost::CircuitCosts;
 use crate::gate::Gate;
 use crate::operation::{Control, Operation};
-use crate::passes::{KernelCounts, PassLevel, ResourceReport};
+use crate::passes::{KernelCounts, PassLevel, ResourceReport, RoutedCosts};
+use crate::topology::{Topology, TopologyKind};
 use serde::{Deserialize, Error, Serialize, Value};
 
 impl Serialize for Gate {
@@ -162,13 +163,42 @@ impl Deserialize for KernelCounts {
     }
 }
 
-impl Serialize for ResourceReport {
+impl Serialize for RoutedCosts {
     fn to_value(&self) -> Value {
         Value::object(vec![
+            ("inserted_swaps", self.inserted_swaps.to_value()),
+            (
+                "routed_two_qudit_gates",
+                self.routed_two_qudit_gates.to_value(),
+            ),
+            ("routed_depth", self.routed_depth.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RoutedCosts {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(RoutedCosts {
+            inserted_swaps: value.field("inserted_swaps")?.as_usize()?,
+            routed_two_qudit_gates: value.field("routed_two_qudit_gates")?.as_usize()?,
+            routed_depth: value.field("routed_depth")?.as_usize()?,
+        })
+    }
+}
+
+impl Serialize for ResourceReport {
+    fn to_value(&self) -> Value {
+        // The `routed` column is emitted only when present, so reports from
+        // topology-free jobs keep their pre-routing byte layout.
+        let mut fields = vec![
             ("logical", self.logical.to_value()),
             ("physical", self.physical.to_value()),
             ("kernels", self.kernels.to_value()),
-        ])
+        ];
+        if let Some(routed) = &self.routed {
+            fields.push(("routed", routed.to_value()));
+        }
+        Value::object(fields)
     }
 }
 
@@ -178,7 +208,81 @@ impl Deserialize for ResourceReport {
             logical: CircuitCosts::from_value(value.field("logical")?)?,
             physical: CircuitCosts::from_value(value.field("physical")?)?,
             kernels: KernelCounts::from_value(value.field("kernels")?)?,
+            routed: value
+                .get("routed")
+                .map(RoutedCosts::from_value)
+                .transpose()?,
         })
+    }
+}
+
+/// Largest site count accepted from the wire. Deserialization materialises
+/// adjacency lists, so untrusted payloads must not be able to request
+/// arbitrarily large graphs (simulable registers are far smaller anyway).
+const MAX_WIRE_SITES: usize = 1024;
+
+impl Serialize for Topology {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(&str, Value)> =
+            vec![("kind", Value::Str(self.kind().name().to_string()))];
+        match self.kind() {
+            TopologyKind::Grid { rows, cols } => {
+                fields.push(("rows", rows.to_value()));
+                fields.push(("cols", cols.to_value()));
+            }
+            TopologyKind::HeavyHex { cells } => {
+                fields.push(("cells", cells.to_value()));
+            }
+            _ => fields.push(("sites", self.sites().to_value())),
+        }
+        if !self.site_quality().is_empty() {
+            fields.push(("site_quality", self.site_quality().to_vec().to_value()));
+        }
+        Value::object(fields)
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let kind = value.field("kind")?.as_str()?;
+        let bounded = |n: usize, what: &str| -> Result<usize, Error> {
+            if n > MAX_WIRE_SITES {
+                return Err(Error::custom(format!(
+                    "topology {what} {n} exceeds the wire limit {MAX_WIRE_SITES}"
+                )));
+            }
+            Ok(n)
+        };
+        let circuit_err = |e: crate::CircuitError| Error::custom(e.to_string());
+        let base = match kind {
+            "all-to-all" => {
+                Topology::all_to_all(bounded(value.field("sites")?.as_usize()?, "site count")?)
+            }
+            "linear" => Topology::linear(bounded(value.field("sites")?.as_usize()?, "site count")?),
+            "ring" => Topology::ring(bounded(value.field("sites")?.as_usize()?, "site count")?),
+            "grid" => {
+                let rows = bounded(value.field("rows")?.as_usize()?, "row count")?;
+                let cols = bounded(value.field("cols")?.as_usize()?, "column count")?;
+                bounded(rows.saturating_mul(cols), "site count")?;
+                Topology::grid(rows, cols)
+            }
+            "heavy-hex" => {
+                let cells = bounded(value.field("cells")?.as_usize()?, "cell count")?;
+                bounded(
+                    12usize.saturating_add(cells.saturating_sub(1).saturating_mul(9)),
+                    "site count",
+                )?;
+                Topology::heavy_hex(cells)
+            }
+            other => return Err(Error::custom(format!("unknown topology kind {other:?}"))),
+        }
+        .map_err(circuit_err)?;
+        match value.get("site_quality") {
+            Some(q) => base
+                .with_site_quality(Vec::<f64>::from_value(q)?)
+                .map_err(circuit_err),
+            None => Ok(base),
+        }
     }
 }
 
@@ -203,6 +307,39 @@ mod tests {
         let c = toffoli_fig4();
         let back: Circuit = json::from_str(&json::to_string(&c)).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn topology_round_trips_every_family() {
+        for t in [
+            Topology::all_to_all(4).unwrap(),
+            Topology::linear(5).unwrap(),
+            Topology::ring(6).unwrap(),
+            Topology::grid(2, 3).unwrap(),
+            Topology::heavy_hex(2).unwrap(),
+            Topology::linear(3)
+                .unwrap()
+                .with_site_quality(vec![1.0, 2.5, 1.0])
+                .unwrap(),
+        ] {
+            let back: Topology = json::from_str(&json::to_string(&t)).unwrap();
+            assert_eq!(back, t, "{t}");
+        }
+    }
+
+    #[test]
+    fn topology_deserialization_rejects_bad_payloads() {
+        for bad in [
+            r#"{"kind":"moebius","sites":4}"#,
+            r#"{"kind":"linear","sites":0}"#,
+            r#"{"kind":"linear","sites":1000000000}"#,
+            r#"{"kind":"grid","rows":100000,"cols":100000}"#,
+            r#"{"kind":"heavy-hex","cells":100000000}"#,
+            r#"{"kind":"linear","sites":3,"site_quality":[1.0,-1.0,1.0]}"#,
+            r#"{"kind":"linear","sites":3,"site_quality":[1.0]}"#,
+        ] {
+            assert!(json::from_str::<Topology>(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

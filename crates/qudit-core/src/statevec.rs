@@ -92,6 +92,47 @@ impl StateVector {
         })
     }
 
+    /// Reorders the qudits: qudit `q` of `self` becomes qudit `map[q]` of
+    /// the result. `map` must be a permutation of `0..num_qudits`. This is
+    /// how routed execution embeds a logical state onto placed sites (and
+    /// un-embeds the output through the inverse of the final mapping).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if `map` is not a permutation
+    /// of the qudit indices.
+    pub fn permute_qudits(&self, map: &[usize]) -> CoreResult<StateVector> {
+        let n = self.num_qudits;
+        let mut seen = vec![false; n];
+        if map.len() != n
+            || !map
+                .iter()
+                .all(|&m| m < n && !std::mem::replace(&mut seen[m], true))
+        {
+            return Err(CoreError::ShapeMismatch {
+                expected: n,
+                actual: map.len(),
+            });
+        }
+        let mut amps = vec![Complex::ZERO; self.amps.len()];
+        // Per-qudit stride of the flat index, most significant digit first.
+        let stride: Vec<usize> = (0..n).map(|q| self.dim.pow((n - 1 - q) as u32)).collect();
+        for (idx, &amp) in self.amps.iter().enumerate() {
+            let digits = StateVector::decode_index(self.dim, n, idx);
+            let new_idx: usize = digits
+                .iter()
+                .enumerate()
+                .map(|(q, &d)| d * stride[map[q]])
+                .sum();
+            amps[new_idx] = amp;
+        }
+        Ok(StateVector {
+            dim: self.dim,
+            num_qudits: n,
+            amps,
+        })
+    }
+
     /// Encodes per-qudit digits into a flat basis-state index.
     ///
     /// # Errors
@@ -373,5 +414,31 @@ mod tests {
         let sv = StateVector::from_basis_state(4, &[3, 1]).unwrap();
         let total: f64 = sv.probabilities().iter().sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permute_qudits_moves_digits_to_mapped_positions() {
+        // |0 1 2⟩ under map [2, 0, 1]: qudit 0 → position 2, qudit 1 → 0,
+        // qudit 2 → 1, so the result is |1 2 0⟩.
+        let sv = StateVector::from_basis_state(3, &[0, 1, 2]).unwrap();
+        let moved = sv.permute_qudits(&[2, 0, 1]).unwrap();
+        let expected = StateVector::from_basis_state(3, &[1, 2, 0]).unwrap();
+        assert_eq!(moved.amplitudes(), expected.amplitudes());
+
+        // The inverse permutation restores the original state.
+        let back = moved.permute_qudits(&[1, 2, 0]).unwrap();
+        assert_eq!(back.amplitudes(), sv.amplitudes());
+
+        // The identity map is the identity.
+        let same = sv.permute_qudits(&[0, 1, 2]).unwrap();
+        assert_eq!(same.amplitudes(), sv.amplitudes());
+    }
+
+    #[test]
+    fn permute_qudits_rejects_non_permutations() {
+        let sv = StateVector::from_basis_state(2, &[0, 1]).unwrap();
+        assert!(sv.permute_qudits(&[0]).is_err());
+        assert!(sv.permute_qudits(&[0, 0]).is_err());
+        assert!(sv.permute_qudits(&[0, 2]).is_err());
     }
 }

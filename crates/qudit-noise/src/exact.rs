@@ -246,6 +246,28 @@ impl<'a> DensityNoiseSimulator<'a> {
         self.evolve(initial).fidelity_with_pure(&ideal)
     }
 
+    /// The exact *noisy-vs-noisy* fidelity: evolves the same initial state
+    /// through this simulator and through `other`, and compares the two
+    /// mixed outputs with the Uhlmann fidelity
+    /// ([`DensityMatrix::fidelity`], `tr(√(√ρ σ √ρ))²`).
+    ///
+    /// [`DensityNoiseSimulator::exact_fidelity`] compares against a *pure*
+    /// ideal reference, which `fidelity_with_pure` handles; comparing two
+    /// noise models (or two compilations of the same circuit under one
+    /// model) needs the mixed-reference fidelity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state shape does not match either circuit, or the two
+    /// simulators' registers have different shapes.
+    pub fn exact_fidelity_vs(
+        &self,
+        other: &DensityNoiseSimulator<'_>,
+        initial: &StateVector,
+    ) -> f64 {
+        self.evolve(initial).fidelity(&other.evolve(initial))
+    }
+
     /// Draws the initial state for input-sample `i`, consuming the RNG the
     /// same way trajectory trial `i` does — so an exact run and a trajectory
     /// run with the same config see the *same* random inputs and differ only
@@ -459,6 +481,24 @@ mod tests {
         let b = exact_fidelity(&c, &model, &config).unwrap();
         assert_eq!(a.mean, b.mean, "exact backend must be deterministic");
         assert!(a.mean > 0.9 && a.mean < 1.0, "fidelity {}", a.mean);
+    }
+
+    #[test]
+    fn noisy_vs_noisy_fidelity_uses_the_uhlmann_form() {
+        let c = toffoli_fig4();
+        let input = StateVector::from_basis_state(3, &[1, 1, 1]).unwrap();
+        let model_a = sc();
+        let model_b = sc_t1_gates();
+        let sim_a = DensityNoiseSimulator::new(&c, &model_a).unwrap();
+        let sim_b = DensityNoiseSimulator::new(&c, &model_b).unwrap();
+        // A simulator against itself is a perfect match.
+        assert!((sim_a.exact_fidelity_vs(&sim_a, &input) - 1.0).abs() < 1e-9);
+        // Two different noise models produce close but distinct mixed
+        // states: high fidelity, strictly below 1, and symmetric.
+        let f_ab = sim_a.exact_fidelity_vs(&sim_b, &input);
+        let f_ba = sim_b.exact_fidelity_vs(&sim_a, &input);
+        assert!(f_ab > 0.5 && f_ab < 1.0 - 1e-9, "{f_ab}");
+        assert!((f_ab - f_ba).abs() < 1e-9);
     }
 
     #[test]

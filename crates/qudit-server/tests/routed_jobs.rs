@@ -1,0 +1,107 @@
+//! Routed jobs through the HTTP front end: a spec carrying a `topology`
+//! field must run end to end — routing on the compile path, SWAP-charged
+//! resources in the response — and topology/spec mismatches must map to
+//! the 422 `invalid_spec` taxonomy class like every other builder error.
+
+mod common;
+
+use common::{error_kind, fig4_circuit, post_job};
+use qudit_api::{BackendKind, Circuit, ExecutionResult, InputState, JobSpec, NoiseModel, Topology};
+use qudit_circuit::{Control, Gate};
+use qudit_server::{Server, ServerConfig};
+use std::time::Duration;
+
+fn quick_server() -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        read_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    })
+    .expect("server start")
+}
+
+/// A star interaction graph on 4 qutrits — unroutable without SWAPs on a
+/// line, so a routed run through the server demonstrably routes.
+fn star_circuit() -> Circuit {
+    let mut c = Circuit::new(3, 4);
+    for q in 1..4 {
+        c.push_controlled(Gate::x(3), &[Control::on_one(0)], &[q])
+            .unwrap();
+    }
+    c
+}
+
+#[test]
+fn routed_noise_free_job_answers_with_logical_labels() {
+    let server = quick_server();
+    // |1000⟩ through the star flips qudits 1..3 to |1⟩. The response must
+    // be in logical qudit order even though the routed circuit permuted
+    // the physical wires.
+    let job = JobSpec::builder(star_circuit())
+        .input(InputState::Basis(vec![1, 0, 0, 0]))
+        .topology(Topology::linear(4).unwrap())
+        .build()
+        .unwrap();
+    let (status, body) = post_job(server.addr(), &job.to_json(), &[]);
+    assert_eq!(status, 200, "routed job failed: {body}");
+    let result = ExecutionResult::from_json(&body).expect("result JSON");
+    let routed = result.resources.routed.expect("routed resource column");
+    assert!(routed.inserted_swaps > 0, "the star must need SWAPs");
+    let p = result.states().unwrap()[0]
+        .probability(&[1, 1, 1, 1])
+        .unwrap();
+    assert!((p - 1.0).abs() < 1e-12, "wrong routed answer: p={p}");
+}
+
+#[test]
+fn routed_noisy_job_runs_and_charges_the_swaps() {
+    let server = quick_server();
+    let model = NoiseModel {
+        name: "TEST".to_string(),
+        p1: 1e-4,
+        p2: 1e-4,
+        t1: Some(1e-3),
+        gate_time_1q: 100e-9,
+        gate_time_2q: 300e-9,
+    };
+    let leg = |topology: Option<Topology>| {
+        let mut builder = JobSpec::builder(star_circuit())
+            .noise(model.clone())
+            .backend(BackendKind::DensityMatrix)
+            .trials(1)
+            .input(InputState::AllOnes);
+        if let Some(t) = topology {
+            builder = builder.topology(t);
+        }
+        let (status, body) = post_job(server.addr(), &builder.build().unwrap().to_json(), &[]);
+        assert_eq!(status, 200, "noisy job failed: {body}");
+        ExecutionResult::from_json(&body).expect("result JSON")
+    };
+    let unrouted = leg(None);
+    let routed = leg(Some(Topology::linear(4).unwrap()));
+    assert!(routed.resources.routed.unwrap().inserted_swaps > 0);
+    assert!(
+        routed.fidelity().unwrap().mean < unrouted.fidelity().unwrap().mean,
+        "SWAP error sites must lower the routed fidelity"
+    );
+}
+
+#[test]
+fn topology_width_mismatch_is_an_invalid_spec() {
+    let server = quick_server();
+    // Build a valid routed wire payload, then swap in a 5-site topology:
+    // well-formed JSON, invalid job — the 422 taxonomy class.
+    let job = JobSpec::builder(fig4_circuit())
+        .input(InputState::Basis(vec![1, 1, 0]))
+        .topology(Topology::linear(3).unwrap())
+        .build()
+        .unwrap();
+    let tampered = job.to_json().replace(
+        "\"topology\":{\"kind\":\"linear\",\"sites\":3}",
+        "\"topology\":{\"kind\":\"linear\",\"sites\":5}",
+    );
+    assert_ne!(tampered, job.to_json(), "replacement anchor drifted");
+    let (status, body) = post_job(server.addr(), &tampered, &[]);
+    assert_eq!(status, 422, "{body}");
+    assert_eq!(error_kind(&body), "invalid_spec");
+}

@@ -315,6 +315,54 @@ impl DensityMatrix {
         }
     }
 
+    /// The Uhlmann fidelity `F(ρ, σ) = tr(√(√ρ σ √ρ))²` against another,
+    /// generally mixed, density matrix — the mixed-reference generalisation
+    /// of [`DensityMatrix::fidelity_with_pure`]. When `ρ = |ψ⟩⟨ψ|` is pure
+    /// this reduces exactly to `⟨ψ|σ|ψ⟩`; when both arguments commute
+    /// (e.g. diagonal mixtures with populations `pᵢ`, `qᵢ`) it reduces to
+    /// the classical `(Σᵢ √(pᵢ qᵢ))²`.
+    ///
+    /// The matrix square roots go through the Hermitian Jacobi eigensolver
+    /// ([`qudit_core::eig_hermitian`]); eigenvalues that are negative by
+    /// numerical noise clamp to zero, and the result clamps to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn fidelity(&self, other: &DensityMatrix) -> f64 {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        assert_eq!(self.num_qudits, other.num_qudits, "width mismatch");
+        // Eigenvalues of a density matrix below this are Jacobi noise, not
+        // spectrum. They must be zeroed, not square-rooted: √ amplifies an
+        // O(1e-17) residual to O(1e-9), which would dominate the error of
+        // the whole fidelity.
+        const EIG_NOISE_TOL: f64 = 1e-12;
+        let clamped_root = |l: f64| if l > EIG_NOISE_TOL { l.sqrt() } else { 0.0 };
+        let n = self.size;
+        let rho = CMatrix::from_vec(n, n, self.elems.clone()).expect("ρ is square");
+        let (evals, q) = qudit_core::eig_hermitian(&rho);
+        // √ρ = Q · diag(√λ) · Q†, with noise eigenvalues clamped to zero.
+        let roots: Vec<f64> = evals.iter().map(|&l| clamped_root(l)).collect();
+        let mut sqrt_elems = vec![Complex::ZERO; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut z = Complex::ZERO;
+                for (k, &r) in roots.iter().enumerate() {
+                    if r != 0.0 {
+                        z += (q.get(i, k) * q.get(j, k).conj()).scale(r);
+                    }
+                }
+                sqrt_elems[i * n + j] = z;
+            }
+        }
+        let sqrt_rho = CMatrix::from_vec(n, n, sqrt_elems).expect("√ρ is square");
+        let sigma = CMatrix::from_vec(n, n, other.elems.clone()).expect("σ is square");
+        let inner = &(&sqrt_rho * &sigma) * &sqrt_rho;
+        let (inner_evals, _) = qudit_core::eig_hermitian(&inner);
+        let root_sum: f64 = inner_evals.iter().map(|&l| clamped_root(l)).sum();
+        (root_sum * root_sum).clamp(0.0, 1.0)
+    }
+
     /// Applies `ρ → U·ρ·U†` for a unitary acting on the listed qudits
     /// (most significant first).
     ///
@@ -862,5 +910,75 @@ mod tests {
         let b = random_state(3, 2, &mut rng).unwrap();
         let rho = DensityMatrix::from_pure(&a);
         assert!((rho.fidelity_with_pure(&b) - a.fidelity(&b)).abs() < 1e-12);
+    }
+
+    /// A generic mixed state: an unequal mixture of random pure states.
+    fn random_mixture(dim: usize, n: usize, seed: u64) -> DensityMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_state(dim, n, &mut rng).unwrap();
+        let b = random_state(dim, n, &mut rng).unwrap();
+        let c = random_state(dim, n, &mut rng).unwrap();
+        DensityMatrix::from_mixture(&[(0.5, &a), (0.3, &b), (0.2, &c)]).unwrap()
+    }
+
+    #[test]
+    fn uhlmann_fidelity_reduces_to_fidelity_with_pure() {
+        // F(|ψ⟩⟨ψ|, σ) = ⟨ψ|σ|ψ⟩ exactly — the ISSUE's ≤1e-12 pin.
+        for (dim, n, seed) in [(2, 2, 7u64), (3, 2, 11), (3, 1, 13)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let psi = random_state(dim, n, &mut rng).unwrap();
+            let sigma = random_mixture(dim, n, seed + 100);
+            let via_uhlmann = DensityMatrix::from_pure(&psi).fidelity(&sigma);
+            let via_pure = sigma.fidelity_with_pure(&psi);
+            assert!(
+                (via_uhlmann - via_pure).abs() <= 1e-12,
+                "dim {dim} n {n}: {via_uhlmann} vs {via_pure}"
+            );
+        }
+    }
+
+    #[test]
+    fn uhlmann_fidelity_is_one_on_itself_and_symmetric() {
+        let rho = random_mixture(3, 2, 42);
+        let sigma = random_mixture(3, 2, 43);
+        assert!((rho.fidelity(&rho) - 1.0).abs() < 1e-10);
+        assert!((rho.fidelity(&sigma) - sigma.fidelity(&rho)).abs() < 1e-10);
+        let f = rho.fidelity(&sigma);
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn uhlmann_fidelity_matches_closed_forms_for_mixed_pairs() {
+        // Commuting diagonal mixtures: F = (Σ √(pᵢqᵢ))².
+        let basis: Vec<StateVector> = (0..3)
+            .map(|k| StateVector::from_basis_state(3, &[k]).unwrap())
+            .collect();
+        let p = [0.6, 0.3, 0.1];
+        let q = [0.2, 0.5, 0.3];
+        let rho =
+            DensityMatrix::from_mixture(&[(p[0], &basis[0]), (p[1], &basis[1]), (p[2], &basis[2])])
+                .unwrap();
+        let sigma =
+            DensityMatrix::from_mixture(&[(q[0], &basis[0]), (q[1], &basis[1]), (q[2], &basis[2])])
+                .unwrap();
+        let expected: f64 = p
+            .iter()
+            .zip(&q)
+            .map(|(a, b)| (a * b).sqrt())
+            .sum::<f64>()
+            .powi(2);
+        assert!((rho.fidelity(&sigma) - expected).abs() < 1e-10);
+
+        // Maximally mixed vs any pure state: F = 1/d^n.
+        let mut rng = StdRng::seed_from_u64(5);
+        let psi = random_state(3, 2, &mut rng).unwrap();
+        let mixed = DensityMatrix::maximally_mixed(3, 2).unwrap();
+        let f = mixed.fidelity(&DensityMatrix::from_pure(&psi));
+        assert!((f - 1.0 / 9.0).abs() < 1e-10, "{f}");
+
+        // Orthogonal pure states: F = 0.
+        let zero = DensityMatrix::from_pure(&basis[0]);
+        let one = DensityMatrix::from_pure(&basis[1]);
+        assert!(zero.fidelity(&one).abs() < 1e-10);
     }
 }

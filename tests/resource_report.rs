@@ -137,6 +137,42 @@ fn lowered_depth_column_matches_the_inferred_logarithmic_series() {
 }
 
 #[test]
+fn arity_four_inferred_and_measured_columns_diverge_as_documented() {
+    // Lowering at high arity: the flat Di & Wei weights charge every
+    // >=3-arity op as one three-qutrit expansion (6 two-qudit gates), but
+    // recursively lowering a 4-arity op (3 controls + a target) really
+    // emits 14 two-qudit gates. `measure` reports the flat inference and
+    // `measure_physical` the faithful physical numbers — both sides are
+    // pinned so neither silently drifts toward the other, and the routed
+    // column starts out absent on an unrouted report.
+    use qudit_circuit::{Circuit, Control, Gate};
+    let mut circuit = Circuit::new(3, 4);
+    circuit
+        .push_controlled(
+            Gate::increment(3),
+            &[Control::on_one(0), Control::on_one(1), Control::on_one(2)],
+            &[3],
+        )
+        .unwrap();
+
+    let inferred = ResourceReport::measure(&circuit);
+    assert_eq!(
+        inferred.two_qudit_gates(),
+        6,
+        "flat model: one 6-gate expansion"
+    );
+
+    let measured = ResourceReport::measure_physical(&circuit);
+    assert_eq!(
+        measured.two_qudit_gates(),
+        14,
+        "recursion: 2 arity-3 commutator factors x 6 + 2 direct two-qudit ops"
+    );
+    assert!(measured.two_qudit_gates() > inferred.two_qudit_gates());
+    assert!(measured.routed.is_none() && inferred.routed.is_none());
+}
+
+#[test]
 fn physical_ideal_level_shrinks_lowered_circuits() {
     // Optimization across decomposition boundaries: identity padding and
     // det-1 phase gates vanish, diagonal-commutation cancellation fires.

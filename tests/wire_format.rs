@@ -7,7 +7,7 @@
 //! `UPDATE_GOLDEN=1 cargo test --test wire_format`
 
 use proptest::prelude::*;
-use qudit_api::{BackendKind, InputState, JobSpec, PassLevel};
+use qudit_api::{BackendKind, InputState, JobSpec, PassLevel, Topology};
 use qudit_circuit::{Circuit, Control, Gate};
 use qudit_core::{complex_gaussian, CMatrix, Complex};
 use qudit_noise::{models, NoiseModel};
@@ -150,6 +150,14 @@ proptest! {
         if rng.gen_bool(0.3) {
             builder = builder.backend(BackendKind::DensityMatrix);
         }
+        if rng.gen_bool(0.4) {
+            let topology = match rng.gen_range(0..3) {
+                0 => Topology::all_to_all(width).unwrap(),
+                1 => Topology::linear(width).unwrap(),
+                _ => Topology::ring(width).unwrap(),
+            };
+            builder = builder.topology(topology);
+        }
         let spec = builder.build().expect("valid random spec");
         let back = JobSpec::from_json(&spec.to_json()).expect("round trip");
         prop_assert_eq!(&back, &spec);
@@ -193,5 +201,39 @@ fn golden_fig4_toffoli_job_matches_the_checked_in_wire_format() {
         "wire format drifted from tests/golden/fig4_toffoli_job.json"
     );
     // And the checked-in payload deserializes back to the same job.
+    assert_eq!(JobSpec::from_json(&golden).unwrap(), spec);
+    // The topology field is strictly additive: the pre-routing golden
+    // payload has no such key, and parses with none attached.
+    assert!(!golden.contains("topology"));
+    assert!(JobSpec::from_json(&golden).unwrap().topology().is_none());
+}
+
+#[test]
+fn golden_routed_fig4_job_matches_the_checked_in_wire_format() {
+    // The routed variant of the golden job: same circuit and model, routed
+    // for a 3-site line — pins the topology field's wire layout.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/fig4_toffoli_routed_job.json"
+    );
+    let spec = JobSpec::builder(n_controlled_x(2).expect("fig4 construction"))
+        .backend(BackendKind::DensityMatrix)
+        .noise(models::sc_t1_gates())
+        .trials(400)
+        .seed(2019)
+        .input(InputState::AllOnes)
+        .topology(Topology::linear(3).expect("3-site line"))
+        .build()
+        .expect("valid routed golden spec");
+    let rendered = spec.to_json_pretty();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing — run `UPDATE_GOLDEN=1 cargo test --test wire_format` once");
+    assert_eq!(
+        golden, rendered,
+        "wire format drifted from tests/golden/fig4_toffoli_routed_job.json"
+    );
     assert_eq!(JobSpec::from_json(&golden).unwrap(), spec);
 }

@@ -6,7 +6,7 @@
 //! crashes" is a load-bearing service invariant.
 
 use proptest::prelude::*;
-use qudit_api::{InputState, JobSpec};
+use qudit_api::{InputState, JobSpec, Topology};
 use qudit_circuit::{Circuit, Control, Gate};
 
 fn valid_spec_json() -> String {
@@ -17,8 +17,11 @@ fn valid_spec_json() -> String {
         .unwrap();
     c.push_controlled(Gate::decrement(3), &[Control::on_one(0)], &[1])
         .unwrap();
+    // A routed spec, so the topology field sits inside the fuzz surface —
+    // every truncation/mutation case below also exercises its parser.
     JobSpec::builder(c)
         .input(InputState::Basis(vec![1, 1, 0]))
+        .topology(Topology::linear(3).unwrap())
         .build()
         .unwrap()
         .to_json()
@@ -86,4 +89,30 @@ fn the_valid_spec_round_trips() {
     let full = valid_spec_json();
     let spec = JobSpec::from_json(&full).expect("valid spec parses");
     assert_eq!(spec.to_json(), full);
+}
+
+/// Hostile topology payloads inside an otherwise valid spec: typed errors,
+/// never a panic or a giant allocation.
+#[test]
+fn hostile_topology_payloads_are_typed_errors() {
+    let full = valid_spec_json();
+    let good = "\"topology\":{\"kind\":\"linear\",\"sites\":3}";
+    assert!(full.contains(good), "anchor drifted: {full}");
+    for bad in [
+        "\"topology\":{\"kind\":\"moebius\",\"sites\":3}",
+        "\"topology\":{\"kind\":\"linear\",\"sites\":0}",
+        "\"topology\":{\"kind\":\"linear\",\"sites\":99999999999}",
+        "\"topology\":{\"kind\":\"grid\",\"rows\":100000,\"cols\":100000}",
+        "\"topology\":{\"kind\":\"heavy-hex\",\"cells\":123456789}",
+        "\"topology\":{\"kind\":\"linear\",\"sites\":4}",
+        "\"topology\":{\"kind\":\"linear\",\"sites\":3,\"site_quality\":[-1.0,1.0,1.0]}",
+        "\"topology\":{\"kind\":\"linear\",\"sites\":3,\"site_quality\":[1.0]}",
+        "\"topology\":17",
+    ] {
+        let tampered = full.replace(good, bad);
+        assert!(
+            JobSpec::from_json(&tampered).is_err(),
+            "payload {bad} must be rejected"
+        );
+    }
 }
