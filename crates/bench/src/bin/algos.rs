@@ -1,0 +1,149 @@
+//! Algorithm-library invariance harness: runs every `qudit_algos`
+//! catalog instance through the façade at every pass level — including
+//! `Physical` on a non-trivial line topology — and records the resource
+//! counts and a noisy fidelity estimate per case.
+//!
+//! Two invariants are enforced with a nonzero exit code:
+//!
+//! * every catalog circuit executes successfully at every `PassLevel`
+//!   (routing included), and
+//! * the noisy trajectory estimate of each case stays within the
+//!   cross-validation bound of the exact density-matrix value (the same
+//!   3σ gate the `crossval` bin applies, on the catalog slice of the
+//!   shared [`bench::crossval_cases`] registry).
+//!
+//! Writes `BENCH_algos.json` (echoed to stdout) with per-case resource
+//! counts so future PRs can track generator drift. `--smoke` shrinks the
+//! trial budget for CI.
+//!
+//! Usage: `algos [--trials N] [--seed N] [--sigmas S] [--out PATH] [--smoke]`
+
+use bench::crossval_cases;
+use qudit_algos::catalog;
+use qudit_api::{CliArgs, Executor, InputState, JobSpec, PassLevel, ResourceReport, Topology};
+use std::fmt::Write as _;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let mut trials: usize = args.flag_or("--trials", 400).expect("--trials");
+    let seed: u64 = args.flag_or("--seed", 2019).expect("--seed");
+    let sigmas: f64 = args.flag_or("--sigmas", 3.0).expect("--sigmas");
+    let out: String = args
+        .flag_or("--out", "BENCH_algos.json".to_string())
+        .expect("--out");
+    let smoke = args.has("--smoke");
+    if smoke {
+        trials = trials.min(80);
+    }
+
+    let executor = Executor::new();
+    let mut failures = 0usize;
+    let mut entries: Vec<String> = Vec::new();
+
+    println!(
+        "Algorithm-library invariance: {} cases, {} trials, seed {}, {}σ bound{}",
+        catalog().len(),
+        trials,
+        seed,
+        sigmas,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    for case in catalog() {
+        let circuit = case.circuit();
+        let width = circuit.width();
+        let report = ResourceReport::measure(&circuit);
+
+        // Every pass level must execute the circuit, `Physical` twice:
+        // all-to-all and routed onto a line topology (the non-trivial one —
+        // every multi-qudit gate on non-adjacent sites needs SWAP chains).
+        let levels: [(&str, PassLevel, Option<Topology>); 5] = [
+            ("noise-preserving", PassLevel::NoisePreserving, None),
+            ("physical", PassLevel::Physical, None),
+            (
+                "physical+line",
+                PassLevel::Physical,
+                Some(Topology::linear(width).expect("line topology")),
+            ),
+            ("physical-ideal", PassLevel::PhysicalIdeal, None),
+            ("ideal", PassLevel::Ideal, None),
+        ];
+        for (label, level, topology) in levels {
+            let mut builder = JobSpec::builder(circuit.clone()).level(level).seed(seed);
+            if let Some(t) = topology {
+                builder = builder.topology(t);
+            }
+            let spec = builder.build().unwrap_or_else(|e| {
+                eprintln!("{}: invalid spec at {label}: {e}", case.name);
+                std::process::exit(1);
+            });
+            if let Err(e) = executor.run(&spec) {
+                eprintln!("{}: execution failed at {label}: {e}", case.name);
+                failures += 1;
+            }
+        }
+
+        // The crossval gate on the catalog slice of the shared registry.
+        let (_, cv_circuit, model) = crossval_cases()
+            .into_iter()
+            .find(|(l, _, _)| l.starts_with(case.name))
+            .unwrap_or_else(|| {
+                eprintln!("{}: missing from the crossval registry", case.name);
+                std::process::exit(1);
+            });
+        let spec = JobSpec::builder(cv_circuit)
+            .noise(model)
+            .trials(trials)
+            .seed(seed)
+            .input(InputState::AllOnes)
+            .build()
+            .expect("catalog crossval spec");
+        let cv = executor.cross_validate(&spec, sigmas).unwrap_or_else(|e| {
+            eprintln!("{}: cross-validation failed: {e}", case.name);
+            std::process::exit(1);
+        });
+        let ok = cv.within_bounds();
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{:<24} width {:>2} ops {:>4} 2q {:>4} depth {:>4}  exact {:.6} est {:.6}  {}",
+            case.name,
+            width,
+            report.total_ops(),
+            report.two_qudit_gates(),
+            report.depth(),
+            cv.exact,
+            cv.estimate.mean,
+            if ok { "ok" } else { "FAIL" }
+        );
+        entries.push(format!(
+            "    {{\"name\": \"{}\", \"dim\": {}, \"width\": {width}, \"ops\": {}, \
+             \"two_qudit\": {}, \"depth\": {}, \"exact\": {:.6}, \"estimate\": {:.6}}}",
+            case.name,
+            case.dim,
+            report.total_ops(),
+            report.two_qudit_gates(),
+            report.depth(),
+            cv.exact,
+            cv.estimate.mean,
+        ));
+    }
+
+    let mut json = String::new();
+    write!(
+        json,
+        "{{\n  \"bench\": \"algos\",\n  \"smoke\": {smoke},\n  \"trials\": {trials},\n  \
+         \"seed\": {seed},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+    )
+    .expect("format");
+    print!("{json}");
+    std::fs::write(&out, &json).expect("write BENCH_algos.json");
+
+    if failures > 0 {
+        eprintln!("{failures} algorithm case(s) failed");
+        std::process::exit(1);
+    }
+    println!("all catalog cases execute at every level and cross-validate");
+}

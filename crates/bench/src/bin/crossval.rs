@@ -1,7 +1,10 @@
 //! Backend cross-validation harness: checks that trajectory Monte Carlo
 //! fidelity estimates converge to the exact density-matrix backend's values
-//! on a fixed seed set, for d ∈ {2, 3} circuits up to 6 qudits and every
-//! noise model in the paper.
+//! on a fixed seed set, for d ∈ {2, 3} circuits up to 6 qudits, every
+//! noise model in the paper, the optional leakage/over-rotation/crosstalk
+//! channels, and every algorithm-library catalog instance. The case list is
+//! the shared [`bench::crossval_cases`] registry — this bin maintains no
+//! case table of its own.
 //!
 //! Every case runs **twice**: once through the default physical lowering
 //! (`PassLevel::Physical` — the Di & Wei blocks simulated in the IR) and
@@ -22,15 +25,8 @@
 //! Usage:
 //! `cargo run --release -p bench --bin crossval [-- --trials 400 --seed 2019 --sigmas 3]`
 
-use bench::benchmark_circuit;
+use bench::crossval_cases;
 use qudit_api::{CliArgs, Executor, InputState, JobSpec, PassLevel};
-use qudit_circuit::Circuit;
-use qudit_noise::models;
-use qutrit_toffoli::cost::Construction;
-
-fn fig4_toffoli() -> Circuit {
-    benchmark_circuit(Construction::Qutrit, 2)
-}
 
 fn main() {
     let args = CliArgs::from_env();
@@ -38,30 +34,11 @@ fn main() {
     let seed: u64 = args.flag_or("--seed", 2019).expect("--seed");
     let sigmas: f64 = args.flag_or("--sigmas", 3.0).expect("--sigmas");
 
-    // The fixed case set: every paper noise model on the 3-qutrit Figure 4
-    // Toffoli, plus larger d ∈ {2, 3} instances (up to 6 qudits) on
-    // representative models.
-    let mut cases: Vec<(String, Circuit, qudit_noise::NoiseModel)> = Vec::new();
-    for model in models::all_models() {
-        cases.push((
-            format!("fig4-toffoli/{}", model.name),
-            fig4_toffoli(),
-            model,
-        ));
-    }
-    for (label, construction, controls) in [
-        ("qutrit-5q", Construction::Qutrit, 4),
-        ("qutrit-6q", Construction::Qutrit, 5),
-        ("qubit-5q", Construction::Qubit, 4),
-        ("qubit-6q", Construction::Qubit, 5),
-    ] {
-        let model = models::sc_t1_gates();
-        cases.push((
-            format!("{label}/{}", model.name),
-            benchmark_circuit(construction, controls),
-            model,
-        ));
-    }
+    // The fixed case set comes from the shared registry
+    // ([`bench::crossval_cases`]): paper models on the Figure-4 Toffoli,
+    // larger d ∈ {2, 3} instances, the optional channels, and every
+    // algorithm-library catalog instance.
+    let cases = crossval_cases();
 
     println!(
         "Backend cross-validation: {} cases × 2 accountings, {} trials, seed {}, {}σ bound",

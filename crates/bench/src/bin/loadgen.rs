@@ -1,14 +1,15 @@
 //! Load generator for the qudit service.
 //!
-//! Hammers `POST /v1/jobs` with the clean Figure-4 job from several
-//! client threads, verifies every response, and writes throughput and
+//! Hammers `POST /v1/jobs` with a mix of the clean Figure-4 job and two
+//! algorithm-library jobs (3-qutrit QFT, 2-digit Draper adder) from
+//! several client threads, verifies every response, and writes throughput and
 //! latency percentiles to `BENCH_serve.json` (also echoed to stdout)
 //! so future PRs can track the service's perf trajectory:
 //!
 //! ```json
 //! {
 //!   "bench": "serve",
-//!   "workload": "POST /v1/jobs fig4 ideal trajectory",
+//!   "workload": "POST /v1/jobs fig4/qft/qft-adder ideal trajectory",
 //!   "threads": 4, "requests": 200, "errors": 0,
 //!   "rps": 123.4,
 //!   "latency_ms": {"p50": 1.2, "p99": 3.4, "max": 5.6}
@@ -19,7 +20,7 @@
 //! (`--requests` is per thread; without `--addr` an in-process server with
 //! the default production shape is self-hosted).
 
-use bench::serve_support::{clean_job_json, Target};
+use bench::serve_support::{mixed_job_jsons, Target};
 use qudit_server::ServerConfig;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -46,33 +47,35 @@ fn main() {
     }
     let target = Target::resolve(addr, ServerConfig::default());
     let addr = target.addr();
-    let body = clean_job_json();
+    let bodies = mixed_job_jsons();
 
-    // Warm the compile cache so steady-state throughput is measured, not
-    // the one-time circuit compilation.
-    let warm = client::post(
-        addr,
-        "/v1/jobs",
-        body.as_bytes(),
-        &[],
-        Duration::from_secs(60),
-    )
-    .expect("warm-up request");
-    assert_eq!(warm.status, 200, "warm-up failed");
+    // Warm the compile cache on every body shape so steady-state
+    // throughput is measured, not the one-time circuit compilations.
+    for body in &bodies {
+        let warm = client::post(
+            addr,
+            "/v1/jobs",
+            body.as_bytes(),
+            &[],
+            Duration::from_secs(60),
+        )
+        .expect("warm-up request");
+        assert_eq!(warm.status, 200, "warm-up failed");
+    }
 
     let start = Instant::now();
     let handles: Vec<_> = (0..threads)
         .map(|_| {
-            let body = body.clone();
+            let bodies = bodies.clone();
             std::thread::spawn(move || {
                 let mut latencies = Vec::with_capacity(requests);
                 let mut errors = 0usize;
-                for _ in 0..requests {
+                for i in 0..requests {
                     let sent = Instant::now();
                     match client::post(
                         addr,
                         "/v1/jobs",
-                        body.as_bytes(),
+                        bodies[i % bodies.len()].as_bytes(),
                         &[],
                         Duration::from_secs(60),
                     ) {
@@ -110,7 +113,7 @@ fn main() {
     let mut json = String::new();
     write!(
         json,
-        "{{\n  \"bench\": \"serve\",\n  \"workload\": \"POST /v1/jobs fig4 ideal trajectory\",\n  \
+        "{{\n  \"bench\": \"serve\",\n  \"workload\": \"POST /v1/jobs fig4/qft/qft-adder ideal trajectory\",\n  \
          \"threads\": {threads},\n  \"requests\": {total},\n  \"errors\": {errors},\n  \
          \"rps\": {rps:.1},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}\n}}\n",
         percentile(0.50),

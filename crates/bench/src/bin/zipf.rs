@@ -3,8 +3,10 @@
 //!
 //! Service traffic is rarely uniform — a few hot job specs dominate while
 //! a long tail trickles. This bin models that with a Zipf-distributed
-//! request stream over ~50 distinct noisy specs (the paper's Figure-4
-//! Toffoli under every published noise model, across seeds) and measures
+//! request stream over ~50 distinct noisy specs (a mix of the paper's
+//! Figure-4 Toffoli, the 3-qutrit QFT and the 2-digit Draper adder from
+//! the algorithm library, under every published noise model, across
+//! seeds) and measures
 //! *effective throughput* (requests answered per second) two ways in the
 //! same process:
 //!
@@ -24,6 +26,7 @@
 //! trials ≤ the fixed budget) — short runs are too noisy to gate on a
 //! wall-clock ratio.
 
+use qudit_algos::{qft, qft_adder};
 use qudit_api::{Executor, InputState, JobSpec, Precision};
 use qudit_circuit::{Circuit, Control, Gate};
 use qudit_noise::models;
@@ -44,15 +47,27 @@ fn fig4_circuit() -> Circuit {
     c
 }
 
+/// The circuit shapes in the mix: the paper's Figure-4 Toffoli plus two
+/// algorithm-library generators (a 3-qutrit QFT and a 2-digit Draper
+/// adder), so the stream exercises heterogeneous compile and simulation
+/// costs the way mixed service traffic does.
+fn mix_circuit(i: usize) -> Circuit {
+    match i % 3 {
+        0 => fig4_circuit(),
+        1 => qft(3, 3).expect("qft circuit"),
+        _ => qft_adder(3, 2).expect("qft adder circuit"),
+    }
+}
+
 /// The distinct job shapes the stream draws from: every paper noise model
-/// crossed with seeds until `count` specs exist. `precision` is `None`
-/// for the fixed-trials baseline legs.
+/// crossed with the circuit mix and seeds until `count` specs exist.
+/// `precision` is `None` for the fixed-trials baseline legs.
 fn build_specs(count: usize, trials: usize, precision: Option<Precision>) -> Vec<JobSpec> {
     let noise_models = models::all_models();
     (0..count)
         .map(|i| {
             let model = noise_models[i % noise_models.len()].clone();
-            let mut builder = JobSpec::builder(fig4_circuit())
+            let mut builder = JobSpec::builder(mix_circuit(i))
                 .noise(model)
                 .trials(trials)
                 .seed(2019 + (i / noise_models.len()) as u64)
@@ -175,7 +190,8 @@ fn main() {
     write!(
         json,
         "{{\n  \"bench\": \"zipf\",\n  \
-         \"workload\": \"Zipf(1.1) over {spec_count} noisy fig4 specs, {requests} requests\",\n  \
+         \"workload\": \"Zipf(1.1) over {spec_count} noisy fig4/qft/qft-adder specs, \
+         {requests} requests\",\n  \
          \"smoke\": {smoke},\n  \"fixed_trials\": {trials},\n  \"target_sigma\": {sigma},\n  \
          \"baseline\": {{\"rps\": {baseline_rps:.2}, \"secs\": {baseline_secs:.3}, \
          \"trials_simulated\": {baseline_total_trials}}},\n  \

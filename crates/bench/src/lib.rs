@@ -59,6 +59,59 @@ pub fn benchmark_circuit(construction: Construction, n_controls: usize) -> Circu
     }
 }
 
+/// The shared cross-validation case registry: every `(label, circuit,
+/// model)` triple the `crossval` bin checks and the CI invariance jobs
+/// smoke. One list, three sections:
+///
+/// * every paper noise model on the Figure-4 Toffoli;
+/// * larger `d ∈ {2, 3}` Generalized-Toffoli instances (up to 6 qudits);
+/// * the three optional channels (leakage, coherent over-rotation, ZZ
+///   crosstalk) on the Figure-4 Toffoli;
+/// * every `qudit_algos::catalog()` instance on a representative model.
+///
+/// The `algos` bin and `crossval` both iterate this function, so a new
+/// algorithm generator or channel registered here is covered by every
+/// harness at once instead of a hand-maintained per-bin case table.
+pub fn crossval_cases() -> Vec<(String, Circuit, NoiseModel)> {
+    use qudit_noise::models;
+    let fig4 = || benchmark_circuit(Construction::Qutrit, 2);
+    let mut cases: Vec<(String, Circuit, NoiseModel)> = Vec::new();
+    for model in models::all_models() {
+        cases.push((format!("fig4-toffoli/{}", model.name), fig4(), model));
+    }
+    for (label, construction, controls) in [
+        ("qutrit-5q", Construction::Qutrit, 4),
+        ("qutrit-6q", Construction::Qutrit, 5),
+        ("qubit-5q", Construction::Qubit, 4),
+        ("qubit-6q", Construction::Qubit, 5),
+    ] {
+        let model = models::sc_t1_gates();
+        cases.push((
+            format!("{label}/{}", model.name),
+            benchmark_circuit(construction, controls),
+            model,
+        ));
+    }
+    // Each optional channel exercised alone (on top of the SC baseline),
+    // so a drift in any one channel's accounting is attributable.
+    for (tag, model) in [
+        ("SC+leak", models::sc().with_leakage(1e-3)),
+        ("SC+overrot", models::sc().with_overrotation(0.02)),
+        ("SC+crosstalk", models::sc().with_crosstalk(2e4)),
+    ] {
+        cases.push((format!("fig4-toffoli/{tag}"), fig4(), model));
+    }
+    for case in qudit_algos::catalog() {
+        let model = models::sc_t1_gates();
+        cases.push((
+            format!("{}/{}", case.name, model.name),
+            case.circuit(),
+            model,
+        ));
+    }
+    cases
+}
+
 /// The (circuit, noise-model) pairs of Figure 11: the superconducting models
 /// are paired with all three circuits, `TI_QUBIT` with the two qubit
 /// circuits, and the two trapped-ion qutrit models with the qutrit circuit —
@@ -196,6 +249,32 @@ mod tests {
     #[test]
     fn figure11_has_sixteen_bars() {
         assert_eq!(figure11_pairs().len(), 16);
+    }
+
+    #[test]
+    fn crossval_registry_labels_are_unique_and_widths_feasible() {
+        let cases = crossval_cases();
+        let mut labels: Vec<_> = cases.iter().map(|(l, _, _)| l.clone()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), cases.len(), "duplicate crossval labels");
+        for (label, circuit, model) in &cases {
+            // Every case must stay exact-backend feasible (the crossval
+            // bin runs both backends on every entry).
+            let entries = (circuit.dim() as u128).pow(2 * circuit.width() as u32);
+            assert!(
+                entries <= qudit_api::DENSITY_MAX_ENTRIES,
+                "{label} is too wide for the density backend"
+            );
+            model.validate_channels(circuit.dim()).unwrap();
+        }
+        // The registry covers each optional channel and each catalog case.
+        for needle in ["SC+leak", "SC+overrot", "SC+crosstalk", "qft_d3_n3"] {
+            assert!(
+                labels.iter().any(|l| l.contains(needle)),
+                "missing {needle}"
+            );
+        }
     }
 
     #[test]

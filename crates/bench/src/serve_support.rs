@@ -25,6 +25,24 @@ pub fn clean_job_json() -> String {
         .to_json()
 }
 
+/// The request-body mix for the load generator: the clean Figure-4 job
+/// plus two algorithm-library jobs (a 3-qutrit QFT and a 2-digit Draper
+/// adder, both noise-free), so service throughput is measured over
+/// heterogeneous circuit shapes instead of one hot compile.
+pub fn mixed_job_jsons() -> Vec<String> {
+    let qft_job = JobSpec::builder(qudit_algos::qft(3, 3).expect("qft circuit"))
+        .input(InputState::Basis(vec![1, 0, 2]))
+        .build()
+        .expect("qft spec")
+        .to_json();
+    let adder_job = JobSpec::builder(qudit_algos::qft_adder(3, 2).expect("adder circuit"))
+        .input(InputState::Basis(vec![0, 1, 0, 2]))
+        .build()
+        .expect("adder spec")
+        .to_json();
+    vec![clean_job_json(), qft_job, adder_job]
+}
+
 /// A noisy trajectory job heavy enough to outlive any short deadline.
 pub fn heavy_job_json() -> String {
     let mut c = Circuit::new(3, 3);
@@ -44,6 +62,9 @@ pub fn heavy_job_json() -> String {
             t1: Some(1e-3),
             gate_time_1q: 100e-9,
             gate_time_2q: 300e-9,
+            leak_rate: None,
+            overrotation: None,
+            crosstalk: None,
         })
         .backend(BackendKind::Trajectory)
         .trials(500_000)

@@ -1,0 +1,123 @@
+//! A registry of standard small algorithm instances.
+//!
+//! The bench binaries (`crossval`, `algos`, the load generators) and the
+//! CI invariance job all iterate this one list instead of hand-maintaining
+//! their own case tables, so a new generator added here shows up in every
+//! harness at once.
+
+use crate::{ghz, phase_estimation, qft, qft_adder, qft_multiplier, ripple_adder, w_state};
+use qudit_circuit::{Circuit, CircuitResult};
+use qudit_core::gates::qudit::clock;
+
+/// One named algorithm instance at a standard small size: a generator
+/// plus the `(dim, size)` it is instantiated at, kept small enough that
+/// trajectory/density cross-validation stays tractable.
+pub struct AlgoCase {
+    /// Stable case name, e.g. `qft_d3_n3` (used in bench reports and CI).
+    pub name: &'static str,
+    /// Qudit dimension the instance runs at.
+    pub dim: usize,
+    /// Generator size parameter (digits per register, not total width).
+    pub size: usize,
+    builder: fn(usize, usize) -> CircuitResult<Circuit>,
+}
+
+impl AlgoCase {
+    /// Builds the instance's circuit.
+    ///
+    /// # Panics
+    ///
+    /// Never for catalog entries — their `(dim, size)` are valid by
+    /// construction (covered by the `every_case_builds` test).
+    pub fn circuit(&self) -> Circuit {
+        (self.builder)(self.dim, self.size).expect("catalog sizes are valid")
+    }
+}
+
+/// Phase estimation over the canonical clock unitary
+/// `diag(1, ω, ω², …)`, whose eigenphases `j/d` are exactly
+/// representable in one counting digit.
+fn clock_phase_estimation(dim: usize, t: usize) -> CircuitResult<Circuit> {
+    phase_estimation(dim, t, &clock(dim))
+}
+
+/// The standard case list: every generator family at a qutrit size plus
+/// a qubit baseline for the families the paper compares across radix.
+pub fn catalog() -> Vec<AlgoCase> {
+    vec![
+        AlgoCase {
+            name: "qft_d3_n3",
+            dim: 3,
+            size: 3,
+            builder: qft,
+        },
+        AlgoCase {
+            name: "qft_d2_n4",
+            dim: 2,
+            size: 4,
+            builder: qft,
+        },
+        AlgoCase {
+            name: "ripple_adder_d3_n2",
+            dim: 3,
+            size: 2,
+            builder: ripple_adder,
+        },
+        AlgoCase {
+            name: "ripple_adder_d2_n2",
+            dim: 2,
+            size: 2,
+            builder: ripple_adder,
+        },
+        AlgoCase {
+            name: "qft_adder_d3_n2",
+            dim: 3,
+            size: 2,
+            builder: qft_adder,
+        },
+        AlgoCase {
+            name: "qft_multiplier_d3_n2",
+            dim: 3,
+            size: 2,
+            builder: qft_multiplier,
+        },
+        AlgoCase {
+            name: "phase_est_d3_t2",
+            dim: 3,
+            size: 2,
+            builder: clock_phase_estimation,
+        },
+        AlgoCase {
+            name: "ghz_d3_n4",
+            dim: 3,
+            size: 4,
+            builder: ghz,
+        },
+        AlgoCase {
+            name: "w_state_d3_n4",
+            dim: 3,
+            size: 4,
+            builder: w_state,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_case_builds_and_names_are_unique() {
+        let cases = catalog();
+        let mut names: Vec<_> = cases.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cases.len(), "duplicate case names");
+        for case in &cases {
+            let c = case.circuit();
+            assert_eq!(c.dim(), case.dim, "{}", case.name);
+            assert!(!c.is_empty(), "{} is empty", case.name);
+            assert!(c.width() <= 8, "{} too wide for crossval", case.name);
+        }
+    }
+}

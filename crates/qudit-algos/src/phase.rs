@@ -1,0 +1,97 @@
+//! Quantum phase estimation over a supplied single-qudit unitary.
+
+use crate::check_params;
+use crate::qft::qft_inverse;
+use qudit_circuit::{Circuit, CircuitError, CircuitResult, Control, Gate};
+use qudit_core::CMatrix;
+
+/// Quantum phase estimation of a single-qudit unitary `u` with `t`
+/// counting digits of precision: width `t + 1`, counting register
+/// `[0, t)` (big-endian), target qudit `t`.
+///
+/// With the target prepared in an eigenvector `U|ψ⟩ = e^{2πiφ}|ψ⟩` and
+/// `φ = x/d^t` exact, measuring the counting register after this circuit
+/// yields the digits of `x` with certainty. Structure: one
+/// [`Gate::fourier`] per counting digit, then per digit `j` and control
+/// level `l ≥ 1` a controlled `U^{l·d^{t−1−j}}` on the target, then the
+/// inverse QFT on the counting register. Counts: `t` Fourier gates,
+/// `t·(d−1)` controlled powers, plus the [`qft_inverse`] gates.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::IncompatibleCircuits`] for `dim < 2`, `t = 0`,
+/// a non-`dim×dim` or non-unitary `u`, or `d^t` overflowing the power
+/// exponent range.
+pub fn phase_estimation(dim: usize, t: usize, u: &CMatrix) -> CircuitResult<Circuit> {
+    check_params(dim, t, "phase_estimation")?;
+    if u.rows() != dim || u.cols() != dim {
+        return Err(CircuitError::IncompatibleCircuits {
+            reason: format!(
+                "phase_estimation needs a {dim}×{dim} unitary, got {}×{}",
+                u.rows(),
+                u.cols()
+            ),
+        });
+    }
+    if !u.is_unitary(1e-9) {
+        return Err(CircuitError::IncompatibleCircuits {
+            reason: "phase_estimation needs a unitary matrix".into(),
+        });
+    }
+    let mut c = Circuit::new(dim, t + 1);
+    for j in 0..t {
+        c.push_gate(Gate::fourier(dim), &[j])?;
+    }
+    for j in 0..t {
+        // Counting digit j carries weight d^{t−1−j}; level l of the control
+        // applies U^{l·d^{t−1−j}}, one gate per nonzero level.
+        let weight = (dim as u64)
+            .checked_pow((t - 1 - j) as u32)
+            .filter(|w| *w <= u32::MAX as u64)
+            .ok_or_else(|| CircuitError::IncompatibleCircuits {
+                reason: format!("phase_estimation power d^{} overflows", t - 1 - j),
+            })?;
+        for l in 1..dim {
+            let exponent = l as u64 * weight;
+            if exponent > u32::MAX as u64 {
+                return Err(CircuitError::IncompatibleCircuits {
+                    reason: format!("phase_estimation power {exponent} overflows"),
+                });
+            }
+            let powered = u.pow(exponent as u32);
+            let gate = Gate::single(format!("U^{exponent}"), dim, powered)?;
+            c.push_controlled(gate, &[Control::new(j, l)], &[t])?;
+        }
+    }
+    c.extend(&qft_inverse(dim, t)?)?;
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qudit_core::Complex;
+
+    #[test]
+    fn counts_match_the_documented_formula() {
+        let u = CMatrix::diagonal(&[Complex::ONE, Complex::cis(1.0), Complex::cis(2.0)]);
+        for t in [1usize, 3] {
+            let c = phase_estimation(3, t, &u).unwrap();
+            let qft_inv_len = t + t * (t - 1) / 2 + t / 2;
+            assert_eq!(c.len(), t + t * 2 + qft_inv_len, "t={t}");
+            assert_eq!(c.width(), t + 1);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_unitaries_and_degenerate_parameters() {
+        let u3 = CMatrix::identity(3);
+        assert!(phase_estimation(3, 0, &u3).is_err());
+        assert!(phase_estimation(1, 2, &CMatrix::identity(1)).is_err());
+        // Wrong shape for the stated dimension.
+        assert!(phase_estimation(2, 2, &u3).is_err());
+        // Non-unitary matrix.
+        let bad = CMatrix::diagonal(&[Complex::ONE, Complex::new(2.0, 0.0)]);
+        assert!(phase_estimation(2, 2, &bad).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Entangled-state preparation circuits: GHZ and W states.
+
+use crate::check_params;
+use qudit_circuit::{Circuit, CircuitResult, Control, Gate};
+
+/// Prepares the `n`-qudit GHZ state `(1/√d) Σ_j |j j … j⟩` from `|0…0⟩`:
+/// one [`Gate::fourier`] on qudit 0 (uniform superposition over levels),
+/// then a chain of `n − 1` [`Gate::csum`] gates copying the level down the
+/// register. Counts: 1 single-qudit and `n − 1` two-qudit gates.
+///
+/// # Errors
+///
+/// Returns [`qudit_circuit::CircuitError::IncompatibleCircuits`] for
+/// `dim < 2` or `n = 0`.
+pub fn ghz(dim: usize, n: usize) -> CircuitResult<Circuit> {
+    check_params(dim, n, "ghz")?;
+    let mut c = Circuit::new(dim, n);
+    c.push_gate(Gate::fourier(dim), &[0])?;
+    for q in 0..n - 1 {
+        c.push_gate(Gate::csum(dim), &[q, q + 1])?;
+    }
+    Ok(c)
+}
+
+/// Prepares the `n`-qudit W state `(1/√n) Σ_i |0 … 1 … 0⟩` (the single
+/// excitation in the |0⟩/|1⟩ subspace at position `i`) from `|0…0⟩`.
+///
+/// Uses the cascade construction: X on qudit 0, then for each link a
+/// controlled [`Gate::ry01`] with angle `θᵢ = 2·arccos(√(1/(n−i)))`
+/// splitting the excitation amplitude, followed by a CNOT handing the
+/// remaining excitation forward. Counts: 1 single-qudit and `2(n − 1)`
+/// two-qudit gates. Works for any `dim ≥ 2` since it only populates the
+/// |0⟩/|1⟩ subspace.
+///
+/// # Errors
+///
+/// Returns [`qudit_circuit::CircuitError::IncompatibleCircuits`] for
+/// `dim < 2` or `n = 0`.
+pub fn w_state(dim: usize, n: usize) -> CircuitResult<Circuit> {
+    check_params(dim, n, "w_state")?;
+    let mut c = Circuit::new(dim, n);
+    c.push_gate(Gate::x(dim), &[0])?;
+    for i in 0..n - 1 {
+        // Splits amplitude √(1/(n−i)) off onto qudit i staying excited:
+        // Ry(θ)|0⟩ = cos(θ/2)|0⟩ + sin(θ/2)|1⟩ with cos(θ/2) = √(1/(n−i)).
+        let theta = 2.0 * (1.0 / (n - i) as f64).sqrt().acos();
+        c.push_controlled(Gate::ry01(dim, theta), &[Control::new(i, 1)], &[i + 1])?;
+        c.push_controlled(Gate::x(dim), &[Control::new(i + 1, 1)], &[i])?;
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_counts_match_the_documented_formula() {
+        for (d, n) in [(2, 4), (3, 3), (5, 2)] {
+            let c = ghz(d, n).unwrap();
+            assert_eq!(c.len(), n, "d={d} n={n}");
+        }
+        assert_eq!(ghz(3, 1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn w_state_counts_match_the_documented_formula() {
+        for (d, n) in [(2, 4), (3, 3)] {
+            let c = w_state(d, n).unwrap();
+            assert_eq!(c.len(), 1 + 2 * (n - 1), "d={d} n={n}");
+        }
+    }
+
+    #[test]
+    fn generators_reject_degenerate_parameters() {
+        assert!(ghz(1, 3).is_err());
+        assert!(ghz(3, 0).is_err());
+        assert!(w_state(0, 2).is_err());
+        assert!(w_state(2, 0).is_err());
+    }
+}

@@ -74,3 +74,8 @@ pub use qudit_noise::{
     BackendKind, CancelToken, CrossValidation, FidelityEstimate, InputState, NoiseArtifactStats,
     NoiseModel, Precision,
 };
+
+/// The parameterized algorithm library (`qudit-algos`): QFT, adders, a
+/// multiplier, phase estimation and GHZ/W preparation — every generator
+/// returns a [`Circuit`] ready for [`JobSpec::builder`].
+pub use qudit_algos as algos;

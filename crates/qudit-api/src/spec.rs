@@ -301,6 +301,9 @@ impl JobSpecBuilder {
     ///   non-positive `sigma`, `min_trials` of zero, `min_trials >
     ///   max_trials`, or is attached to a noise-free job (nothing is
     ///   sampled, so there is no error bar to drive);
+    /// * a noise model's optional channels are invalid for the circuit's
+    ///   dimension (e.g. leakage on a `d = 2` circuit, or a non-finite
+    ///   rate);
     /// * a topology's site count differs from the circuit's width;
     /// * the density-matrix backend would need more than
     ///   [`DENSITY_MAX_ENTRIES`] entries for this circuit.
@@ -354,6 +357,11 @@ impl JobSpecBuilder {
         }
         let dim = self.circuit.dim();
         let width = self.circuit.width();
+        if let Some(model) = &self.noise {
+            model
+                .validate_channels(dim)
+                .map_err(|e| ApiError::spec(format!("invalid noise channel: {e}")))?;
+        }
         if let Some(topology) = &self.topology {
             if topology.sites() != width {
                 return Err(ApiError::spec(format!(
@@ -484,6 +492,29 @@ mod tests {
         JobSpec::builder(toffoli_fig4())
             .noise(models::sc())
             .level(PassLevel::NoisePreserving)
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn invalid_noise_channels_are_rejected_at_build_time() {
+        // Leakage needs a |2⟩ level: invalid on a qubit circuit.
+        let mut qubit_circuit = Circuit::new(2, 1);
+        qubit_circuit.push_gate(Gate::x(2), &[0]).unwrap();
+        let err = JobSpec::builder(qubit_circuit)
+            .noise(models::sc().with_leakage(1e-4))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ApiError::Spec { .. }), "{err}");
+        // Non-finite rates are rejected regardless of dimension.
+        let err = JobSpec::builder(toffoli_fig4())
+            .noise(models::sc().with_crosstalk(f64::NAN))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ApiError::Spec { .. }), "{err}");
+        // Valid channels on a qutrit circuit build fine.
+        JobSpec::builder(toffoli_fig4())
+            .noise(models::sc().with_leakage(1e-4).with_overrotation(0.01))
             .build()
             .unwrap();
     }

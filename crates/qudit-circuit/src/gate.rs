@@ -7,7 +7,8 @@
 //! different control levels.
 
 use crate::error::{CircuitError, CircuitResult};
-use qudit_core::{gates, CMatrix};
+use qudit_core::{gates, CMatrix, Complex};
+use std::f64::consts::TAU;
 use std::fmt;
 use std::sync::Arc;
 
@@ -197,6 +198,59 @@ impl Gate {
         Gate::new("Fd", dim, 1, gates::qudit::fourier(dim)).expect("shape is correct")
     }
 
+    /// The QFT controlled-phase gate `CP[k]`: the symmetric two-qudit
+    /// diagonal unitary `|a,b⟩ → e^{2πi·a·b/dim^k} |a,b⟩`, the qudit
+    /// generalisation of the qubit QFT's controlled `R_k` rotation. `k ≥ 2`
+    /// in QFT circuits (the `k = 1` case is covered by the Fourier gate on
+    /// each digit).
+    pub fn controlled_phase(dim: usize, k: u32) -> Gate {
+        let denom = (dim as f64).powi(k as i32);
+        let mut diag = vec![Complex::ONE; dim * dim];
+        for a in 0..dim {
+            for b in 0..dim {
+                diag[a * dim + b] = Complex::cis(TAU * (a * b) as f64 / denom);
+            }
+        }
+        Gate::new(format!("CP[{k}]"), dim, 2, CMatrix::diagonal(&diag))
+            .expect("shape is correct by construction")
+    }
+
+    /// The qudit CSUM gate `|a,b⟩ → |a, a+b mod dim⟩`: the modular-sum
+    /// generalisation of CNOT, the entangler of qudit GHZ preparation.
+    pub fn csum(dim: usize) -> Gate {
+        let mut perm = vec![0usize; dim * dim];
+        for a in 0..dim {
+            for b in 0..dim {
+                perm[a * dim + b] = a * dim + (a + b) % dim;
+            }
+        }
+        Gate::new("CSUM", dim, 2, CMatrix::permutation(&perm))
+            .expect("shape is correct by construction")
+    }
+
+    /// The phase-ramp gate `|l⟩ → e^{2πi·l·turns} |l⟩`: a phase linear in
+    /// the level index. Controlled on another qudit's levels it builds the
+    /// doubly-conditioned phase accumulations of the QFT multiplier.
+    pub fn phase_ramp(dim: usize, turns: f64) -> Gate {
+        let diag: Vec<Complex> = (0..dim)
+            .map(|l| Complex::cis(TAU * l as f64 * turns))
+            .collect();
+        Gate::new(format!("PR[{turns:.6}]"), dim, 1, CMatrix::diagonal(&diag))
+            .expect("shape is correct by construction")
+    }
+
+    /// A rotation by `theta` in the |0⟩/|1⟩ subspace of a `dim`-level qudit
+    /// (levels ≥ 2 untouched) — the partial-swap primitive of W-state
+    /// preparation.
+    pub fn ry01(dim: usize, theta: f64) -> Gate {
+        let m = if dim == 2 {
+            gates::qubit::ry(theta)
+        } else {
+            gates::qubit::ry(theta).embed(dim, &[0, 1])
+        };
+        Gate::new(format!("RY01[{theta:.4}]"), dim, 1, m).expect("shape is correct by construction")
+    }
+
     /// A two-qudit SWAP gate.
     pub fn swap(dim: usize) -> Gate {
         let n = dim * dim;
@@ -285,6 +339,53 @@ mod tests {
         let g = Gate::swap(2);
         let perm = g.as_permutation().unwrap();
         assert_eq!(perm, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn controlled_phase_is_symmetric_and_diagonal() {
+        let g = Gate::controlled_phase(3, 2);
+        assert!(g.matrix().is_diagonal(1e-12));
+        // |2,2⟩ picks up e^{2πi·4/9}; symmetric in the two digits.
+        let expected = Complex::cis(TAU * 4.0 / 9.0);
+        let got = g.matrix().get(8, 8);
+        assert!((got - expected).abs() < 1e-12);
+        for a in 0..3 {
+            for b in 0..3 {
+                let ab = g.matrix().get(a * 3 + b, a * 3 + b);
+                let ba = g.matrix().get(b * 3 + a, b * 3 + a);
+                assert!((ab - ba).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn csum_adds_control_into_target() {
+        let g = Gate::csum(3);
+        let perm = g.as_permutation().unwrap();
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(perm[a * 3 + b], a * 3 + (a + b) % 3);
+            }
+        }
+    }
+
+    #[test]
+    fn phase_ramp_phases_scale_with_level() {
+        let g = Gate::phase_ramp(3, 0.25);
+        assert!(g.matrix().is_diagonal(1e-12));
+        for l in 0..3 {
+            let expected = Complex::cis(TAU * l as f64 * 0.25);
+            assert!((g.matrix().get(l, l) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ry01_rotates_only_the_qubit_subspace() {
+        let g = Gate::ry01(3, std::f64::consts::PI);
+        // θ = π maps |0⟩ → |1⟩ (up to sign) and fixes |2⟩.
+        assert!((g.matrix().get(1, 0).abs() - 1.0).abs() < 1e-12);
+        assert!((g.matrix().get(2, 2) - Complex::ONE).abs() < 1e-12);
+        assert!(g.matrix().is_unitary(1e-12));
     }
 
     #[test]

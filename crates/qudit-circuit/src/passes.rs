@@ -926,6 +926,7 @@ impl fmt::Display for PipelineReport {
 pub struct PassManager {
     level: PassLevel,
     passes: Vec<Box<dyn Pass>>,
+    topology: Option<Topology>,
 }
 
 impl PassManager {
@@ -996,7 +997,11 @@ impl PassManager {
                 passes.push(Box::new(SpecializePass));
             }
         }
-        PassManager { level, passes }
+        PassManager {
+            level,
+            passes,
+            topology,
+        }
     }
 
     /// A manager with no passes, for building custom pipelines with
@@ -1005,6 +1010,7 @@ impl PassManager {
         PassManager {
             level,
             passes: Vec::new(),
+            topology: None,
         }
     }
 
@@ -1078,6 +1084,7 @@ impl PassManager {
             kernel_tags,
             frames,
             routing,
+            topology: self.topology.clone(),
             report: PipelineReport {
                 level: self.level,
                 pre,
@@ -1103,6 +1110,7 @@ pub struct CompiledIr {
     kernel_tags: Vec<KernelClass>,
     frames: Option<FrameSchedule>,
     routing: Option<RoutingSummary>,
+    topology: Option<Topology>,
     report: PipelineReport,
 }
 
@@ -1129,6 +1137,14 @@ impl CompiledIr {
     /// The kernel class of every operation, in op order.
     pub fn kernel_tags(&self) -> &[KernelClass] {
         &self.kernel_tags
+    }
+
+    /// The connectivity [`Topology`] the pipeline compiled under, when one
+    /// was given — the noise backends consult it for schedule-adjacency
+    /// (crosstalk pairing) and per-edge error weights. `None` means the
+    /// implicit all-to-all device.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
     }
 
     /// What the router did, when the pipeline ran under a connectivity

@@ -5,10 +5,12 @@
 //! written against a fully connected logical register. The [`RoutingPass`]
 //! closes the gap for a given [`Topology`]: it picks an initial *placement*
 //! of logical qudits onto physical sites by greedy interaction-graph
-//! mapping (optionally steered by per-site quality weights, so the hottest
-//! qudits land on the least noisy sites), then walks the operation list and
-//! inserts qudit-SWAPs — chosen with a decaying-lookahead cost heuristic —
-//! whenever a two-qudit gate's endpoints are not adjacent.
+//! mapping (optionally steered by per-site and per-edge quality weights, so
+//! the hottest qudits land on the least noisy sites and away from the worst
+//! links), then walks the operation list and inserts qudit-SWAPs — chosen
+//! with a decaying-lookahead cost heuristic that also penalises executing a
+//! SWAP on a poor-quality edge — whenever a two-qudit gate's endpoints are
+//! not adjacent.
 //!
 //! The routed circuit acts on *sites*. The pass records the initial
 //! placement and the final (post-SWAP) logical→site mapping in a
@@ -260,6 +262,21 @@ fn greedy_placement(
     order.sort_by_key(|&q| (std::cmp::Reverse(hotness[q]), q));
 
     let closeness: Vec<usize> = (0..width).map(|s| dist[s].iter().sum()).collect();
+    // Mean incident edge-quality excess per site: hot qudits are steered
+    // away from sites whose links are poor, not just from poor sites.
+    let edge_excess: Vec<f64> = (0..width)
+        .map(|s| {
+            let neighbours = topology.neighbors(s);
+            if neighbours.is_empty() {
+                return 0.0;
+            }
+            let total: f64 = neighbours
+                .iter()
+                .map(|&t| topology.edge_quality_between(s, t))
+                .sum();
+            total / neighbours.len() as f64 - 1.0
+        })
+        .collect();
     let mut l2p = vec![usize::MAX; width];
     let mut used = vec![false; width];
     for &q in &order {
@@ -269,7 +286,7 @@ fn greedy_placement(
                 .filter(|&p| l2p[p] != usize::MAX)
                 .map(|p| (weight[q][p] * dist[s][l2p[p]]) as f64)
                 .sum();
-            let quality_penalty = hotness[q] as f64 * (topology.quality(s) - 1.0);
+            let quality_penalty = hotness[q] as f64 * (topology.quality(s) - 1.0 + edge_excess[s]);
             let key = (interaction + quality_penalty, closeness[s], s);
             if best.is_none_or(|b| key < b) {
                 best = Some(key);
@@ -321,6 +338,9 @@ fn best_swap(
             score += decay * dist[trial_l2p[a]][trial_l2p[b]] as f64;
             decay *= LOOKAHEAD_DECAY;
         }
+        // The SWAP itself executes on edge (u, v): a poor edge costs extra,
+        // so routing prefers an equally short path over good links.
+        score += topology.edge_quality_between(u, v) - 1.0;
         let key = (score, u.min(v), u.max(v));
         if best.is_none_or(|(b, _)| key < b) {
             best = Some((key, (u, v)));
@@ -459,6 +479,64 @@ mod tests {
         assert!(
             summary.placement[0] != 1 && summary.placement[1] != 1,
             "{summary:?}"
+        );
+    }
+
+    #[test]
+    fn placement_steers_hot_pairs_away_from_bad_edges() {
+        // Qudits 0 and 1 interact heavily; one 0↔2 gate forces full routing
+        // (identity mapping is not nearest-neighbour on the chain). With
+        // edge (0,1) poisoned, the hot pair must land on the good (1,2)
+        // link — without edge weights greedy placement puts it on (0,1).
+        let mut c = Circuit::new(2, 3);
+        for _ in 0..4 {
+            c.push_controlled(Gate::x(2), &[Control::on_one(0)], &[1])
+                .unwrap();
+        }
+        c.push_controlled(Gate::x(2), &[Control::on_one(0)], &[2])
+            .unwrap();
+        let uniform = Topology::linear(3).unwrap();
+        let ir = compile_with_topology(&c, PassLevel::NoisePreserving, Some(&uniform));
+        let placement = &ir.routing().unwrap().placement;
+        let mut hot = [placement[0], placement[1]];
+        hot.sort_unstable();
+        assert_eq!(hot, [0, 1], "uniform baseline places the hot pair on (0,1)");
+
+        let bad_first_edge = Topology::linear(3)
+            .unwrap()
+            .with_edge_quality(vec![50.0, 1.0])
+            .unwrap();
+        let ir = compile_with_topology(&c, PassLevel::NoisePreserving, Some(&bad_first_edge));
+        let placement = &ir.routing().unwrap().placement;
+        let mut hot = [placement[0], placement[1]];
+        hot.sort_unstable();
+        assert_eq!(hot, [1, 2], "hot pair must avoid the poisoned (0,1) edge");
+    }
+
+    #[test]
+    fn swap_insertion_avoids_poisoned_edges_when_paths_tie() {
+        // On a ring two equally short SWAP routes exist between opposite
+        // sites; poisoning one side's edges must push the router to the
+        // other. Compare total charged edge quality of the inserted SWAPs.
+        let c = star_circuit(6);
+        let ring = Topology::ring(6).unwrap();
+        // Edges of ring(6): (0,1),(1,2),(2,3),(3,4),(4,5),(0,5).
+        let weights = vec![1.0, 8.0, 8.0, 1.0, 1.0, 1.0];
+        let weighted = ring.clone().with_edge_quality(weights).unwrap();
+        let charged = |t: &Topology| -> f64 {
+            let ir = compile_with_topology(&c, PassLevel::NoisePreserving, Some(t));
+            ir.circuit()
+                .iter()
+                .filter(|op| op.gate().name() == "RSWAP")
+                .map(|op| {
+                    let qs = op.qudits();
+                    weighted.edge_quality_between(qs[0], qs[1])
+                })
+                .sum()
+        };
+        assert!(
+            charged(&weighted) < charged(&ring),
+            "edge-aware routing must charge less poisoned-edge weight"
         );
     }
 }

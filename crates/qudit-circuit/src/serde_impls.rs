@@ -238,6 +238,9 @@ impl Serialize for Topology {
         if !self.site_quality().is_empty() {
             fields.push(("site_quality", self.site_quality().to_vec().to_value()));
         }
+        if !self.edge_quality().is_empty() {
+            fields.push(("edge_quality", self.edge_quality().to_vec().to_value()));
+        }
         Value::object(fields)
     }
 }
@@ -277,9 +280,15 @@ impl Deserialize for Topology {
             other => return Err(Error::custom(format!("unknown topology kind {other:?}"))),
         }
         .map_err(circuit_err)?;
-        match value.get("site_quality") {
+        let base = match value.get("site_quality") {
             Some(q) => base
                 .with_site_quality(Vec::<f64>::from_value(q)?)
+                .map_err(circuit_err)?,
+            None => base,
+        };
+        match value.get("edge_quality") {
+            Some(q) => base
+                .with_edge_quality(Vec::<f64>::from_value(q)?)
                 .map_err(circuit_err),
             None => Ok(base),
         }
@@ -321,6 +330,16 @@ mod tests {
                 .unwrap()
                 .with_site_quality(vec![1.0, 2.5, 1.0])
                 .unwrap(),
+            Topology::linear(3)
+                .unwrap()
+                .with_edge_quality(vec![1.5, 1.0])
+                .unwrap(),
+            Topology::ring(4)
+                .unwrap()
+                .with_site_quality(vec![1.0, 1.0, 3.0, 1.0])
+                .unwrap()
+                .with_edge_quality(vec![1.0, 2.0, 1.0, 1.0])
+                .unwrap(),
         ] {
             let back: Topology = json::from_str(&json::to_string(&t)).unwrap();
             assert_eq!(back, t, "{t}");
@@ -337,6 +356,13 @@ mod tests {
             r#"{"kind":"heavy-hex","cells":100000000}"#,
             r#"{"kind":"linear","sites":3,"site_quality":[1.0,-1.0,1.0]}"#,
             r#"{"kind":"linear","sites":3,"site_quality":[1.0]}"#,
+            // Hostile edge-quality payloads: wrong count, non-positive,
+            // non-finite, and a non-numeric element.
+            r#"{"kind":"linear","sites":3,"edge_quality":[1.0]}"#,
+            r#"{"kind":"linear","sites":3,"edge_quality":[1.0,0.0]}"#,
+            r#"{"kind":"linear","sites":3,"edge_quality":[1.0,-3.0]}"#,
+            r#"{"kind":"linear","sites":3,"edge_quality":[1e999,1.0]}"#,
+            r#"{"kind":"linear","sites":3,"edge_quality":[1.0,"bad"]}"#,
         ] {
             assert!(json::from_str::<Topology>(bad).is_err(), "{bad}");
         }

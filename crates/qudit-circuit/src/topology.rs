@@ -76,6 +76,10 @@ pub struct Topology {
     adjacency: Vec<Vec<usize>>,
     /// Per-site error-rate multipliers; empty = uniform (all 1.0).
     site_quality: Vec<f64>,
+    /// Per-edge error-rate multipliers, aligned with [`Topology::edges`]
+    /// order (each edge once, `u < v`, sorted by `u` then `v`); empty =
+    /// uniform (all 1.0).
+    edge_quality: Vec<f64>,
 }
 
 impl Topology {
@@ -95,6 +99,7 @@ impl Topology {
             sites,
             adjacency,
             site_quality: Vec::new(),
+            edge_quality: Vec::new(),
         })
     }
 
@@ -220,6 +225,7 @@ impl Topology {
             sites,
             adjacency,
             site_quality: Vec::new(),
+            edge_quality: Vec::new(),
         }
     }
 
@@ -250,6 +256,37 @@ impl Topology {
         Ok(self)
     }
 
+    /// Attaches per-edge quality weights (relative error-rate multipliers
+    /// for two-qudit gates executed on that edge; 1.0 is nominal, larger is
+    /// worse), aligned with [`Topology::edges`] order. Noise-aware routing
+    /// steers SWAP chains away from bad edges, and the noise backends scale
+    /// the two-qudit depolarizing probability of gates on an edge by its
+    /// weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::IncompatibleCircuits`] when the weight count
+    /// does not match the edge count or a weight is non-finite or ≤ 0.
+    pub fn with_edge_quality(mut self, quality: Vec<f64>) -> CircuitResult<Topology> {
+        let edge_count = self.edges().len();
+        if quality.len() != edge_count {
+            return Err(CircuitError::IncompatibleCircuits {
+                reason: format!(
+                    "{} edge-quality weight(s) for a topology with {} edge(s)",
+                    quality.len(),
+                    edge_count
+                ),
+            });
+        }
+        if let Some(&bad) = quality.iter().find(|q| !q.is_finite() || **q <= 0.0) {
+            return Err(CircuitError::IncompatibleCircuits {
+                reason: format!("edge-quality weight {bad} is not a positive finite number"),
+            });
+        }
+        self.edge_quality = quality;
+        Ok(self)
+    }
+
     /// Which constructor family this topology belongs to.
     pub fn kind(&self) -> TopologyKind {
         self.kind
@@ -273,6 +310,26 @@ impl Topology {
     /// The quality weight of one site (1.0 when uniform).
     pub fn quality(&self, site: usize) -> f64 {
         self.site_quality.get(site).copied().unwrap_or(1.0)
+    }
+
+    /// The per-edge quality weights, aligned with [`Topology::edges`]
+    /// order; empty means uniform.
+    pub fn edge_quality(&self) -> &[f64] {
+        &self.edge_quality
+    }
+
+    /// The quality weight of the edge between two adjacent sites (1.0 when
+    /// uniform or the sites are not adjacent).
+    pub fn edge_quality_between(&self, a: usize, b: usize) -> f64 {
+        if self.edge_quality.is_empty() {
+            return 1.0;
+        }
+        let (u, v) = (a.min(b), a.max(b));
+        self.edges()
+            .iter()
+            .position(|&e| e == (u, v))
+            .and_then(|i| self.edge_quality.get(i).copied())
+            .unwrap_or(1.0)
     }
 
     /// The sorted neighbour list of `site`.
@@ -393,14 +450,13 @@ impl fmt::Display for Topology {
 // can key the executor's compilation cache.
 impl PartialEq for Topology {
     fn eq(&self, other: &Self) -> bool {
+        let bitwise = |a: &[f64], b: &[f64]| {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        };
         self.kind == other.kind
             && self.sites == other.sites
-            && self.site_quality.len() == other.site_quality.len()
-            && self
-                .site_quality
-                .iter()
-                .zip(&other.site_quality)
-                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && bitwise(&self.site_quality, &other.site_quality)
+            && bitwise(&self.edge_quality, &other.edge_quality)
     }
 }
 
@@ -411,6 +467,12 @@ impl Hash for Topology {
         self.kind.hash(state);
         self.sites.hash(state);
         for q in &self.site_quality {
+            q.to_bits().hash(state);
+        }
+        // Length-prefix the edge weights so (site=[a], edge=[]) and
+        // (site=[], edge=[a]) cannot collide.
+        self.edge_quality.len().hash(state);
+        for q in &self.edge_quality {
             q.to_bits().hash(state);
         }
     }
@@ -530,6 +592,27 @@ mod tests {
             Topology::linear(3)
                 .unwrap()
                 .with_site_quality(vec![1.0, 2.0, 1.0])
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn edge_quality_is_validated_and_keys_equality() {
+        let t = Topology::linear(3).unwrap(); // edges (0,1), (1,2)
+        assert!(t.clone().with_edge_quality(vec![1.0]).is_err());
+        assert!(t.clone().with_edge_quality(vec![1.0, f64::NAN]).is_err());
+        assert!(t.clone().with_edge_quality(vec![1.0, -2.0]).is_err());
+        let weighted = t.clone().with_edge_quality(vec![1.0, 3.0]).unwrap();
+        assert_eq!(weighted.edge_quality_between(1, 2), 3.0);
+        assert_eq!(weighted.edge_quality_between(2, 1), 3.0);
+        assert_eq!(weighted.edge_quality_between(0, 1), 1.0);
+        assert_eq!(t.edge_quality_between(0, 1), 1.0, "uniform default");
+        assert_ne!(weighted, t);
+        assert_eq!(
+            weighted,
+            Topology::linear(3)
+                .unwrap()
+                .with_edge_quality(vec![1.0, 3.0])
                 .unwrap()
         );
     }

@@ -41,6 +41,9 @@ struct ModelKey {
     t1: Option<u64>,
     gate_time_1q: u64,
     gate_time_2q: u64,
+    leak_rate: Option<u64>,
+    overrotation: Option<u64>,
+    crosstalk: Option<u64>,
 }
 
 impl ModelKey {
@@ -51,6 +54,9 @@ impl ModelKey {
             t1: model.t1.map(f64::to_bits),
             gate_time_1q: model.gate_time_1q.to_bits(),
             gate_time_2q: model.gate_time_2q.to_bits(),
+            leak_rate: model.leak_rate.map(f64::to_bits),
+            overrotation: model.overrotation.map(f64::to_bits),
+            crosstalk: model.crosstalk.map(f64::to_bits),
         }
     }
 }

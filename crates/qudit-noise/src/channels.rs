@@ -1,0 +1,230 @@
+//! The three device-realistic channels beyond the paper's stylized model:
+//! leakage into/out of the |2⟩ level, coherent over-rotation, and ZZ-style
+//! crosstalk between schedule-adjacent neighbours.
+//!
+//! All three are mixed-unitary channels, so they compose with the paper's
+//! depolarizing gate error through [`Channel::then`] into a *single* error
+//! site per operation — the trajectory backend keeps its one-draw sampling
+//! rule and the density backend applies the exact composite superoperator,
+//! which is what keeps the two backends inside the 3σ crossval gate.
+
+use crate::error::{NoiseError, NoiseResult};
+use crate::kraus::Channel;
+use qudit_core::{eig_hermitian, gates, CMatrix, Complex};
+
+/// Validates a probability-like channel parameter.
+fn check_probability(parameter: &str, p: f64) -> NoiseResult<()> {
+    if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+        return Err(NoiseError::InvalidProbability {
+            parameter: parameter.to_string(),
+            value: p,
+        });
+    }
+    Ok(())
+}
+
+/// Validates a finite real channel parameter (angles and rates may be
+/// negative — a miscalibration can go either way — but not NaN/∞).
+fn check_finite(parameter: &str, value: f64) -> NoiseResult<()> {
+    if !value.is_finite() {
+        return Err(NoiseError::InvalidModel {
+            reason: format!("{parameter} = {value} is not a finite number"),
+        });
+    }
+    Ok(())
+}
+
+/// The single-qudit leakage channel: with probability `p` the amplitude in
+/// the qubit subspace exchanges with the |2⟩ level (the unitary X₁₂ swap),
+/// modelling population leaking out of — and back into — the computational
+/// |0⟩/|1⟩ states of a qutrit device.
+///
+/// # Errors
+///
+/// Returns [`NoiseError::InvalidModel`] when `d < 3` (there is no |2⟩ level
+/// to leak into) and [`NoiseError::InvalidProbability`] when `p` is outside
+/// `[0, 1]`.
+pub fn leakage_channel(d: usize, p: f64) -> NoiseResult<Channel> {
+    check_leakage_dim(d)?;
+    check_probability("leak_rate", p)?;
+    Ok(Channel::MixedUnitary {
+        probs: vec![1.0 - p, p],
+        unitaries: vec![CMatrix::identity(d), gates::qudit::level_swap(d, 1, 2)],
+    })
+}
+
+/// The two-qudit leakage channel: independent leakage on each qudit of the
+/// pair (tensor of two single-qudit channels), so a two-qudit gate charges
+/// leakage on both participants with one draw.
+///
+/// # Errors
+///
+/// As for [`leakage_channel`].
+pub fn two_qudit_leakage_channel(d: usize, p: f64) -> NoiseResult<Channel> {
+    check_leakage_dim(d)?;
+    check_probability("leak_rate", p)?;
+    let id = CMatrix::identity(d);
+    let x12 = gates::qudit::level_swap(d, 1, 2);
+    let keep = 1.0 - p;
+    Ok(Channel::MixedUnitary {
+        probs: vec![keep * keep, p * keep, keep * p, p * p],
+        unitaries: vec![id.kron(&id), x12.kron(&id), id.kron(&x12), x12.kron(&x12)],
+    })
+}
+
+fn check_leakage_dim(d: usize) -> NoiseResult<()> {
+    if d < 3 {
+        return Err(NoiseError::InvalidModel {
+            reason: format!(
+                "leakage needs a |2⟩ level to exchange with, but the qudit dimension is {d}"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// The coherent over-rotation unitary `V = exp(−iεH)` with `H` the
+/// nearest-level coupling Hamiltonian (`H[j][k] = 1` iff `|j−k| = 1`): a
+/// deterministic ε-miscalibration every gate picks up. Unlike a Pauli
+/// channel this is a *single-branch* unitary perturbation, so it exercises
+/// the coherent (non-Pauli) path of both backends.
+pub fn overrotation_unitary(d: usize, epsilon: f64) -> CMatrix {
+    let mut h = CMatrix::zeros(d, d);
+    for j in 0..d.saturating_sub(1) {
+        h.set(j, j + 1, Complex::ONE);
+        h.set(j + 1, j, Complex::ONE);
+    }
+    let (evals, q) = eig_hermitian(&h);
+    let phases: Vec<Complex> = evals.iter().map(|&l| Complex::cis(-epsilon * l)).collect();
+    let d_mat = CMatrix::diagonal(&phases);
+    &(&q * &d_mat) * &q.adjoint()
+}
+
+/// The single-qudit coherent over-rotation channel: `V = exp(−iεH)` applied
+/// with probability one.
+///
+/// # Errors
+///
+/// Returns [`NoiseError::InvalidModel`] when `epsilon` is not finite.
+pub fn overrotation_channel(d: usize, epsilon: f64) -> NoiseResult<Channel> {
+    check_finite("overrotation", epsilon)?;
+    Ok(Channel::MixedUnitary {
+        probs: vec![1.0],
+        unitaries: vec![overrotation_unitary(d, epsilon)],
+    })
+}
+
+/// The two-qudit coherent over-rotation channel `V ⊗ V`: both participants
+/// of a two-qudit gate pick up the same miscalibration.
+///
+/// # Errors
+///
+/// As for [`overrotation_channel`].
+pub fn two_qudit_overrotation_channel(d: usize, epsilon: f64) -> NoiseResult<Channel> {
+    check_finite("overrotation", epsilon)?;
+    let v = overrotation_unitary(d, epsilon);
+    Ok(Channel::MixedUnitary {
+        probs: vec![1.0],
+        unitaries: vec![v.kron(&v)],
+    })
+}
+
+/// The ZZ-style crosstalk unitary accumulated over `dt` seconds at coupling
+/// strength `zeta` (rad/s): the diagonal two-qudit phase
+/// `U|j,k⟩ = e^{−i·ζ·dt·j·k}|j,k⟩` — the natural qudit generalisation of the
+/// always-on ZZ coupling between adjacent transmons.
+pub fn crosstalk_unitary(d: usize, zeta: f64, dt: f64) -> CMatrix {
+    let diag: Vec<Complex> = (0..d * d)
+        .map(|idx| {
+            let (j, k) = (idx / d, idx % d);
+            Complex::cis(-zeta * dt * (j * k) as f64)
+        })
+        .collect();
+    CMatrix::diagonal(&diag)
+}
+
+/// The crosstalk channel for one adjacent pair over a frame of duration
+/// `dt` seconds.
+///
+/// # Errors
+///
+/// Returns [`NoiseError::InvalidModel`] when `zeta` or `dt` is not finite.
+pub fn crosstalk_channel(d: usize, zeta: f64, dt: f64) -> NoiseResult<Channel> {
+    check_finite("crosstalk", zeta)?;
+    check_finite("frame duration", dt)?;
+    Ok(Channel::MixedUnitary {
+        probs: vec![1.0],
+        unitaries: vec![crosstalk_unitary(d, zeta, dt)],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_channel_is_valid_and_rejects_qubits() {
+        for d in [3usize, 4] {
+            let c = leakage_channel(d, 0.05).unwrap();
+            c.validate().unwrap();
+            assert_eq!(c.num_branches(), 2);
+            let pair = two_qudit_leakage_channel(d, 0.05).unwrap();
+            pair.validate().unwrap();
+            assert_eq!(pair.num_branches(), 4);
+            assert_eq!(pair.dim(), d * d);
+        }
+        assert!(matches!(
+            leakage_channel(2, 0.05),
+            Err(NoiseError::InvalidModel { .. })
+        ));
+        assert!(leakage_channel(3, 1.5).is_err());
+        assert!(leakage_channel(3, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn leakage_moves_population_to_level_two() {
+        // An always-leak channel maps |1⟩ exactly onto |2⟩.
+        let c = leakage_channel(3, 1.0).unwrap();
+        let s = c.superoperator();
+        // vec(|1⟩⟨1|) is column 4 of the 9×9 superoperator basis.
+        let mut rho = vec![Complex::ZERO; 9];
+        rho[4] = Complex::ONE;
+        let out = s.mul_vec(&rho);
+        assert!((out[8].re - 1.0).abs() < 1e-12, "population not in |2⟩⟨2|");
+    }
+
+    #[test]
+    fn overrotation_is_unitary_and_reduces_to_identity() {
+        for d in [2usize, 3, 4] {
+            let v = overrotation_unitary(d, 0.1);
+            assert!(v.is_unitary(1e-9));
+            assert!(overrotation_unitary(d, 0.0).approx_eq(&CMatrix::identity(d), 1e-12));
+            overrotation_channel(d, 0.1).unwrap().validate().unwrap();
+            two_qudit_overrotation_channel(d, 0.1)
+                .unwrap()
+                .validate()
+                .unwrap();
+        }
+        assert!(overrotation_channel(3, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn overrotation_inverts_under_negated_angle() {
+        let v = overrotation_unitary(3, 0.2);
+        let vinv = overrotation_unitary(3, -0.2);
+        assert!((&v * &vinv).approx_eq(&CMatrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn crosstalk_is_diagonal_and_phases_scale_with_levels() {
+        let u = crosstalk_unitary(3, 2.0, 0.5);
+        assert!(u.is_unitary(1e-12));
+        assert!(u.is_diagonal(1e-12));
+        // |0,k⟩ and |j,0⟩ pick up no phase; |2,2⟩ picks up e^{−i·ζ·dt·4}.
+        assert!(u.get(0, 0).approx_eq(Complex::ONE, 1e-12));
+        assert!(u.get(2 * 3, 2 * 3).approx_eq(Complex::ONE, 1e-12));
+        assert!(u.get(8, 8).approx_eq(Complex::cis(-4.0), 1e-12));
+        crosstalk_channel(3, 2.0, 0.5).unwrap().validate().unwrap();
+        assert!(crosstalk_channel(3, f64::NAN, 0.5).is_err());
+    }
+}

@@ -215,7 +215,7 @@ impl<'a> DensityNoiseSimulator<'a> {
         cancel: &CancelToken,
     ) -> NoiseResult<DensityMatrix> {
         let mut rho = DensityMatrix::from_pure(initial);
-        for frame in &self.program.frames {
+        for (frame_idx, frame) in self.program.frames.iter().enumerate() {
             cancel.check()?;
             for &op_idx in &frame.ops {
                 self.noisy.pair(op_idx).apply(&mut rho);
@@ -227,6 +227,16 @@ impl<'a> DensityNoiseSimulator<'a> {
             if let Some(sites) = self.sites.idle.get(&frame.duration) {
                 for site in sites {
                     rho.apply_plan(site);
+                }
+            }
+            // Crosstalk at the same point in the frame as the trajectory
+            // loop. The channel is unitary, so the two loops' different
+            // renormalisation cadence cannot make them disagree.
+            if !self.sites.crosstalk.is_empty() {
+                for pair in &self.program.crosstalk_pairs[frame_idx] {
+                    if let Some(plan) = self.sites.crosstalk.get(&(frame.duration, *pair)) {
+                        rho.apply_plan(plan);
+                    }
                 }
             }
         }
@@ -458,6 +468,9 @@ mod tests {
             t1: None,
             gate_time_1q: 100e-9,
             gate_time_2q: 300e-9,
+            leak_rate: None,
+            overrotation: None,
+            crosstalk: None,
         };
         let c = toffoli_fig4();
         let config = TrajectoryConfig {

@@ -178,6 +178,59 @@ impl Channel {
         }
     }
 
+    /// Composes this channel with a `later` one: the returned channel
+    /// applies `self` first, then `later` (`E = later ∘ self`).
+    ///
+    /// Both channels must be mixed-unitary — the branch product of two
+    /// state-independent mixtures is again a state-independent mixture with
+    /// the outer-product branch probabilities, so the composite keeps the
+    /// cheap single-draw trajectory rule. This is how the per-gate error is
+    /// assembled from its physical pieces (coherent over-rotation, leakage,
+    /// depolarizing) as *one* site, charged identically by both backends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError::InvalidModel`] when either channel is a general
+    /// Kraus channel or the dimensions differ.
+    pub fn then(&self, later: &Channel) -> NoiseResult<Channel> {
+        let (p_a, u_a) = match self {
+            Channel::MixedUnitary { probs, unitaries } => (probs, unitaries),
+            Channel::Kraus { .. } => {
+                return Err(NoiseError::InvalidModel {
+                    reason: "channel composition requires mixed-unitary channels".to_string(),
+                })
+            }
+        };
+        let (p_b, u_b) = match later {
+            Channel::MixedUnitary { probs, unitaries } => (probs, unitaries),
+            Channel::Kraus { .. } => {
+                return Err(NoiseError::InvalidModel {
+                    reason: "channel composition requires mixed-unitary channels".to_string(),
+                })
+            }
+        };
+        if self.dim() != later.dim() {
+            return Err(NoiseError::InvalidModel {
+                reason: format!(
+                    "cannot compose a dimension-{} channel with a dimension-{} channel",
+                    self.dim(),
+                    later.dim()
+                ),
+            });
+        }
+        let mut probs = Vec::with_capacity(p_a.len() * p_b.len());
+        let mut unitaries = Vec::with_capacity(p_a.len() * p_b.len());
+        // Earlier channel's branches vary fastest so that composing with a
+        // single-branch (deterministic) later channel preserves branch order.
+        for (pb, ub) in p_b.iter().zip(u_b) {
+            for (pa, ua) in p_a.iter().zip(u_a) {
+                probs.push(pa * pb);
+                unitaries.push(ub * ua);
+            }
+        }
+        Ok(Channel::MixedUnitary { probs, unitaries })
+    }
+
     /// Samples one trajectory branch of the channel and applies it to the
     /// given qudits of the state, renormalising afterwards.
     ///
@@ -449,6 +502,41 @@ mod tests {
                 assert!(x.approx_eq(*y, 1e-12));
             }
         }
+    }
+
+    #[test]
+    fn composed_channel_matches_sequential_superoperators() {
+        let first = crate::depolarizing::single_qudit_depolarizing(3, 2e-2).unwrap();
+        let second = Channel::MixedUnitary {
+            probs: vec![0.7, 0.3],
+            unitaries: vec![CMatrix::identity(3), gates::qutrit::x_plus_1()],
+        };
+        let composed = first.then(&second).unwrap();
+        composed.validate().unwrap();
+        // later ∘ self: the superoperator of the composite is the product
+        // S_later · S_self.
+        let expected = &second.superoperator() * &first.superoperator();
+        assert!(composed.superoperator().approx_eq(&expected, 1e-12));
+        // Composing with a single identity branch is branch-order neutral.
+        let identity = Channel::MixedUnitary {
+            probs: vec![1.0],
+            unitaries: vec![CMatrix::identity(3)],
+        };
+        let neutral = first.then(&identity).unwrap();
+        assert_eq!(neutral.num_branches(), first.num_branches());
+        assert!(neutral
+            .superoperator()
+            .approx_eq(&first.superoperator(), 1e-12));
+    }
+
+    #[test]
+    fn composition_rejects_kraus_and_mismatched_dims() {
+        let kraus = crate::damping::qutrit_damping(0.2, 0.35).unwrap();
+        let mixed = crate::depolarizing::single_qudit_depolarizing(3, 1e-2).unwrap();
+        assert!(kraus.then(&mixed).is_err());
+        assert!(mixed.then(&kraus).is_err());
+        let qubit = crate::depolarizing::single_qudit_depolarizing(2, 1e-2).unwrap();
+        assert!(mixed.then(&qubit).is_err());
     }
 
     #[test]

@@ -40,6 +40,7 @@
 mod artifacts;
 mod backend;
 mod cancel;
+mod channels;
 mod damping;
 mod depolarizing;
 mod error;
@@ -56,6 +57,10 @@ pub use backend::{
     TrajectoryBackend,
 };
 pub use cancel::CancelToken;
+pub use channels::{
+    crosstalk_channel, crosstalk_unitary, leakage_channel, overrotation_channel,
+    overrotation_unitary, two_qudit_leakage_channel, two_qudit_overrotation_channel,
+};
 pub use damping::{idle_damping_channel, lambda_m, qubit_damping, qutrit_damping};
 pub use depolarizing::{
     qutrit_two_qudit_reliability_ratio, single_qudit_depolarizing,

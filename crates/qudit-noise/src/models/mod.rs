@@ -10,6 +10,10 @@
 pub mod superconducting;
 pub mod trapped_ion;
 
+use crate::channels::{
+    crosstalk_channel, leakage_channel, overrotation_channel, two_qudit_leakage_channel,
+    two_qudit_overrotation_channel,
+};
 use crate::damping::idle_damping_channel;
 use crate::depolarizing::{single_qudit_depolarizing, two_qudit_depolarizing};
 use crate::error::NoiseResult;
@@ -38,16 +42,101 @@ pub struct NoiseModel {
     pub gate_time_1q: f64,
     /// Duration of a two-qudit gate in seconds.
     pub gate_time_2q: f64,
+    /// Per-gate probability of amplitude exchanging with the |2⟩ level
+    /// (leakage out of — and back into — the qubit subspace). `None`
+    /// disables the channel; requires dimension ≥ 3.
+    pub leak_rate: Option<f64>,
+    /// Coherent over-rotation angle ε: every gate is followed by the
+    /// unitary `exp(−iεH)` with `H` the nearest-level coupling Hamiltonian.
+    /// `None` disables the channel.
+    pub overrotation: Option<f64>,
+    /// ZZ-style crosstalk coupling strength ζ in rad/s, accumulated between
+    /// schedule-adjacent neighbours over each frame's duration. `None`
+    /// disables the channel.
+    pub crosstalk: Option<f64>,
 }
 
 impl NoiseModel {
+    /// Returns `self` with the leakage channel enabled at rate `p`.
+    pub fn with_leakage(mut self, p: f64) -> Self {
+        self.leak_rate = Some(p);
+        self
+    }
+
+    /// Returns `self` with the coherent over-rotation channel enabled at
+    /// angle `epsilon`.
+    pub fn with_overrotation(mut self, epsilon: f64) -> Self {
+        self.overrotation = Some(epsilon);
+        self
+    }
+
+    /// Returns `self` with ZZ-style crosstalk enabled at coupling strength
+    /// `zeta` (rad/s).
+    pub fn with_crosstalk(mut self, zeta: f64) -> Self {
+        self.crosstalk = Some(zeta);
+        self
+    }
+
+    /// Validates the optional channel parameters against dimension `d` by
+    /// building each enabled channel once, so an invalid model is rejected
+    /// at spec time instead of mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first channel-construction failure: a non-finite or
+    /// out-of-range parameter, or leakage on a `d < 3` register.
+    pub fn validate_channels(&self, d: usize) -> NoiseResult<()> {
+        if let Some(p) = self.leak_rate {
+            leakage_channel(d, p)?;
+        }
+        if let Some(eps) = self.overrotation {
+            overrotation_channel(d, eps)?;
+        }
+        if let Some(zeta) = self.crosstalk {
+            crosstalk_channel(d, zeta, self.gate_time_2q)?;
+        }
+        Ok(())
+    }
+
+    /// Composes the optional physical channels (coherent over-rotation
+    /// first, then leakage) under the depolarizing tail, keeping the site a
+    /// single mixed-unitary channel. Models without the optional fields
+    /// return `depol` untouched — branch-for-branch identical to the
+    /// pre-extension channels, so existing RNG streams do not shift.
+    fn gate_error_with_extras(
+        &self,
+        d: usize,
+        depol: Channel,
+        two_qudit: bool,
+    ) -> NoiseResult<Channel> {
+        let mut channel = depol;
+        if let Some(p) = self.leak_rate {
+            let leak = if two_qudit {
+                two_qudit_leakage_channel(d, p)?
+            } else {
+                leakage_channel(d, p)?
+            };
+            channel = leak.then(&channel)?;
+        }
+        if let Some(eps) = self.overrotation {
+            let over = if two_qudit {
+                two_qudit_overrotation_channel(d, eps)?
+            } else {
+                overrotation_channel(d, eps)?
+            };
+            channel = over.then(&channel)?;
+        }
+        Ok(channel)
+    }
+
     /// Builds the single-qudit gate-error channel for dimension `d`.
     ///
     /// # Errors
     ///
     /// Propagates probability-validation failures.
     pub fn single_qudit_gate_error(&self, d: usize) -> NoiseResult<Channel> {
-        single_qudit_depolarizing(d, self.p1)
+        let depol = single_qudit_depolarizing(d, self.p1)?;
+        self.gate_error_with_extras(d, depol, false)
     }
 
     /// Builds the two-qudit gate-error channel for dimension `d`.
@@ -56,7 +145,33 @@ impl NoiseModel {
     ///
     /// Propagates probability-validation failures.
     pub fn two_qudit_gate_error(&self, d: usize) -> NoiseResult<Channel> {
-        two_qudit_depolarizing(d, self.p2)
+        self.two_qudit_gate_error_scaled(d, 1.0)
+    }
+
+    /// Builds the two-qudit gate-error channel with `p2` scaled by an
+    /// edge-quality multiplier (1.0 = nominal — bit-identical to the
+    /// unscaled channel).
+    ///
+    /// # Errors
+    ///
+    /// Propagates probability-validation failures (a scale pushing the
+    /// total error probability past 1 is rejected like any other bad `p2`).
+    pub fn two_qudit_gate_error_scaled(&self, d: usize, scale: f64) -> NoiseResult<Channel> {
+        let depol = two_qudit_depolarizing(d, self.p2 * scale)?;
+        self.gate_error_with_extras(d, depol, true)
+    }
+
+    /// Builds the crosstalk channel for dimension `d` accumulated over a
+    /// frame of `dt` seconds, or `None` if the model has no crosstalk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation failures.
+    pub fn crosstalk_error(&self, d: usize, dt: f64) -> NoiseResult<Option<Channel>> {
+        match self.crosstalk {
+            Some(zeta) => Ok(Some(crosstalk_channel(d, zeta, dt)?)),
+            None => Ok(None),
+        }
     }
 
     /// Builds the idle (amplitude-damping) channel for dimension `d` and a

@@ -22,6 +22,9 @@ fn sc_model(name: &str, three_p1: f64, fifteen_p2: f64, t1: f64) -> NoiseModel {
         t1: Some(t1),
         gate_time_1q: SC_GATE_TIME_1Q,
         gate_time_2q: SC_GATE_TIME_2Q,
+        leak_rate: None,
+        overrotation: None,
+        crosstalk: None,
     }
 }
 

@@ -29,6 +29,9 @@ fn ti_model(name: &str, total_p1: f64, total_p2: f64, d: usize) -> NoiseModel {
         t1: None,
         gate_time_1q: TI_GATE_TIME_1Q,
         gate_time_2q: TI_GATE_TIME_2Q,
+        leak_rate: None,
+        overrotation: None,
+        crosstalk: None,
     }
 }
 

@@ -9,19 +9,37 @@ use serde::{Deserialize, Error, Serialize, Value};
 
 impl Serialize for NoiseModel {
     fn to_value(&self) -> Value {
-        Value::object(vec![
+        let mut fields = vec![
             ("name", self.name.to_value()),
             ("p1", self.p1.to_value()),
             ("p2", self.p2.to_value()),
             ("t1", self.t1.to_value()),
             ("gate_time_1q", self.gate_time_1q.to_value()),
             ("gate_time_2q", self.gate_time_2q.to_value()),
-        ])
+        ];
+        // Only-when-Some: a model without the optional channels keeps its
+        // pre-extension byte layout, so golden files, result-cache keys and
+        // batch-dedup keys are untouched by the fields' existence.
+        if let Some(p) = self.leak_rate {
+            fields.push(("leak_rate", p.to_value()));
+        }
+        if let Some(eps) = self.overrotation {
+            fields.push(("overrotation", eps.to_value()));
+        }
+        if let Some(zeta) = self.crosstalk {
+            fields.push(("crosstalk", zeta.to_value()));
+        }
+        Value::object(fields)
     }
 }
 
 impl Deserialize for NoiseModel {
     fn from_value(value: &Value) -> Result<Self, Error> {
+        // The optional channels are absent on pre-extension payloads: those
+        // parse to `None` and run bit-identically to what they always did.
+        let optional = |name: &str| -> Result<Option<f64>, Error> {
+            value.get(name).map(|v| v.as_f64()).transpose()
+        };
         Ok(NoiseModel {
             name: String::from_value(value.field("name")?)?,
             p1: value.field("p1")?.as_f64()?,
@@ -29,6 +47,9 @@ impl Deserialize for NoiseModel {
             t1: Option::<f64>::from_value(value.field("t1")?)?,
             gate_time_1q: value.field("gate_time_1q")?.as_f64()?,
             gate_time_2q: value.field("gate_time_2q")?.as_f64()?,
+            leak_rate: optional("leak_rate")?,
+            overrotation: optional("overrotation")?,
+            crosstalk: optional("crosstalk")?,
         })
     }
 }
@@ -139,6 +160,29 @@ mod tests {
             let back: NoiseModel = json::from_str(&json::to_string(&model)).unwrap();
             assert_eq!(back, model);
         }
+    }
+
+    #[test]
+    fn optional_channel_fields_round_trip_and_stay_absent_otherwise() {
+        // A plain model's wire form carries none of the new keys — the
+        // pre-extension byte layout is preserved exactly.
+        let plain = models::sc();
+        let json = json::to_string(&plain);
+        for key in ["leak_rate", "overrotation", "crosstalk"] {
+            assert!(!json.contains(key), "unexpected {key} in {json}");
+        }
+        let back: NoiseModel = json::from_str(&json).unwrap();
+        assert_eq!(back, plain);
+        // An extended model round-trips all three fields.
+        let extended = models::sc()
+            .with_leakage(1e-3)
+            .with_overrotation(0.02)
+            .with_crosstalk(2e4);
+        let back: NoiseModel = json::from_str(&json::to_string(&extended)).unwrap();
+        assert_eq!(back, extended);
+        assert_eq!(back.leak_rate, Some(1e-3));
+        assert_eq!(back.overrotation, Some(0.02));
+        assert_eq!(back.crosstalk, Some(2e4));
     }
 
     #[test]

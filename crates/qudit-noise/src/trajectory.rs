@@ -55,7 +55,7 @@ use crate::error::{NoiseError, NoiseResult};
 use crate::kraus::{Channel, CompiledChannel};
 use crate::models::NoiseModel;
 use qudit_circuit::passes::{self, CompiledIr, PassLevel};
-use qudit_circuit::{Circuit, FrameDuration, FrameSchedule, Operation};
+use qudit_circuit::{Circuit, FrameDuration, FrameSchedule, Operation, Topology};
 use qudit_core::{random_qubit_subspace_state, CoreError, StateVector};
 use qudit_sim::{CompiledCircuit, Simulator};
 use rand::rngs::StdRng;
@@ -223,7 +223,7 @@ impl Welford {
     }
 
     /// The accumulated estimate, with the same degenerate-count rule as
-    /// [`estimate_from_samples`]: at ≤ 1 sample the spread is unknown, so
+    /// `estimate_from_samples`: at ≤ 1 sample the spread is unknown, so
     /// the standard error reports the floored binomial bound rather than a
     /// confident 0.
     pub fn estimate(&self) -> FidelityEstimate {
@@ -274,6 +274,16 @@ pub(crate) struct NoiseProgram {
     pub(crate) frames: Vec<ProgramFrame>,
     /// Per-operation gate-error sites, index-aligned with the circuit.
     pub(crate) sites: Vec<Vec<ErrorSite>>,
+    /// Per-frame qudit pairs a crosstalk-enabled model couples: sorted
+    /// `u < v` pairs whose both endpoints are busy in the frame and — when
+    /// the IR carries a topology — adjacent on it. Model-independent, so
+    /// one program serves every model; models without crosstalk simply
+    /// build no sites for these pairs.
+    pub(crate) crosstalk_pairs: Vec<Vec<[usize; 2]>>,
+    /// Per-edge error-rate multipliers from the IR's topology (sorted
+    /// `u < v` keys; absent = 1.0): SWAPs and other two-qudit gates on a
+    /// poor edge charge a proportionally scaled `p2`.
+    pub(crate) edge_quality: HashMap<[usize; 2], f64>,
 }
 
 impl NoiseProgram {
@@ -329,10 +339,14 @@ impl NoiseProgram {
                     });
                 }
                 let sites = circuit.iter().map(uniform_sites).collect();
+                let frames = program_frames(frames);
+                let crosstalk_pairs = crosstalk_pairs(&circuit, &frames, ir.topology());
                 Ok(NoiseProgram {
                     circuit,
-                    frames: program_frames(frames),
+                    frames,
                     sites,
+                    crosstalk_pairs,
+                    edge_quality: edge_quality_map(ir.topology()),
                 })
             }
             level => Err(NoiseError::UnsupportedLevel {
@@ -345,10 +359,14 @@ impl NoiseProgram {
         let frames = FrameSchedule::from_moments(ir.schedule(), false);
         let circuit = ir.circuit().clone();
         let sites = circuit.iter().map(logical_sites).collect();
+        let frames = program_frames(&frames);
+        let crosstalk_pairs = crosstalk_pairs(&circuit, &frames, ir.topology());
         NoiseProgram {
             circuit,
-            frames: program_frames(&frames),
+            frames,
             sites,
+            crosstalk_pairs,
+            edge_quality: edge_quality_map(ir.topology()),
         }
     }
 
@@ -380,6 +398,57 @@ impl NoiseProgram {
         }
         out
     }
+}
+
+/// The qudit pairs crosstalk couples in each frame: every sorted pair of
+/// qudits that are both busy (touched by one of the frame's operations),
+/// restricted to topology-adjacent pairs when the IR carries a topology.
+/// Without one the job compiled all-to-all, where every simultaneously
+/// driven pair is a neighbour.
+fn crosstalk_pairs(
+    circuit: &Circuit,
+    frames: &[ProgramFrame],
+    topology: Option<&Topology>,
+) -> Vec<Vec<[usize; 2]>> {
+    frames
+        .iter()
+        .map(|frame| {
+            let mut busy: Vec<usize> = frame
+                .ops
+                .iter()
+                .flat_map(|&op_idx| circuit.operations()[op_idx].qudits())
+                .collect();
+            busy.sort_unstable();
+            busy.dedup();
+            let mut pairs = Vec::new();
+            for (i, &u) in busy.iter().enumerate() {
+                for &v in &busy[i + 1..] {
+                    if topology.is_none_or(|t| t.is_adjacent(u, v)) {
+                        pairs.push([u, v]);
+                    }
+                }
+            }
+            pairs
+        })
+        .collect()
+}
+
+/// The per-edge error-rate multipliers of the IR's topology as a sorted-key
+/// map; empty when there is no topology or its edge weights are uniform.
+fn edge_quality_map(topology: Option<&Topology>) -> HashMap<[usize; 2], f64> {
+    let Some(topology) = topology else {
+        return HashMap::new();
+    };
+    let weights = topology.edge_quality();
+    if weights.is_empty() {
+        return HashMap::new();
+    }
+    topology
+        .edges()
+        .into_iter()
+        .zip(weights.iter().copied())
+        .map(|((u, v), q)| ([u, v], q))
+        .collect()
 }
 
 /// The uniform (physical) site rule: a gate charges one error on its own
@@ -446,6 +515,10 @@ pub(crate) struct NoiseSites<T> {
     /// Idle channels per frame duration, each a per-qudit vector. Empty
     /// when the model has no `T1`.
     pub(crate) idle: HashMap<FrameDuration, Vec<T>>,
+    /// Crosstalk channels keyed by `(frame duration, sorted qudit pair)` —
+    /// the accumulated ZZ phase depends on how long the frame lasts. Empty
+    /// when the model has no crosstalk.
+    pub(crate) crosstalk: HashMap<(FrameDuration, [usize; 2]), T>,
 }
 
 impl<T> NoiseSites<T> {
@@ -481,14 +554,19 @@ pub(crate) fn build_noise_sites<T>(
     let single_gate = model.single_qudit_gate_error(d)?;
     let two_gate = model.two_qudit_gate_error(d)?;
     let single_sites: Vec<T> = (0..n).map(|q| build(&single_gate, &[q])).collect();
-    let two_sites: HashMap<[usize; 2], T> = program
-        .charged_pairs()
-        .into_iter()
-        .map(|pair| {
-            let site = build(&two_gate, &pair);
-            (pair, site)
-        })
-        .collect();
+    let mut two_sites: HashMap<[usize; 2], T> = HashMap::new();
+    for pair in program.charged_pairs() {
+        // Edge-quality weights key on the undirected edge; charged pairs
+        // keep op order (control, target).
+        let edge = [pair[0].min(pair[1]), pair[0].max(pair[1])];
+        let scale = program.edge_quality.get(&edge).copied().unwrap_or(1.0);
+        let site = if scale == 1.0 {
+            build(&two_gate, &pair)
+        } else {
+            build(&model.two_qudit_gate_error_scaled(d, scale)?, &pair)
+        };
+        two_sites.insert(pair, site);
+    }
     let mut idle = HashMap::new();
     for duration in program.durations() {
         if let Some(channel) = model.idle_error(d, duration_seconds(duration, model))? {
@@ -496,10 +574,26 @@ pub(crate) fn build_noise_sites<T>(
             idle.insert(duration, sites);
         }
     }
+    let mut crosstalk = HashMap::new();
+    if model.crosstalk.is_some() {
+        for (frame, pairs) in program.frames.iter().zip(&program.crosstalk_pairs) {
+            for &pair in pairs {
+                let key = (frame.duration, pair);
+                if crosstalk.contains_key(&key) {
+                    continue;
+                }
+                let channel = model
+                    .crosstalk_error(d, duration_seconds(frame.duration, model))?
+                    .expect("crosstalk parameter checked above");
+                crosstalk.insert(key, build(&channel, &pair));
+            }
+        }
+    }
     Ok(NoiseSites {
         single_gate: single_sites,
         two_gate: two_sites,
         idle,
+        crosstalk,
     })
 }
 
@@ -717,9 +811,10 @@ impl<'a> TrajectorySimulator<'a> {
         let ideal = self.compiled.run_sequential(initial.clone());
 
         // Noisy evolution, frame by frame: unitaries, then the frame's
-        // gate errors, then the idle error for the frame's duration.
+        // gate errors, then the idle error for the frame's duration, then
+        // the crosstalk phases between the frame's busy adjacent pairs.
         let mut noisy = initial;
-        for frame in &self.program.frames {
+        for (frame_idx, frame) in self.program.frames.iter().enumerate() {
             cancel.check()?;
             for &op_idx in &frame.ops {
                 self.compiled.plan(op_idx).apply_sequential(&mut noisy);
@@ -733,6 +828,13 @@ impl<'a> TrajectorySimulator<'a> {
             if let Some(sites) = self.channels.idle.get(&frame.duration) {
                 for site in sites {
                     site.apply_trajectory(&mut noisy, rng);
+                }
+            }
+            if !self.channels.crosstalk.is_empty() {
+                for pair in &self.program.crosstalk_pairs[frame_idx] {
+                    if let Some(site) = self.channels.crosstalk.get(&(frame.duration, *pair)) {
+                        site.apply_trajectory(&mut noisy, rng);
+                    }
                 }
             }
             noisy.renormalize();
@@ -951,6 +1053,9 @@ mod tests {
             t1: None,
             gate_time_1q: 100e-9,
             gate_time_2q: 300e-9,
+            leak_rate: None,
+            overrotation: None,
+            crosstalk: None,
         }
     }
 
@@ -1017,6 +1122,9 @@ mod tests {
             t1: Some(1e-4),
             gate_time_1q: 100e-9,
             gate_time_2q: 300e-9,
+            leak_rate: None,
+            overrotation: None,
+            crosstalk: None,
         };
         let worse = simulate_fidelity(&c, &bad, &config).unwrap();
         let better = simulate_fidelity(&c, &sc_t1_gates(), &config).unwrap();
@@ -1078,6 +1186,9 @@ mod tests {
             t1: Some(1e-3),
             gate_time_1q: 100e-9,
             gate_time_2q: 300e-9,
+            leak_rate: None,
+            overrotation: None,
+            crosstalk: None,
         };
         let config_base = TrajectoryConfig {
             trials: 60,

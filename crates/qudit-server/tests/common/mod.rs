@@ -51,6 +51,9 @@ pub fn heavy_job_json() -> String {
             t1: Some(1e-3),
             gate_time_1q: 100e-9,
             gate_time_2q: 300e-9,
+            leak_rate: None,
+            overrotation: None,
+            crosstalk: None,
         })
         .backend(BackendKind::Trajectory)
         .trials(500_000)

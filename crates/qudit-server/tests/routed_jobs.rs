@@ -63,6 +63,9 @@ fn routed_noisy_job_runs_and_charges_the_swaps() {
         t1: Some(1e-3),
         gate_time_1q: 100e-9,
         gate_time_2q: 300e-9,
+        leak_rate: None,
+        overrotation: None,
+        crosstalk: None,
     };
     let leg = |topology: Option<Topology>| {
         let mut builder = JobSpec::builder(star_circuit())

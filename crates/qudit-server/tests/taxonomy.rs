@@ -36,6 +36,9 @@ enum Body {
     MutatedCleanJob(&'static str, &'static str),
     /// The heavy job (deadline fodder), unmodified.
     HeavyJob,
+    /// The heavy job (the one carrying a noise model), mutated by string
+    /// replacement on the wire form.
+    MutatedHeavyJob(&'static str, &'static str),
     /// The clean job, unmodified (used with fault-inducing headers).
     CleanJob,
 }
@@ -87,6 +90,32 @@ fn cases() -> Vec<FaultCase> {
             request: Request::Post {
                 path: "/v1/jobs",
                 body: Body::MutatedCleanJob("\"backend\":\"trajectory\"", "\"backend\":\"abacus\""),
+                headers: &[],
+            },
+            expect_status: 400,
+            expect_kind: "bad_request",
+        },
+        FaultCase {
+            name: "well-formed JSON, out-of-range leakage rate",
+            request: Request::Post {
+                path: "/v1/jobs",
+                body: Body::MutatedHeavyJob(
+                    "\"name\":\"TEST\"",
+                    "\"name\":\"TEST\",\"leak_rate\":1.5",
+                ),
+                headers: &[],
+            },
+            expect_status: 422,
+            expect_kind: "invalid_spec",
+        },
+        FaultCase {
+            name: "well-formed JSON, non-numeric crosstalk",
+            request: Request::Post {
+                path: "/v1/jobs",
+                body: Body::MutatedHeavyJob(
+                    "\"name\":\"TEST\"",
+                    "\"name\":\"TEST\",\"crosstalk\":\"lots\"",
+                ),
                 headers: &[],
             },
             expect_status: 400,
@@ -175,6 +204,14 @@ fn every_fault_class_maps_to_its_typed_error_and_leaves_the_server_healthy() {
                         clean.replace(from, to)
                     }
                     Body::HeavyJob => heavy.clone(),
+                    Body::MutatedHeavyJob(from, to) => {
+                        assert!(
+                            heavy.contains(from),
+                            "{}: mutation anchor missing",
+                            case.name
+                        );
+                        heavy.replace(from, to)
+                    }
                     Body::CleanJob => clean.clone(),
                 };
                 post_job(addr, &payload, headers)

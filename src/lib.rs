@@ -23,6 +23,9 @@
 //! * [`toffoli`] (`qutrit-toffoli`) — the paper's contribution: the
 //!   ancilla-free log-depth Generalized Toffoli via qutrits, its baselines,
 //!   and the derived circuits (incrementer, Grover, quantum neuron).
+//! * [`algos`] (`qudit-algos`) — the parameterized algorithm library: QFT,
+//!   ripple-carry and Draper adders, a multiplier, phase estimation and
+//!   GHZ/W state preparation, all as plain circuits for any `d ≥ 2`.
 //!
 //! ## Example
 //!
@@ -44,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub use qudit_algos as algos;
 pub use qudit_api as api;
 pub use qudit_circuit as circuit;
 pub use qudit_core as qcore;

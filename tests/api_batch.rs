@@ -163,6 +163,9 @@ fn batch_surfaces_per_job_errors_without_poisoning_the_rest() {
         t1: None,
         gate_time_1q: 1e-7,
         gate_time_2q: 3e-7,
+        leak_rate: None,
+        overrotation: None,
+        crosstalk: None,
     };
     let specs = vec![
         JobSpec::builder(fig4_toffoli())

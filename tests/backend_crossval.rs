@@ -64,6 +64,65 @@ fn trajectory_converges_to_exact_on_a_qubit_circuit() {
 }
 
 #[test]
+fn trajectory_converges_to_exact_for_each_optional_channel() {
+    // Each optional channel alone on the SC baseline, both radices where
+    // defined: a drift in one channel's accounting in either backend is
+    // attributable to exactly one case. Over-rotation and crosstalk are
+    // coherent (non-Pauli) channels, so this also pins the MixedUnitary
+    // composition path.
+    let cases: Vec<(&str, Circuit, qudit_noise::NoiseModel)> = vec![
+        (
+            "leakage d=3",
+            fig4_toffoli(),
+            models::sc().with_leakage(2e-3),
+        ),
+        (
+            "over-rotation d=3",
+            fig4_toffoli(),
+            models::sc().with_overrotation(0.03),
+        ),
+        (
+            "over-rotation d=2",
+            qubit_no_ancilla(3, 2).unwrap(),
+            models::sc().with_overrotation(0.03),
+        ),
+        (
+            "crosstalk d=3",
+            fig4_toffoli(),
+            models::sc().with_crosstalk(3e4),
+        ),
+        (
+            "crosstalk d=2",
+            qubit_no_ancilla(3, 2).unwrap(),
+            models::sc().with_crosstalk(3e4),
+        ),
+        (
+            "all three at once d=3",
+            fig4_toffoli(),
+            models::sc()
+                .with_leakage(1e-3)
+                .with_overrotation(0.02)
+                .with_crosstalk(2e4),
+        ),
+    ];
+    let config = fixed_input_config(300, 2019);
+    for (label, circuit, model) in cases {
+        let cv = cross_validate(&circuit, &model, &config, 3.0).unwrap();
+        assert!(
+            cv.within_bounds(),
+            "{label}: trajectory {:.6} vs exact {:.6} exceeds bound {:.2e}",
+            cv.estimate.mean,
+            cv.exact,
+            cv.tolerance
+        );
+        // The channel must actually bite: fidelity strictly below the
+        // plain-SC value would be ideal, but exact < 1 is the cheap
+        // invariant that catches a silently-ignored field.
+        assert!(cv.exact < 1.0 - 1e-6, "{label}: channel did not bite");
+    }
+}
+
+#[test]
 fn backends_agree_exactly_when_there_is_no_noise() {
     // With p1 = p2 = 0 and no T1 the trajectory draws no branches at all,
     // so the two backends must agree to numerical precision — and both must
@@ -75,6 +134,9 @@ fn backends_agree_exactly_when_there_is_no_noise() {
         t1: None,
         gate_time_1q: 100e-9,
         gate_time_2q: 300e-9,
+        leak_rate: None,
+        overrotation: None,
+        crosstalk: None,
     };
     let circuit = fig4_toffoli();
     let config = fixed_input_config(5, 1);
@@ -86,6 +148,64 @@ fn backends_agree_exactly_when_there_is_no_noise() {
         .unwrap();
     assert!((exact.mean - 1.0).abs() < 1e-10);
     assert!((sampled.mean - exact.mean).abs() < 1e-9);
+}
+
+#[test]
+fn per_edge_error_rates_are_charged_by_both_backends_for_routed_swaps() {
+    // A 3-qutrit circuit whose only two-qudit gates join the two ends of a
+    // line — every gate needs routed SWAPs, all charged on the line's
+    // edges. Poisoning the edge weights (8× the base two-qudit error) must
+    // lower the exact fidelity, and the trajectory backend must agree with
+    // the exact backend under the same weights.
+    use qudit_api::{Executor, JobSpec, PassLevel, Topology};
+    let mut circuit = Circuit::new(3, 3);
+    for _ in 0..3 {
+        circuit
+            .push_gate(qudit_circuit::Gate::csum(3), &[0, 2])
+            .unwrap();
+    }
+    let executor = Executor::new();
+    let exact_on = |topology: Topology| {
+        let spec = JobSpec::builder(circuit.clone())
+            .noise(models::sc())
+            .level(PassLevel::Physical)
+            .backend(qudit_noise::BackendKind::DensityMatrix)
+            .trials(1)
+            .seed(7)
+            .input(qudit_noise::InputState::AllOnes)
+            .topology(topology)
+            .build()
+            .unwrap();
+        executor.run(&spec).unwrap().fidelity().unwrap().mean
+    };
+    let uniform = exact_on(Topology::linear(3).unwrap());
+    let poisoned_topology = Topology::linear(3)
+        .unwrap()
+        .with_edge_quality(vec![8.0, 8.0])
+        .unwrap();
+    let poisoned = exact_on(poisoned_topology.clone());
+    assert!(
+        poisoned < uniform - 1e-6,
+        "poisoned edges must cost fidelity: {poisoned} vs {uniform}"
+    );
+    // Consistency: trajectory charges the same per-edge scaling.
+    let spec = JobSpec::builder(circuit)
+        .noise(models::sc())
+        .level(PassLevel::Physical)
+        .trials(300)
+        .seed(2019)
+        .input(qudit_noise::InputState::AllOnes)
+        .topology(poisoned_topology)
+        .build()
+        .unwrap();
+    let cv = executor.cross_validate(&spec, 3.0).unwrap();
+    assert!(
+        cv.within_bounds(),
+        "edge-weighted: trajectory {:.6} vs exact {:.6} exceeds bound {:.2e}",
+        cv.estimate.mean,
+        cv.exact,
+        cv.tolerance
+    );
 }
 
 #[test]

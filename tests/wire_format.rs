@@ -83,7 +83,9 @@ fn random_circuit(dim: usize, width: usize, ops: usize, rng: &mut StdRng) -> Cir
     circuit
 }
 
-fn random_model(rng: &mut StdRng) -> NoiseModel {
+/// A random model whose optional channels are valid for dimension `dim`
+/// (leakage needs a |2⟩ level, so it is only drawn when `dim ≥ 3`).
+fn random_model(rng: &mut StdRng, dim: usize) -> NoiseModel {
     NoiseModel {
         name: format!("RANDOM-{}", rng.gen_range(0..1000)),
         p1: rng.gen_range(0.0..1e-3),
@@ -95,6 +97,21 @@ fn random_model(rng: &mut StdRng) -> NoiseModel {
         },
         gate_time_1q: rng.gen_range(1e-9..1e-6),
         gate_time_2q: rng.gen_range(1e-9..1e-6),
+        leak_rate: if dim >= 3 && rng.gen_bool(0.5) {
+            Some(rng.gen_range(0.0..1e-3))
+        } else {
+            None
+        },
+        overrotation: if rng.gen_bool(0.5) {
+            Some(rng.gen_range(0.0..0.1))
+        } else {
+            None
+        },
+        crosstalk: if rng.gen_bool(0.5) {
+            Some(rng.gen_range(0.0..1e5))
+        } else {
+            None
+        },
     }
 }
 
@@ -117,7 +134,7 @@ proptest! {
     #[test]
     fn noise_model_round_trips_through_json(seed in 0u64..1_000_000) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let model = random_model(&mut rng);
+        let model = random_model(&mut rng, 3);
         let back: NoiseModel = serde::json::from_str(&serde::json::to_string(&model))
             .expect("round trip");
         prop_assert_eq!(&back, &model);
@@ -135,7 +152,7 @@ proptest! {
             .seed(rng.gen_range(0..u64::MAX));
         if rng.gen_bool(0.5) {
             builder = builder
-                .noise(random_model(&mut rng))
+                .noise(random_model(&mut rng, dim))
                 .level(if rng.gen_bool(0.5) {
                     PassLevel::Physical
                 } else {
